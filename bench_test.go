@@ -1,0 +1,158 @@
+package honestplayer_test
+
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// (Figs. 3-9), regenerating the figure's series at reduced (Quick) workload
+// per iteration, plus end-to-end benchmarks of the public API hot paths.
+// Run everything with:
+//
+//	go test -bench=. -benchmem ./...
+//
+// The full-workload figures are produced by cmd/reprobench; these
+// benchmarks exist so that CI tracks the cost of regenerating each figure
+// and catches complexity regressions (Fig. 9's O(n) multi-testing in
+// particular).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"honestplayer"
+	"honestplayer/internal/experiment"
+)
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	opts := experiment.Options{Seed: 42, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Run(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Series) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig3AttackerCostAverage(b *testing.B)    { benchFigure(b, "fig3") }
+func BenchmarkFig4AttackerCostWeighted(b *testing.B)   { benchFigure(b, "fig4") }
+func BenchmarkFig5CollusionCostAverage(b *testing.B)   { benchFigure(b, "fig5") }
+func BenchmarkFig6CollusionCostWeighted(b *testing.B)  { benchFigure(b, "fig6") }
+func BenchmarkFig7DetectionRate(b *testing.B)          { benchFigure(b, "fig7") }
+func BenchmarkFig8DistanceThreshold(b *testing.B)      { benchFigure(b, "fig8") }
+func BenchmarkFig9BehaviorTestingRuntime(b *testing.B) { benchFigure(b, "fig9") }
+
+// benchHistory builds an honest history once per size.
+func benchHistory(b *testing.B, n int) *honestplayer.History {
+	b.Helper()
+	rng := honestplayer.NewRNG(1)
+	h, err := honestplayer.GenHonest("bench-server", n, 0.9, 100, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+var benchCalibrator = honestplayer.NewCalibrator(
+	honestplayer.CalibrationConfig{Seed: 1, Replicates: 300}, 0)
+
+// BenchmarkTwoPhaseAssess measures the full public-API assessment path at
+// several history sizes (the per-request cost of a reputation server).
+func BenchmarkTwoPhaseAssess(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		for _, scheme := range []string{"single", "multi"} {
+			b.Run(fmt.Sprintf("%s/n=%d", scheme, n), func(b *testing.B) {
+				var (
+					tester honestplayer.Tester
+					err    error
+				)
+				cfg := honestplayer.TesterConfig{Calibrator: benchCalibrator}
+				if scheme == "single" {
+					tester, err = honestplayer.NewSingleTester(cfg)
+				} else {
+					tester, err = honestplayer.NewMultiTester(cfg)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				assessor, err := honestplayer.NewTwoPhase(tester, honestplayer.Average{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				h := benchHistory(b, n)
+				// Warm the threshold cache outside the timed loop.
+				if _, err := assessor.Assess(h); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a, err := assessor.Assess(h)
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = a
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkHistoryAppend measures the ledger's append path.
+func BenchmarkHistoryAppend(b *testing.B) {
+	h := honestplayer.NewHistory("s")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := h.AppendOutcome("c", i%10 != 0, time.Unix(int64(i), 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerRoundTrip measures a submit+assess cycle over loopback TCP.
+func BenchmarkServerRoundTrip(b *testing.B) {
+	tester, err := honestplayer.NewMultiTester(honestplayer.TesterConfig{Calibrator: benchCalibrator})
+	if err != nil {
+		b.Fatal(err)
+	}
+	assessor, err := honestplayer.NewTwoPhase(tester, honestplayer.Average{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := honestplayer.NewServer("127.0.0.1:0", honestplayer.ServerConfig{Assessor: assessor})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			b.Error(err)
+		}
+	}()
+	client, err := honestplayer.DialServer(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	rng := honestplayer.NewRNG(2)
+	for i := 0; i < 200; i++ {
+		rating := honestplayer.Negative
+		if rng.Bernoulli(0.95) {
+			rating = honestplayer.Positive
+		}
+		if _, err := client.Submit(honestplayer.Feedback{
+			Time: time.Unix(int64(i), 0).UTC(), Server: "s", Client: "c", Rating: rating,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Assess("s", 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

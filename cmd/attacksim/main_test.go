@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunStrategicBaseline(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-attack", "strategic", "-scheme", "none", "-prep", "500", "-goal", "5", "-seed", "7"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"strategic attacker", "RESULT:", "timeline", "X"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunStrategicWithMulti(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-attack", "strategic", "-scheme", "multi", "-prep", "200", "-goal", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "multi+average") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunColluding(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-attack", "colluding", "-scheme", "none", "-prep", "300", "-goal", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "colluder fakes used") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunGenerated(t *testing.T) {
+	for _, kind := range []string{"hibernating", "periodic", "cheatandrun"} {
+		var out strings.Builder
+		err := run([]string{"-attack", kind, "-scheme", "single", "-prep", "300"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !strings.Contains(out.String(), "verdict:") {
+			t.Errorf("%s output: %s", kind, out.String())
+		}
+	}
+}
+
+func TestRunPeriodicFlagged(t *testing.T) {
+	var out strings.Builder
+	// Deterministic-ish small window periodic attack must be flagged.
+	err := run([]string{"-attack", "periodic", "-scheme", "multi", "-prep", "500", "-window", "10"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SUSPICIOUS") {
+		t.Errorf("periodic window 10 not flagged:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-attack", "nonsense"},
+		{"-scheme", "nonsense"},
+		{"-trust", "nonsense"},
+		{"-trust", "weighted", "-lambda", "7"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Command trustctl is the CLI client for a trustd reputation server.
+//
+// Usage:
+//
+//	trustctl -addr 127.0.0.1:7700 ping
+//	trustctl -addr 127.0.0.1:7700 submit -server s1 -client alice -rating positive
+//	trustctl -addr 127.0.0.1:7700 history -server s1 -limit 20
+//	trustctl -addr 127.0.0.1:7700 assess -server s1 -threshold 0.9
+//	trustctl local-assess -file history.jsonl -scheme multi -trust average
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"honestplayer/internal/behavior"
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/repclient"
+	"honestplayer/internal/stats"
+	"honestplayer/internal/store"
+	"honestplayer/internal/trust"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trustctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trustctl", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7700", "reputation server address")
+	timeout := fs.Duration("timeout", 5*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing command: ping | submit | history | assess | local-assess")
+	}
+	// local-assess needs no server connection.
+	if rest[0] == "local-assess" {
+		return localAssess(rest[1:], out)
+	}
+
+	client, err := repclient.Dial(*addr, repclient.WithTimeout(*timeout))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+
+	switch rest[0] {
+	case "ping":
+		if err := client.Ping(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "pong")
+		return nil
+	case "submit":
+		return submit(client, rest[1:], out)
+	case "history":
+		return history(client, rest[1:], out)
+	case "assess":
+		return assess(client, rest[1:], out)
+	default:
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+}
+
+func submit(client *repclient.Client, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	var (
+		server = fs.String("server", "", "server being rated")
+		cl     = fs.String("client", "", "feedback issuer")
+		rating = fs.String("rating", "positive", "positive | negative")
+		at     = fs.String("time", "", "transaction time (RFC3339; empty = now)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := feedback.Positive
+	switch *rating {
+	case "positive":
+	case "negative":
+		r = feedback.Negative
+	default:
+		return fmt.Errorf("invalid rating %q", *rating)
+	}
+	when := time.Now().UTC()
+	if *at != "" {
+		parsed, err := time.Parse(time.RFC3339, *at)
+		if err != nil {
+			return fmt.Errorf("parse -time: %w", err)
+		}
+		when = parsed
+	}
+	stored, err := client.Submit(feedback.Feedback{
+		Time: when, Server: feedback.EntityID(*server), Client: feedback.EntityID(*cl), Rating: r,
+	})
+	if err != nil {
+		return err
+	}
+	if stored {
+		fmt.Fprintln(out, "stored")
+	} else {
+		fmt.Fprintln(out, "duplicate (ignored)")
+	}
+	return nil
+}
+
+func history(client *repclient.Client, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("history", flag.ContinueOnError)
+	var (
+		server = fs.String("server", "", "server to fetch")
+		limit  = fs.Int("limit", 0, "max records (0 = server default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	recs, total, err := client.History(feedback.EntityID(*server), *limit)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d records (of %d total)\n", len(recs), total)
+	for _, r := range recs {
+		fmt.Fprintf(out, "%s  %-8s  client=%s\n", r.Time.Format(time.RFC3339), r.Rating, r.Client)
+	}
+	return nil
+}
+
+func assess(client *repclient.Client, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("assess", flag.ContinueOnError)
+	var (
+		server    = fs.String("server", "", "server to assess")
+		threshold = fs.Float64("threshold", 0.9, "trust threshold")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := client.Assess(feedback.EntityID(*server), *threshold)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resp)
+}
+
+// localAssess runs the two-phase assessment offline over a JSON-lines
+// history file (the ledger / WriteJSONLines format), without contacting a
+// server — useful for auditing exported histories.
+func localAssess(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("local-assess", flag.ContinueOnError)
+	var (
+		file      = fs.String("file", "", "JSON-lines feedback file")
+		server    = fs.String("server", "", "server to assess (empty = sole server in the file)")
+		scheme    = fs.String("scheme", "multi", "none | single | multi | collusion | collusion-multi")
+		trustName = fs.String("trust", "average", "average | weighted | beta")
+		lambda    = fs.Float64("lambda", 0.5, "lambda for weighted")
+		threshold = fs.Float64("threshold", 0.9, "trust threshold")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("local-assess: missing -file")
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	recs, err := feedback.ReadJSONLines(f)
+	if err != nil {
+		return fmt.Errorf("read %s: %w", *file, err)
+	}
+	st := store.New()
+	if _, err := st.AddAll(recs); err != nil {
+		return err
+	}
+	target := feedback.EntityID(*server)
+	if target == "" {
+		servers := st.Servers()
+		if len(servers) != 1 {
+			return fmt.Errorf("file contains %d servers %v; pass -server", len(servers), servers)
+		}
+		target = servers[0]
+	}
+	h, err := st.History(target)
+	if err != nil {
+		return err
+	}
+	if h.Len() == 0 {
+		return fmt.Errorf("no records for %q", target)
+	}
+
+	var fn trust.Func
+	switch *trustName {
+	case "average":
+		fn = trust.Average{}
+	case "weighted":
+		w, err := trust.NewWeighted(*lambda)
+		if err != nil {
+			return err
+		}
+		fn = w
+	case "beta":
+		fn = trust.Beta{}
+	default:
+		return fmt.Errorf("unknown trust function %q", *trustName)
+	}
+	cfg := behavior.Config{Calibrator: stats.NewCalibrator(stats.CalibrationConfig{}, 0)}
+	var tester behavior.Tester
+	switch *scheme {
+	case "none":
+	case "single":
+		tester, err = behavior.NewSingle(cfg)
+	case "multi":
+		tester, err = behavior.NewMulti(cfg)
+	case "collusion":
+		tester, err = behavior.NewCollusion(cfg)
+	case "collusion-multi":
+		tester, err = behavior.NewCollusionMulti(cfg)
+	default:
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+	if err != nil {
+		return err
+	}
+	assessor, err := core.NewTwoPhase(tester, fn)
+	if err != nil {
+		return err
+	}
+	accept, a, err := assessor.Accept(h, *threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "server %q: %d transactions, good ratio %.3f\n", target, h.Len(), h.GoodRatio())
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Accept     bool            `json:"accept"`
+		Assessment core.Assessment `json:"assessment"`
+	}{accept, a}); err != nil {
+		return err
+	}
+	return nil
+}

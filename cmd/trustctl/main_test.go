@@ -1,0 +1,176 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"honestplayer/internal/behavior"
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/repserver"
+	"honestplayer/internal/stats"
+	"honestplayer/internal/trust"
+)
+
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	tester, err := behavior.NewMulti(behavior.Config{
+		Calibrator: stats.NewCalibrator(stats.CalibrationConfig{Seed: 1, Replicates: 200}, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assessor, err := core.NewTwoPhase(tester, trust.Average{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := repserver.New("127.0.0.1:0", repserver.Config{Assessor: assessor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return srv.Addr()
+}
+
+func TestPingSubmitHistoryAssess(t *testing.T) {
+	addr := startTestServer(t)
+
+	var out strings.Builder
+	if err := run([]string{"-addr", addr, "ping"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pong") {
+		t.Fatalf("ping output = %q", out.String())
+	}
+
+	// Submit 100 positive records at distinct times.
+	for i := 0; i < 100; i++ {
+		out.Reset()
+		ts := "2026-01-01T00:00:" + twoDigits(i%60) + "Z"
+		if i >= 60 {
+			ts = "2026-01-01T00:01:" + twoDigits(i%60) + "Z"
+		}
+		err := run([]string{"-addr", addr, "submit",
+			"-server", "s1", "-client", "alice", "-rating", "positive", "-time", ts}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !strings.Contains(out.String(), "stored") {
+		t.Fatalf("submit output = %q", out.String())
+	}
+
+	// Duplicate submission is reported.
+	out.Reset()
+	err := run([]string{"-addr", addr, "submit",
+		"-server", "s1", "-client", "alice", "-rating", "positive",
+		"-time", "2026-01-01T00:00:00Z"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "duplicate") {
+		t.Fatalf("duplicate output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-addr", addr, "history", "-server", "s1", "-limit", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "5 records (of 100 total)") {
+		t.Fatalf("history output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-addr", addr, "assess", "-server", "s1", "-threshold", "0.9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"accept": true`) {
+		t.Fatalf("assess output = %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	addr := startTestServer(t)
+	if err := run([]string{"-addr", addr}, &strings.Builder{}); err == nil {
+		t.Error("missing command must fail")
+	}
+	if err := run([]string{"-addr", addr, "frobnicate"}, &strings.Builder{}); err == nil {
+		t.Error("unknown command must fail")
+	}
+	if err := run([]string{"-addr", addr, "submit", "-server", "s", "-client", "c",
+		"-rating", "meh"}, &strings.Builder{}); err == nil {
+		t.Error("invalid rating must fail")
+	}
+	if err := run([]string{"-addr", addr, "submit", "-server", "s", "-client", "c",
+		"-time", "not-a-time"}, &strings.Builder{}); err == nil {
+		t.Error("invalid time must fail")
+	}
+	if err := run([]string{"-addr", addr, "assess", "-server", "ghost"}, &strings.Builder{}); err == nil {
+		t.Error("unknown server must surface the remote error")
+	}
+}
+
+func twoDigits(v int) string {
+	if v < 10 {
+		return "0" + string(rune('0'+v))
+	}
+	return string(rune('0'+v/10)) + string(rune('0'+v%10))
+}
+
+func TestLocalAssess(t *testing.T) {
+	// Build a JSONL history file: a deterministic periodic attacker.
+	recs := make([]feedback.Feedback, 0, 300)
+	for i := 0; i < 300; i++ {
+		r := feedback.Positive
+		if i%10 == 9 {
+			r = feedback.Negative
+		}
+		recs = append(recs, feedback.Feedback{
+			Time: time.Unix(int64(i), 0).UTC(), Server: "attacker", Client: "c", Rating: r,
+		})
+	}
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feedback.WriteJSONLines(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"local-assess", "-file", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"suspicious": true`) {
+		t.Fatalf("periodic attacker not flagged offline:\n%s", out.String())
+	}
+	// Explicit server and scheme=none path.
+	out.Reset()
+	if err := run([]string{"local-assess", "-file", path, "-server", "attacker", "-scheme", "none"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"accept": true`) {
+		t.Fatalf("bare average should accept the 90%% attacker:\n%s", out.String())
+	}
+}
+
+func TestLocalAssessErrors(t *testing.T) {
+	if err := run([]string{"local-assess"}, &strings.Builder{}); err == nil {
+		t.Error("missing -file must fail")
+	}
+	if err := run([]string{"local-assess", "-file", "/nonexistent"}, &strings.Builder{}); err == nil {
+		t.Error("missing file must fail")
+	}
+}

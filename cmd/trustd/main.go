@@ -1,0 +1,159 @@
+// Command trustd runs a reputation node: a TCP reputation server with a
+// configurable two-phase assessor, optionally gossiping its feedback store
+// with peer nodes for decentralised deployments.
+//
+// Usage:
+//
+//	trustd -addr 127.0.0.1:7700 -scheme multi -trust average
+//	trustd -addr :7700 -gossip :7701 -peers host2:7701,host3:7701
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"honestplayer/internal/behavior"
+	"honestplayer/internal/core"
+	"honestplayer/internal/gossip"
+	"honestplayer/internal/ledger"
+	"honestplayer/internal/repserver"
+	"honestplayer/internal/stats"
+	"honestplayer/internal/store"
+	"honestplayer/internal/trust"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trustd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("trustd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:7700", "reputation server listen address")
+		scheme     = fs.String("scheme", "multi", "behaviour testing: none | single | multi | collusion | collusion-multi")
+		trustName  = fs.String("trust", "average", "trust function: average | weighted | beta")
+		lambda     = fs.Float64("lambda", 0.5, "lambda for the weighted trust function")
+		window     = fs.Int("window", 10, "transaction window size m")
+		gossipAddr = fs.String("gossip", "", "gossip listen address (empty disables gossip)")
+		peersArg   = fs.String("peers", "", "comma-separated gossip peer addresses")
+		interval   = fs.Duration("interval", time.Second, "gossip round interval")
+		name       = fs.String("name", "node", "node name used in gossip digests")
+		ledgerPath = fs.String("ledger", "", "append-only ledger file for durable feedback storage (empty = in-memory only)")
+		seed       = fs.Uint64("seed", 1, "seed for threshold calibration")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fn, err := trustFunc(*trustName, *lambda)
+	if err != nil {
+		return err
+	}
+	tester, err := tester(*scheme, *window, *seed)
+	if err != nil {
+		return err
+	}
+	assessor, err := core.NewTwoPhase(tester, fn)
+	if err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "trustd ", log.LstdFlags)
+	st := store.New()
+	serverCfg := repserver.Config{Assessor: assessor, Store: st, Logger: logger}
+	if *ledgerPath != "" {
+		ps, err := ledger.OpenStore(*ledgerPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := ps.Close(); err != nil {
+				logger.Printf("close ledger: %v", err)
+			}
+		}()
+		st = ps.Store()
+		serverCfg.Store = st
+		serverCfg.Recorder = ps
+		logger.Printf("ledger %s replayed %d records", *ledgerPath, st.Len())
+	}
+	srv, err := repserver.New(*addr, serverCfg)
+	if err != nil {
+		return err
+	}
+	srv.Start()
+	logger.Printf("reputation server (%s) listening on %s", assessor.Name(), srv.Addr())
+
+	var node *gossip.Node
+	if *gossipAddr != "" {
+		var peers []string
+		if *peersArg != "" {
+			peers = strings.Split(*peersArg, ",")
+		}
+		node, err = gossip.New(*gossipAddr, gossip.Config{
+			Name: *name, Store: st, Peers: peers, Interval: *interval, Seed: *seed, Logger: logger,
+		})
+		if err != nil {
+			closeErr := srv.Close()
+			if closeErr != nil {
+				logger.Printf("close server: %v", closeErr)
+			}
+			return err
+		}
+		node.Start()
+		logger.Printf("gossip node %q on %s (peers: %v)", *name, node.Addr(), peers)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	logger.Printf("shutting down")
+	if node != nil {
+		if err := node.Close(); err != nil {
+			logger.Printf("close gossip: %v", err)
+		}
+	}
+	return srv.Close()
+}
+
+func trustFunc(name string, lambda float64) (trust.Func, error) {
+	switch name {
+	case "average":
+		return trust.Average{}, nil
+	case "weighted":
+		return trust.NewWeighted(lambda)
+	case "beta":
+		return trust.Beta{}, nil
+	default:
+		return nil, fmt.Errorf("unknown trust function %q", name)
+	}
+}
+
+func tester(scheme string, window int, seed uint64) (behavior.Tester, error) {
+	cfg := behavior.Config{
+		WindowSize: window,
+		Calibrator: stats.NewCalibrator(stats.CalibrationConfig{Seed: seed}, 0),
+	}
+	switch scheme {
+	case "none":
+		return nil, nil
+	case "single":
+		return behavior.NewSingle(cfg)
+	case "multi":
+		return behavior.NewMulti(cfg)
+	case "collusion":
+		return behavior.NewCollusion(cfg)
+	case "collusion-multi":
+		return behavior.NewCollusionMulti(cfg)
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", scheme)
+	}
+}

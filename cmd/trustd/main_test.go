@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestTrustFunc(t *testing.T) {
+	for _, name := range []string{"average", "weighted", "beta"} {
+		fn, err := trustFunc(name, 0.5)
+		if err != nil || fn == nil {
+			t.Errorf("trustFunc(%q) = %v, %v", name, fn, err)
+		}
+	}
+	if _, err := trustFunc("nope", 0.5); err == nil {
+		t.Error("unknown trust function must fail")
+	}
+	if _, err := trustFunc("weighted", 2); err == nil {
+		t.Error("invalid lambda must fail")
+	}
+}
+
+func TestTesterSelection(t *testing.T) {
+	for _, scheme := range []string{"single", "multi", "collusion", "collusion-multi"} {
+		ts, err := tester(scheme, 10, 1)
+		if err != nil || ts == nil {
+			t.Errorf("tester(%q) = %v, %v", scheme, ts, err)
+		}
+	}
+	ts, err := tester("none", 10, 1)
+	if err != nil || ts != nil {
+		t.Errorf("tester(none) = %v, %v", ts, err)
+	}
+	if _, err := tester("bogus", 10, 1); err == nil {
+		t.Error("unknown scheme must fail")
+	}
+	if _, err := tester("single", -1, 1); err == nil {
+		t.Error("invalid window must fail")
+	}
+}

@@ -1,0 +1,62 @@
+package honestplayer_test
+
+import (
+	"fmt"
+	"time"
+
+	"honestplayer"
+)
+
+// The canonical flow: build a history, combine a behaviour tester with a
+// trust function, and assess.
+func Example() {
+	rng := honestplayer.NewRNG(7)
+	h := honestplayer.NewHistory("seller-42")
+	for i := 0; i < 400; i++ {
+		_ = h.AppendOutcome("buyer", rng.Bernoulli(0.95), time.Unix(int64(i), 0))
+	}
+	tester, _ := honestplayer.NewMultiTester(honestplayer.TesterConfig{
+		Calibrator: honestplayer.NewCalibrator(honestplayer.CalibrationConfig{Seed: 1, Replicates: 300}, 0),
+	})
+	assessor, _ := honestplayer.NewTwoPhase(tester, honestplayer.Average{})
+	ok, a, _ := assessor.Accept(h, 0.9)
+	fmt.Printf("accepted=%v suspicious=%v\n", ok, a.Suspicious)
+	// Output: accepted=true suspicious=false
+}
+
+// A hibernating attacker keeps its ratio above the threshold, but the
+// behaviour test sees the burst.
+func ExampleNewMultiTester() {
+	rng := honestplayer.NewRNG(2)
+	h, _ := honestplayer.GenHibernating("sleeper", 480, 0.97, 20, rng)
+	tester, _ := honestplayer.NewMultiTester(honestplayer.TesterConfig{
+		Calibrator: honestplayer.NewCalibrator(honestplayer.CalibrationConfig{Seed: 1, Replicates: 300}, 0),
+	})
+	v, _ := tester.Test(h)
+	fmt.Printf("ratio=%.2f honest=%v\n", h.GoodRatio(), v.Honest)
+	// Output: ratio=0.93 honest=false
+}
+
+// CUSUM alarms within a handful of transactions of a sharp quality drop.
+func ExampleNewCUSUM() {
+	c, _ := honestplayer.NewCUSUM(0.95, 0.5, 5)
+	for i := 0; i < 100; i++ {
+		c.Observe(true)
+	}
+	for !c.Alarmed() {
+		c.Observe(false)
+	}
+	fmt.Printf("alarm after %d bad transactions\n", c.AlarmAt()-100)
+	// Output: alarm after 3 bad transactions
+}
+
+// The Wilson interval quantifies how much a trust value means.
+func ExampleWilsonInterval() {
+	lo, hi, _ := honestplayer.WilsonInterval(9, 10, 1.96)
+	fmt.Printf("9/10 good: [%.2f, %.2f]\n", lo, hi)
+	lo, hi, _ = honestplayer.WilsonInterval(900, 1000, 1.96)
+	fmt.Printf("900/1000 good: [%.2f, %.2f]\n", lo, hi)
+	// Output:
+	// 9/10 good: [0.60, 0.98]
+	// 900/1000 good: [0.88, 0.92]
+}

@@ -1,0 +1,107 @@
+// Filesharing: a decentralised P2P deployment. Three peers gossip their
+// feedback stores by anti-entropy; feedback about a file server lands on
+// one peer but every peer converges to the same history and reaches the
+// same two-phase verdict locally — no central collector needed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"honestplayer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Three gossip nodes in a chain: n1 <-> n2 <-> n3.
+	n1, err := honestplayer.NewGossipNode("127.0.0.1:0", honestplayer.GossipConfig{
+		Name: "n1", Interval: 50 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	defer closeNode(n1)
+	n2, err := honestplayer.NewGossipNode("127.0.0.1:0", honestplayer.GossipConfig{
+		Name: "n2", Interval: 50 * time.Millisecond, Seed: 2,
+	})
+	if err != nil {
+		return err
+	}
+	defer closeNode(n2)
+	n3, err := honestplayer.NewGossipNode("127.0.0.1:0", honestplayer.GossipConfig{
+		Name: "n3", Interval: 50 * time.Millisecond, Seed: 3,
+	})
+	if err != nil {
+		return err
+	}
+	defer closeNode(n3)
+	n1.AddPeer(n2.Addr())
+	n2.AddPeer(n1.Addr())
+	n2.AddPeer(n3.Addr())
+	n3.AddPeer(n2.Addr())
+	n1.Start()
+	n2.Start()
+	n3.Start()
+
+	// Clients of node n1 record their experience with a file server that
+	// runs a periodic attack: one corrupted download per ten.
+	rng := honestplayer.NewRNG(99)
+	h, err := honestplayer.GenPeriodic("file-server", 400, 10, 0.1, rng)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < h.Len(); i++ {
+		if _, err := n1.Store().Add(h.At(i)); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("node n1 ingested %d feedback records about %q\n", n1.Store().Len(), "file-server")
+
+	// Wait for anti-entropy to converge across the chain.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if n2.Store().Len() == h.Len() && n3.Store().Len() == h.Len() {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("after gossip: n1=%d n2=%d n3=%d records\n",
+		n1.Store().Len(), n2.Store().Len(), n3.Store().Len())
+
+	// Every node assesses locally and reaches the same verdict.
+	tester, err := honestplayer.NewMultiTester(honestplayer.TesterConfig{})
+	if err != nil {
+		return err
+	}
+	assessor, err := honestplayer.NewTwoPhase(tester, honestplayer.Average{})
+	if err != nil {
+		return err
+	}
+	for _, node := range []*honestplayer.GossipNode{n1, n2, n3} {
+		local, err := node.Store().History("file-server")
+		if err != nil {
+			return err
+		}
+		a, err := assessor.Assess(local)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node verdict: suspicious=%v goodRatio=%.3f (history %d txns)\n",
+			a.Suspicious, local.GoodRatio(), local.Len())
+	}
+	fmt.Println("a periodic attacker at 90% good keeps its ratio above the threshold, but")
+	fmt.Println("every peer's behaviour test flags the non-binomial pattern locally.")
+	return nil
+}
+
+func closeNode(n *honestplayer.GossipNode) {
+	if err := n.Close(); err != nil {
+		log.Printf("close node: %v", err)
+	}
+}

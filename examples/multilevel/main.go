@@ -1,0 +1,88 @@
+// Multilevel: the §3.1 extension to non-binary feedback. An online store
+// collects {great, okay, poor} ratings. An honest store produces an i.i.d.
+// multinomial stream; a "review-smoothing" store manipulates its ratings so
+// every 10-transaction window looks identical (exactly one "poor", exactly
+// one "okay"). Both have the same overall rating distribution — only the
+// multinomial window test tells them apart.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"honestplayer"
+)
+
+const (
+	great = 0
+	okay  = 1
+	poor  = 2
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := honestplayer.NewRNG(17)
+
+	// Honest store: 80% great, 10% okay, 10% poor, i.i.d.
+	honest := make([]int, 600)
+	for i := range honest {
+		switch {
+		case rng.Bernoulli(0.8):
+			honest[i] = great
+		case rng.Bernoulli(0.5):
+			honest[i] = okay
+		default:
+			honest[i] = poor
+		}
+	}
+
+	// Smoothing store: same 80/10/10 aggregate, but deterministically
+	// arranged — one okay and one poor in fixed slots of every window.
+	smoothed := make([]int, 600)
+	for i := range smoothed {
+		switch i % 10 {
+		case 3:
+			smoothed[i] = okay
+		case 7:
+			smoothed[i] = poor
+		default:
+			smoothed[i] = great
+		}
+	}
+
+	tester, err := honestplayer.NewMultiValueTester(honestplayer.TesterConfig{}, 3)
+	if err != nil {
+		return err
+	}
+	for _, tc := range []struct {
+		name string
+		seq  []int
+	}{
+		{"honest store", honest},
+		{"review-smoothing store", smoothed},
+	} {
+		v, err := tester.TestLevels(tc.seq)
+		if err != nil {
+			return err
+		}
+		counts := [3]int{}
+		for _, l := range tc.seq {
+			counts[l]++
+		}
+		fmt.Printf("%-23s great/okay/poor = %d/%d/%d -> honest=%v\n",
+			tc.name+":", counts[great], counts[okay], counts[poor], v.Honest)
+		for level, r := range v.Suffixes {
+			fmt.Printf("    level %d: L1 distance %.3f vs threshold %.3f (pass=%v)\n",
+				level, r.Distance, r.Threshold, r.Pass)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Identical aggregate ratings — but the smoothed store's per-window counts")
+	fmt.Println("are a point mass, not multinomial, and the window test exposes it.")
+	return nil
+}

@@ -1,0 +1,76 @@
+// Quickstart: build a transaction history, run the two-phase trust
+// assessment, and see the behaviour test separate an honest seller from a
+// hibernating attacker that the plain average trust function cannot tell
+// apart.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"honestplayer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := honestplayer.NewRNG(7)
+
+	// An honest seller: 500 transactions at 95% quality.
+	honest := honestplayer.NewHistory("honest-seller")
+	for i := 0; i < 500; i++ {
+		if err := honest.AppendOutcome("buyer", rng.Bernoulli(0.95), time.Unix(int64(i), 0)); err != nil {
+			return err
+		}
+	}
+
+	// A hibernating attacker: 480 honest transactions, then 20 consecutive
+	// cheats. Its overall good ratio is still ≈ 0.93 — above a
+	// 0.9 trust threshold.
+	attacker, err := honestplayer.GenHibernating("sleeper", 480, 0.97, 20, rng)
+	if err != nil {
+		return err
+	}
+
+	// Phase 2 only: the conventional average trust function.
+	baseline, err := honestplayer.NewTwoPhase(nil, honestplayer.Average{})
+	if err != nil {
+		return err
+	}
+	// Two-phase: multi-testing (Scheme 2) + average.
+	tester, err := honestplayer.NewMultiTester(honestplayer.TesterConfig{})
+	if err != nil {
+		return err
+	}
+	twophase, err := honestplayer.NewTwoPhase(tester, honestplayer.Average{})
+	if err != nil {
+		return err
+	}
+
+	for _, h := range []*honestplayer.History{honest, attacker} {
+		fmt.Printf("server %q (%d transactions, good ratio %.3f)\n",
+			h.Server(), h.Len(), h.GoodRatio())
+		for _, assessor := range []*honestplayer.TwoPhase{baseline, twophase} {
+			ok, a, err := assessor.Accept(h, 0.9)
+			if err != nil {
+				return err
+			}
+			switch {
+			case a.Suspicious:
+				worst := a.Verdict.Worst()
+				fmt.Printf("  %-22s SUSPICIOUS (L1 distance %.3f > threshold %.3f over last %d txns)\n",
+					assessor.Name()+":", worst.Distance, worst.Threshold, worst.Transactions)
+			case ok:
+				fmt.Printf("  %-22s accept, trust %.3f\n", assessor.Name()+":", a.Trust)
+			default:
+				fmt.Printf("  %-22s reject, trust %.3f below threshold\n", assessor.Name()+":", a.Trust)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module honestplayer
+
+go 1.22

@@ -1,0 +1,96 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/stats"
+)
+
+// GenHibernating builds a hibernating-attack history (§3): prep honest
+// transactions with trustworthiness p followed by burst consecutive bad
+// transactions against fresh victims.
+func GenHibernating(server feedback.EntityID, prep int, p float64, burst int, rng *stats.RNG) (*feedback.History, error) {
+	if prep < 0 || burst < 0 || p < 0 || p > 1 {
+		return nil, fmt.Errorf("%w: prep=%d burst=%d p=%v", ErrBadParams, prep, burst, p)
+	}
+	h, err := PrepareHistory(server, prep, p, 50, rng)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < burst; i++ {
+		victim := feedback.EntityID("victim-" + strconv.Itoa(i))
+		if err := h.AppendOutcome(victim, false, logicalTime(h.Len())); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// GenPeriodic builds the periodic-attack history of the Fig. 7 detection
+// experiment: within every attack window of `window` transactions the
+// attacker conducts ⌈window·badFrac⌉ bad transactions, the rest good, so
+// its reputation stays at ≈ 1−badFrac. The bad transactions are placed
+// uniformly at random inside each window — the attacker's best effort at
+// mimicking Bernoulli behaviour at that granularity; as the window grows the
+// pattern approaches a genuine i.i.d. stream and detection must decay.
+func GenPeriodic(server feedback.EntityID, n, window int, badFrac float64, rng *stats.RNG) (*feedback.History, error) {
+	if n < 0 || window < 1 || badFrac < 0 || badFrac > 1 {
+		return nil, fmt.Errorf("%w: n=%d window=%d badFrac=%v", ErrBadParams, n, window, badFrac)
+	}
+	h := feedback.NewHistory(server)
+	badPerWindow := int(math.Ceil(float64(window) * badFrac))
+	for start := 0; start < n; start += window {
+		size := window
+		if start+size > n {
+			size = n - start
+		}
+		bad := badPerWindow
+		if bad > size {
+			bad = size
+		}
+		badAt := make(map[int]struct{}, bad)
+		for _, idx := range rng.Sample(size, bad) {
+			badAt[idx] = struct{}{}
+		}
+		for i := 0; i < size; i++ {
+			_, isBad := badAt[i]
+			client := feedback.EntityID("client-" + strconv.Itoa(rng.Intn(100)))
+			if err := h.AppendOutcome(client, !isBad, logicalTime(h.Len())); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return h, nil
+}
+
+// GenCheatAndRun builds the cheat-and-run pattern of §3.1: a handful of
+// good transactions followed by a single bad one, after which the attacker
+// abandons the identity. Reputation systems cannot prevent it (the paper
+// assumes admission-cost mechanisms instead); the generator exists so that
+// tests and examples can demonstrate exactly that limitation.
+func GenCheatAndRun(server feedback.EntityID, goods int, rng *stats.RNG) (*feedback.History, error) {
+	if goods < 0 {
+		return nil, fmt.Errorf("%w: goods=%d", ErrBadParams, goods)
+	}
+	h := feedback.NewHistory(server)
+	for i := 0; i < goods; i++ {
+		client := feedback.EntityID("client-" + strconv.Itoa(rng.Intn(20)))
+		if err := h.AppendOutcome(client, true, logicalTime(h.Len())); err != nil {
+			return nil, err
+		}
+	}
+	if err := h.AppendOutcome("victim-0", false, logicalTime(h.Len())); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// GenHonest builds a fully honest multi-client history: n transactions with
+// trustworthiness p from a pool of distinct clients. It is the null
+// workload of the detection-rate experiments.
+func GenHonest(server feedback.EntityID, n int, p float64, clientPool int, rng *stats.RNG) (*feedback.History, error) {
+	return PrepareHistory(server, n, p, clientPool, rng)
+}

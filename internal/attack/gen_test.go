@@ -1,0 +1,144 @@
+package attack
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"honestplayer/internal/stats"
+)
+
+func TestGenHibernating(t *testing.T) {
+	rng := stats.NewRNG(1)
+	h, err := GenHibernating("a", 300, 0.95, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 320 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	// The last 20 are all bad.
+	for i := 300; i < 320; i++ {
+		if h.At(i).Good() {
+			t.Fatalf("burst transaction %d is good", i)
+		}
+	}
+	if h.GoodInRange(0, 300) < 270 {
+		t.Fatalf("prep good count = %d", h.GoodInRange(0, 300))
+	}
+}
+
+func TestGenHibernatingValidation(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if _, err := GenHibernating("a", -1, 0.9, 5, rng); !errors.Is(err, ErrBadParams) {
+		t.Errorf("negative prep = %v", err)
+	}
+	if _, err := GenHibernating("a", 10, 1.5, 5, rng); !errors.Is(err, ErrBadParams) {
+		t.Errorf("bad p = %v", err)
+	}
+}
+
+func TestGenPeriodic(t *testing.T) {
+	rng := stats.NewRNG(2)
+	const n, window = 800, 40
+	h, err := GenPeriodic("a", n, window, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != n {
+		t.Fatalf("len = %d", h.Len())
+	}
+	// Every full attack window holds exactly ceil(40*0.1) = 4 bad.
+	for start := 0; start+window <= n; start += window {
+		bad := window - h.GoodInRange(start, start+window)
+		if bad != 4 {
+			t.Fatalf("window at %d has %d bad, want 4", start, bad)
+		}
+	}
+	// Overall reputation ~0.9.
+	if math.Abs(h.GoodRatio()-0.9) > 1e-9 {
+		t.Fatalf("ratio = %v", h.GoodRatio())
+	}
+}
+
+func TestGenPeriodicPartialWindow(t *testing.T) {
+	rng := stats.NewRNG(3)
+	h, err := GenPeriodic("a", 45, 40, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 45 {
+		t.Fatalf("len = %d", h.Len())
+	}
+}
+
+func TestGenPeriodicValidation(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for _, tc := range []struct {
+		n, w int
+		f    float64
+	}{{-1, 10, 0.1}, {10, 0, 0.1}, {10, 10, -0.1}, {10, 10, 1.5}} {
+		if _, err := GenPeriodic("a", tc.n, tc.w, tc.f, rng); !errors.Is(err, ErrBadParams) {
+			t.Errorf("GenPeriodic(%+v) = %v", tc, err)
+		}
+	}
+}
+
+func TestGenPeriodicRandomPlacement(t *testing.T) {
+	// Two different windows should not have identical bad positions every
+	// time (the placement is random, not fixed).
+	rng := stats.NewRNG(4)
+	h, err := GenPeriodic("a", 1000, 50, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := make(map[string]bool)
+	for start := 0; start+50 <= 1000; start += 50 {
+		key := ""
+		for i := start; i < start+50; i++ {
+			if h.At(i).Good() {
+				key += "g"
+			} else {
+				key += "b"
+			}
+		}
+		patterns[key] = true
+	}
+	if len(patterns) < 5 {
+		t.Fatalf("only %d distinct window patterns in 20 windows", len(patterns))
+	}
+}
+
+func TestGenCheatAndRun(t *testing.T) {
+	rng := stats.NewRNG(5)
+	h, err := GenCheatAndRun("a", 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 6 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	if h.At(5).Good() {
+		t.Fatal("final transaction must be bad")
+	}
+	if h.GoodCount() != 5 {
+		t.Fatalf("good = %d", h.GoodCount())
+	}
+	if _, err := GenCheatAndRun("a", -1, rng); !errors.Is(err, ErrBadParams) {
+		t.Errorf("negative goods = %v", err)
+	}
+}
+
+func TestGenHonest(t *testing.T) {
+	rng := stats.NewRNG(6)
+	h, err := GenHonest("a", 500, 0.9, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 500 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	if math.Abs(h.GoodRatio()-0.9) > 0.05 {
+		t.Fatalf("ratio = %v", h.GoodRatio())
+	}
+}

@@ -1,0 +1,380 @@
+// Package behavior implements phase 1 of the paper's two-phase trust
+// assessment: testing whether a server's transaction history is consistent
+// with the statistical model of honest players.
+//
+// An honest player with trustworthiness p produces i.i.d. Bernoulli(p)
+// transaction outcomes, so the number of good transactions per window of m
+// transactions follows B(m, p). The testers here estimate p̂ from the
+// history, measure the L¹ distance between the empirical per-window
+// good-count distribution and B(m, p̂), and compare it against a threshold ε
+// calibrated so that honest players pass with the configured confidence
+// (95 % by default).
+//
+// Three testers are provided, matching the paper's §3.2, §3.3 and §4:
+//
+//   - Single: one test over the whole history (Scheme 1).
+//   - Multi: tests over the whole history and every suffix of the most
+//     recent l−k, l−2k, … transactions (Scheme 2), in the optimised O(n)
+//     formulation; MultiNaive is the O(n²) reference implementation.
+//   - Collusion: the same tests applied to the history re-ordered by
+//     feedback issuer, which forces colluders' feedback blocks next to each
+//     other and exposes reputations propped up by fake feedback.
+package behavior
+
+import (
+	"errors"
+	"fmt"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/stats"
+)
+
+// Defaults used when a Config field is zero. The paper's experiments use
+// transaction windows of size 10; four windows is the smallest sample the
+// distribution test is applied to before a suffix is deemed statistically
+// insignificant.
+const (
+	DefaultWindowSize = 10
+	DefaultMinWindows = 4
+)
+
+// Errors returned by testers.
+var (
+	// ErrInsufficientHistory reports a history too short to test: fewer
+	// than Config.MinWindows full windows. The paper treats servers with
+	// short histories as a high-risk group needing other mechanisms (§7).
+	ErrInsufficientHistory = errors.New("behavior: history too short to test")
+	// ErrBadConfig reports an invalid configuration.
+	ErrBadConfig = errors.New("behavior: invalid config")
+)
+
+// Config parameterises the behaviour testers.
+type Config struct {
+	// WindowSize is m, the number of transactions per window. Zero means
+	// DefaultWindowSize.
+	WindowSize int
+	// MinWindows is the smallest number of windows a (suffix of a) history
+	// must span to be testable. Zero means DefaultMinWindows.
+	MinWindows int
+	// Stride is the multi-testing step k in transactions: suffixes of
+	// l, l−k, l−2k, … transactions are tested. It must be a positive
+	// multiple of WindowSize so suffix windows align with full-history
+	// windows. Zero means WindowSize.
+	Stride int
+	// Calibrator supplies the distance threshold ε. Nil means a private
+	// calibrator with default settings.
+	Calibrator *stats.Calibrator
+	// FamilywiseCorrection applies a Bonferroni correction across the
+	// suffixes of a multi-test: with k suffixes each individual test runs at
+	// confidence 1 − (1−c)/k so the whole multi-test keeps an honest-player
+	// pass rate of ≈ c. The paper calibrates each test at 95 % individually,
+	// which compounds to a high false-positive rate on long histories —
+	// dozens of suffixes, each with a 5 % miss chance. The correction is off
+	// by default for fidelity to the paper; deployments that assess honest
+	// servers continuously should enable it. It only affects the Multi and
+	// CollusionMulti testers (MultiNaive stays uncorrected — it is the
+	// paper-exact reference implementation).
+	FamilywiseCorrection bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.WindowSize == 0 {
+		c.WindowSize = DefaultWindowSize
+	}
+	if c.MinWindows == 0 {
+		c.MinWindows = DefaultMinWindows
+	}
+	if c.Stride == 0 {
+		c.Stride = c.WindowSize
+	}
+	if c.Calibrator == nil {
+		c.Calibrator = stats.NewCalibrator(stats.CalibrationConfig{}, 0)
+	}
+	if c.WindowSize < 1 {
+		return c, fmt.Errorf("%w: window size %d", ErrBadConfig, c.WindowSize)
+	}
+	if c.MinWindows < 1 {
+		return c, fmt.Errorf("%w: min windows %d", ErrBadConfig, c.MinWindows)
+	}
+	if c.Stride < 1 || c.Stride%c.WindowSize != 0 {
+		return c, fmt.Errorf("%w: stride %d not a positive multiple of window size %d",
+			ErrBadConfig, c.Stride, c.WindowSize)
+	}
+	return c, nil
+}
+
+// SuffixResult records the outcome of the distribution test over one suffix
+// of the history.
+type SuffixResult struct {
+	// Transactions is the suffix length in transactions considered.
+	Transactions int `json:"transactions"`
+	// Windows is the number of full windows the test spanned.
+	Windows int `json:"windows"`
+	// PHat is the estimated trustworthiness over the suffix.
+	PHat float64 `json:"pHat"`
+	// Distance is the L¹ distance between the empirical window distribution
+	// and B(m, PHat).
+	Distance float64 `json:"distance"`
+	// Threshold is the calibrated ε the distance was compared against.
+	Threshold float64 `json:"threshold"`
+	// Pass reports Distance <= Threshold.
+	Pass bool `json:"pass"`
+}
+
+// Verdict is the outcome of a behaviour test.
+type Verdict struct {
+	// Honest reports whether every tested suffix was consistent with the
+	// honest-player model.
+	Honest bool `json:"honest"`
+	// Suffixes holds the per-suffix results, longest suffix first. A single
+	// test has exactly one entry.
+	Suffixes []SuffixResult `json:"suffixes"`
+}
+
+// Worst returns the suffix result with the largest Distance−Threshold
+// margin (the most suspicious suffix), or a zero result if none were tested.
+func (v Verdict) Worst() SuffixResult {
+	var worst SuffixResult
+	first := true
+	for _, s := range v.Suffixes {
+		if first || s.Distance-s.Threshold > worst.Distance-worst.Threshold {
+			worst = s
+			first = false
+		}
+	}
+	return worst
+}
+
+// Tester decides whether a transaction history is consistent with the
+// honest-player model.
+type Tester interface {
+	// Name identifies the tester in reports and experiment output.
+	Name() string
+	// Test evaluates the history. It returns ErrInsufficientHistory when
+	// the history spans fewer than the configured minimum of windows.
+	Test(h *feedback.History) (Verdict, error)
+}
+
+// testWindowCounts runs the core distribution test over a set of per-window
+// good counts: estimate p̂, compare the empirical distribution against
+// B(m, p̂), fetch ε from the calibrator.
+func testWindowCounts(cfg Config, counts []int) (SuffixResult, error) {
+	m := cfg.WindowSize
+	res := SuffixResult{Transactions: len(counts) * m, Windows: len(counts)}
+	h := stats.MustHistogram(m)
+	if err := h.AddAll(counts); err != nil {
+		return res, err
+	}
+	return testHistogram(cfg, h, 0)
+}
+
+// testHistogram is testWindowCounts on an already-built histogram; it is
+// the shared hot path of the single and optimised multi testers. A zero
+// confidence selects the calibrator's configured level.
+func testHistogram(cfg Config, h *stats.Histogram, confidence float64) (SuffixResult, error) {
+	m := cfg.WindowSize
+	k := int(h.Total())
+	res := SuffixResult{Transactions: k * m, Windows: k}
+	res.PHat = float64(h.Sum()) / float64(m*k)
+	ref, err := stats.NewBinomial(m, res.PHat)
+	if err != nil {
+		return res, err
+	}
+	res.Distance, err = stats.L1HistDistance(h, ref)
+	if err != nil {
+		return res, err
+	}
+	if confidence == 0 {
+		res.Threshold, err = cfg.Calibrator.Threshold(m, k, res.PHat)
+	} else {
+		res.Threshold, err = cfg.Calibrator.ThresholdAt(m, k, res.PHat, confidence)
+	}
+	if err != nil {
+		return res, err
+	}
+	res.Pass = res.Distance <= res.Threshold
+	return res, nil
+}
+
+// suffixConfidence returns the per-suffix confidence for a multi-test over
+// numSuffixes suffixes: the Bonferroni-corrected level when the correction
+// is enabled, otherwise 0 (calibrator default).
+func (c Config) suffixConfidence(numSuffixes int) float64 {
+	if !c.FamilywiseCorrection || numSuffixes <= 1 {
+		return 0
+	}
+	base := c.Calibrator.Config().Confidence
+	return 1 - (1-base)/float64(numSuffixes)
+}
+
+// Single implements Scheme 1: one distribution test over the whole history
+// (Fig. 2 of the paper).
+type Single struct {
+	cfg Config
+}
+
+var _ Tester = (*Single)(nil)
+
+// NewSingle returns a Scheme-1 tester.
+func NewSingle(cfg Config) (*Single, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Single{cfg: cfg}, nil
+}
+
+// Name implements Tester.
+func (s *Single) Name() string { return "single" }
+
+// Config returns the effective configuration.
+func (s *Single) Config() Config { return s.cfg }
+
+// Test implements Tester.
+//
+// Windows are aligned to the newest record (any partial window of the
+// oldest records is dropped). The paper breaks the history sequentially
+// from the front; end-alignment is a deliberate, defender-favouring
+// refinement — it guarantees the most recent transactions are always
+// inside a tested window — and is what makes the optimised multi-testing
+// suffixes share window boundaries with the full history.
+func (s *Single) Test(h *feedback.History) (Verdict, error) {
+	counts, err := h.WindowCountsFromEnd(s.cfg.WindowSize)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if len(counts) < s.cfg.MinWindows {
+		return Verdict{}, fmt.Errorf("%w: %d windows < %d", ErrInsufficientHistory, len(counts), s.cfg.MinWindows)
+	}
+	res, err := testWindowCounts(s.cfg, counts)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{Honest: res.Pass, Suffixes: []SuffixResult{res}}, nil
+}
+
+// Multi implements Scheme 2 with the incremental-statistics optimisation of
+// §5.5: the history and every suffix of the most recent l−k, l−2k, …
+// transactions are tested, and a server is honest only if every suffix
+// passes. Window counts are computed once; each suffix reuses the suffix of
+// that table, so the whole run costs O(n) for constant window size.
+type Multi struct {
+	cfg Config
+}
+
+var _ Tester = (*Multi)(nil)
+
+// NewMulti returns an optimised Scheme-2 tester.
+func NewMulti(cfg Config) (*Multi, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Multi{cfg: cfg}, nil
+}
+
+// Name implements Tester.
+func (m *Multi) Name() string { return "multi" }
+
+// Config returns the effective configuration.
+func (m *Multi) Config() Config { return m.cfg }
+
+// Test implements Tester.
+func (m *Multi) Test(h *feedback.History) (Verdict, error) {
+	cfg := m.cfg
+	counts, err := h.WindowCountsFromEnd(cfg.WindowSize)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if len(counts) < cfg.MinWindows {
+		return Verdict{}, fmt.Errorf("%w: %d windows < %d", ErrInsufficientHistory, len(counts), cfg.MinWindows)
+	}
+	windowsPerStride := cfg.Stride / cfg.WindowSize
+
+	// Shortest admissible suffix first: the most recent MinWindows..
+	// windows, growing toward the full history. The histogram gains
+	// windows incrementally; each suffix test is O(m).
+	hist := stats.MustHistogram(cfg.WindowSize)
+	total := len(counts)
+	// Suffix window counts are counts[total-w:]; enumerate the admissible
+	// suffix sizes w: total, total-ws, total-2·ws, … >= MinWindows, where
+	// ws = windowsPerStride. Build from the smallest upward.
+	var sizes []int
+	for w := total; w >= cfg.MinWindows; w -= windowsPerStride {
+		sizes = append(sizes, w)
+	}
+	// Reverse iterate: smallest first.
+	confidence := cfg.suffixConfidence(len(sizes))
+	results := make([]SuffixResult, len(sizes))
+	next := total // index one past the last window not yet in hist
+	for i := len(sizes) - 1; i >= 0; i-- {
+		w := sizes[i]
+		for next > total-w {
+			next--
+			if err := hist.Add(counts[next]); err != nil {
+				return Verdict{}, err
+			}
+		}
+		res, err := testHistogram(cfg, hist, confidence)
+		if err != nil {
+			return Verdict{}, err
+		}
+		results[i] = res
+	}
+	v := Verdict{Honest: true, Suffixes: results}
+	for _, r := range results {
+		if !r.Pass {
+			v.Honest = false
+			break
+		}
+	}
+	return v, nil
+}
+
+// MultiNaive is the unoptimised O(n²) formulation of Scheme 2 from §3.3: it
+// re-runs the single test from scratch on every suffix. It exists as the
+// reference implementation for equivalence testing and as the ablation
+// baseline of the Fig. 9 performance experiment.
+type MultiNaive struct {
+	cfg    Config
+	single *Single
+}
+
+var _ Tester = (*MultiNaive)(nil)
+
+// NewMultiNaive returns the reference Scheme-2 tester.
+func NewMultiNaive(cfg Config) (*MultiNaive, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	single, err := NewSingle(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiNaive{cfg: cfg, single: single}, nil
+}
+
+// Name implements Tester.
+func (m *MultiNaive) Name() string { return "multi-naive" }
+
+// Test implements Tester.
+func (m *MultiNaive) Test(h *feedback.History) (Verdict, error) {
+	cfg := m.cfg
+	usable := (h.Len() / cfg.WindowSize) * cfg.WindowSize
+	if usable/cfg.WindowSize < cfg.MinWindows {
+		return Verdict{}, fmt.Errorf("%w: %d windows < %d", ErrInsufficientHistory, usable/cfg.WindowSize, cfg.MinWindows)
+	}
+	v := Verdict{Honest: true}
+	for n := usable; n/cfg.WindowSize >= cfg.MinWindows; n -= cfg.Stride {
+		sub, err := m.single.Test(h.SuffixView(n))
+		if err != nil {
+			return Verdict{}, err
+		}
+		v.Suffixes = append(v.Suffixes, sub.Suffixes...)
+		if !sub.Honest {
+			v.Honest = false
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,184 @@
+package behavior
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/stats"
+)
+
+// honestMultiClientHistory builds an honest history whose feedbacks come
+// from many clients chosen at random — the supporter base of an honest
+// player.
+func honestMultiClientHistory(t *testing.T, rng *stats.RNG, n int, p float64, clients int) *feedback.History {
+	t.Helper()
+	h := feedback.NewHistory("s")
+	for i := 0; i < n; i++ {
+		c := feedback.EntityID(fmt.Sprintf("client-%d", rng.Intn(clients)))
+		if err := h.AppendOutcome(c, rng.Bernoulli(p), time.Unix(int64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+// collusionHistory builds the attack of §4: the attacker's positive
+// feedback comes almost entirely from a small ring of colluders while real
+// clients get cheated.
+func collusionHistory(t *testing.T, rng *stats.RNG, n, colluders int, victimBadRate float64) *feedback.History {
+	t.Helper()
+	h := feedback.NewHistory("s")
+	for i := 0; i < n; i++ {
+		if rng.Bernoulli(0.8) {
+			c := feedback.EntityID(fmt.Sprintf("colluder-%d", rng.Intn(colluders)))
+			if err := h.AppendOutcome(c, true, time.Unix(int64(i), 0)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			c := feedback.EntityID(fmt.Sprintf("victim-%d", i))
+			if err := h.AppendOutcome(c, !rng.Bernoulli(victimBadRate), time.Unix(int64(i), 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return h
+}
+
+func TestCollusionHonestPasses(t *testing.T) {
+	c, err := NewCollusion(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(41)
+	pass := 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		h := honestMultiClientHistory(t, rng, 400, 0.9, 50)
+		v, err := c.Test(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Honest {
+			pass++
+		}
+	}
+	if pass < trials*8/10 {
+		t.Fatalf("honest multi-client players passed only %d/%d collusion tests", pass, trials)
+	}
+}
+
+func TestCollusionDetectsRing(t *testing.T) {
+	c, err := NewCollusion(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(43)
+	detected := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		h := collusionHistory(t, rng, 400, 5, 0.9)
+		v, err := c.Test(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Honest {
+			detected++
+		}
+	}
+	if detected < trials*8/10 {
+		t.Fatalf("collusion ring detected in only %d/%d trials", detected, trials)
+	}
+}
+
+func TestCollusionOrderingMatters(t *testing.T) {
+	// The same collusion history must look much worse to the collusion
+	// tester than to the plain single tester, because the re-ordering
+	// concentrates the colluders' all-positive blocks.
+	cfg := testConfig()
+	single, err := NewSingle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collusion, err := NewCollusion(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(47)
+	// Interleave colluder positives with victim negatives evenly so the
+	// plain time-order distribution looks binomial-ish.
+	h := feedback.NewHistory("s")
+	for i := 0; i < 400; i++ {
+		if i%10 == 9 {
+			c := feedback.EntityID(fmt.Sprintf("victim-%d", i))
+			_ = h.AppendOutcome(c, false, time.Unix(int64(i), 0))
+		} else {
+			c := feedback.EntityID(fmt.Sprintf("colluder-%d", rng.Intn(5)))
+			_ = h.AppendOutcome(c, true, time.Unix(int64(i), 0))
+		}
+	}
+	vs, err := single.Test(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := collusion.Test(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Worst().Distance <= vs.Worst().Distance {
+		t.Fatalf("collusion reordering did not amplify the deviation: %v <= %v",
+			vc.Worst().Distance, vs.Worst().Distance)
+	}
+	if vc.Honest {
+		t.Fatal("re-ordered collusion pattern passed")
+	}
+}
+
+func TestCollusionMulti(t *testing.T) {
+	cm, err := NewCollusionMulti(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(53)
+	h := collusionHistory(t, rng, 400, 5, 0.9)
+	v, err := cm.Test(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Honest {
+		t.Fatal("collusion-multi missed the ring")
+	}
+	if len(v.Suffixes) < 2 {
+		t.Fatalf("collusion-multi tested %d suffixes", len(v.Suffixes))
+	}
+}
+
+func TestCollusionInsufficientHistory(t *testing.T) {
+	c, err := NewCollusion(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := NewCollusionMulti(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := honestMultiClientHistory(t, stats.NewRNG(1), 30, 0.9, 5)
+	if _, err := c.Test(h); !errors.Is(err, ErrInsufficientHistory) {
+		t.Errorf("collusion = %v", err)
+	}
+	if _, err := cm.Test(h); !errors.Is(err, ErrInsufficientHistory) {
+		t.Errorf("collusion-multi = %v", err)
+	}
+}
+
+func TestCollusionConfigValidation(t *testing.T) {
+	bad := Config{WindowSize: 10, Stride: 7}
+	if _, err := NewCollusion(bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("NewCollusion = %v", err)
+	}
+	if _, err := NewCollusionMulti(bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("NewCollusionMulti = %v", err)
+	}
+}

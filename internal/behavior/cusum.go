@@ -1,0 +1,101 @@
+package behavior
+
+import (
+	"fmt"
+	"math"
+)
+
+// CUSUM is an online change-point detector for transaction streams — a
+// streaming complement to multi-testing. Multi-testing detects a
+// hibernating attack by re-testing suffixes after the fact; CUSUM detects
+// the change the moment it accumulates enough evidence, in O(1) per
+// transaction and O(1) memory.
+//
+// It runs a one-sided cumulative-sum test for a drop in success
+// probability from P0 to at most P1: each outcome contributes its
+// log-likelihood ratio log(P(x|P1)/P(x|P0)) to a running score that is
+// clamped at zero; the score crossing the threshold H signals a change.
+// Between the paper's schemes and this detector there is a natural
+// division of labour: CUSUM reacts fastest to sharp quality drops, the
+// distribution tests catch shape manipulation (periodic patterns,
+// collusion structure) that leaves the mean untouched.
+//
+// CUSUM is not safe for concurrent use.
+type CUSUM struct {
+	llrGood float64 // log-likelihood ratio contribution of a good outcome
+	llrBad  float64 // and of a bad outcome
+	h       float64
+
+	score    float64
+	maxScore float64
+	n        int
+	alarmAt  int
+}
+
+// NewCUSUM returns a detector for a drop from success probability p0 (the
+// in-control quality) to p1 < p0 (the smallest drop worth detecting),
+// alarming when the cumulative log-likelihood ratio exceeds h. Larger h
+// trades detection delay for fewer false alarms. Scale h to the
+// per-outcome evidence: one bad outcome contributes log((1−p1)/(1−p0)) —
+// about 2.3 for (0.95, 0.5) — so h ≈ 5 alarms after ~3 closely spaced bad
+// outcomes (fast but false-alarm-prone over long streams) while h ≈ 12
+// requires ~6 and sustains long honest streams without alarms.
+func NewCUSUM(p0, p1, h float64) (*CUSUM, error) {
+	if math.IsNaN(p0) || math.IsNaN(p1) || p0 <= 0 || p0 >= 1 || p1 <= 0 || p1 >= 1 {
+		return nil, fmt.Errorf("%w: p0=%v p1=%v", ErrBadConfig, p0, p1)
+	}
+	if p1 >= p0 {
+		return nil, fmt.Errorf("%w: p1=%v must be below p0=%v", ErrBadConfig, p1, p0)
+	}
+	if h <= 0 || math.IsNaN(h) {
+		return nil, fmt.Errorf("%w: h=%v", ErrBadConfig, h)
+	}
+	return &CUSUM{
+		llrGood: math.Log(p1 / p0),
+		llrBad:  math.Log((1 - p1) / (1 - p0)),
+		h:       h,
+		alarmAt: -1,
+	}, nil
+}
+
+// Observe consumes one transaction outcome and reports whether the
+// detector is (now or already) in the alarmed state.
+func (c *CUSUM) Observe(good bool) bool {
+	c.n++
+	if c.alarmAt >= 0 {
+		return true
+	}
+	if good {
+		c.score += c.llrGood
+	} else {
+		c.score += c.llrBad
+	}
+	if c.score < 0 {
+		c.score = 0
+	}
+	if c.score > c.maxScore {
+		c.maxScore = c.score
+	}
+	if c.score >= c.h {
+		c.alarmAt = c.n
+	}
+	return c.alarmAt >= 0
+}
+
+// Alarmed reports whether the change threshold has been crossed.
+func (c *CUSUM) Alarmed() bool { return c.alarmAt >= 0 }
+
+// AlarmAt returns the 1-based transaction index at which the alarm fired,
+// or -1 if it has not.
+func (c *CUSUM) AlarmAt() int { return c.alarmAt }
+
+// Score returns the current cumulative statistic (frozen after an alarm).
+func (c *CUSUM) Score() float64 { return c.score }
+
+// Observed returns the number of outcomes consumed.
+func (c *CUSUM) Observed() int { return c.n }
+
+// Reset returns the detector to its initial state.
+func (c *CUSUM) Reset() {
+	c.score, c.maxScore, c.n, c.alarmAt = 0, 0, 0, -1
+}

@@ -1,0 +1,133 @@
+package behavior
+
+import (
+	"errors"
+	"testing"
+
+	"honestplayer/internal/stats"
+)
+
+func TestNewCUSUMValidation(t *testing.T) {
+	tests := []struct{ p0, p1, h float64 }{
+		{0, 0.5, 4}, {1, 0.5, 4}, {0.9, 0, 4}, {0.9, 1, 4},
+		{0.5, 0.9, 4}, // p1 above p0
+		{0.9, 0.5, 0}, {0.9, 0.5, -1},
+	}
+	for _, tt := range tests {
+		if _, err := NewCUSUM(tt.p0, tt.p1, tt.h); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("NewCUSUM(%v, %v, %v) = %v", tt.p0, tt.p1, tt.h, err)
+		}
+	}
+	if _, err := NewCUSUM(0.95, 0.5, 5); err != nil {
+		t.Fatalf("valid params: %v", err)
+	}
+}
+
+func TestCUSUMDetectsSharpDrop(t *testing.T) {
+	c, err := NewCUSUM(0.95, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	// In-control phase.
+	for i := 0; i < 500; i++ {
+		if c.Observe(rng.Bernoulli(0.95)) {
+			t.Fatalf("false alarm during in-control phase at %d (score %v)", i, c.Score())
+		}
+	}
+	// The hibernating turn: all bad.
+	for i := 0; i < 50; i++ {
+		c.Observe(false)
+	}
+	if !c.Alarmed() {
+		t.Fatalf("no alarm after 50 bad transactions (score %v)", c.Score())
+	}
+	delay := c.AlarmAt() - 500
+	// llrBad = log(0.5/0.05) ≈ 2.3 per bad outcome; h=5 needs ~3 bad.
+	if delay < 1 || delay > 10 {
+		t.Fatalf("detection delay = %d, want a handful of transactions", delay)
+	}
+	// Alarm state is sticky.
+	c.Observe(true)
+	if !c.Alarmed() {
+		t.Fatal("alarm cleared by a good outcome")
+	}
+}
+
+func TestCUSUMFalseAlarmRateLow(t *testing.T) {
+	rng := stats.NewRNG(2)
+	alarms := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		c, err := NewCUSUM(0.95, 0.5, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			if c.Observe(rng.Bernoulli(0.95)) {
+				alarms++
+				break
+			}
+		}
+	}
+	if alarms > trials/10 {
+		t.Fatalf("false alarms in %d/%d honest 1000-transaction streams", alarms, trials)
+	}
+}
+
+func TestCUSUMFasterThanWindowedTestOnBurst(t *testing.T) {
+	// The division of labour: for a sharp quality drop, CUSUM fires within
+	// a few transactions, while the windowed multi-test needs at least a
+	// window boundary.
+	c, err := NewCUSUM(0.95, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(3)
+	for i := 0; i < 300; i++ {
+		c.Observe(rng.Bernoulli(0.95))
+	}
+	bad := 0
+	for !c.Alarmed() {
+		c.Observe(false)
+		bad++
+		if bad > 100 {
+			t.Fatal("no alarm")
+		}
+	}
+	if bad > DefaultWindowSize {
+		t.Fatalf("CUSUM needed %d bad transactions, more than one window", bad)
+	}
+}
+
+func TestCUSUMResetAndAccessors(t *testing.T) {
+	c, err := NewCUSUM(0.9, 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Observe(false)
+	}
+	if !c.Alarmed() || c.AlarmAt() < 1 || c.Observed() != 10 {
+		t.Fatalf("state: alarmed=%v at=%d n=%d", c.Alarmed(), c.AlarmAt(), c.Observed())
+	}
+	c.Reset()
+	if c.Alarmed() || c.AlarmAt() != -1 || c.Observed() != 0 || c.Score() != 0 {
+		t.Fatalf("after reset: %+v", c)
+	}
+}
+
+func TestCUSUMIgnoresMeanPreservingPattern(t *testing.T) {
+	// A deterministic periodic pattern at the in-control mean does not
+	// trip CUSUM — that is the distribution tests' job (and exactly why
+	// both are needed).
+	c, err := NewCUSUM(0.9, 0.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if c.Observe(i%10 != 0) {
+			t.Fatalf("CUSUM alarmed on mean-preserving pattern at %d", i)
+		}
+	}
+}

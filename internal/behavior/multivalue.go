@@ -1,0 +1,89 @@
+package behavior
+
+import (
+	"fmt"
+
+	"honestplayer/internal/stats"
+)
+
+// MultiValue implements the multi-value feedback extension of §3.1: when
+// ratings take L > 2 values, the binomial window model generalises to a
+// multinomial — the count vector of each window of m transactions follows
+// Multinomial(m, p⃗). MultiValue tests each level's marginal, which is
+// binomial B(m, p_l), against its own calibrated threshold, applying a
+// Bonferroni correction across levels so an honest player still passes with
+// the calibrator's configured confidence overall.
+//
+// A history is consistent with the honest-player model only when every
+// level's marginal distribution is.
+type MultiValue struct {
+	cfg    Config
+	levels int
+}
+
+// NewMultiValue returns a multi-value tester for ratings in [0, levels).
+func NewMultiValue(cfg Config, levels int) (*MultiValue, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if levels < 2 {
+		return nil, fmt.Errorf("%w: levels=%d", ErrBadConfig, levels)
+	}
+	return &MultiValue{cfg: c, levels: levels}, nil
+}
+
+// Levels returns the number of rating levels.
+func (mv *MultiValue) Levels() int { return mv.levels }
+
+// Name identifies the tester.
+func (mv *MultiValue) Name() string { return fmt.Sprintf("multivalue(L=%d)", mv.levels) }
+
+// TestLevels tests a sequence of rating levels (each in [0, levels)),
+// oldest first. Windows are aligned to the newest outcome, as in the
+// binary testers. The verdict carries one SuffixResult per level, in level
+// order; Verdict.Honest requires every level's marginal to pass.
+func (mv *MultiValue) TestLevels(seq []int) (Verdict, error) {
+	m := mv.cfg.WindowSize
+	k := len(seq) / m
+	if k < mv.cfg.MinWindows {
+		return Verdict{}, fmt.Errorf("%w: %d windows < %d", ErrInsufficientHistory, k, mv.cfg.MinWindows)
+	}
+	start := len(seq) - k*m
+	// Per-level, per-window counts.
+	counts := make([][]int, mv.levels)
+	for l := range counts {
+		counts[l] = make([]int, k)
+	}
+	totals := make([]int, mv.levels)
+	for w := 0; w < k; w++ {
+		for i := 0; i < m; i++ {
+			v := seq[start+w*m+i]
+			if v < 0 || v >= mv.levels {
+				return Verdict{}, fmt.Errorf("%w: level %d outside [0,%d)", ErrBadConfig, v, mv.levels)
+			}
+			counts[v][w]++
+			totals[v]++
+		}
+	}
+	// Bonferroni across levels.
+	base := mv.cfg.Calibrator.Config().Confidence
+	confidence := 1 - (1-base)/float64(mv.levels)
+
+	v := Verdict{Honest: true, Suffixes: make([]SuffixResult, 0, mv.levels)}
+	for l := 0; l < mv.levels; l++ {
+		hist := stats.MustHistogram(m)
+		if err := hist.AddAll(counts[l]); err != nil {
+			return Verdict{}, err
+		}
+		res, err := testHistogram(mv.cfg, hist, confidence)
+		if err != nil {
+			return Verdict{}, err
+		}
+		v.Suffixes = append(v.Suffixes, res)
+		if !res.Pass {
+			v.Honest = false
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,149 @@
+package behavior
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"honestplayer/internal/stats"
+)
+
+// honestLevels draws an i.i.d. categorical sequence from probs.
+func honestLevels(rng *stats.RNG, n int, probs []float64) []int {
+	out := make([]int, n)
+	for i := range out {
+		u := rng.Float64()
+		acc := 0.0
+		for l, p := range probs {
+			acc += p
+			if u < acc {
+				out[i] = l
+				break
+			}
+			out[i] = len(probs) - 1
+		}
+	}
+	return out
+}
+
+func TestNewMultiValueValidation(t *testing.T) {
+	if _, err := NewMultiValue(testConfig(), 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("levels=1: %v", err)
+	}
+	if _, err := NewMultiValue(Config{WindowSize: 10, Stride: 7}, 3); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad stride: %v", err)
+	}
+	mv, err := NewMultiValue(testConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.Levels() != 3 {
+		t.Errorf("Levels = %d", mv.Levels())
+	}
+	if !strings.Contains(mv.Name(), "3") {
+		t.Errorf("Name = %q", mv.Name())
+	}
+}
+
+func TestMultiValueInsufficient(t *testing.T) {
+	mv, err := NewMultiValue(testConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mv.TestLevels(make([]int, 30)); !errors.Is(err, ErrInsufficientHistory) {
+		t.Errorf("short sequence: %v", err)
+	}
+}
+
+func TestMultiValueRejectsOutOfRangeLevel(t *testing.T) {
+	mv, err := NewMultiValue(testConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := make([]int, 100)
+	seq[50] = 7
+	if _, err := mv.TestLevels(seq); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("out-of-range level: %v", err)
+	}
+	seq[50] = -1
+	if _, err := mv.TestLevels(seq); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative level: %v", err)
+	}
+}
+
+func TestMultiValueHonestPasses(t *testing.T) {
+	mv, err := NewMultiValue(testConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {positive, neutral, negative} with an honest 80/15/5 split.
+	rng := stats.NewRNG(61)
+	pass := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		seq := honestLevels(rng, 600, []float64{0.80, 0.15, 0.05})
+		v, err := mv.TestLevels(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v.Suffixes) != 3 {
+			t.Fatalf("suffixes = %d, want one per level", len(v.Suffixes))
+		}
+		if v.Honest {
+			pass++
+		}
+	}
+	if pass < trials*8/10 {
+		t.Fatalf("honest multi-value players passed only %d/%d", pass, trials)
+	}
+}
+
+func TestMultiValueDetectsPeriodicPattern(t *testing.T) {
+	mv, err := NewMultiValue(testConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic rotation: every window has exactly the same counts —
+	// a point-mass distribution, not multinomial spread.
+	seq := make([]int, 600)
+	for i := range seq {
+		switch {
+		case i%10 == 0:
+			seq[i] = 2 // one negative per window, always
+		case i%10 == 1:
+			seq[i] = 1 // one neutral per window, always
+		default:
+			seq[i] = 0
+		}
+	}
+	v, err := mv.TestLevels(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Honest {
+		t.Fatalf("deterministic rotation passed: %+v", v.Worst())
+	}
+}
+
+func TestMultiValueDegeneratesToBinary(t *testing.T) {
+	// With 2 levels the multi-value test must agree directionally with the
+	// binary single test: honest binary streams pass.
+	mv, err := NewMultiValue(testConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(67)
+	seq := make([]int, 500)
+	for i := range seq {
+		if !rng.Bernoulli(0.9) {
+			seq[i] = 1
+		}
+	}
+	v, err := mv.TestLevels(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Honest {
+		t.Fatalf("honest binary stream flagged: %+v", v.Worst())
+	}
+}

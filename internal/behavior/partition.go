@@ -1,0 +1,124 @@
+package behavior
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"honestplayer/internal/feedback"
+)
+
+// PartitionFunc assigns a transaction to a category (e.g. "weekday" vs.
+// "weekend", or a client region).
+type PartitionFunc func(feedback.Feedback) string
+
+// Partitioned implements the category extension of §3.1/§4: when known
+// factors make an honest server's quality non-uniform — time of day,
+// client region, transaction type — a single binomial model raises false
+// alerts. Partitioned splits the history by a caller-supplied category
+// function and applies the inner tester to each category's subhistory
+// separately, so each category is compared against its own B(m, p̂).
+//
+// Categories whose subhistory is too short to test are skipped (they are
+// the short-history problem in miniature and follow the same policy
+// decision at the core layer); a server is honest only if every testable
+// category passes. When no category is testable, Test reports
+// ErrInsufficientHistory.
+type Partitioned struct {
+	inner     Tester
+	partition PartitionFunc
+}
+
+var _ Tester = (*Partitioned)(nil)
+
+// NewPartitioned wraps an inner tester with a category partition.
+func NewPartitioned(inner Tester, partition PartitionFunc) (*Partitioned, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("%w: nil inner tester", ErrBadConfig)
+	}
+	if partition == nil {
+		return nil, fmt.Errorf("%w: nil partition function", ErrBadConfig)
+	}
+	return &Partitioned{inner: inner, partition: partition}, nil
+}
+
+// Name implements Tester.
+func (p *Partitioned) Name() string { return "partitioned(" + p.inner.Name() + ")" }
+
+// CategoryVerdict is one category's outcome within a partitioned test.
+type CategoryVerdict struct {
+	// Category is the partition label.
+	Category string `json:"category"`
+	// Transactions in this category.
+	Transactions int `json:"transactions"`
+	// Tested is false when the category was too short to test.
+	Tested bool `json:"tested"`
+	// Verdict is the inner tester's verdict when Tested.
+	Verdict Verdict `json:"verdict"`
+}
+
+// Test implements Tester, merging per-category verdicts.
+func (p *Partitioned) Test(h *feedback.History) (Verdict, error) {
+	cats, err := p.TestByCategory(h)
+	if err != nil {
+		return Verdict{}, err
+	}
+	merged := Verdict{Honest: true}
+	for _, cv := range cats {
+		if !cv.Tested {
+			continue
+		}
+		merged.Suffixes = append(merged.Suffixes, cv.Verdict.Suffixes...)
+		if !cv.Verdict.Honest {
+			merged.Honest = false
+		}
+	}
+	return merged, nil
+}
+
+// TestByCategory runs the inner tester per category and returns the
+// detailed per-category verdicts, sorted by category label. It returns
+// ErrInsufficientHistory when no category is long enough to test.
+func (p *Partitioned) TestByCategory(h *feedback.History) ([]CategoryVerdict, error) {
+	subs := make(map[string]*feedback.History)
+	for i := 0; i < h.Len(); i++ {
+		rec := h.At(i)
+		cat := p.partition(rec)
+		sub, ok := subs[cat]
+		if !ok {
+			sub = feedback.NewHistory(h.Server())
+			subs[cat] = sub
+		}
+		if err := sub.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	labels := make([]string, 0, len(subs))
+	for cat := range subs {
+		labels = append(labels, cat)
+	}
+	sort.Strings(labels)
+
+	out := make([]CategoryVerdict, 0, len(labels))
+	tested := 0
+	for _, cat := range labels {
+		sub := subs[cat]
+		cv := CategoryVerdict{Category: cat, Transactions: sub.Len()}
+		v, err := p.inner.Test(sub)
+		switch {
+		case errors.Is(err, ErrInsufficientHistory):
+			// Skipped: too short to judge on its own.
+		case err != nil:
+			return nil, fmt.Errorf("category %q: %w", cat, err)
+		default:
+			cv.Tested = true
+			cv.Verdict = v
+			tested++
+		}
+		out = append(out, cv)
+	}
+	if tested == 0 {
+		return nil, fmt.Errorf("%w: no category spans enough windows", ErrInsufficientHistory)
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package behavior
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/stats"
+)
+
+// regionPartition categorises by the client-ID prefix before '-'.
+func regionPartition(f feedback.Feedback) string {
+	c := string(f.Client)
+	if i := strings.IndexByte(c, '-'); i > 0 {
+		return c[:i]
+	}
+	return c
+}
+
+// regionalHistory builds a history where clients from region "na" get
+// quality pNA and clients from "af" get quality pAF. Arrivals come in
+// bursts of 20 per region (time-zone waves), so pooled windows are mostly
+// homogeneous per region and their count distribution is bimodal — not
+// binomial — even though the server is honest within each region.
+func regionalHistory(t *testing.T, rng *stats.RNG, n int, pNA, pAF float64) *feedback.History {
+	t.Helper()
+	h := feedback.NewHistory("s")
+	for i := 0; i < n; i++ {
+		region, p := "na", pNA
+		if (i/20)%2 == 1 {
+			region, p = "af", pAF
+		}
+		c := feedback.EntityID(region + "-client")
+		if err := h.AppendOutcome(c, rng.Bernoulli(p), time.Unix(int64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestNewPartitionedValidation(t *testing.T) {
+	single, err := NewSingle(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPartitioned(nil, regionPartition); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil inner: %v", err)
+	}
+	if _, err := NewPartitioned(single, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil partition: %v", err)
+	}
+	p, err := NewPartitioned(single, regionPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "partitioned(single)" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestPartitionedAcceptsMixedQualityHonest(t *testing.T) {
+	// The paper's movie-server example: 0.95 quality for North America,
+	// 0.6 for Africa — honest in both categories, but the pooled stream
+	// is a mixture that is NOT binomial, so the plain single test flags
+	// it while the partitioned test accepts it.
+	single, err := NewSingle(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewPartitioned(single, regionPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(71)
+	pooledFlagged, partitionedPassed := 0, 0
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		h := regionalHistory(t, rng, 800, 0.95, 0.6)
+		pooled, err := single.Test(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pooled.Honest {
+			pooledFlagged++
+		}
+		split, err := part.Test(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if split.Honest {
+			partitionedPassed++
+		}
+	}
+	if pooledFlagged < trials/2 {
+		t.Fatalf("pooled mixture flagged only %d/%d times; expected the plain test to raise false alerts", pooledFlagged, trials)
+	}
+	if partitionedPassed < trials*7/10 {
+		t.Fatalf("partitioned test passed only %d/%d honest mixed-quality servers", partitionedPassed, trials)
+	}
+}
+
+func TestPartitionedDetectsAttackInOneCategory(t *testing.T) {
+	single, err := NewSingle(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewPartitioned(single, regionPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(73)
+	// Honest to "na", deterministic periodic attack against "af".
+	h := feedback.NewHistory("s")
+	afCount := 0
+	for i := 0; i < 800; i++ {
+		if i%2 == 0 {
+			_ = h.AppendOutcome("na-client", rng.Bernoulli(0.95), time.Unix(int64(i), 0))
+		} else {
+			afCount++
+			_ = h.AppendOutcome("af-client", afCount%10 != 0, time.Unix(int64(i), 0))
+		}
+	}
+	v, err := part.Test(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Honest {
+		t.Fatal("per-category attack not detected")
+	}
+	cats, err := part.TestByCategory(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]CategoryVerdict{}
+	for _, cv := range cats {
+		byLabel[cv.Category] = cv
+	}
+	if !byLabel["na"].Tested || !byLabel["na"].Verdict.Honest {
+		t.Fatalf("na category: %+v", byLabel["na"])
+	}
+	if !byLabel["af"].Tested || byLabel["af"].Verdict.Honest {
+		t.Fatalf("af category: %+v", byLabel["af"])
+	}
+}
+
+func TestPartitionedSkipsShortCategories(t *testing.T) {
+	single, err := NewSingle(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewPartitioned(single, regionPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(79)
+	h := feedback.NewHistory("s")
+	for i := 0; i < 400; i++ {
+		_ = h.AppendOutcome("na-client", rng.Bernoulli(0.95), time.Unix(int64(i), 0))
+	}
+	// A handful of records in a second category: too short to test.
+	for i := 400; i < 405; i++ {
+		_ = h.AppendOutcome("af-client", true, time.Unix(int64(i), 0))
+	}
+	cats, err := part.TestByCategory(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cats) != 2 {
+		t.Fatalf("categories = %d", len(cats))
+	}
+	for _, cv := range cats {
+		switch cv.Category {
+		case "na":
+			if !cv.Tested {
+				t.Error("na should be tested")
+			}
+		case "af":
+			if cv.Tested {
+				t.Error("af should be skipped")
+			}
+			if cv.Transactions != 5 {
+				t.Errorf("af transactions = %d", cv.Transactions)
+			}
+		}
+	}
+	// Merged verdict still works.
+	v, err := part.Test(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Honest {
+		t.Fatal("honest server flagged")
+	}
+}
+
+func TestPartitionedAllCategoriesShort(t *testing.T) {
+	single, err := NewSingle(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewPartitioned(single, regionPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := feedback.NewHistory("s")
+	for i := 0; i < 10; i++ {
+		_ = h.AppendOutcome("na-client", true, time.Unix(int64(i), 0))
+	}
+	if _, err := part.Test(h); !errors.Is(err, ErrInsufficientHistory) {
+		t.Fatalf("all-short: %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package behavior
+
+import (
+	"fmt"
+
+	"honestplayer/internal/feedback"
+)
+
+// Piecewise implements the "dynamic cases" extension sketched in §3.1: an
+// honest player's trustworthiness p may drift slowly (seasonal load,
+// infrastructure changes), in which case the whole history is not a sample
+// of a single B(m, p) and a static test raises false alerts. Piecewise
+// models the behaviour as piecewise-stationary: the history is cut into
+// consecutive segments of SegmentLen transactions and each segment is
+// tested against its own B(m, p̂_segment).
+//
+// A slow drift leaves every segment nearly stationary, so an honest drifting
+// player passes; a periodic or bursty attacker still deviates *within*
+// segments and is caught. The segment length trades drift tolerance
+// against the statistical power of each segment's test.
+type Piecewise struct {
+	cfg    Config
+	seglen int
+}
+
+var _ Tester = (*Piecewise)(nil)
+
+// NewPiecewise returns a piecewise-stationary tester with segments of
+// segmentLen transactions. segmentLen must allow at least MinWindows
+// windows per segment.
+func NewPiecewise(cfg Config, segmentLen int) (*Piecewise, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if segmentLen < c.MinWindows*c.WindowSize {
+		return nil, fmt.Errorf("%w: segment length %d < %d windows of %d",
+			ErrBadConfig, segmentLen, c.MinWindows, c.WindowSize)
+	}
+	return &Piecewise{cfg: c, seglen: segmentLen}, nil
+}
+
+// Name implements Tester.
+func (p *Piecewise) Name() string { return fmt.Sprintf("piecewise(seg=%d)", p.seglen) }
+
+// SegmentLen returns the segment length in transactions.
+func (p *Piecewise) SegmentLen() int { return p.seglen }
+
+// Test implements Tester: the newest ⌊n/seglen⌋ segments are each tested
+// independently; the verdict carries one SuffixResult per segment (newest
+// segment first) and is honest only if every segment passes. Histories
+// shorter than one segment report ErrInsufficientHistory.
+func (p *Piecewise) Test(h *feedback.History) (Verdict, error) {
+	if h.Len() < p.seglen {
+		return Verdict{}, fmt.Errorf("%w: %d transactions < segment length %d",
+			ErrInsufficientHistory, h.Len(), p.seglen)
+	}
+	segments := h.Len() / p.seglen
+	v := Verdict{Honest: true, Suffixes: make([]SuffixResult, 0, segments)}
+	// Segments align to the newest record, like windows.
+	for s := 0; s < segments; s++ {
+		hi := h.Len() - s*p.seglen
+		view := h.SuffixView(hi).SuffixView(p.seglen)
+		counts, err := view.WindowCountsFromEnd(p.cfg.WindowSize)
+		if err != nil {
+			return Verdict{}, err
+		}
+		res, err := testWindowCounts(p.cfg, counts)
+		if err != nil {
+			return Verdict{}, err
+		}
+		v.Suffixes = append(v.Suffixes, res)
+		if !res.Pass {
+			v.Honest = false
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,134 @@
+package behavior
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/stats"
+)
+
+// driftingHistory builds an honest history whose quality drifts linearly
+// from pStart to pEnd over n transactions.
+func driftingHistory(t *testing.T, rng *stats.RNG, n int, pStart, pEnd float64) *feedback.History {
+	t.Helper()
+	h := feedback.NewHistory("s")
+	for i := 0; i < n; i++ {
+		p := pStart + (pEnd-pStart)*float64(i)/float64(n-1)
+		if err := h.AppendOutcome("c", rng.Bernoulli(p), time.Unix(int64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestNewPiecewiseValidation(t *testing.T) {
+	if _, err := NewPiecewise(testConfig(), 30); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("segment below MinWindows*m: %v", err)
+	}
+	if _, err := NewPiecewise(Config{WindowSize: 10, Stride: 7}, 100); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad base config: %v", err)
+	}
+	p, err := NewPiecewise(testConfig(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SegmentLen() != 100 {
+		t.Errorf("SegmentLen = %d", p.SegmentLen())
+	}
+	if !strings.Contains(p.Name(), "100") {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestPiecewiseInsufficient(t *testing.T) {
+	p, err := NewPiecewise(testConfig(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := honestHistory(t, stats.NewRNG(1), 80, 0.9)
+	if _, err := p.Test(h); !errors.Is(err, ErrInsufficientHistory) {
+		t.Errorf("short history: %v", err)
+	}
+}
+
+func TestPiecewiseAcceptsDriftingHonest(t *testing.T) {
+	// Quality drifts 0.98 -> 0.50 over 1200 transactions. The static
+	// single test sees a mixture (often flagged); the piecewise test sees
+	// nearly-stationary 120-transaction segments and passes.
+	single, err := NewSingle(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	piecewise, err := NewPiecewise(testConfig(), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(83)
+	staticFlagged, piecewisePassed := 0, 0
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		h := driftingHistory(t, rng, 1200, 0.98, 0.50)
+		vs, err := single.Test(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vs.Honest {
+			staticFlagged++
+		}
+		vp, err := piecewise.Test(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vp.Honest {
+			piecewisePassed++
+		}
+	}
+	if staticFlagged < trials/2 {
+		t.Fatalf("static test flagged only %d/%d drifting players; drift too mild for the scenario", staticFlagged, trials)
+	}
+	if piecewisePassed < trials*6/10 {
+		t.Fatalf("piecewise passed only %d/%d drifting honest players", piecewisePassed, trials)
+	}
+}
+
+func TestPiecewiseStillDetectsPeriodicAttack(t *testing.T) {
+	piecewise, err := NewPiecewise(testConfig(), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := periodicHistory(t, 1200, 10, 1)
+	v, err := piecewise.Test(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Honest {
+		t.Fatal("deterministic periodic attacker passed the piecewise test")
+	}
+}
+
+func TestPiecewiseSegmentCountAndOrder(t *testing.T) {
+	piecewise, err := NewPiecewise(testConfig(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := honestHistory(t, stats.NewRNG(89), 350, 0.9)
+	v, err := piecewise.Test(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 350/100 = 3 segments; the oldest 50 transactions are not covered.
+	if len(v.Suffixes) != 3 {
+		t.Fatalf("segments = %d, want 3", len(v.Suffixes))
+	}
+	for i, s := range v.Suffixes {
+		if s.Transactions != 100 {
+			t.Fatalf("segment %d transactions = %d", i, s.Transactions)
+		}
+		if s.Windows != 10 {
+			t.Fatalf("segment %d windows = %d", i, s.Windows)
+		}
+	}
+}

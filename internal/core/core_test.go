@@ -1,0 +1,227 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"honestplayer/internal/behavior"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/stats"
+	"honestplayer/internal/trust"
+)
+
+func testTester(t *testing.T) behavior.Tester {
+	t.Helper()
+	s, err := behavior.NewSingle(behavior.Config{
+		Calibrator: stats.NewCalibrator(stats.CalibrationConfig{Seed: 1, Replicates: 300}, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func honest(t *testing.T, n int, p float64, seed uint64) *feedback.History {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	h := feedback.NewHistory("s")
+	for i := 0; i < n; i++ {
+		if err := h.AppendOutcome("c", rng.Bernoulli(p), time.Unix(int64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func periodic(t *testing.T, n int) *feedback.History {
+	t.Helper()
+	h := feedback.NewHistory("s")
+	for i := 0; i < n; i++ {
+		if err := h.AppendOutcome("c", i%10 != 9, time.Unix(int64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestNewTwoPhaseValidation(t *testing.T) {
+	if _, err := NewTwoPhase(nil, nil); err == nil {
+		t.Fatal("nil trust function must fail")
+	}
+	if _, err := NewTwoPhase(nil, trust.Average{}, WithShortHistoryPolicy(99)); err == nil {
+		t.Fatal("invalid policy must fail")
+	}
+}
+
+func TestTwoPhaseHonestServer(t *testing.T) {
+	tp, err := NewTwoPhase(testTester(t), trust.Average{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := honest(t, 500, 0.9, 7)
+	a, err := tp.Assess(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Suspicious {
+		t.Fatalf("honest server flagged: %+v", a.Verdict.Worst())
+	}
+	if a.Trust != h.GoodRatio() {
+		t.Fatalf("trust = %v, want %v", a.Trust, h.GoodRatio())
+	}
+	if a.Server != "s" || a.Tester != "single" || a.TrustFunc != "average" {
+		t.Fatalf("metadata: %+v", a)
+	}
+}
+
+func TestTwoPhaseFlagsAttacker(t *testing.T) {
+	tp, err := NewTwoPhase(testTester(t), trust.Average{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tp.Assess(periodic(t, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Suspicious {
+		t.Fatal("deterministic periodic attacker not flagged")
+	}
+	if a.Trust != 0 {
+		t.Fatalf("suspicious server got trust %v", a.Trust)
+	}
+	// Phase 2 never ran, but the baseline would have accepted it: the
+	// attacker's ratio 0.9 meets the usual threshold.
+	baseline, err := NewTwoPhase(nil, trust.Average{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := baseline.Assess(periodic(t, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Suspicious || b.Trust < 0.9 {
+		t.Fatalf("baseline assessment = %+v", b)
+	}
+}
+
+func TestTwoPhaseShortHistoryReject(t *testing.T) {
+	tp, err := NewTwoPhase(testTester(t), trust.Average{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tp.Assess(honest(t, 20, 0.9, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.ShortHistory || !a.Suspicious {
+		t.Fatalf("short history under RejectShort: %+v", a)
+	}
+}
+
+func TestTwoPhaseShortHistoryAllow(t *testing.T) {
+	tp, err := NewTwoPhase(testTester(t), trust.Average{}, WithShortHistoryPolicy(AllowShort))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := honest(t, 20, 0.9, 1)
+	a, err := tp.Assess(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.ShortHistory || a.Suspicious {
+		t.Fatalf("short history under AllowShort: %+v", a)
+	}
+	if a.Trust != h.GoodRatio() {
+		t.Fatalf("trust = %v", a.Trust)
+	}
+}
+
+func TestTwoPhaseEmptyHistoryError(t *testing.T) {
+	tp, err := NewTwoPhase(nil, trust.Average{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp.Assess(feedback.NewHistory("s")); !errors.Is(err, trust.ErrEmptyHistory) {
+		t.Fatalf("empty history = %v", err)
+	}
+}
+
+func TestTwoPhaseAccept(t *testing.T) {
+	tp, err := NewTwoPhase(testTester(t), trust.Average{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := honest(t, 500, 0.95, 11)
+	ok, a, err := tp.Accept(h, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("honest 95%% server rejected at threshold 0.9: %+v", a)
+	}
+	ok, _, err = tp.Accept(h, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("accepted above its own trust value")
+	}
+	ok, _, err = tp.Accept(periodic(t, 500), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("suspicious server accepted despite low threshold")
+	}
+}
+
+func TestTwoPhaseName(t *testing.T) {
+	tp, _ := NewTwoPhase(testTester(t), trust.Average{})
+	if got := tp.Name(); got != "single+average" {
+		t.Errorf("Name = %q", got)
+	}
+	base, _ := NewTwoPhase(nil, trust.Average{})
+	if got := base.Name(); got != "average" {
+		t.Errorf("baseline Name = %q", got)
+	}
+	if tp.Tester() == nil || tp.TrustFunc() == nil {
+		t.Error("accessors returned nil")
+	}
+}
+
+func TestShortHistoryPolicyString(t *testing.T) {
+	if RejectShort.String() != "reject-short" || AllowShort.String() != "allow-short" {
+		t.Error("policy String wrong")
+	}
+	if !strings.Contains(ShortHistoryPolicy(9).String(), "9") {
+		t.Error("unknown policy String must include value")
+	}
+}
+
+func TestAssessmentTrustInterval(t *testing.T) {
+	tp, err := NewTwoPhase(nil, trust.Average{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := honest(t, 20, 0.9, 5)
+	big := honest(t, 2000, 0.9, 5)
+	as, err := tp.Assess(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := tp.Assess(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Assessment{as, ab} {
+		if a.TrustLow > a.Trust || a.TrustHigh < a.Trust {
+			t.Fatalf("interval [%v,%v] excludes trust %v", a.TrustLow, a.TrustHigh, a.Trust)
+		}
+	}
+	if (ab.TrustHigh - ab.TrustLow) >= (as.TrustHigh - as.TrustLow) {
+		t.Fatalf("interval did not shrink with history size: %v vs %v",
+			ab.TrustHigh-ab.TrustLow, as.TrustHigh-as.TrustLow)
+	}
+}

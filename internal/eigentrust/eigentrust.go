@@ -1,0 +1,257 @@
+// Package eigentrust implements the EigenTrust / EigenRep algorithm
+// (Kamvar, Schlosser, Garcia-Molina — reference [3] of the paper), the
+// classic global reputation-aggregation baseline for P2P networks: each
+// peer's local trust in its transaction partners is normalised into a
+// stochastic matrix C, and the global trust vector t is the stationary
+// distribution of tᵀ = (1−α)·tᵀC + α·pᵀ, where p is a distribution over
+// pre-trusted peers and α the teleport weight that guarantees convergence
+// and collusion resistance.
+//
+// The paper's two-phase approach is orthogonal to the choice of trust
+// function; this package provides the strongest classical baseline to
+// combine with (or compare against) behaviour testing.
+package eigentrust
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"honestplayer/internal/feedback"
+)
+
+// Defaults mirror the EigenTrust paper's common choices.
+const (
+	// DefaultAlpha is the teleport (pre-trust) weight.
+	DefaultAlpha = 0.15
+	// DefaultEpsilon is the L1 convergence threshold.
+	DefaultEpsilon = 1e-9
+	// DefaultMaxIter bounds the power iteration.
+	DefaultMaxIter = 200
+)
+
+// ErrBadConfig reports invalid algorithm parameters.
+var ErrBadConfig = errors.New("eigentrust: invalid config")
+
+// Graph accumulates local trust: the per-pair satisfaction statistics every
+// peer holds about the peers it transacted with.
+type Graph struct {
+	// sat[i][j] = max(good−bad, 0) of i's transactions with j, the
+	// EigenTrust local trust value s_ij.
+	sat map[feedback.EntityID]map[feedback.EntityID]float64
+}
+
+// NewGraph returns an empty local-trust graph.
+func NewGraph() *Graph {
+	return &Graph{sat: make(map[feedback.EntityID]map[feedback.EntityID]float64)}
+}
+
+// AddInteraction records the outcome of one transaction where rater
+// evaluated ratee. Good outcomes add +1 to s_ij, bad ones −1; s_ij is
+// clamped at 0 when read, per the original definition.
+func (g *Graph) AddInteraction(rater, ratee feedback.EntityID, good bool) {
+	row, ok := g.sat[rater]
+	if !ok {
+		row = make(map[feedback.EntityID]float64)
+		g.sat[rater] = row
+	}
+	if good {
+		row[ratee]++
+	} else {
+		row[ratee]--
+	}
+}
+
+// AddFeedback records a feedback tuple (the client rated the server).
+func (g *Graph) AddFeedback(f feedback.Feedback) {
+	g.AddInteraction(f.Client, f.Server, f.Good())
+}
+
+// Peers returns every entity that appears as rater or ratee, sorted.
+func (g *Graph) Peers() []feedback.EntityID {
+	seen := make(map[feedback.EntityID]struct{})
+	for i, row := range g.sat {
+		seen[i] = struct{}{}
+		for j := range row {
+			seen[j] = struct{}{}
+		}
+	}
+	out := make([]feedback.EntityID, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// localTrust returns max(s_ij, 0).
+func (g *Graph) localTrust(i, j feedback.EntityID) float64 {
+	v := g.sat[i][j]
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Config parameterises the computation.
+type Config struct {
+	// Alpha is the teleport weight in (0, 1); zero means DefaultAlpha.
+	Alpha float64
+	// Epsilon is the L1 convergence threshold; zero means DefaultEpsilon.
+	Epsilon float64
+	// MaxIter bounds the power iteration; zero means DefaultMaxIter.
+	MaxIter int
+	// Pretrusted are the peers receiving teleport mass; empty means all
+	// peers equally (plain PageRank-style damping).
+	Pretrusted []feedback.EntityID
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = DefaultEpsilon
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = DefaultMaxIter
+	}
+	if math.IsNaN(c.Alpha) || c.Alpha <= 0 || c.Alpha >= 1 {
+		return c, fmt.Errorf("%w: alpha=%v", ErrBadConfig, c.Alpha)
+	}
+	if c.Epsilon <= 0 || c.MaxIter < 1 {
+		return c, fmt.Errorf("%w: epsilon=%v maxIter=%d", ErrBadConfig, c.Epsilon, c.MaxIter)
+	}
+	return c, nil
+}
+
+// Result carries the converged global trust vector.
+type Result struct {
+	// Trust maps each peer to its global trust value; the vector sums to 1.
+	Trust map[feedback.EntityID]float64
+	// Iterations the power method ran.
+	Iterations int
+	// Converged reports whether Epsilon was reached within MaxIter.
+	Converged bool
+}
+
+// Ranked returns the peers in descending global-trust order (ties broken
+// by ID for determinism).
+func (r *Result) Ranked() []feedback.EntityID {
+	out := make([]feedback.EntityID, 0, len(r.Trust))
+	for p := range r.Trust {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := r.Trust[out[i]], r.Trust[out[j]]
+		if ti != tj {
+			return ti > tj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Compute runs the power iteration on the graph's normalised local-trust
+// matrix and returns the global trust vector. An empty graph yields an
+// error.
+func Compute(g *Graph, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	peers := g.Peers()
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("%w: empty graph", ErrBadConfig)
+	}
+	idx := make(map[feedback.EntityID]int, len(peers))
+	for i, p := range peers {
+		idx[p] = i
+	}
+
+	// Teleport distribution.
+	pvec := make([]float64, len(peers))
+	if len(cfg.Pretrusted) == 0 {
+		for i := range pvec {
+			pvec[i] = 1 / float64(len(peers))
+		}
+	} else {
+		n := 0
+		for _, p := range cfg.Pretrusted {
+			if i, ok := idx[p]; ok {
+				pvec[i]++
+				n++
+			}
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("%w: no pretrusted peer appears in the graph", ErrBadConfig)
+		}
+		for i := range pvec {
+			pvec[i] /= float64(n)
+		}
+	}
+
+	// Row-normalised local trust matrix in sparse form; rows with no
+	// positive local trust (dangling raters and never-rating peers) fall
+	// back to the teleport distribution.
+	type edge struct {
+		to int
+		w  float64
+	}
+	rows := make([][]edge, len(peers))
+	for i, p := range peers {
+		var sum float64
+		for j := range g.sat[p] {
+			sum += g.localTrust(p, j)
+		}
+		if sum == 0 {
+			continue // dangling: handled via pvec during iteration
+		}
+		for j := range g.sat[p] {
+			if w := g.localTrust(p, j); w > 0 {
+				rows[i] = append(rows[i], edge{to: idx[j], w: w / sum})
+			}
+		}
+		sort.Slice(rows[i], func(a, b int) bool { return rows[i][a].to < rows[i][b].to })
+	}
+
+	t := make([]float64, len(peers))
+	copy(t, pvec)
+	next := make([]float64, len(peers))
+	res := &Result{}
+	for iter := 1; iter <= cfg.MaxIter; iter++ {
+		var dangling float64
+		for i := range next {
+			next[i] = 0
+		}
+		for i := range peers {
+			if len(rows[i]) == 0 {
+				dangling += t[i]
+				continue
+			}
+			for _, e := range rows[i] {
+				next[e.to] += (1 - cfg.Alpha) * t[i] * e.w
+			}
+		}
+		// Dangling mass and teleport both follow the pre-trust vector.
+		for i := range next {
+			next[i] += (1-cfg.Alpha)*dangling*pvec[i] + cfg.Alpha*pvec[i]
+		}
+		var delta float64
+		for i := range next {
+			delta += math.Abs(next[i] - t[i])
+		}
+		t, next = next, t
+		res.Iterations = iter
+		if delta < cfg.Epsilon {
+			res.Converged = true
+			break
+		}
+	}
+	res.Trust = make(map[feedback.EntityID]float64, len(peers))
+	for i, p := range peers {
+		res.Trust[p] = t[i]
+	}
+	return res, nil
+}

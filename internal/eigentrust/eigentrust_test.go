@@ -1,0 +1,190 @@
+package eigentrust
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/stats"
+)
+
+// ring builds a graph where every peer rates every other peer positively
+// `mutual` times, except that colluders only rate colluders and honest
+// peers rate the colluders negatively.
+func splitWorld(honest, colluders int, rng *stats.RNG) *Graph {
+	g := NewGraph()
+	id := func(prefix string, i int) feedback.EntityID {
+		return feedback.EntityID(prefix + string(rune('0'+i/10)) + string(rune('0'+i%10)))
+	}
+	for i := 0; i < honest; i++ {
+		for j := 0; j < honest; j++ {
+			if i == j {
+				continue
+			}
+			// Honest peers mostly satisfy each other.
+			g.AddInteraction(id("h", i), id("h", j), rng.Bernoulli(0.95))
+		}
+		for j := 0; j < colluders; j++ {
+			// Honest peers get cheated by colluders.
+			g.AddInteraction(id("h", i), id("c", j), false)
+		}
+	}
+	for i := 0; i < colluders; i++ {
+		for j := 0; j < colluders; j++ {
+			if i == j {
+				continue
+			}
+			// The ring inflates itself.
+			for k := 0; k < 5; k++ {
+				g.AddInteraction(id("c", i), id("c", j), true)
+			}
+		}
+	}
+	return g
+}
+
+func TestComputeValidation(t *testing.T) {
+	if _, err := Compute(NewGraph(), Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty graph: %v", err)
+	}
+	g := NewGraph()
+	g.AddInteraction("a", "b", true)
+	for _, cfg := range []Config{
+		{Alpha: 1.5}, {Alpha: -0.1}, {Epsilon: -1}, {MaxIter: -1},
+	} {
+		if _, err := Compute(g, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("cfg %+v: %v", cfg, err)
+		}
+	}
+	if _, err := Compute(g, Config{Pretrusted: []feedback.EntityID{"ghost"}}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("unknown pretrusted: %v", err)
+	}
+}
+
+func TestComputeSumsToOneAndConverges(t *testing.T) {
+	g := splitWorld(10, 3, stats.NewRNG(1))
+	res, err := Compute(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("no convergence after %d iterations", res.Iterations)
+	}
+	sum := 0.0
+	for _, v := range res.Trust {
+		if v < 0 {
+			t.Fatalf("negative trust %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("trust sums to %v", sum)
+	}
+}
+
+func TestPretrustedAnchorsDemoteColluders(t *testing.T) {
+	// With honest pre-trusted peers, the colluders' self-inflation is cut
+	// off: every colluder ranks below every honest peer.
+	rng := stats.NewRNG(2)
+	g := splitWorld(10, 3, rng)
+	res, err := Compute(g, Config{Pretrusted: []feedback.EntityID{"h00", "h01"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minHonest, maxColluder := math.Inf(1), math.Inf(-1)
+	for p, v := range res.Trust {
+		switch p[0] {
+		case 'h':
+			if v < minHonest {
+				minHonest = v
+			}
+		case 'c':
+			if v > maxColluder {
+				maxColluder = v
+			}
+		}
+	}
+	if maxColluder >= minHonest {
+		t.Fatalf("colluder trust %v >= honest trust %v", maxColluder, minHonest)
+	}
+	// And the ranking agrees.
+	ranked := res.Ranked()
+	for i := 0; i < 10; i++ {
+		if ranked[i][0] != 'h' {
+			t.Fatalf("rank %d is %s, want honest peers first: %v", i, ranked[i], ranked)
+		}
+	}
+}
+
+func TestWithoutPretrustColludersCanWin(t *testing.T) {
+	// The classic failure mode EigenTrust's pre-trust exists to fix: with
+	// uniform teleport, a tight self-rating ring accumulates mass.
+	rng := stats.NewRNG(3)
+	g := splitWorld(10, 3, rng)
+	uniform, err := Compute(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchored, err := Compute(g, Config{Pretrusted: []feedback.EntityID{"h00"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colluderMass := func(r *Result) float64 {
+		var m float64
+		for p, v := range r.Trust {
+			if p[0] == 'c' {
+				m += v
+			}
+		}
+		return m
+	}
+	if colluderMass(anchored) >= colluderMass(uniform) {
+		t.Fatalf("pre-trust did not reduce colluder mass: %v >= %v",
+			colluderMass(anchored), colluderMass(uniform))
+	}
+}
+
+func TestNegativeExperiencesClampToZero(t *testing.T) {
+	g := NewGraph()
+	// a is repeatedly cheated by b but has one good partner c.
+	for i := 0; i < 5; i++ {
+		g.AddInteraction("a", "b", false)
+	}
+	g.AddInteraction("a", "c", true)
+	res, err := Compute(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b receives no local trust from a (clamped), so all of a's vote goes
+	// to c.
+	if res.Trust["b"] >= res.Trust["c"] {
+		t.Fatalf("b=%v >= c=%v", res.Trust["b"], res.Trust["c"])
+	}
+}
+
+func TestAddFeedbackAndPeers(t *testing.T) {
+	g := NewGraph()
+	g.AddFeedback(feedback.Feedback{Server: "srv", Client: "cli", Rating: feedback.Positive})
+	peers := g.Peers()
+	if len(peers) != 2 || peers[0] != "cli" || peers[1] != "srv" {
+		t.Fatalf("peers = %v", peers)
+	}
+}
+
+func TestDanglingOnlyGraph(t *testing.T) {
+	// A graph where the only rater's experiences are all negative: every
+	// row is dangling, mass falls to the teleport distribution.
+	g := NewGraph()
+	g.AddInteraction("a", "b", false)
+	res, err := Compute(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("no convergence")
+	}
+	if math.Abs(res.Trust["a"]-0.5) > 1e-6 || math.Abs(res.Trust["b"]-0.5) > 1e-6 {
+		t.Fatalf("trust = %v", res.Trust)
+	}
+}

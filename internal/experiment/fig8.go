@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"honestplayer/internal/stats"
+)
+
+// ThresholdConfig parameterises the Fig. 8 experiment: how the calibrated
+// 95 %-confidence distribution-distance threshold ε shrinks (converges) as
+// the initial history size grows.
+type ThresholdConfig struct {
+	// HistorySizes is the x axis in transactions; nil means
+	// {100, 200, …, 2000}.
+	HistorySizes []int
+	// PHats are the estimated trustworthiness values to calibrate at; nil
+	// means {0.90, 0.95}.
+	PHats []float64
+	// WindowSize is m; zero means 10.
+	WindowSize int
+	// Replicates is the Monte-Carlo sample-set count; zero means 1000 (the
+	// paper's "reasonably large" number).
+	Replicates int
+	// Seed drives the calibration streams.
+	Seed uint64
+}
+
+func (c ThresholdConfig) withDefaults() ThresholdConfig {
+	if c.HistorySizes == nil {
+		for n := 100; n <= 2000; n += 100 {
+			c.HistorySizes = append(c.HistorySizes, n)
+		}
+	}
+	if c.PHats == nil {
+		c.PHats = []float64{0.90, 0.95}
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = DefaultWindowSize
+	}
+	if c.Replicates == 0 {
+		c.Replicates = stats.DefaultReplicates
+	}
+	return c
+}
+
+// RunFig8 regenerates Fig. 8: distribution distance (the 95 % threshold ε)
+// vs. initial history size, showing the fast convergence the paper reports.
+func RunFig8(cfg ThresholdConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		ID:     "fig8",
+		Title:  "Distribution distance vs. initial history size",
+		XLabel: "initial history size",
+		YLabel: "95% distance threshold (epsilon)",
+	}
+	for _, p := range cfg.PHats {
+		series := Series{Name: formatFloat(p)}
+		for _, n := range cfg.HistorySizes {
+			windows := n / cfg.WindowSize
+			if windows < 1 {
+				continue
+			}
+			eps, err := stats.CalibrateL1(cfg.WindowSize, windows, p, stats.CalibrationConfig{
+				Seed:       cfg.Seed,
+				Replicates: cfg.Replicates,
+			})
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, Point{X: float64(n), Y: eps})
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}

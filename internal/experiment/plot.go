@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plot dimensions: sized for a standard terminal.
+const (
+	plotWidth  = 72
+	plotHeight = 20
+)
+
+// seriesGlyphs mark the points of up to this many series.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Plot renders the result as a crude ASCII scatter plot — enough to
+// eyeball a figure's shape in a terminal without leaving the CLI. Series
+// are distinguished by glyph; a legend follows the axes.
+func (r *Result) Plot() string {
+	xs := r.xValues()
+	if len(xs) == 0 {
+		return "(no data)\n"
+	}
+	minX, maxX := xs[0], xs[len(xs)-1]
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if p.Y < minY {
+				minY = p.Y
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+	}
+	if math.IsInf(minY, 1) {
+		return "(no data)\n"
+	}
+	if minY > 0 && minY < maxY/2 {
+		// Anchor at zero when it keeps the plot readable.
+		minY = 0
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, plotHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", plotWidth))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(plotWidth-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= plotWidth {
+			c = plotWidth - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		rr := int(math.Round((maxY - y) / (maxY - minY) * float64(plotHeight-1)))
+		if rr < 0 {
+			rr = 0
+		}
+		if rr >= plotHeight {
+			rr = plotHeight - 1
+		}
+		return rr
+	}
+	for si, s := range r.Series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for _, p := range s.Points {
+			rr, cc := row(p.Y), col(p.X)
+			if grid[rr][cc] != ' ' && grid[rr][cc] != glyph {
+				grid[rr][cc] = '&' // overlapping series
+			} else {
+				grid[rr][cc] = glyph
+			}
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", strings.ToUpper(r.ID), r.Title)
+	topLabel := formatFloat(maxY)
+	botLabel := formatFloat(minY)
+	labelWidth := len(topLabel)
+	if len(botLabel) > labelWidth {
+		labelWidth = len(botLabel)
+	}
+	for i, line := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", labelWidth, topLabel)
+		case plotHeight - 1:
+			label = fmt.Sprintf("%*s", labelWidth, botLabel)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", plotWidth))
+	fmt.Fprintf(&sb, "%s  %-*s%s\n", strings.Repeat(" ", labelWidth),
+		plotWidth-len(formatFloat(maxX)), formatFloat(minX), formatFloat(maxX))
+	fmt.Fprintf(&sb, "x: %s, y: %s\n", r.XLabel, r.YLabel)
+	for si, s := range r.Series {
+		fmt.Fprintf(&sb, "  %c %s\n", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	return sb.String()
+}

@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options tunes a registry run without figure-specific configuration:
+// experiments scale their workloads down in Quick mode so the whole suite
+// finishes in seconds instead of minutes.
+type Options struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Quick shrinks trial counts and history sizes for smoke runs.
+	Quick bool
+}
+
+// Runner regenerates one figure.
+type Runner func(Options) (*Result, error)
+
+// Registry maps figure IDs to their runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig3": func(o Options) (*Result, error) { return RunFig3(costConfig(o)) },
+		"fig4": func(o Options) (*Result, error) { return RunFig4(costConfig(o)) },
+		"fig5": func(o Options) (*Result, error) { return RunFig5(collusionConfig(o)) },
+		"fig6": func(o Options) (*Result, error) { return RunFig6(collusionConfig(o)) },
+		"fig7": func(o Options) (*Result, error) { return RunFig7(detectionConfig(o)) },
+		"fig8": func(o Options) (*Result, error) { return RunFig8(thresholdConfig(o)) },
+		"fig9": func(o Options) (*Result, error) { return RunFig9(perfConfig(o)) },
+		"ablation-window": func(o Options) (*Result, error) {
+			cfg := AblationWindowConfig{Seed: o.Seed}
+			if o.Quick {
+				cfg.Trials = 40
+				cfg.CalibrationReplicates = 200
+			}
+			return RunAblationWindow(cfg)
+		},
+		"ablation-correction": func(o Options) (*Result, error) {
+			cfg := AblationCorrectionConfig{Seed: o.Seed}
+			if o.Quick {
+				cfg.Trials = 30
+				cfg.HistorySizes = []int{200, 800}
+				cfg.CalibrationReplicates = 1000
+			}
+			return RunAblationCorrection(cfg)
+		},
+		"ablation-cusum": func(o Options) (*Result, error) {
+			cfg := AblationCUSUMConfig{Seed: o.Seed}
+			if o.Quick {
+				cfg.Trials = 20
+				cfg.PostQualities = []float64{0, 0.4}
+				cfg.CalibrationReplicates = 200
+			}
+			return RunAblationCUSUM(cfg)
+		},
+		"ablation-lambda": func(o Options) (*Result, error) {
+			cfg := AblationLambdaConfig{Seed: o.Seed}
+			if o.Quick {
+				cfg.Trials = 1
+				cfg.Lambdas = []float64{0.1, 0.5, 0.9}
+				cfg.GoalBad = 10
+				cfg.CalibrationReplicates = 200
+			}
+			return RunAblationLambda(cfg)
+		},
+		"ablation-replicates": func(o Options) (*Result, error) {
+			cfg := AblationReplicatesConfig{Seed: o.Seed}
+			if o.Quick {
+				cfg.ReplicateCounts = []int{50, 200, 1000}
+				cfg.Resamples = 8
+			}
+			return RunAblationReplicates(cfg)
+		},
+	}
+}
+
+// IDs returns every registered experiment ID, sorted: the paper figures
+// first, then the ablations.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// FigureIDs returns the paper-figure experiments (fig3 … fig9) in order.
+func FigureIDs() []string {
+	return []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+}
+
+// AblationIDs returns the ablation experiments in order.
+func AblationIDs() []string {
+	return []string{
+		"ablation-correction", "ablation-cusum", "ablation-lambda",
+		"ablation-replicates", "ablation-window",
+	}
+}
+
+// Run regenerates one figure by ID.
+func Run(id string, opts Options) (*Result, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown figure %q (have %v)", id, IDs())
+	}
+	return r(opts)
+}
+
+func costConfig(o Options) CostConfig {
+	cfg := CostConfig{Seed: o.Seed}
+	if o.Quick {
+		cfg.PrepSizes = []int{100, 300, 500, 800}
+		cfg.Trials = 1
+		cfg.GoalBad = 10
+		cfg.CalibrationReplicates = 200
+	}
+	return cfg
+}
+
+func collusionConfig(o Options) CollusionConfig {
+	cfg := CollusionConfig{Seed: o.Seed}
+	if o.Quick {
+		cfg.PrepSizes = []int{100, 300, 500, 800}
+		cfg.Trials = 1
+		cfg.GoalBad = 10
+		cfg.CalibrationReplicates = 200
+	}
+	return cfg
+}
+
+func detectionConfig(o Options) DetectionConfig {
+	cfg := DetectionConfig{Seed: o.Seed}
+	if o.Quick {
+		cfg.Trials = 40
+		cfg.CalibrationReplicates = 200
+	}
+	return cfg
+}
+
+func thresholdConfig(o Options) ThresholdConfig {
+	cfg := ThresholdConfig{Seed: o.Seed}
+	if o.Quick {
+		cfg.HistorySizes = []int{100, 200, 400, 800, 1600}
+		cfg.Replicates = 300
+	}
+	return cfg
+}
+
+func perfConfig(o Options) PerfConfig {
+	cfg := PerfConfig{Seed: o.Seed}
+	if o.Quick {
+		cfg.HistorySizes = []int{50000, 100000, 200000}
+		cfg.NaiveSizes = []int{5000, 10000}
+		cfg.Repeats = 1
+	}
+	return cfg
+}

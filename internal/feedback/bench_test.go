@@ -1,0 +1,89 @@
+package feedback
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func benchRecords(n int) []Feedback {
+	recs := make([]Feedback, n)
+	for i := range recs {
+		recs[i] = Feedback{
+			Time:   time.Unix(int64(i), 0).UTC(),
+			Server: "server",
+			Client: EntityID(fmt.Sprintf("client-%d", i%50)),
+			Rating: Positive,
+		}
+	}
+	return recs
+}
+
+func BenchmarkHistoryAppend(b *testing.B) {
+	h := NewHistory("s")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := h.AppendOutcome("c", i%10 != 0, time.Unix(int64(i), 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWindowCountsFromEnd(b *testing.B) {
+	h := NewHistory("s")
+	for i := 0; i < 100000; i++ {
+		if err := h.AppendOutcome("c", i%10 != 0, time.Unix(int64(i), 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.WindowCountsFromEnd(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollusionReorder(b *testing.B) {
+	h := NewHistory("server")
+	for _, f := range benchRecords(10000) {
+		if err := h.Append(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.CollusionOrder()
+	}
+}
+
+func BenchmarkJSONCodec(b *testing.B) {
+	recs := benchRecords(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteJSONLines(&buf, recs); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadJSONLines(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryCodec(b *testing.B) {
+	recs := benchRecords(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := EncodeBinaryAll(recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeBinaryAll(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

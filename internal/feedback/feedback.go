@@ -1,0 +1,86 @@
+// Package feedback defines the reputation-system data model of the paper:
+// transactions, feedback tuples (t, s, c, r), and the append-only
+// transaction history of a server, together with the windowing and
+// issuer-grouping operations the behaviour tests are built on.
+package feedback
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Rating is the client's one-dimensional evaluation of a transaction. The
+// paper's model is binary {positive, negative}; the type leaves room for the
+// multi-value extension discussed in §3.1.
+type Rating int
+
+const (
+	// Negative marks a bad transaction.
+	Negative Rating = iota + 1
+	// Positive marks a good transaction.
+	Positive
+)
+
+// String implements fmt.Stringer.
+func (r Rating) String() string {
+	switch r {
+	case Positive:
+		return "positive"
+	case Negative:
+		return "negative"
+	default:
+		return fmt.Sprintf("Rating(%d)", int(r))
+	}
+}
+
+// Valid reports whether r is one of the defined ratings.
+func (r Rating) Valid() bool { return r == Positive || r == Negative }
+
+// Good reports whether the rating marks a good transaction.
+func (r Rating) Good() bool { return r == Positive }
+
+// EntityID identifies a server or client in the system.
+type EntityID string
+
+// Feedback is the statement a client issues about the quality of a server in
+// a single transaction: the tuple (t, s, c, r) of §2.
+type Feedback struct {
+	// Time is when the transaction happened.
+	Time time.Time `json:"time"`
+	// Server is the service provider being rated.
+	Server EntityID `json:"server"`
+	// Client is the feedback issuer.
+	Client EntityID `json:"client"`
+	// Rating is the client's evaluation.
+	Rating Rating `json:"rating"`
+}
+
+// Validation errors for feedback records.
+var (
+	ErrInvalidRating = errors.New("feedback: invalid rating")
+	ErrEmptyEntity   = errors.New("feedback: empty entity id")
+)
+
+// Validate reports whether the feedback record is well-formed.
+func (f Feedback) Validate() error {
+	if !f.Rating.Valid() {
+		return fmt.Errorf("%w: %d", ErrInvalidRating, int(f.Rating))
+	}
+	if f.Server == "" {
+		return fmt.Errorf("%w: server", ErrEmptyEntity)
+	}
+	if f.Client == "" {
+		return fmt.Errorf("%w: client", ErrEmptyEntity)
+	}
+	return nil
+}
+
+// Good reports whether this feedback marks a good transaction.
+func (f Feedback) Good() bool { return f.Rating.Good() }
+
+// String implements fmt.Stringer.
+func (f Feedback) String() string {
+	return fmt.Sprintf("feedback{%s s=%s c=%s %s}",
+		f.Time.Format(time.RFC3339), f.Server, f.Client, f.Rating)
+}

@@ -1,0 +1,67 @@
+package feedback
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fb(s, c EntityID, r Rating, at int64) Feedback {
+	return Feedback{Time: time.Unix(at, 0).UTC(), Server: s, Client: c, Rating: r}
+}
+
+func TestRating(t *testing.T) {
+	if !Positive.Valid() || !Negative.Valid() {
+		t.Error("defined ratings must be valid")
+	}
+	if Rating(0).Valid() || Rating(3).Valid() {
+		t.Error("undefined ratings must be invalid")
+	}
+	if !Positive.Good() || Negative.Good() {
+		t.Error("Good() wrong")
+	}
+	if Positive.String() != "positive" || Negative.String() != "negative" {
+		t.Error("String() wrong")
+	}
+	if !strings.Contains(Rating(9).String(), "9") {
+		t.Error("unknown rating String must include value")
+	}
+}
+
+func TestFeedbackValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		f    Feedback
+		want error
+	}{
+		{"valid", fb("s", "c", Positive, 1), nil},
+		{"bad rating", fb("s", "c", Rating(0), 1), ErrInvalidRating},
+		{"empty server", fb("", "c", Positive, 1), ErrEmptyEntity},
+		{"empty client", fb("s", "", Positive, 1), ErrEmptyEntity},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.f.Validate()
+			if tt.want == nil && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if tt.want != nil && !errors.Is(err, tt.want) {
+				t.Fatalf("Validate() = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestFeedbackGoodAndString(t *testing.T) {
+	f := fb("srv", "cli", Positive, 0)
+	if !f.Good() {
+		t.Error("positive feedback must be good")
+	}
+	s := f.String()
+	for _, sub := range []string{"srv", "cli", "positive"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("String() = %q missing %q", s, sub)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package feedback
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeBinary ensures the binary decoder never panics and that
+// anything it accepts round-trips back to identical bytes.
+func FuzzDecodeBinary(f *testing.F) {
+	seed, _ := AppendBinary(nil, Feedback{
+		Time: time.Unix(1, 0).UTC(), Server: "srv", Client: "cli", Rating: Positive,
+	})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, rest, err := DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		consumed := data[:len(data)-len(rest)]
+		re, err := AppendBinary(nil, rec)
+		if err != nil {
+			t.Fatalf("accepted record failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, consumed) {
+			t.Fatalf("round trip mismatch:\n in: %x\nout: %x", consumed, re)
+		}
+	})
+}
+
+// FuzzReadJSONLines ensures the JSON-lines reader never panics on arbitrary
+// input.
+func FuzzReadJSONLines(f *testing.F) {
+	f.Add(`{"time":"2020-01-01T00:00:00Z","server":"s","client":"c","rating":2}` + "\n")
+	f.Add("")
+	f.Add("{}\n{}")
+	f.Fuzz(func(t *testing.T, data string) {
+		recs, err := ReadJSONLines(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("reader returned invalid record: %v", err)
+			}
+		}
+	})
+}

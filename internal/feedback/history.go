@@ -1,0 +1,249 @@
+package feedback
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// History errors.
+var (
+	// ErrServerMismatch reports an append whose feedback names a different
+	// server than the history belongs to.
+	ErrServerMismatch = errors.New("feedback: server mismatch")
+	// ErrEmptyHistory reports an operation that needs at least one record.
+	ErrEmptyHistory = errors.New("feedback: empty history")
+	// ErrBadWindow reports an invalid window size.
+	ErrBadWindow = errors.New("feedback: invalid window size")
+)
+
+// History is the append-only transaction history of a single server: the
+// time-ordered sequence of feedbacks its transactions received. It maintains
+// a prefix-sum index of good transactions so that range statistics — the
+// foundation of both trust functions and behaviour tests — cost O(1).
+//
+// History is not safe for concurrent use; the store layer serialises access.
+type History struct {
+	server EntityID
+	recs   []Feedback
+	// goodPrefix[i] is the number of good transactions among the first i
+	// records; len(goodPrefix) == len(recs)+1.
+	goodPrefix []int
+}
+
+// NewHistory returns an empty history for the given server.
+func NewHistory(server EntityID) *History {
+	return &History{server: server, goodPrefix: []int{0}}
+}
+
+// Server returns the server this history belongs to.
+func (h *History) Server() EntityID { return h.server }
+
+// Len returns the number of recorded transactions.
+func (h *History) Len() int { return len(h.recs) }
+
+// At returns the i-th record (0 = oldest). It panics on out-of-range i,
+// matching slice semantics.
+func (h *History) At(i int) Feedback { return h.recs[i] }
+
+// Append validates f and adds it as the newest record.
+func (h *History) Append(f Feedback) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if f.Server != h.server {
+		return fmt.Errorf("%w: history %q, feedback %q", ErrServerMismatch, h.server, f.Server)
+	}
+	h.recs = append(h.recs, f)
+	good := 0
+	if f.Good() {
+		good = 1
+	}
+	h.goodPrefix = append(h.goodPrefix, h.goodPrefix[len(h.goodPrefix)-1]+good)
+	return nil
+}
+
+// AppendOutcome adds a synthetic record with the given client and outcome,
+// stamping it with a monotonically increasing logical time. It is the
+// convenience path used by simulations.
+func (h *History) AppendOutcome(client EntityID, good bool, at time.Time) error {
+	r := Negative
+	if good {
+		r = Positive
+	}
+	return h.Append(Feedback{Time: at, Server: h.server, Client: client, Rating: r})
+}
+
+// RemoveLast removes the newest record. It supports the strategic attacker's
+// hypothesis testing (append a candidate transaction, test, roll back). It
+// returns ErrEmptyHistory when there is nothing to remove.
+func (h *History) RemoveLast() error {
+	if len(h.recs) == 0 {
+		return ErrEmptyHistory
+	}
+	h.recs = h.recs[:len(h.recs)-1]
+	h.goodPrefix = h.goodPrefix[:len(h.goodPrefix)-1]
+	return nil
+}
+
+// GoodCount returns the number of good transactions in the whole history.
+func (h *History) GoodCount() int { return h.goodPrefix[len(h.recs)] }
+
+// GoodInRange returns the number of good transactions among records
+// [lo, hi). It panics when the range is invalid, matching slice semantics.
+func (h *History) GoodInRange(lo, hi int) int {
+	return h.goodPrefix[hi] - h.goodPrefix[lo]
+}
+
+// GoodRatio returns the fraction of good transactions (the average trust
+// value), or 0 for an empty history.
+func (h *History) GoodRatio() float64 {
+	if len(h.recs) == 0 {
+		return 0
+	}
+	return float64(h.GoodCount()) / float64(len(h.recs))
+}
+
+// Outcomes returns the good/bad sequence as booleans, oldest first.
+func (h *History) Outcomes() []bool {
+	out := make([]bool, len(h.recs))
+	for i, r := range h.recs {
+		out[i] = r.Good()
+	}
+	return out
+}
+
+// Records returns a copy of all feedback records, oldest first.
+func (h *History) Records() []Feedback {
+	out := make([]Feedback, len(h.recs))
+	copy(out, h.recs)
+	return out
+}
+
+// Clone returns an independent deep copy.
+func (h *History) Clone() *History {
+	c := &History{server: h.server}
+	c.recs = make([]Feedback, len(h.recs))
+	copy(c.recs, h.recs)
+	c.goodPrefix = make([]int, len(h.goodPrefix))
+	copy(c.goodPrefix, h.goodPrefix)
+	return c
+}
+
+// WindowCounts splits the history into ⌊n/m⌋ consecutive windows of m
+// transactions starting from the oldest record (any trailing partial window
+// is dropped, per §3.2) and returns the good-transaction count of each.
+func (h *History) WindowCounts(m int) ([]int, error) {
+	return h.windowCounts(m, false)
+}
+
+// WindowCountsFromEnd is WindowCounts with the windows aligned to the newest
+// record instead (any partial window of the oldest records is dropped).
+// End-alignment is what the multi-testing scheme uses: the window counts of
+// the most-recent-l−k suffix are then literally a suffix of the full table,
+// which is what makes the optimised scheme linear-time.
+func (h *History) WindowCountsFromEnd(m int) ([]int, error) {
+	return h.windowCounts(m, true)
+}
+
+func (h *History) windowCounts(m int, fromEnd bool) ([]int, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadWindow, m)
+	}
+	k := len(h.recs) / m
+	counts := make([]int, 0, k)
+	start := 0
+	if fromEnd {
+		start = len(h.recs) - k*m
+	}
+	for i := 0; i < k; i++ {
+		lo := start + i*m
+		counts = append(counts, h.GoodInRange(lo, lo+m))
+	}
+	return counts, nil
+}
+
+// SuffixView returns a read-only view of the most recent n records as a new
+// History sharing the underlying storage. Mutating the parent after taking a
+// view invalidates the view. It returns the whole history when n exceeds its
+// length.
+func (h *History) SuffixView(n int) *History {
+	if n >= len(h.recs) {
+		return h
+	}
+	lo := len(h.recs) - n
+	return &History{
+		server:     h.server,
+		recs:       h.recs[lo:],
+		goodPrefix: rebasePrefix(h.goodPrefix[lo:]),
+	}
+}
+
+func rebasePrefix(p []int) []int {
+	out := make([]int, len(p))
+	base := p[0]
+	for i, v := range p {
+		out[i] = v - base
+	}
+	return out
+}
+
+// IssuerGroup is the set of feedbacks a single client issued, in time order.
+type IssuerGroup struct {
+	Client  EntityID
+	Indices []int // positions in the original history, ascending
+}
+
+// GroupByIssuer partitions the history by feedback issuer and returns the
+// groups ordered by descending size; groups of equal size are ordered by
+// client ID for determinism. This is the re-ordering key of the
+// collusion-resilient test (§4).
+func (h *History) GroupByIssuer() []IssuerGroup {
+	byClient := make(map[EntityID][]int)
+	for i, r := range h.recs {
+		byClient[r.Client] = append(byClient[r.Client], i)
+	}
+	groups := make([]IssuerGroup, 0, len(byClient))
+	for c, idx := range byClient {
+		groups = append(groups, IssuerGroup{Client: c, Indices: idx})
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if len(groups[i].Indices) != len(groups[j].Indices) {
+			return len(groups[i].Indices) > len(groups[j].Indices)
+		}
+		return groups[i].Client < groups[j].Client
+	})
+	return groups
+}
+
+// CollusionOrder returns a new history containing the same records
+// re-ordered for collusion-resilient testing: grouped by issuer, larger
+// groups first, time order within each group (records within a group keep
+// their original relative order, which is time order for an append-only
+// history).
+func (h *History) CollusionOrder() *History {
+	out := NewHistory(h.server)
+	for _, g := range h.GroupByIssuer() {
+		for _, i := range g.Indices {
+			// Records came from this history, so re-appending cannot fail.
+			_ = out.Append(h.recs[i])
+		}
+	}
+	return out
+}
+
+// DistinctClients returns the number of distinct feedback issuers (the size
+// of the supporter base plus detractors).
+func (h *History) DistinctClients() int {
+	seen := make(map[EntityID]struct{})
+	for _, r := range h.recs {
+		seen[r.Client] = struct{}{}
+	}
+	return len(seen)
+}
+
+// String implements fmt.Stringer.
+func (h *History) String() string {
+	return fmt.Sprintf("history{server=%s n=%d good=%d}", h.server, h.Len(), h.GoodCount())
+}

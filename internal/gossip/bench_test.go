@@ -1,0 +1,50 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"honestplayer/internal/feedback"
+)
+
+// BenchmarkRoundInSync measures the steady-state cost of a gossip round:
+// one summary round trip, no record transfer.
+func BenchmarkRoundInSync(b *testing.B) {
+	mk := func(name string) *Node {
+		n, err := New("127.0.0.1:0", Config{Name: name, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return n
+	}
+	a, peer := mk("a"), mk("b")
+	defer func() { _ = a.Close() }()
+	defer func() { _ = peer.Close() }()
+	a.AddPeer(peer.Addr())
+	peer.Start()
+	a.Start()
+	for i := 0; i < 1000; i++ {
+		r := feedback.Feedback{
+			Time: time.Unix(int64(i), 0).UTC(), Server: "srv",
+			Client: feedback.EntityID(fmt.Sprintf("c%d", i%50)), Rating: feedback.Positive,
+		}
+		if _, err := a.Store().Add(r); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := peer.Store().Add(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.RoundOnce(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if a.InSyncRounds() == 0 {
+		b.Fatal("rounds were not in-sync")
+	}
+}

@@ -1,0 +1,358 @@
+// Package gossip implements the decentralised feedback-dissemination
+// option the paper mentions for P2P systems (§2, citing P-Grid-style data
+// organisation and gossip aggregation): nodes periodically reconcile their
+// feedback stores with random peers via anti-entropy, so every node
+// eventually holds every record and can run two-phase trust assessment
+// locally.
+//
+// Reconciliation is a two-phase pull over the wire protocol. The initiator
+// first sends per-server checksums (TypeSummary); the peer answers with the
+// servers whose record sets differ (TypeSummaryR). Only for those does the
+// initiator send the full hash digest (TypeDigest, scoped), receiving the
+// records it is missing (TypeDelta). After convergence a round costs one
+// summary round trip. The initiator learns, the responder doesn't —
+// convergence comes from every node initiating rounds. Records are
+// content-addressed, so the exchange is idempotent and commutative:
+// histories converge to the same time-ordered sequence on every node
+// regardless of delivery order.
+package gossip
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/stats"
+	"honestplayer/internal/store"
+	"honestplayer/internal/wire"
+)
+
+// Config parameterises a Node.
+type Config struct {
+	// Name identifies the node in digests and logs.
+	Name string
+	// Store is the node's feedback store; nil means a fresh one.
+	Store *store.Store
+	// Peers are the addresses of other nodes to gossip with.
+	Peers []string
+	// Interval between gossip rounds; zero means 200ms.
+	Interval time.Duration
+	// Seed drives peer selection.
+	Seed uint64
+	// Logger receives round errors; nil disables logging.
+	Logger *log.Logger
+	// DialTimeout bounds connecting to a peer; zero means 2s.
+	DialTimeout time.Duration
+}
+
+// Node is a gossiping feedback store. Create with New, start the
+// anti-entropy loop with Start, and stop everything with Close.
+type Node struct {
+	cfg      Config
+	listener net.Listener
+	rng      *stats.RNG
+
+	mu     sync.Mutex
+	peers  []string
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	rounds   atomic.Uint64
+	received atomic.Uint64
+	inSync   atomic.Uint64
+}
+
+// New creates a node listening on addr.
+func New(addr string, cfg Config) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("gossip: node needs a name")
+	}
+	if cfg.Store == nil {
+		cfg.Store = store.New()
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 200 * time.Millisecond
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gossip: listen %s: %w", addr, err)
+	}
+	n := &Node{
+		cfg:      cfg,
+		listener: ln,
+		rng:      stats.NewRNG(cfg.Seed),
+		peers:    append([]string(nil), cfg.Peers...),
+		stop:     make(chan struct{}),
+	}
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.listener.Addr().String() }
+
+// Store returns the node's feedback store.
+func (n *Node) Store() *store.Store { return n.cfg.Store }
+
+// Rounds returns the number of completed gossip rounds.
+func (n *Node) Rounds() uint64 { return n.rounds.Load() }
+
+// Received returns the number of records learned from peers.
+func (n *Node) Received() uint64 { return n.received.Load() }
+
+// InSyncRounds returns the number of rounds that ended after the summary
+// exchange because nothing differed — the cheap steady-state case.
+func (n *Node) InSyncRounds() uint64 { return n.inSync.Load() }
+
+// AddPeer registers another peer address.
+func (n *Node) AddPeer(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers = append(n.peers, addr)
+}
+
+// Start launches the accept loop and the periodic anti-entropy loop.
+func (n *Node) Start() {
+	n.wg.Add(2)
+	go func() {
+		defer n.wg.Done()
+		n.acceptLoop()
+	}()
+	go func() {
+		defer n.wg.Done()
+		n.gossipLoop()
+	}()
+}
+
+// Close stops the loops and the listener, then waits for them to exit. It
+// is idempotent.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return nil
+	}
+	n.closed = true
+	close(n.stop)
+	err := n.listener.Close()
+	n.mu.Unlock()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logger != nil {
+		n.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (n *Node) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+func (n *Node) acceptLoop() {
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			if n.isClosed() {
+				return
+			}
+			n.logf("%s: accept: %v", n.cfg.Name, err)
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn answers an anti-entropy exchange. A round is up to two
+// request/response pairs on one connection: a summary (per-server
+// checksums → list of out-of-sync servers), then a digest scoped to those
+// servers (hashes → missing records). A bare unscoped digest is also
+// answered, as the fallback protocol.
+func (n *Node) serveConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	_ = conn.SetDeadline(time.Now().Add(n.cfg.DialTimeout * 2))
+	reader := bufio.NewReader(conn)
+	for {
+		env, err := wire.Read(reader)
+		if err != nil {
+			return
+		}
+		switch env.Type {
+		case wire.TypeSummary:
+			var summary wire.SummaryMsg
+			if err := wire.DecodePayload(env, &summary); err != nil {
+				return
+			}
+			local := n.cfg.Store.Checksums()
+			var stale []string
+			for srv, sum := range local {
+				remote, ok := summary.Servers[string(srv)]
+				if !ok || remote.Count != sum.Count || remote.XOR != sum.XOR {
+					stale = append(stale, string(srv))
+				}
+			}
+			sort.Strings(stale)
+			resp, err := wire.Encode(wire.TypeSummaryR, env.ID, wire.SummaryResp{Stale: stale})
+			if err != nil {
+				n.logf("%s: encode summary resp: %v", n.cfg.Name, err)
+				return
+			}
+			if err := wire.Write(conn, resp); err != nil {
+				n.logf("%s: write summary resp to %s: %v", n.cfg.Name, summary.Node, err)
+				return
+			}
+		case wire.TypeDigest:
+			var digest wire.DigestMsg
+			if err := wire.DecodePayload(env, &digest); err != nil {
+				return
+			}
+			hashes := make([]store.Hash, len(digest.Hashes))
+			for i, h := range digest.Hashes {
+				hashes[i] = store.Hash(h)
+			}
+			var missing []feedback.Feedback
+			if len(digest.Servers) == 0 {
+				missing = n.cfg.Store.MissingFrom(hashes)
+			} else {
+				for _, srv := range digest.Servers {
+					missing = append(missing,
+						n.cfg.Store.ServerMissingFrom(feedback.EntityID(srv), hashes)...)
+				}
+			}
+			resp, err := wire.Encode(wire.TypeDelta, env.ID, wire.DeltaMsg{Records: missing})
+			if err != nil {
+				n.logf("%s: encode delta: %v", n.cfg.Name, err)
+				return
+			}
+			if err := wire.Write(conn, resp); err != nil {
+				n.logf("%s: write delta to %s: %v", n.cfg.Name, digest.Node, err)
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (n *Node) gossipLoop() {
+	ticker := time.NewTicker(n.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			if err := n.RoundOnce(); err != nil {
+				n.logf("%s: gossip round: %v", n.cfg.Name, err)
+			}
+		}
+	}
+}
+
+// RoundOnce performs one anti-entropy exchange with a random peer. It
+// first exchanges per-server checksum summaries; only for servers whose
+// record sets differ does it send the (much larger) hash digest and pull
+// the missing records. After convergence a round therefore costs one
+// summary round trip. It is exported so tests and tools can drive
+// convergence deterministically.
+func (n *Node) RoundOnce() error {
+	n.mu.Lock()
+	if len(n.peers) == 0 {
+		n.mu.Unlock()
+		return nil
+	}
+	peer := n.peers[n.rng.Intn(len(n.peers))]
+	n.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", peer, n.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", peer, err)
+	}
+	defer func() { _ = conn.Close() }()
+	_ = conn.SetDeadline(time.Now().Add(n.cfg.DialTimeout * 2))
+	reader := bufio.NewReader(conn)
+
+	// Phase 1: summary exchange.
+	sums := n.cfg.Store.Checksums()
+	servers := make(map[string]wire.ServerSum, len(sums))
+	for srv, cs := range sums {
+		servers[string(srv)] = wire.ServerSum{Count: cs.Count, XOR: cs.XOR}
+	}
+	req, err := wire.Encode(wire.TypeSummary, 1, wire.SummaryMsg{Node: n.cfg.Name, Servers: servers})
+	if err != nil {
+		return err
+	}
+	if err := wire.Write(conn, req); err != nil {
+		return fmt.Errorf("send summary to %s: %w", peer, err)
+	}
+	resp, err := wire.Read(reader)
+	if err != nil {
+		return fmt.Errorf("read summary resp from %s: %w", peer, err)
+	}
+	if resp.Type != wire.TypeSummaryR {
+		return fmt.Errorf("%w: expected summary resp, got %s", wire.ErrBadMessage, resp.Type)
+	}
+	var sr wire.SummaryResp
+	if err := wire.DecodePayload(resp, &sr); err != nil {
+		return err
+	}
+	if len(sr.Stale) == 0 {
+		n.inSync.Add(1)
+		n.rounds.Add(1)
+		return nil
+	}
+
+	// Phase 2: scoped digest for the out-of-sync servers.
+	var hashes []uint64
+	for _, srv := range sr.Stale {
+		for _, h := range n.cfg.Store.ServerHashes(feedback.EntityID(srv)) {
+			hashes = append(hashes, uint64(h))
+		}
+	}
+	req, err = wire.Encode(wire.TypeDigest, 2, wire.DigestMsg{
+		Node: n.cfg.Name, Servers: sr.Stale, Hashes: hashes,
+	})
+	if err != nil {
+		return err
+	}
+	if err := wire.Write(conn, req); err != nil {
+		return fmt.Errorf("send digest to %s: %w", peer, err)
+	}
+	resp, err = wire.Read(reader)
+	if err != nil {
+		return fmt.Errorf("read delta from %s: %w", peer, err)
+	}
+	if resp.Type != wire.TypeDelta {
+		return fmt.Errorf("%w: expected delta, got %s", wire.ErrBadMessage, resp.Type)
+	}
+	var delta wire.DeltaMsg
+	if err := wire.DecodePayload(resp, &delta); err != nil {
+		return err
+	}
+	added, err := n.cfg.Store.AddAll(delta.Records)
+	if err != nil {
+		return fmt.Errorf("store delta from %s: %w", peer, err)
+	}
+	n.received.Add(uint64(added))
+	n.rounds.Add(1)
+	return nil
+}

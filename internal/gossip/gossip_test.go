@@ -1,0 +1,326 @@
+package gossip
+
+import (
+	"bufio"
+	"net"
+	"testing"
+	"time"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/stats"
+	"honestplayer/internal/store"
+	"honestplayer/internal/wire"
+)
+
+func rec(s, c feedback.EntityID, good bool, at int64) feedback.Feedback {
+	r := feedback.Negative
+	if good {
+		r = feedback.Positive
+	}
+	return feedback.Feedback{Time: time.Unix(at, 0).UTC(), Server: s, Client: c, Rating: r}
+}
+
+func newNode(t *testing.T, name string, peers ...string) *Node {
+	t.Helper()
+	n, err := New("127.0.0.1:0", Config{Name: name, Peers: peers, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := n.Close(); err != nil {
+			t.Errorf("close %s: %v", name, err)
+		}
+	})
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("127.0.0.1:0", Config{}); err == nil {
+		t.Fatal("missing name must fail")
+	}
+}
+
+func TestTwoNodeConvergenceManualRounds(t *testing.T) {
+	a := newNode(t, "a")
+	b := newNode(t, "b")
+	a.AddPeer(b.Addr())
+	b.AddPeer(a.Addr())
+	// Only the accept loops run; rounds are driven manually for
+	// determinism.
+	a.Start()
+	b.Start()
+
+	for i := 0; i < 20; i++ {
+		if _, err := a.Store().Add(rec("srv", "ca", i%5 != 0, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 20; i < 40; i++ {
+		if _, err := b.Store().Add(rec("srv", "cb", i%4 != 0, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// a pulls from b, then b pulls from a.
+	if err := a.RoundOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RoundOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Store().Len() != 40 || b.Store().Len() != 40 {
+		t.Fatalf("stores did not converge: a=%d b=%d", a.Store().Len(), b.Store().Len())
+	}
+	// Time-ordered histories are identical on both nodes.
+	ra, rb := a.Store().Records("srv"), b.Store().Records("srv")
+	for i := range ra {
+		if store.HashOf(ra[i]) != store.HashOf(rb[i]) {
+			t.Fatalf("record %d differs between nodes", i)
+		}
+	}
+	if a.Received() == 0 || b.Received() == 0 {
+		t.Fatal("received counters did not move")
+	}
+}
+
+func TestThreeNodeConvergenceBackground(t *testing.T) {
+	a := newNode(t, "a")
+	b := newNode(t, "b")
+	c := newNode(t, "c")
+	// Chain topology: a <-> b <-> c; records must cross b to reach c.
+	a.AddPeer(b.Addr())
+	b.AddPeer(a.Addr())
+	b.AddPeer(c.Addr())
+	c.AddPeer(b.Addr())
+	a.Start()
+	b.Start()
+	c.Start()
+
+	rng := stats.NewRNG(7)
+	for i := 0; i < 30; i++ {
+		if _, err := a.Store().Add(rec("srv", "ca", rng.Bernoulli(0.9), int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Store().Len() == 30 && b.Store().Len() == 30 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("no convergence: a=%d b=%d c=%d", a.Store().Len(), b.Store().Len(), c.Store().Len())
+}
+
+func TestRoundOnceNoPeers(t *testing.T) {
+	a := newNode(t, "a")
+	if err := a.RoundOnce(); err != nil {
+		t.Fatalf("round with no peers: %v", err)
+	}
+}
+
+func TestRoundOnceDeadPeer(t *testing.T) {
+	a := newNode(t, "a")
+	// Reserve an address then close it so the dial fails fast.
+	dead := newNode(t, "dead")
+	addr := dead.Addr()
+	if err := dead.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a.AddPeer(addr)
+	if err := a.RoundOnce(); err == nil {
+		t.Fatal("round against dead peer must fail")
+	}
+	// The node remains usable.
+	if a.Store().Len() != 0 {
+		t.Fatal("store corrupted")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	n, err := New("127.0.0.1:0", Config{Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestBackgroundLoopGossips(t *testing.T) {
+	a, err := New("127.0.0.1:0", Config{Name: "a", Interval: 20 * time.Millisecond, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	b := newNode(t, "b")
+	a.AddPeer(b.Addr())
+	a.Start()
+	b.Start()
+	if _, err := b.Store().Add(rec("srv", "c", true, 1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if a.Store().Len() == 1 && a.Rounds() > 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("background gossip never delivered the record (rounds=%d)", a.Rounds())
+}
+
+func TestServeConnIgnoresGarbage(t *testing.T) {
+	n := newNode(t, "a")
+	n.Start()
+	conn, err := net.Dial("tcp", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("garbage\n")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+	// A second, valid exchange still works.
+	b := newNode(t, "b")
+	b.Start()
+	if _, err := n.Store().Add(rec("srv", "c", true, 1)); err != nil {
+		t.Fatal(err)
+	}
+	b.AddPeer(n.Addr())
+	if err := b.RoundOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Store().Len() != 1 {
+		t.Fatal("valid exchange failed after garbage")
+	}
+}
+
+func TestServeConnWrongType(t *testing.T) {
+	n := newNode(t, "a")
+	n.Start()
+	conn, err := net.Dial("tcp", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	env, err := wire.Encode(wire.TypePing, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Write(conn, env); err != nil {
+		t.Fatal(err)
+	}
+	// The node silently drops non-digest messages; the connection closes.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected connection close for wrong message type")
+	}
+}
+
+func TestSummaryShortCircuitWhenInSync(t *testing.T) {
+	a := newNode(t, "a")
+	b := newNode(t, "b")
+	a.AddPeer(b.Addr())
+	b.AddPeer(a.Addr())
+	a.Start()
+	b.Start()
+	for i := 0; i < 10; i++ {
+		r := rec("srv", "c", i%3 != 0, int64(i))
+		if _, err := a.Store().Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First round transfers; second round is summary-only.
+	if err := b.RoundOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Store().Len() != 10 {
+		t.Fatalf("not converged: %d", b.Store().Len())
+	}
+	if b.InSyncRounds() != 0 {
+		t.Fatalf("first round marked in-sync")
+	}
+	if err := b.RoundOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if b.InSyncRounds() != 1 {
+		t.Fatalf("in-sync rounds = %d, want 1", b.InSyncRounds())
+	}
+	if b.Store().Len() != 10 {
+		t.Fatalf("in-sync round changed the store: %d", b.Store().Len())
+	}
+}
+
+func TestScopedDigestOnlyTouchesStaleServers(t *testing.T) {
+	a := newNode(t, "a")
+	b := newNode(t, "b")
+	a.AddPeer(b.Addr())
+	b.AddPeer(a.Addr())
+	a.Start()
+	b.Start()
+	// Both share srv1 exactly; b additionally has srv2.
+	shared := []feedback.Feedback{rec("srv1", "c", true, 1), rec("srv1", "d", false, 2)}
+	for _, r := range shared {
+		if _, err := a.Store().Add(r); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Store().Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Store().Add(rec("srv2", "e", true, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RoundOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Store().Len() != 3 {
+		t.Fatalf("a has %d records, want 3", a.Store().Len())
+	}
+	// Only srv2's record crossed the wire.
+	if a.Received() != 1 {
+		t.Fatalf("received = %d, want 1", a.Received())
+	}
+}
+
+func TestLegacyUnscopedDigestStillServed(t *testing.T) {
+	n := newNode(t, "a")
+	n.Start()
+	if _, err := n.Store().Add(rec("srv", "c", true, 1)); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	env, err := wire.Encode(wire.TypeDigest, 1, wire.DigestMsg{Node: "legacy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Write(conn, env); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, err := wire.Read(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != wire.TypeDelta {
+		t.Fatalf("type = %s", resp.Type)
+	}
+	var delta wire.DeltaMsg
+	if err := wire.DecodePayload(resp, &delta); err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.Records) != 1 {
+		t.Fatalf("delta = %d records", len(delta.Records))
+	}
+}

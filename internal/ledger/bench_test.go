@@ -1,0 +1,63 @@
+package ledger
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"honestplayer/internal/feedback"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.jsonl")
+	l, _, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := feedback.Feedback{
+			Time: time.Unix(int64(i), 0).UTC(), Server: "s", Client: "c",
+			Rating: feedback.Positive,
+		}
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.jsonl")
+	l, _, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		rec := feedback.Feedback{
+			Time: time.Unix(int64(i), 0).UTC(), Server: "s", Client: "c",
+			Rating: feedback.Positive,
+		}
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l2, recs, err := Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != 10000 {
+			b.Fatalf("replayed %d", len(recs))
+		}
+		if err := l2.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package ledger
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzOpenReplay ensures replay never panics or errors on arbitrary file
+// contents — corruption must degrade to a shorter replayed prefix.
+func FuzzOpenReplay(f *testing.F) {
+	f.Add([]byte(`{"time":"2020-01-01T00:00:00Z","server":"s","client":"c","rating":2}` + "\n"))
+	f.Add([]byte("garbage\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, recs, err := Open(path)
+		if err != nil {
+			t.Fatalf("replay errored on arbitrary contents: %v", err)
+		}
+		for _, r := range recs {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("replayed invalid record: %v", err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

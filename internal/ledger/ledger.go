@@ -1,0 +1,210 @@
+// Package ledger provides durable storage for feedback records: an
+// append-only JSON-lines file that a reputation node replays at startup.
+// Records are the system's ground truth — the paper's whole mechanism rests
+// on transaction histories — so a production node must not lose them on
+// restart.
+//
+// The format is one wire-compatible JSON record per line. Appends are
+// flushed per record (a reputation record is small and rare relative to
+// fsync cost at these scales); a torn final line — the crash case — is
+// detected and ignored during replay, and the file is truncated back to the
+// last complete record before new appends.
+package ledger
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/store"
+)
+
+// ErrClosed reports use of a closed ledger.
+var ErrClosed = errors.New("ledger: closed")
+
+// Ledger is an append-only feedback log. It is safe for concurrent use.
+type Ledger struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	closed bool
+}
+
+// Open opens (creating if needed) the ledger at path, replays every intact
+// record, truncates any torn trailing line, and returns the ledger together
+// with the replayed records in file order.
+func Open(path string) (*Ledger, []feedback.Feedback, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ledger: open %s: %w", path, err)
+	}
+	recs, intact, err := replay(f)
+	if err != nil {
+		cerr := f.Close()
+		if cerr != nil {
+			return nil, nil, errors.Join(err, cerr)
+		}
+		return nil, nil, err
+	}
+	if err := f.Truncate(intact); err != nil {
+		cerr := f.Close()
+		if cerr != nil {
+			return nil, nil, errors.Join(err, cerr)
+		}
+		return nil, nil, fmt.Errorf("ledger: truncate %s: %w", path, err)
+	}
+	if _, err := f.Seek(intact, io.SeekStart); err != nil {
+		cerr := f.Close()
+		if cerr != nil {
+			return nil, nil, errors.Join(err, cerr)
+		}
+		return nil, nil, fmt.Errorf("ledger: seek %s: %w", path, err)
+	}
+	return &Ledger{f: f, w: bufio.NewWriter(f)}, recs, nil
+}
+
+// replay reads records until EOF or the first torn/corrupt line, returning
+// the records and the byte offset of the end of the last intact record.
+func replay(f *os.File) ([]feedback.Feedback, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("ledger: seek: %w", err)
+	}
+	var (
+		recs   []feedback.Feedback
+		intact int64
+	)
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				// A partial line without '\n' is a torn append: ignore it.
+				return recs, intact, nil
+			}
+			return nil, 0, fmt.Errorf("ledger: read: %w", err)
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			intact += int64(len(line))
+			continue
+		}
+		var rec feedback.Feedback
+		if err := json.Unmarshal(trimmed, &rec); err != nil {
+			// Corrupt interior line: stop replay here; everything after is
+			// suspect and will be truncated.
+			return recs, intact, nil
+		}
+		if err := rec.Validate(); err != nil {
+			return recs, intact, nil
+		}
+		recs = append(recs, rec)
+		intact += int64(len(line))
+	}
+}
+
+// Append durably appends one record.
+func (l *Ledger) Append(rec feedback.Feedback) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("ledger: marshal: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, err := l.w.Write(raw); err != nil {
+		return fmt.Errorf("ledger: append: %w", err)
+	}
+	if err := l.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("ledger: append: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("ledger: flush: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffered data and fsyncs the file.
+func (l *Ledger) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("ledger: flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("ledger: sync: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the file. It is idempotent.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	ferr := l.w.Flush()
+	serr := l.f.Sync()
+	cerr := l.f.Close()
+	return errors.Join(ferr, serr, cerr)
+}
+
+// PersistentStore couples an in-memory feedback store with a ledger: every
+// newly stored record is appended to the ledger, and opening replays the
+// ledger into the store.
+type PersistentStore struct {
+	store  *store.Store
+	ledger *Ledger
+}
+
+// OpenStore opens the ledger at path and builds the in-memory store from
+// it.
+func OpenStore(path string) (*PersistentStore, error) {
+	l, recs, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st := store.New()
+	if _, err := st.AddAll(recs); err != nil {
+		cerr := l.Close()
+		if cerr != nil {
+			return nil, errors.Join(err, cerr)
+		}
+		return nil, fmt.Errorf("ledger: replay into store: %w", err)
+	}
+	return &PersistentStore{store: st, ledger: l}, nil
+}
+
+// Store returns the in-memory store (for read paths and for wiring into
+// repserver; writes that should be durable must go through Add).
+func (ps *PersistentStore) Store() *store.Store { return ps.store }
+
+// Add stores the record and, when it is new, appends it to the ledger.
+func (ps *PersistentStore) Add(rec feedback.Feedback) (bool, error) {
+	stored, err := ps.store.Add(rec)
+	if err != nil || !stored {
+		return stored, err
+	}
+	if err := ps.ledger.Append(rec); err != nil {
+		return true, fmt.Errorf("stored in memory but not persisted: %w", err)
+	}
+	return true, nil
+}
+
+// Close closes the underlying ledger.
+func (ps *PersistentStore) Close() error { return ps.ledger.Close() }

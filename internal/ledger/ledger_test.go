@@ -1,0 +1,325 @@
+package ledger
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"honestplayer/internal/feedback"
+)
+
+func rec(c feedback.EntityID, good bool, at int64) feedback.Feedback {
+	r := feedback.Negative
+	if good {
+		r = feedback.Positive
+	}
+	return feedback.Feedback{Time: time.Unix(at, 0).UTC(), Server: "srv", Client: c, Rating: r}
+}
+
+func TestOpenEmptyAndAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh ledger replayed %d records", len(recs))
+	}
+	want := []feedback.Feedback{rec("a", true, 1), rec("b", false, 2), rec("c", true, 3)}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l2.Close() }()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Client != want[i].Client || got[i].Rating != want[i].Rating ||
+			!got[i].Time.Equal(want[i].Time) {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendValidates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	if err := l.Append(feedback.Feedback{}); err == nil {
+		t.Fatal("invalid record must fail")
+	}
+}
+
+func TestTornTrailingLineRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Append(rec("a", true, 1))
+	_ = l.Append(rec("b", true, 2))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: write a partial record with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"time":"2020-01-01T0`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(got))
+	}
+	// The torn bytes were truncated; a new append lands cleanly.
+	if err := l2.Append(rec("c", true, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("after recovery+append: %d records, want 3", len(got))
+	}
+}
+
+func TestCorruptInteriorLineStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Append(rec("a", true, 1))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = f.WriteString("GARBAGE LINE\n")
+	_ = f.Close()
+
+	_, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("replayed %d records, want 1 (stop at corruption)", len(got))
+	}
+}
+
+func TestClosedLedgerErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec("a", true, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	if err := l.Append(rec("a", true, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := l.Append(rec(feedback.EntityID(rune('a'+g)), true, int64(g*1000+i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 400 {
+		t.Fatalf("replayed %d records, want 400", len(got))
+	}
+}
+
+func TestPersistentStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	ps, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, err := ps.Add(rec("a", true, 1))
+	if err != nil || !stored {
+		t.Fatalf("add: %v %v", stored, err)
+	}
+	// Duplicates are not re-persisted.
+	stored, err = ps.Add(rec("a", true, 1))
+	if err != nil || stored {
+		t.Fatalf("dup add: %v %v", stored, err)
+	}
+	_, _ = ps.Add(rec("b", false, 2))
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ps2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ps2.Close() }()
+	if ps2.Store().Len() != 2 {
+		t.Fatalf("restored store has %d records, want 2", ps2.Store().Len())
+	}
+	h, err := ps2.Store().History("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 2 || h.GoodCount() != 1 {
+		t.Fatalf("restored history: %v", h)
+	}
+}
+
+func TestOpenStoreOnCorruptDir(t *testing.T) {
+	if _, err := OpenStore(filepath.Join(t.TempDir(), "missing", "x.jsonl")); err == nil {
+		t.Fatal("open in missing directory must fail")
+	}
+}
+
+func TestOpenOnDirectoryFails(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := Open(dir); err == nil {
+		t.Fatal("opening a directory as ledger must fail")
+	}
+}
+
+func TestPersistentStoreAddAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "l.jsonl")
+	ps, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The in-memory store still accepts the record, but persistence fails
+	// loudly rather than silently dropping it.
+	_, err = ps.Add(rec("a", true, 1))
+	if err == nil {
+		t.Fatal("Add after Close must report the persistence failure")
+	}
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed in chain", err)
+	}
+}
+
+func TestPersistentStoreInvalidRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "l.jsonl")
+	ps, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ps.Close() }()
+	if _, err := ps.Add(feedback.Feedback{}); err == nil {
+		t.Fatal("invalid record must fail")
+	}
+}
+
+func TestLedgerEmptyLinesSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "l.jsonl")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Append(rec("a", true, 1))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = f.WriteString("\n\n")
+	_ = f.Close()
+	l2, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d", len(recs))
+	}
+	// Appending after blank lines still replays cleanly.
+	_ = l2.Append(rec("b", true, 2))
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("after blank lines + append: %d", len(recs))
+	}
+}

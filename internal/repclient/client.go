@@ -1,0 +1,157 @@
+// Package repclient is the client library for the reputation server: it
+// submits feedback, fetches histories, and requests two-phase trust
+// assessments over the wire protocol.
+package repclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/wire"
+)
+
+// DefaultTimeout bounds each request round trip.
+const DefaultTimeout = 5 * time.Second
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("repclient: client closed")
+
+// Client is a synchronous reputation-server client. It is safe for
+// concurrent use; requests are serialised over one connection.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu     sync.Mutex
+	conn   net.Conn
+	reader *bufio.Reader
+	nextID uint64
+	closed bool
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithTimeout overrides the per-request timeout.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// Dial connects to a reputation server.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	c := &Client{addr: addr, timeout: DefaultTimeout}
+	for _, o := range opts {
+		o(c)
+	}
+	conn, err := net.DialTimeout("tcp", addr, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("repclient: dial %s: %w", addr, err)
+	}
+	c.conn = conn
+	c.reader = bufio.NewReader(conn)
+	return c, nil
+}
+
+// Close releases the connection. It is idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and decodes the matching response into out
+// (skipped when out is nil). A TypeError response is returned as a
+// *wire.ErrorResponse error.
+func (c *Client) roundTrip(reqType, respType wire.MsgType, payload, out any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	env, err := wire.Encode(reqType, id, payload)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(c.timeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return fmt.Errorf("repclient: set deadline: %w", err)
+	}
+	if err := wire.Write(c.conn, env); err != nil {
+		return err
+	}
+	resp, err := wire.Read(c.reader)
+	if err != nil {
+		return fmt.Errorf("repclient: read response: %w", err)
+	}
+	if resp.ID != id {
+		return fmt.Errorf("repclient: response id %d for request %d", resp.ID, id)
+	}
+	if resp.Type == wire.TypeError {
+		var e wire.ErrorResponse
+		if err := wire.DecodePayload(resp, &e); err != nil {
+			return err
+		}
+		return &e
+	}
+	if resp.Type != respType {
+		return fmt.Errorf("repclient: unexpected response type %s", resp.Type)
+	}
+	if out == nil {
+		return nil
+	}
+	return wire.DecodePayload(resp, out)
+}
+
+// Ping checks connectivity.
+func (c *Client) Ping() error {
+	return c.roundTrip(wire.TypePing, wire.TypePong, nil, nil)
+}
+
+// Submit stores one feedback record; it reports whether the record was new.
+func (c *Client) Submit(f feedback.Feedback) (bool, error) {
+	var resp wire.SubmitResponse
+	if err := c.roundTrip(wire.TypeSubmit, wire.TypeSubmitR, wire.SubmitRequest{Feedback: f}, &resp); err != nil {
+		return false, err
+	}
+	return resp.Stored, nil
+}
+
+// SubmitBatch stores many records in one round trip, reporting how many
+// were new and how many duplicates.
+func (c *Client) SubmitBatch(recs []feedback.Feedback) (stored, duplicates int, err error) {
+	var resp wire.BatchResponse
+	if err := c.roundTrip(wire.TypeBatch, wire.TypeBatchR, wire.BatchRequest{Records: recs}, &resp); err != nil {
+		return 0, 0, err
+	}
+	return resp.Stored, resp.Duplicates, nil
+}
+
+// History fetches up to limit most recent records of a server (0 = server
+// default), along with the full history length.
+func (c *Client) History(server feedback.EntityID, limit int) ([]feedback.Feedback, int, error) {
+	var resp wire.HistoryResponse
+	req := wire.HistoryRequest{Server: server, Limit: limit}
+	if err := c.roundTrip(wire.TypeHistory, wire.TypeHistoryR, req, &resp); err != nil {
+		return nil, 0, err
+	}
+	return resp.Records, resp.Total, nil
+}
+
+// Assess runs a server-side two-phase assessment and accept decision.
+func (c *Client) Assess(server feedback.EntityID, threshold float64) (wire.AssessResponse, error) {
+	var resp wire.AssessResponse
+	req := wire.AssessRequest{Server: server, Threshold: threshold}
+	err := c.roundTrip(wire.TypeAssess, wire.TypeAssessR, req, &resp)
+	return resp, err
+}

@@ -1,0 +1,137 @@
+package repclient
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"honestplayer/internal/wire"
+)
+
+func TestDialFailure(t *testing.T) {
+	// Reserve a port, close it, then dial: connection refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(addr, WithTimeout(time.Second)); err == nil {
+		t.Fatal("dial to closed port must fail")
+	}
+}
+
+// fakeServer accepts one connection and runs handler on it.
+func fakeServer(t *testing.T, handler func(net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		handler(conn)
+	}()
+	return ln.Addr().String()
+}
+
+func TestTimeout(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		// Read the request but never answer.
+		_, _ = wire.Read(bufio.NewReader(conn))
+		time.Sleep(2 * time.Second)
+	})
+	c, err := Dial(addr, WithTimeout(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	start := time.Now()
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping against silent server must time out")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout took too long")
+	}
+}
+
+func TestMismatchedResponseID(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		if _, err := wire.Read(bufio.NewReader(conn)); err != nil {
+			return
+		}
+		env, _ := wire.Encode(wire.TypePong, 999, nil)
+		_ = wire.Write(conn, env)
+	})
+	c, err := Dial(addr, WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Ping(); err == nil {
+		t.Fatal("mismatched id must fail")
+	}
+}
+
+func TestUnexpectedResponseType(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		env, err := wire.Read(bufio.NewReader(conn))
+		if err != nil {
+			return
+		}
+		resp, _ := wire.Encode(wire.TypeHistoryR, env.ID, wire.HistoryResponse{})
+		_ = wire.Write(conn, resp)
+	})
+	c, err := Dial(addr, WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Ping(); err == nil {
+		t.Fatal("unexpected response type must fail")
+	}
+}
+
+func TestRemoteErrorSurfaces(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		env, err := wire.Read(bufio.NewReader(conn))
+		if err != nil {
+			return
+		}
+		resp, _ := wire.Encode(wire.TypeError, env.ID, wire.ErrorResponse{Code: "boom", Message: "x"})
+		_ = wire.Write(conn, resp)
+	})
+	c, err := Dial(addr, WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	err = c.Ping()
+	var remote *wire.ErrorResponse
+	if !errors.As(err, &remote) || remote.Code != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package repserver implements the central reputation server the paper
+// assumes for online-auction-style communities (§2): it collects feedback,
+// serves transaction histories, and runs two-phase trust assessment on
+// behalf of clients.
+//
+// The server speaks the wire protocol over TCP, one goroutine per
+// connection, with a managed lifecycle: Serve runs until Close, which stops
+// the listener, closes active connections, and waits for all handlers to
+// exit.
+package repserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/store"
+	"honestplayer/internal/wire"
+)
+
+// Recorder is the write path for incoming feedback. The default writes to
+// the in-memory store; deployments wanting durability pass a
+// ledger.PersistentStore (whose Store() must also back Config.Store so
+// reads see the writes).
+type Recorder interface {
+	// Add stores one record, reporting whether it was new.
+	Add(feedback.Feedback) (bool, error)
+}
+
+// Config parameterises a Server.
+type Config struct {
+	// Assessor runs two-phase assessment for TypeAssess requests.
+	Assessor *core.TwoPhase
+	// Store holds the feedback records; nil means a fresh empty store.
+	Store *store.Store
+	// Recorder handles feedback writes; nil means writing to Store.
+	Recorder Recorder
+	// Logger receives connection-level errors; nil disables logging.
+	Logger *log.Logger
+	// MaxHistoryChunk caps records per history response; zero means 10000.
+	MaxHistoryChunk int
+}
+
+// Stats exposes server counters.
+type Stats struct {
+	Connections uint64 `json:"connections"`
+	Requests    uint64 `json:"requests"`
+	Errors      uint64 `json:"errors"`
+}
+
+// Server is a TCP reputation server.
+type Server struct {
+	cfg      Config
+	listener net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+
+	nConns    atomic.Uint64
+	nRequests atomic.Uint64
+	nErrors   atomic.Uint64
+}
+
+// New creates a server listening on addr (e.g. "127.0.0.1:0").
+func New(addr string, cfg Config) (*Server, error) {
+	if cfg.Assessor == nil {
+		return nil, errors.New("repserver: nil assessor")
+	}
+	if cfg.Store == nil {
+		cfg.Store = store.New()
+	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = cfg.Store
+	}
+	if cfg.MaxHistoryChunk == 0 {
+		cfg.MaxHistoryChunk = 10000
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("repserver: listen %s: %w", addr, err)
+	}
+	return &Server{
+		cfg:      cfg,
+		listener: ln,
+		conns:    make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Addr returns the bound listener address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Store returns the backing feedback store.
+func (s *Server) Store() *store.Store { return s.cfg.Store }
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Connections: s.nConns.Load(),
+		Requests:    s.nRequests.Load(),
+		Errors:      s.nErrors.Load(),
+	}
+}
+
+// Serve accepts connections until Close is called. It returns nil after a
+// clean shutdown.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("repserver: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.nConns.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Start runs Serve on a background goroutine and returns immediately.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if err := s.Serve(); err != nil {
+			s.logf("serve: %v", err)
+		}
+	}()
+}
+
+// Close stops the listener, closes every active connection, and waits for
+// all handlers to finish. It is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	reader := bufio.NewReader(conn)
+	for {
+		env, err := wire.Read(reader)
+		if err != nil {
+			// EOF and closed connections are normal terminations; protocol
+			// violations get a best-effort error frame.
+			if errors.Is(err, wire.ErrBadMessage) || errors.Is(err, wire.ErrBadVersion) ||
+				errors.Is(err, wire.ErrFrameTooLarge) {
+				s.nErrors.Add(1)
+				_ = s.writeError(conn, env.ID, "bad_request", err.Error())
+			}
+			return
+		}
+		s.nRequests.Add(1)
+		if err := s.dispatch(conn, env); err != nil {
+			s.nErrors.Add(1)
+			s.logf("conn %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, env wire.Envelope) error {
+	switch env.Type {
+	case wire.TypePing:
+		return s.reply(conn, wire.TypePong, env.ID, nil)
+	case wire.TypeSubmit:
+		var req wire.SubmitRequest
+		if err := wire.DecodePayload(env, &req); err != nil {
+			return s.writeError(conn, env.ID, "bad_request", err.Error())
+		}
+		stored, err := s.cfg.Recorder.Add(req.Feedback)
+		if err != nil {
+			return s.writeError(conn, env.ID, "invalid_feedback", err.Error())
+		}
+		return s.reply(conn, wire.TypeSubmitR, env.ID, wire.SubmitResponse{Stored: stored})
+	case wire.TypeBatch:
+		var req wire.BatchRequest
+		if err := wire.DecodePayload(env, &req); err != nil {
+			return s.writeError(conn, env.ID, "bad_request", err.Error())
+		}
+		var resp wire.BatchResponse
+		for i, rec := range req.Records {
+			stored, err := s.cfg.Recorder.Add(rec)
+			if err != nil {
+				return s.writeError(conn, env.ID, "invalid_feedback",
+					fmt.Sprintf("record %d (after %d stored): %v", i, resp.Stored, err))
+			}
+			if stored {
+				resp.Stored++
+			} else {
+				resp.Duplicates++
+			}
+		}
+		return s.reply(conn, wire.TypeBatchR, env.ID, resp)
+	case wire.TypeHistory:
+		var req wire.HistoryRequest
+		if err := wire.DecodePayload(env, &req); err != nil {
+			return s.writeError(conn, env.ID, "bad_request", err.Error())
+		}
+		if req.Server == "" {
+			return s.writeError(conn, env.ID, "bad_request", "missing server")
+		}
+		recs := s.cfg.Store.Records(req.Server)
+		total := len(recs)
+		limit := req.Limit
+		if limit <= 0 || limit > s.cfg.MaxHistoryChunk {
+			limit = s.cfg.MaxHistoryChunk
+		}
+		if len(recs) > limit {
+			recs = recs[len(recs)-limit:]
+		}
+		return s.reply(conn, wire.TypeHistoryR, env.ID, wire.HistoryResponse{Records: recs, Total: total})
+	case wire.TypeAssess:
+		var req wire.AssessRequest
+		if err := wire.DecodePayload(env, &req); err != nil {
+			return s.writeError(conn, env.ID, "bad_request", err.Error())
+		}
+		if req.Server == "" {
+			return s.writeError(conn, env.ID, "bad_request", "missing server")
+		}
+		h, err := s.cfg.Store.History(req.Server)
+		if err != nil {
+			return s.writeError(conn, env.ID, "internal", err.Error())
+		}
+		if h.Len() == 0 {
+			return s.writeError(conn, env.ID, "unknown_server",
+				fmt.Sprintf("no records for %q", req.Server))
+		}
+		accept, a, err := s.cfg.Assessor.Accept(h, req.Threshold)
+		if err != nil {
+			return s.writeError(conn, env.ID, "assessment_failed", err.Error())
+		}
+		return s.reply(conn, wire.TypeAssessR, env.ID, wire.AssessResponse{Assessment: a, Accept: accept})
+	default:
+		return s.writeError(conn, env.ID, "unknown_type", string(env.Type))
+	}
+}
+
+func (s *Server) reply(conn net.Conn, t wire.MsgType, id uint64, payload any) error {
+	env, err := wire.Encode(t, id, payload)
+	if err != nil {
+		return err
+	}
+	return wire.Write(conn, env)
+}
+
+func (s *Server) writeError(conn net.Conn, id uint64, code, msg string) error {
+	env, err := wire.Encode(wire.TypeError, id, wire.ErrorResponse{Code: code, Message: msg})
+	if err != nil {
+		return err
+	}
+	return wire.Write(conn, env)
+}
+
+// Seed loads records into the store directly (bypassing the network), for
+// bootstrapping servers from a ledger file.
+func (s *Server) Seed(recs []feedback.Feedback) (int, error) {
+	return s.cfg.Store.AddAll(recs)
+}

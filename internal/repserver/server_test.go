@@ -1,0 +1,488 @@
+package repserver
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"honestplayer/internal/behavior"
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/ledger"
+	"honestplayer/internal/repclient"
+	"honestplayer/internal/stats"
+	"honestplayer/internal/trust"
+	"honestplayer/internal/wire"
+)
+
+func testAssessor(t *testing.T) *core.TwoPhase {
+	t.Helper()
+	tester, err := behavior.NewMulti(behavior.Config{
+		Calibrator: stats.NewCalibrator(stats.CalibrationConfig{Seed: 1, Replicates: 200}, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := core.NewTwoPhase(tester, trust.Average{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+// startServer starts a server on an ephemeral port and registers cleanup.
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := New("127.0.0.1:0", Config{Assessor: testAssessor(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return srv
+}
+
+func dial(t *testing.T, srv *Server) *repclient.Client {
+	t.Helper()
+	c, err := repclient.Dial(srv.Addr(), repclient.WithTimeout(3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func rec(s, c feedback.EntityID, good bool, at int64) feedback.Feedback {
+	r := feedback.Negative
+	if good {
+		r = feedback.Positive
+	}
+	return feedback.Feedback{Time: time.Unix(at, 0).UTC(), Server: s, Client: c, Rating: r}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("127.0.0.1:0", Config{}); err == nil {
+		t.Fatal("nil assessor must fail")
+	}
+}
+
+func TestPing(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Stats().Requests == 0 {
+		t.Fatal("request not counted")
+	}
+}
+
+func TestSubmitAndHistory(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv)
+	stored, err := c.Submit(rec("srv", "alice", true, 1))
+	if err != nil || !stored {
+		t.Fatalf("submit: %v %v", stored, err)
+	}
+	// Duplicate.
+	stored, err = c.Submit(rec("srv", "alice", true, 1))
+	if err != nil || stored {
+		t.Fatalf("duplicate submit: %v %v", stored, err)
+	}
+	_, err = c.Submit(rec("srv", "bob", false, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, total, err := c.History("srv", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || len(recs) != 2 {
+		t.Fatalf("history = %d/%d", len(recs), total)
+	}
+	if !recs[0].Time.Before(recs[1].Time) {
+		t.Fatal("history out of order")
+	}
+	// Limit keeps the most recent records.
+	recs, total, err = c.History("srv", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || len(recs) != 1 || recs[0].Client != "bob" {
+		t.Fatalf("limited history = %+v total=%d", recs, total)
+	}
+}
+
+func TestSubmitInvalid(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv)
+	_, err := c.Submit(feedback.Feedback{})
+	var remote *wire.ErrorResponse
+	if !errors.As(err, &remote) || remote.Code != "invalid_feedback" {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection survives the error.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after error: %v", err)
+	}
+}
+
+func TestAssessEndToEnd(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv)
+
+	// Feed an honest history via the network.
+	rng := stats.NewRNG(42)
+	for i := 0; i < 300; i++ {
+		if _, err := c.Submit(rec("honest", feedback.EntityID(rune('a'+rng.Intn(20))), rng.Bernoulli(0.95), int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := c.Assess("honest", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Accept || resp.Assessment.Suspicious {
+		t.Fatalf("honest server rejected: %+v", resp.Assessment)
+	}
+	if resp.Assessment.Trust < 0.9 {
+		t.Fatalf("trust = %v", resp.Assessment.Trust)
+	}
+
+	// A deterministic periodic attacker must be flagged.
+	for i := 0; i < 300; i++ {
+		if _, err := c.Submit(rec("attacker", "c", i%10 != 9, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err = c.Assess("attacker", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accept || !resp.Assessment.Suspicious {
+		t.Fatalf("periodic attacker accepted: %+v", resp.Assessment)
+	}
+}
+
+func TestAssessUnknownServer(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv)
+	_, err := c.Assess("ghost", 0.9)
+	var remote *wire.ErrorResponse
+	if !errors.As(err, &remote) || remote.Code != "unknown_server" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHistoryMissingServerField(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv)
+	_, _, err := c.History("", 0)
+	var remote *wire.ErrorResponse
+	if !errors.As(err, &remote) || remote.Code != "bad_request" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMalformedFrameGetsErrorAndClose(t *testing.T) {
+	srv := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	env, err := wire.Read(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatalf("expected error frame, got %v", err)
+	}
+	if env.Type != wire.TypeError {
+		t.Fatalf("type = %s", env.Type)
+	}
+}
+
+func TestUnknownMessageType(t *testing.T) {
+	srv := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	env, err := wire.Encode(wire.MsgType("nonsense"), 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Write(conn, env); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, err := wire.Read(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != wire.TypeError || resp.ID != 5 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	var e wire.ErrorResponse
+	if err := wire.DecodePayload(resp, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != "unknown_type" || !strings.Contains(e.Message, "nonsense") {
+		t.Fatalf("error = %+v", e)
+	}
+}
+
+func TestCloseIsIdempotentAndStopsServe(t *testing.T) {
+	srv, err := New("127.0.0.1:0", Config{Assessor: testAssessor(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	// Give Serve a moment to start accepting.
+	time.Sleep(20 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after Close", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestServerClosesActiveConnections(t *testing.T) {
+	srv, err := New("127.0.0.1:0", Config{Assessor: testAssessor(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	c, err := repclient.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Requests on the closed connection now fail.
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping succeeded after server close")
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); !errors.Is(err, repclient.ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestSeed(t *testing.T) {
+	srv := startServer(t)
+	n, err := srv.Seed([]feedback.Feedback{rec("s", "c", true, 1), rec("s", "c", false, 2)})
+	if err != nil || n != 2 {
+		t.Fatalf("seed: %d %v", n, err)
+	}
+	if srv.Store().ServerLen("s") != 2 {
+		t.Fatal("seeded records missing")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := startServer(t)
+	const clients = 5
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		go func(g int) {
+			c, err := repclient.Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer func() { _ = c.Close() }()
+			for i := 0; i < 50; i++ {
+				if _, err := c.Submit(rec("shared", feedback.EntityID(rune('a'+g)), true, int64(g*1000+i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < clients; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.Store().ServerLen("shared"); got != clients*50 {
+		t.Fatalf("stored = %d, want %d", got, clients*50)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	srv := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	// Stream a frame beyond wire.MaxFrame without a newline; the server
+	// must cut the connection rather than buffer without bound.
+	junk := make([]byte, 1<<20)
+	for i := range junk {
+		junk[i] = 'x'
+	}
+	for written := 0; written <= wire.MaxFrame+len(junk); written += len(junk) {
+		if _, err := conn.Write(junk); err != nil {
+			return // server already hung up: success
+		}
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return // EOF/reset: connection terminated as required
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = c.Submit(feedback.Feedback{}) // invalid -> error counter
+	st := srv.Stats()
+	if st.Connections == 0 || st.Requests < 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPersistentRecorderSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	openServer := func() (*Server, *ledger.PersistentStore) {
+		ps, err := ledger.OpenStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New("127.0.0.1:0", Config{
+			Assessor: testAssessor(t),
+			Store:    ps.Store(),
+			Recorder: ps,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		return srv, ps
+	}
+
+	srv, ps := openServer()
+	c, err := repclient.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := c.Submit(rec("durable", "alice", i%10 != 0, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = c.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the history is still there.
+	srv2, ps2 := openServer()
+	defer func() {
+		if err := srv2.Close(); err != nil {
+			t.Error(err)
+		}
+		if err := ps2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	c2, err := repclient.Dial(srv2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c2.Close() }()
+	recs, total, err := c2.History("durable", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 50 || len(recs) != 50 {
+		t.Fatalf("after restart: %d/%d records", len(recs), total)
+	}
+	// And new submits keep flowing.
+	if _, err := c2.Submit(rec("durable", "bob", true, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if srv2.Store().ServerLen("durable") != 51 {
+		t.Fatal("post-restart submit not stored")
+	}
+}
+
+func TestSubmitBatch(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv)
+	recs := []feedback.Feedback{
+		rec("batched", "a", true, 1),
+		rec("batched", "b", false, 2),
+		rec("batched", "a", true, 1), // duplicate of the first
+	}
+	stored, dups, err := c.SubmitBatch(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored != 2 || dups != 1 {
+		t.Fatalf("batch: stored=%d dups=%d", stored, dups)
+	}
+	if srv.Store().ServerLen("batched") != 2 {
+		t.Fatalf("store has %d", srv.Store().ServerLen("batched"))
+	}
+	// Invalid record mid-batch: error names the index, prefix persists.
+	_, _, err = c.SubmitBatch([]feedback.Feedback{rec("batched", "c", true, 3), {}})
+	var remote *wire.ErrorResponse
+	if !errors.As(err, &remote) || remote.Code != "invalid_feedback" {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(remote.Message, "record 1") {
+		t.Fatalf("message = %q", remote.Message)
+	}
+	if srv.Store().ServerLen("batched") != 3 {
+		t.Fatalf("prefix not stored: %d", srv.Store().ServerLen("batched"))
+	}
+}

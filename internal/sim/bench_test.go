@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"testing"
+
+	"honestplayer/internal/behavior"
+	"honestplayer/internal/core"
+	"honestplayer/internal/stats"
+	"honestplayer/internal/trust"
+)
+
+// BenchmarkScenario measures the marketplace engine end to end under the
+// two-phase policy.
+func BenchmarkScenario(b *testing.B) {
+	tester, err := behavior.NewMulti(behavior.Config{
+		Calibrator:           stats.NewCalibrator(stats.CalibrationConfig{Seed: 1, Replicates: 200}, 0),
+		FamilywiseCorrection: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	assessor, err := core.NewTwoPhase(tester, trust.Average{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Seed: 1, Steps: 300, Clients: 50, Threshold: 0.9, Warmup: 120,
+		Servers: []ServerSpec{
+			{ID: "honest", Kind: Honest, P: 0.95},
+			{ID: "hib", Kind: Hibernating, P: 0.97, PrepLen: 200},
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, assessor); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

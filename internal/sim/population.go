@@ -1,0 +1,148 @@
+// Package sim provides the simulation substrate of the paper's evaluation:
+// the probabilistic client-arrival model of §5.2, honest service providers,
+// and a scenario engine that runs a marketplace of honest and adversarial
+// servers under a configurable trust-assessment policy.
+//
+// All randomness flows through explicit stats.RNG instances, so every
+// simulation is reproducible from its seed.
+package sim
+
+import (
+	"fmt"
+	"strconv"
+
+	"honestplayer/internal/attack"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/stats"
+)
+
+// Default arrival parameters of the collusion experiments (§5.2).
+const (
+	DefaultA1 = 0.5 // weight of a server's reputation for first-time clients
+	DefaultA2 = 0.9 // arrival probability after a recent good service
+	DefaultA3 = 0.2 // arrival probability after a recent bad service
+)
+
+// clientState tracks a client's most recent experience with the server.
+type clientState int
+
+const (
+	stateNew clientState = iota
+	stateRecentGood
+	stateRecentBad
+)
+
+// Population models the pool of potential clients of one server with the
+// paper's arrival probabilities: a client that never transacted with the
+// server requests service with probability a₁·p (p = the server's current
+// reputation), one that recently received a good service with probability
+// a₂, and one that recently received a bad service with probability a₃.
+//
+// Population implements attack.ClientSource, so it plugs directly into the
+// colluding attacker of §5.2.
+type Population struct {
+	rng        *stats.RNG
+	a1, a2, a3 float64
+	clients    []feedback.EntityID
+	state      map[feedback.EntityID]clientState
+}
+
+var _ attack.ClientSource = (*Population)(nil)
+
+// NewPopulation creates n clients named prefix-0 … prefix-(n−1) with the
+// given arrival parameters (zero values select the paper's defaults) and a
+// dedicated random stream.
+func NewPopulation(prefix string, n int, a1, a2, a3 float64, rng *stats.RNG) (*Population, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: population size %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("sim: nil rng")
+	}
+	if a1 == 0 {
+		a1 = DefaultA1
+	}
+	if a2 == 0 {
+		a2 = DefaultA2
+	}
+	if a3 == 0 {
+		a3 = DefaultA3
+	}
+	for _, a := range []float64{a1, a2, a3} {
+		if a < 0 || a > 1 {
+			return nil, fmt.Errorf("sim: arrival parameter %v outside [0,1]", a)
+		}
+	}
+	p := &Population{
+		rng: rng,
+		a1:  a1, a2: a2, a3: a3,
+		clients: make([]feedback.EntityID, n),
+		state:   make(map[feedback.EntityID]clientState, n),
+	}
+	for i := range p.clients {
+		p.clients[i] = feedback.EntityID(prefix + "-" + strconv.Itoa(i))
+	}
+	return p, nil
+}
+
+// Size returns the number of clients in the population.
+func (p *Population) Size() int { return len(p.clients) }
+
+// arrivalProb returns the probability that client c requests service from a
+// server with the given reputation.
+func (p *Population) arrivalProb(c feedback.EntityID, reputation float64) float64 {
+	switch p.state[c] {
+	case stateRecentGood:
+		return p.a2
+	case stateRecentBad:
+		return p.a3
+	default:
+		return p.a1 * reputation
+	}
+}
+
+// Next implements attack.ClientSource: it draws the interested clients for
+// this step and returns one of them uniformly. When no client is interested
+// it keeps sampling new steps; as a liveness guard it falls back to a
+// uniform pick after 10 000 empty rounds (possible only with pathological
+// parameters such as a₁·p = a₂ = a₃ = 0).
+func (p *Population) Next(reputation float64) feedback.EntityID {
+	interested := make([]feedback.EntityID, 0, len(p.clients))
+	for round := 0; round < 10000; round++ {
+		interested = interested[:0]
+		for _, c := range p.clients {
+			if p.rng.Bernoulli(p.arrivalProb(c, reputation)) {
+				interested = append(interested, c)
+			}
+		}
+		if len(interested) > 0 {
+			return interested[p.rng.Intn(len(interested))]
+		}
+	}
+	return p.clients[p.rng.Intn(len(p.clients))]
+}
+
+// Observe implements attack.ClientSource.
+func (p *Population) Observe(c feedback.EntityID, good bool) {
+	if good {
+		p.state[c] = stateRecentGood
+	} else {
+		p.state[c] = stateRecentBad
+	}
+}
+
+// StateCounts reports how many clients are new / recently-satisfied /
+// recently-disappointed; useful for supporter-base metrics.
+func (p *Population) StateCounts() (fresh, recentGood, recentBad int) {
+	for _, c := range p.clients {
+		switch p.state[c] {
+		case stateRecentGood:
+			recentGood++
+		case stateRecentBad:
+			recentBad++
+		default:
+			fresh++
+		}
+	}
+	return fresh, recentGood, recentBad
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkRNGBernoulli(b *testing.B) {
+	r := NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Bernoulli(0.9)
+	}
+}
+
+func BenchmarkBinomialSample(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := NewRNG(1)
+			dist := MustBinomial(n, 0.9)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = dist.Sample(r)
+			}
+		})
+	}
+}
+
+func BenchmarkNewBinomial(b *testing.B) {
+	for _, n := range []int{10, 100} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewBinomial(n, 0.9); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkL1HistDistance(b *testing.B) {
+	dist := MustBinomial(10, 0.9)
+	h := MustHistogram(10)
+	r := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		_ = h.Add(dist.Sample(r))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := L1HistDistance(h, dist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCalibrateL1 is the ablation for the calibration-replicates
+// design choice: threshold estimation cost scales linearly in replicates.
+func BenchmarkCalibrateL1(b *testing.B) {
+	for _, replicates := range []int{100, 500, 1000} {
+		b.Run(fmt.Sprintf("replicates=%d", replicates), func(b *testing.B) {
+			cfg := CalibrationConfig{Seed: 1, Replicates: replicates}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := CalibrateL1(10, 50, 0.9, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCalibratorCached shows the grid cache turning Monte-Carlo
+// calibration into a map lookup (the optimisation Fig. 9 depends on).
+func BenchmarkCalibratorCached(b *testing.B) {
+	c := NewCalibrator(CalibrationConfig{Seed: 1, Replicates: 500}, 0)
+	if _, err := c.Threshold(10, 50, 0.9); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Threshold(10, 50, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

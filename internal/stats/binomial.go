@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidDistribution reports parameters outside the valid domain of a
+// distribution constructor.
+var ErrInvalidDistribution = errors.New("stats: invalid distribution parameters")
+
+// Binomial is the distribution B(n, p) of the number of successes in n
+// independent Bernoulli(p) trials. It is the honest-player model of the
+// paper: the number of good transactions in a window of n transactions by a
+// server with trustworthiness p follows B(n, p).
+//
+// The zero value is not useful; construct with NewBinomial.
+type Binomial struct {
+	n int
+	p float64
+
+	// pmf caches P(X = k) for k = 0..n; computed once at construction in
+	// log space for numerical stability, so repeated distance computations
+	// are O(n) table lookups.
+	pmf []float64
+}
+
+// NewBinomial returns the binomial distribution B(n, p). It returns
+// ErrInvalidDistribution if n < 0 or p is outside [0, 1] or NaN.
+func NewBinomial(n int, p float64) (*Binomial, error) {
+	if n < 0 || math.IsNaN(p) || p < 0 || p > 1 {
+		return nil, fmt.Errorf("%w: B(%d, %v)", ErrInvalidDistribution, n, p)
+	}
+	b := &Binomial{n: n, p: p, pmf: make([]float64, n+1)}
+	b.fillPMF()
+	return b, nil
+}
+
+// MustBinomial is NewBinomial that panics on invalid parameters. Reserve it
+// for statically known-valid parameters (tests, package defaults).
+func MustBinomial(n int, p float64) *Binomial {
+	b, err := NewBinomial(n, p)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func (b *Binomial) fillPMF() {
+	n, p := b.n, b.p
+	switch {
+	case p == 0:
+		b.pmf[0] = 1
+	case p == 1:
+		b.pmf[n] = 1
+	default:
+		logP, logQ := math.Log(p), math.Log1p(-p)
+		lgN, _ := math.Lgamma(float64(n) + 1)
+		for k := 0; k <= n; k++ {
+			lgK, _ := math.Lgamma(float64(k) + 1)
+			lgNK, _ := math.Lgamma(float64(n-k) + 1)
+			logPMF := lgN - lgK - lgNK + float64(k)*logP + float64(n-k)*logQ
+			b.pmf[k] = math.Exp(logPMF)
+		}
+	}
+}
+
+// N returns the number of trials.
+func (b *Binomial) N() int { return b.n }
+
+// P returns the per-trial success probability.
+func (b *Binomial) P() float64 { return b.p }
+
+// PMF returns P(X = k). It is 0 for k outside [0, n].
+func (b *Binomial) PMF(k int) float64 {
+	if k < 0 || k > b.n {
+		return 0
+	}
+	return b.pmf[k]
+}
+
+// PMFTable returns a copy of the full probability mass table indexed by k.
+func (b *Binomial) PMFTable() []float64 {
+	out := make([]float64, len(b.pmf))
+	copy(out, b.pmf)
+	return out
+}
+
+// CDF returns P(X <= k).
+func (b *Binomial) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= b.n {
+		return 1
+	}
+	sum := 0.0
+	for i := 0; i <= k; i++ {
+		sum += b.pmf[i]
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// Quantile returns the smallest k with CDF(k) >= q for q in [0, 1].
+func (b *Binomial) Quantile(q float64) int {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return b.n
+	}
+	sum := 0.0
+	for k := 0; k <= b.n; k++ {
+		sum += b.pmf[k]
+		if sum >= q {
+			return k
+		}
+	}
+	return b.n
+}
+
+// Mean returns n·p.
+func (b *Binomial) Mean() float64 { return float64(b.n) * b.p }
+
+// Variance returns n·p·(1−p).
+func (b *Binomial) Variance() float64 { return float64(b.n) * b.p * (1 - b.p) }
+
+// StdDev returns the standard deviation.
+func (b *Binomial) StdDev() float64 { return math.Sqrt(b.Variance()) }
+
+// Sample draws one variate using rng.
+func (b *Binomial) Sample(rng *RNG) int { return rng.Binomial(b.n, b.p) }
+
+// SampleN draws count variates using rng.
+func (b *Binomial) SampleN(rng *RNG, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = rng.Binomial(b.n, b.p)
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (b *Binomial) String() string { return fmt.Sprintf("B(%d, %g)", b.n, b.p) }
+
+// BinomialMLE returns the maximum-likelihood estimate of p for B(m, p) given
+// per-window success counts, i.e. the total number of successes divided by
+// the total number of trials. It returns an error when the sample is empty
+// or a count is outside [0, m].
+func BinomialMLE(m int, counts []int) (float64, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("%w: window size %d", ErrInvalidDistribution, m)
+	}
+	if len(counts) == 0 {
+		return 0, fmt.Errorf("%w: empty sample", ErrInvalidDistribution)
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 || c > m {
+			return 0, fmt.Errorf("%w: count %d outside [0, %d]", ErrInvalidDistribution, c, m)
+		}
+		total += c
+	}
+	return float64(total) / float64(m*len(counts)), nil
+}

@@ -1,0 +1,244 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBinomialValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		n    int
+		p    float64
+		ok   bool
+	}{
+		{"valid", 10, 0.5, true},
+		{"p zero", 10, 0, true},
+		{"p one", 10, 1, true},
+		{"n zero", 0, 0.5, true},
+		{"negative n", -1, 0.5, false},
+		{"p negative", 10, -0.1, false},
+		{"p above one", 10, 1.1, false},
+		{"p NaN", 10, math.NaN(), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewBinomial(tt.n, tt.p)
+			if (err == nil) != tt.ok {
+				t.Fatalf("NewBinomial(%d, %v) error = %v, want ok=%v", tt.n, tt.p, err, tt.ok)
+			}
+			if err != nil && !errors.Is(err, ErrInvalidDistribution) {
+				t.Fatalf("error %v does not wrap ErrInvalidDistribution", err)
+			}
+		})
+	}
+}
+
+func TestBinomialPMFKnownValues(t *testing.T) {
+	// B(10, 0.9): closed-form reference values.
+	b := MustBinomial(10, 0.9)
+	tests := []struct {
+		k    int
+		want float64
+	}{
+		{10, math.Pow(0.9, 10)},                       // 0.34867844...
+		{9, 10 * math.Pow(0.9, 9) * 0.1},              // 0.38742049...
+		{8, 45 * math.Pow(0.9, 8) * math.Pow(0.1, 2)}, // 0.19371024...
+		{0, math.Pow(0.1, 10)},
+	}
+	for _, tt := range tests {
+		if got := b.PMF(tt.k); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("PMF(%d) = %v, want %v", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestBinomialPMFOutOfSupport(t *testing.T) {
+	b := MustBinomial(5, 0.5)
+	if b.PMF(-1) != 0 || b.PMF(6) != 0 {
+		t.Error("PMF outside support must be 0")
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{1, 0.5}, {10, 0.9}, {10, 0.95}, {50, 0.01}, {200, 0.7}, {10, 0}, {10, 1}} {
+		b := MustBinomial(tc.n, tc.p)
+		sum := 0.0
+		for k := 0; k <= tc.n; k++ {
+			sum += b.PMF(k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("B(%d,%v): PMF sums to %v", tc.n, tc.p, sum)
+		}
+	}
+}
+
+func TestBinomialPMFNormalisationProperty(t *testing.T) {
+	f := func(nRaw uint8, pRaw uint16) bool {
+		n := int(nRaw % 64)
+		p := float64(pRaw) / math.MaxUint16
+		b := MustBinomial(n, p)
+		sum := 0.0
+		for k := 0; k <= n; k++ {
+			if b.PMF(k) < 0 {
+				return false
+			}
+			sum += b.PMF(k)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialCDFMonotone(t *testing.T) {
+	b := MustBinomial(30, 0.42)
+	prev := 0.0
+	for k := 0; k <= 30; k++ {
+		c := b.CDF(k)
+		if c < prev-1e-15 {
+			t.Fatalf("CDF not monotone at k=%d: %v < %v", k, c, prev)
+		}
+		prev = c
+	}
+	if math.Abs(b.CDF(30)-1) > 1e-9 {
+		t.Fatalf("CDF(n) = %v, want 1", b.CDF(30))
+	}
+	if b.CDF(-1) != 0 {
+		t.Fatal("CDF(-1) must be 0")
+	}
+	if b.CDF(1000) != 1 {
+		t.Fatal("CDF beyond support must be 1")
+	}
+}
+
+func TestBinomialQuantile(t *testing.T) {
+	b := MustBinomial(10, 0.5)
+	if got := b.Quantile(0.5); got != 5 {
+		t.Errorf("median of B(10,.5) = %d, want 5", got)
+	}
+	if got := b.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %d, want 0", got)
+	}
+	if got := b.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %d, want 10", got)
+	}
+}
+
+func TestBinomialQuantileCDFInverse(t *testing.T) {
+	b := MustBinomial(20, 0.8)
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		k := b.Quantile(q)
+		if b.CDF(k) < q {
+			t.Errorf("CDF(Quantile(%v)) = %v < %v", q, b.CDF(k), q)
+		}
+		if k > 0 && b.CDF(k-1) >= q {
+			t.Errorf("Quantile(%v) = %d not minimal", q, k)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	b := MustBinomial(40, 0.3)
+	if got, want := b.Mean(), 12.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got, want := b.Variance(), 8.4; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got, want := b.StdDev(), math.Sqrt(8.4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestBinomialSampleMatchesPMF(t *testing.T) {
+	// χ² goodness of fit between sampler and PMF.
+	b := MustBinomial(10, 0.9)
+	rng := NewRNG(99)
+	const draws = 100000
+	obs := make([]int64, 11)
+	for i := 0; i < draws; i++ {
+		obs[b.Sample(rng)]++
+	}
+	stat, err := ChiSquareStat(obs, b.PMFTable(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conservative bound: well under the χ² 0.999 quantile for <=10 dof.
+	if stat > 35 {
+		t.Fatalf("sampler vs PMF χ² = %v, too large", stat)
+	}
+}
+
+func TestBinomialSampleN(t *testing.T) {
+	b := MustBinomial(10, 0.5)
+	rng := NewRNG(1)
+	xs := b.SampleN(rng, 500)
+	if len(xs) != 500 {
+		t.Fatalf("SampleN returned %d values", len(xs))
+	}
+	for _, x := range xs {
+		if x < 0 || x > 10 {
+			t.Fatalf("sample %d out of support", x)
+		}
+	}
+}
+
+func TestBinomialString(t *testing.T) {
+	if got := MustBinomial(10, 0.9).String(); got != "B(10, 0.9)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestBinomialPMFTableIsCopy(t *testing.T) {
+	b := MustBinomial(5, 0.5)
+	tab := b.PMFTable()
+	tab[0] = 99
+	if b.PMF(0) == 99 {
+		t.Fatal("PMFTable exposed internal state")
+	}
+}
+
+func TestBinomialMLE(t *testing.T) {
+	tests := []struct {
+		name   string
+		m      int
+		counts []int
+		want   float64
+		ok     bool
+	}{
+		{"basic", 10, []int{9, 10, 8, 9}, 36.0 / 40.0, true},
+		{"all perfect", 10, []int{10, 10}, 1, true},
+		{"all zero", 10, []int{0, 0}, 0, true},
+		{"empty", 10, nil, 0, false},
+		{"bad m", 0, []int{1}, 0, false},
+		{"count too large", 10, []int{11}, 0, false},
+		{"negative count", 10, []int{-1}, 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := BinomialMLE(tt.m, tt.counts)
+			if (err == nil) != tt.ok {
+				t.Fatalf("error = %v, want ok=%v", err, tt.ok)
+			}
+			if err == nil && math.Abs(got-tt.want) > 1e-12 {
+				t.Fatalf("MLE = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMustBinomialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBinomial(-1, .5) did not panic")
+		}
+	}()
+	MustBinomial(-1, 0.5)
+}

@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Default calibration parameters. The paper selects ε as the 95 % confidence
+// threshold estimated from a "reasonably large" number of randomly generated
+// sample sets; 1000 replicates keeps the quantile estimate stable to ~0.01.
+const (
+	DefaultConfidence = 0.95
+	DefaultReplicates = 1000
+)
+
+// CalibrationConfig controls the Monte-Carlo estimation of the L¹ distance
+// threshold ε.
+type CalibrationConfig struct {
+	// Confidence is the quantile of the null distance distribution used as
+	// the threshold (paper: 0.95). Zero means DefaultConfidence.
+	Confidence float64
+	// Replicates is the number of sample sets generated (paper: "reasonably
+	// large"). Zero means DefaultReplicates.
+	Replicates int
+	// ReestimateP, when true, re-estimates p̂ from each generated sample set
+	// before measuring its distance, mirroring how the tester estimates p̂
+	// from the history under test. The paper's description measures distance
+	// to the fixed B(m, p̂); false (the default) matches the paper.
+	ReestimateP bool
+	// Seed feeds the deterministic generator. The replicate stream is a pure
+	// function of (Seed, m, numWindows, pHat), so results are reproducible
+	// and cache hits are indistinguishable from recomputation.
+	Seed uint64
+}
+
+func (c CalibrationConfig) withDefaults() CalibrationConfig {
+	if c.Confidence == 0 {
+		c.Confidence = DefaultConfidence
+	}
+	if c.Replicates == 0 {
+		c.Replicates = DefaultReplicates
+	}
+	return c
+}
+
+// CalibrateL1 estimates the distance threshold ε for a behaviour test over
+// numWindows windows of m transactions by a server with estimated
+// trustworthiness pHat: it generates cfg.Replicates sample sets from
+// B(m, pHat), measures each set's L¹ distance, and returns the
+// cfg.Confidence quantile. An honest player therefore fails the test with
+// probability ≈ 1 − cfg.Confidence.
+func CalibrateL1(m, numWindows int, pHat float64, cfg CalibrationConfig) (float64, error) {
+	cfg = cfg.withDefaults()
+	if m <= 0 || numWindows <= 0 {
+		return 0, fmt.Errorf("%w: m=%d windows=%d", ErrInvalidDistribution, m, numWindows)
+	}
+	if math.IsNaN(pHat) || pHat < 0 || pHat > 1 {
+		return 0, fmt.Errorf("%w: pHat=%v", ErrInvalidDistribution, pHat)
+	}
+	ref, err := NewBinomial(m, pHat)
+	if err != nil {
+		return 0, err
+	}
+	rng := NewRNG(calibSeed(cfg.Seed, m, numWindows, pHat))
+	dists := make([]float64, cfg.Replicates)
+	h := MustHistogram(m)
+	counts := make([]int, numWindows)
+	for r := 0; r < cfg.Replicates; r++ {
+		h.Reset()
+		for i := 0; i < numWindows; i++ {
+			counts[i] = ref.Sample(rng)
+			// Support is [0, m] by construction; Add cannot fail.
+			_ = h.Add(counts[i])
+		}
+		cmp := ref
+		if cfg.ReestimateP {
+			pr := float64(h.Sum()) / float64(m*numWindows)
+			cmp, err = NewBinomial(m, pr)
+			if err != nil {
+				return 0, err
+			}
+		}
+		d, err := L1HistDistance(h, cmp)
+		if err != nil {
+			return 0, err
+		}
+		dists[r] = d
+	}
+	sort.Float64s(dists)
+	return Quantile(dists, cfg.Confidence), nil
+}
+
+// calibSeed mixes the calibration key into a single deterministic seed.
+func calibSeed(seed uint64, m, numWindows int, pHat float64) uint64 {
+	h := seed ^ 0x8f1bbcdcbfa53e0b
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0x9e3779b97f4a7c15
+		h ^= h >> 29
+	}
+	mix(uint64(m))
+	mix(uint64(numWindows))
+	mix(math.Float64bits(pHat))
+	return h
+}
+
+// Calibrator computes and caches ε thresholds on a discretised
+// (m, numWindows, pHat) grid. Multi-testing over an 800 000-transaction
+// history evaluates tens of thousands of suffixes; Monte-Carlo calibration
+// per suffix would dominate the runtime, so the cache buckets numWindows
+// geometrically and pHat to a fixed resolution, trading a small threshold
+// discretisation for amortised O(1) lookups.
+//
+// Calibrator is safe for concurrent use.
+type Calibrator struct {
+	cfg         CalibrationConfig
+	pResolution float64
+	maxWindows  int
+
+	mu    sync.Mutex
+	cache map[calibKey]float64
+}
+
+// DefaultMaxCalibrationWindows bounds the window count that is calibrated by
+// direct Monte-Carlo. Beyond it the threshold is extrapolated by the 1/√w
+// concentration law of the null L¹ distance (each bin's empirical frequency
+// deviates from its PMF by O(√(pmf·(1−pmf)/w)), so the summed distance
+// shrinks like 1/√w). Direct calibration at 100 000+ windows would cost
+// minutes per grid point for a threshold change within estimation noise.
+const DefaultMaxCalibrationWindows = 4096
+
+type calibKey struct {
+	m          int
+	windows    int
+	pBucket    int
+	confBucket int
+}
+
+// NewCalibrator returns a Calibrator with the given Monte-Carlo
+// configuration. pResolution is the p̂ bucket width; zero means 0.01.
+func NewCalibrator(cfg CalibrationConfig, pResolution float64) *Calibrator {
+	if pResolution <= 0 {
+		pResolution = 0.01
+	}
+	return &Calibrator{
+		cfg:         cfg.withDefaults(),
+		pResolution: pResolution,
+		maxWindows:  DefaultMaxCalibrationWindows,
+		cache:       make(map[calibKey]float64),
+	}
+}
+
+// Config returns the calibration configuration in use.
+func (c *Calibrator) Config() CalibrationConfig { return c.cfg }
+
+// Threshold returns the cached or freshly computed ε for a test over
+// numWindows windows of m transactions with estimated trustworthiness pHat,
+// at the calibrator's configured confidence.
+func (c *Calibrator) Threshold(m, numWindows int, pHat float64) (float64, error) {
+	return c.ThresholdAt(m, numWindows, pHat, c.cfg.Confidence)
+}
+
+// ThresholdAt is Threshold at an explicit confidence level, used by
+// multi-testers applying a familywise correction across suffixes. The
+// achievable quantile resolution is limited by the replicate count;
+// confidences beyond it degrade to the sample maximum.
+func (c *Calibrator) ThresholdAt(m, numWindows int, pHat, confidence float64) (float64, error) {
+	if numWindows <= 0 {
+		return 0, fmt.Errorf("%w: windows=%d", ErrInvalidDistribution, numWindows)
+	}
+	if math.IsNaN(confidence) || confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("%w: confidence=%v", ErrInvalidDistribution, confidence)
+	}
+	// Beyond the Monte-Carlo budget, calibrate at maxWindows and apply the
+	// 1/√w extrapolation.
+	scale := 1.0
+	effective := numWindows
+	if effective > c.maxWindows {
+		scale = math.Sqrt(float64(c.maxWindows) / float64(effective))
+		effective = c.maxWindows
+	}
+	key := calibKey{
+		m:          m,
+		windows:    bucketWindows(effective),
+		pBucket:    c.bucketP(pHat),
+		confBucket: int(math.Round(confidence * 1e4)),
+	}
+	c.mu.Lock()
+	eps, ok := c.cache[key]
+	c.mu.Unlock()
+	if ok {
+		return eps * scale, nil
+	}
+	p := float64(key.pBucket) * c.pResolution
+	if p > 1 {
+		p = 1
+	}
+	cfg := c.cfg
+	cfg.Confidence = confidence
+	eps, err := CalibrateL1(key.m, key.windows, p, cfg)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.cache[key] = eps
+	c.mu.Unlock()
+	return eps * scale, nil
+}
+
+// CacheSize returns the number of grid points calibrated so far.
+func (c *Calibrator) CacheSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
+}
+
+func (c *Calibrator) bucketP(pHat float64) int {
+	if pHat < 0 {
+		pHat = 0
+	}
+	if pHat > 1 {
+		pHat = 1
+	}
+	return int(math.Round(pHat / c.pResolution))
+}
+
+// bucketWindows rounds the window count to a geometric grid (ratio ≈ 1.25)
+// so that the null distribution, whose spread shrinks like 1/√windows, is
+// approximated within a few percent by the bucket representative.
+func bucketWindows(w int) int {
+	if w <= 4 {
+		return w
+	}
+	bucket := 4.0
+	for bucket*1.25 <= float64(w) {
+		bucket *= 1.25
+	}
+	lo := int(math.Round(bucket))
+	hi := int(math.Round(bucket * 1.25))
+	if w-lo <= hi-w {
+		return lo
+	}
+	return hi
+}

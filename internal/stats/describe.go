@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a float sample.
+type Summary struct {
+	N        int     `json:"n"`
+	Mean     float64 `json:"mean"`
+	Variance float64 `json:"variance"`
+	StdDev   float64 `json:"stdDev"`
+	Min      float64 `json:"min"`
+	Max      float64 `json:"max"`
+	Median   float64 `json:"median"`
+	P05      float64 `json:"p05"`
+	P95      float64 `json:"p95"`
+}
+
+// Describe computes a Summary of xs. It returns an error for an empty
+// sample.
+func Describe(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, fmt.Errorf("%w: empty sample", ErrInvalidDistribution)
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	ss := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Variance = ss / float64(len(xs)-1)
+	}
+	s.StdDev = math.Sqrt(s.Variance)
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P05 = Quantile(sorted, 0.05)
+	s.P95 = Quantile(sorted, 0.95)
+	return s, nil
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) of an ascending-sorted
+// sample using linear interpolation between order statistics. It returns NaN
+// for an empty sample and clamps q into [0, 1].
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := lo + 1
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanInt returns the arithmetic mean of integer samples, or 0 when empty.
+func MeanInt(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// WilsonInterval returns the Wilson score interval for a Bernoulli success
+// probability given good successes out of n trials at normal quantile z
+// (1.96 for 95%). Unlike the naive ±z·√(p̂(1−p̂)/n) interval it behaves at
+// the extremes p̂ ≈ 0, 1 that reputation data lives at. It returns an error
+// for invalid inputs.
+func WilsonInterval(good, n int, z float64) (lo, hi float64, err error) {
+	if n <= 0 || good < 0 || good > n || math.IsNaN(z) || z <= 0 {
+		return 0, 0, fmt.Errorf("%w: good=%d n=%d z=%v", ErrInvalidDistribution, good, n, z)
+	}
+	p := float64(good) / float64(n)
+	nn := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nn
+	center := (p + z2/(2*nn)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nn+z2/(4*nn*nn))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,201 @@
+// Package stats provides the statistical substrate the honest-player model
+// depends on: a deterministic random number generator, Bernoulli and binomial
+// distributions, distribution distances, descriptive statistics, and the
+// Monte-Carlo calibration of distribution-distance thresholds.
+//
+// Go's standard library has math/rand, but reproducing the paper's
+// experiments requires (a) a seedable generator whose streams are stable
+// across runs and platforms, and (b) distribution machinery (PMFs, CDFs,
+// quantiles, L1 distances) that the standard library does not provide. All of
+// it lives here, implemented from scratch on top of package math only.
+package stats
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on
+// xoshiro256** seeded through splitmix64. Streams are fully determined by
+// the seed, so every simulation and experiment in this repository is
+// reproducible bit-for-bit.
+//
+// RNG is not safe for concurrent use; give each goroutine its own instance
+// (use Split to derive independent streams).
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from the given seed. Any seed value,
+// including zero, produces a valid, well-mixed state.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state from seed using splitmix64, which
+// guarantees the four xoshiro words are never all zero.
+func (r *RNG) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+}
+
+// Split derives a new, statistically independent generator from r. It
+// advances r, so the parent and child streams do not overlap in practice.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniformly distributed float in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high-quality bits into the mantissa.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0,
+// matching the contract of math/rand.Intn.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and fast.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		threshold := -un % un
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// Bernoulli returns true with probability p. Values of p outside [0, 1] are
+// clamped.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Binomial draws a sample from B(n, p): the number of successes in n
+// independent Bernoulli(p) trials. For the small n used by transaction
+// windows (n <= ~64) direct simulation is both exact and fast; for large n
+// it uses the BTRS transformation-rejection algorithm boundary-free fallback
+// of inversion on the CDF, which is exact as well.
+func (r *RNG) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	// CDF inversion: O(n·p) expected steps starting from the mode-adjacent
+	// recurrence; exact and adequate for calibration workloads.
+	u := r.Float64()
+	pmf := math.Pow(1-p, float64(n)) // P(X = 0)
+	if pmf == 0 {
+		// Underflow guard for large n: recurse via normal-free splitting.
+		half := n / 2
+		return r.Binomial(half, p) + r.Binomial(n-half, p)
+	}
+	cdf := pmf
+	k := 0
+	for u > cdf && k < n {
+		k++
+		pmf *= (float64(n-k+1) / float64(k)) * (p / (1 - p))
+		cdf += pmf
+	}
+	return k
+}
+
+// Shuffle pseudo-randomly permutes the order of n elements using the
+// Fisher-Yates algorithm, calling swap for each exchange.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a pseudo-random permutation of the integers [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Sample returns k distinct indices drawn uniformly from [0, n) in
+// increasing order, using Floyd's algorithm. It panics if k > n or k < 0.
+func (r *RNG) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("stats: Sample called with k out of range")
+	}
+	chosen := make(map[int]struct{}, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+	}
+	out := make([]int, 0, k)
+	for i := 0; i < n && len(out) < k; i++ {
+		if _, ok := chosen[i]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"honestplayer/internal/feedback"
+)
+
+func benchRecs(n int) []feedback.Feedback {
+	recs := make([]feedback.Feedback, n)
+	for i := range recs {
+		recs[i] = feedback.Feedback{
+			Time:   time.Unix(int64(i), 0).UTC(),
+			Server: "server",
+			Client: feedback.EntityID(fmt.Sprintf("c%d", i%100)),
+			Rating: feedback.Positive,
+		}
+	}
+	return recs
+}
+
+func BenchmarkStoreAddAppendOrder(b *testing.B) {
+	recs := benchRecs(b.N)
+	s := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Add(recs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreMissingFrom(b *testing.B) {
+	s := New()
+	if _, err := s.AddAll(benchRecs(5000)); err != nil {
+		b.Fatal(err)
+	}
+	digest := s.Hashes()[:2500]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.MissingFrom(digest)
+	}
+}
+
+func BenchmarkStoreHistory(b *testing.B) {
+	s := New()
+	if _, err := s.AddAll(benchRecs(5000)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.History("server"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

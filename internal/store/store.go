@@ -1,0 +1,246 @@
+// Package store provides the concurrent feedback store shared by the
+// reputation server (the paper's central-collector deployment) and the
+// gossip layer (the P2P deployment): per-server transaction histories with
+// duplicate suppression and deterministic time ordering.
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"honestplayer/internal/feedback"
+)
+
+// Hash is the content hash of a feedback record, used for duplicate
+// suppression and gossip set reconciliation.
+type Hash uint64
+
+// HashOf returns the content hash of a feedback record.
+func HashOf(f feedback.Feedback) Hash {
+	h := fnv.New64a()
+	var buf [8]byte
+	n := f.Time.UnixNano()
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(n >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte{byte(f.Rating)})
+	_, _ = h.Write([]byte(f.Server))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(f.Client))
+	return Hash(h.Sum64())
+}
+
+// Store is a concurrent, deduplicating feedback store. Records are kept
+// per server, sorted by transaction time (ties broken by content hash for
+// determinism across nodes), which is the order behaviour tests require.
+//
+// The zero value is not usable; construct with New.
+type Store struct {
+	mu     sync.RWMutex
+	byServ map[feedback.EntityID][]feedback.Feedback
+	seen   map[Hash]struct{}
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		byServ: make(map[feedback.EntityID][]feedback.Feedback),
+		seen:   make(map[Hash]struct{}),
+	}
+}
+
+// Add inserts a feedback record. It returns false when an identical record
+// (same content hash) was already present, and an error when the record is
+// invalid.
+func (s *Store) Add(f feedback.Feedback) (bool, error) {
+	if err := f.Validate(); err != nil {
+		return false, err
+	}
+	h := HashOf(f)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.seen[h]; dup {
+		return false, nil
+	}
+	s.seen[h] = struct{}{}
+	recs := s.byServ[f.Server]
+	// Insert keeping (time, hash) order; appends dominate in practice, so
+	// check the tail first.
+	idx := len(recs)
+	if idx > 0 && !lessRecord(recs[idx-1], f) {
+		idx = sort.Search(len(recs), func(i int) bool { return lessRecord(f, recs[i]) })
+	}
+	recs = append(recs, feedback.Feedback{})
+	copy(recs[idx+1:], recs[idx:])
+	recs[idx] = f
+	s.byServ[f.Server] = recs
+	return true, nil
+}
+
+// lessRecord orders records by time, then content hash.
+func lessRecord(a, b feedback.Feedback) bool {
+	if !a.Time.Equal(b.Time) {
+		return a.Time.Before(b.Time)
+	}
+	return HashOf(a) < HashOf(b)
+}
+
+// AddAll inserts records, returning how many were new.
+func (s *Store) AddAll(recs []feedback.Feedback) (int, error) {
+	added := 0
+	for i, f := range recs {
+		ok, err := s.Add(f)
+		if err != nil {
+			return added, fmt.Errorf("record %d: %w", i, err)
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// History returns the server's transaction history in time order as a
+// freshly built feedback.History. It is empty (not nil) for unknown
+// servers.
+func (s *Store) History(server feedback.EntityID) (*feedback.History, error) {
+	s.mu.RLock()
+	recs := s.byServ[server]
+	cp := make([]feedback.Feedback, len(recs))
+	copy(cp, recs)
+	s.mu.RUnlock()
+	h := feedback.NewHistory(server)
+	for _, f := range cp {
+		if err := h.Append(f); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// Records returns a copy of the server's records in time order.
+func (s *Store) Records(server feedback.EntityID) []feedback.Feedback {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	recs := s.byServ[server]
+	cp := make([]feedback.Feedback, len(recs))
+	copy(cp, recs)
+	return cp
+}
+
+// Servers returns the known server IDs, sorted.
+func (s *Store) Servers() []feedback.EntityID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]feedback.EntityID, 0, len(s.byServ))
+	for id := range s.byServ {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the total number of stored records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.seen)
+}
+
+// ServerLen returns the number of records for one server.
+func (s *Store) ServerLen(server feedback.EntityID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byServ[server])
+}
+
+// Hashes returns the content hashes of all stored records, sorted. It is
+// the digest the gossip layer exchanges.
+func (s *Store) Hashes() []Hash {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Hash, 0, len(s.seen))
+	for h := range s.seen {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Checksum summarises one server's records: the count and the XOR of all
+// content hashes. Equal checksums mean (up to hash collisions) equal record
+// sets, letting gossip peers skip servers that are already in sync.
+type Checksum struct {
+	Count int    `json:"count"`
+	XOR   uint64 `json:"xor"`
+}
+
+// Checksums returns the per-server summary of the whole store.
+func (s *Store) Checksums() map[feedback.EntityID]Checksum {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[feedback.EntityID]Checksum, len(s.byServ))
+	for srv, recs := range s.byServ {
+		var x uint64
+		for _, f := range recs {
+			x ^= uint64(HashOf(f))
+		}
+		out[srv] = Checksum{Count: len(recs), XOR: x}
+	}
+	return out
+}
+
+// ServerHashes returns the content hashes of one server's records, sorted.
+func (s *Store) ServerHashes(server feedback.EntityID) []Hash {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	recs := s.byServ[server]
+	out := make([]Hash, 0, len(recs))
+	for _, f := range recs {
+		out = append(out, HashOf(f))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ServerMissingFrom returns one server's records whose hashes are absent
+// from the digest.
+func (s *Store) ServerMissingFrom(server feedback.EntityID, digest []Hash) []feedback.Feedback {
+	have := make(map[Hash]struct{}, len(digest))
+	for _, h := range digest {
+		have[h] = struct{}{}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []feedback.Feedback
+	for _, f := range s.byServ[server] {
+		if _, ok := have[HashOf(f)]; !ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// MissingFrom returns the stored records whose hashes are absent from the
+// given digest — the records a gossip peer with that digest still needs.
+func (s *Store) MissingFrom(digest []Hash) []feedback.Feedback {
+	have := make(map[Hash]struct{}, len(digest))
+	for _, h := range digest {
+		have[h] = struct{}{}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []feedback.Feedback
+	for _, recs := range s.byServ {
+		for _, f := range recs {
+			if _, ok := have[HashOf(f)]; !ok {
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessRecord(out[i], out[j]) })
+	return out
+}

@@ -1,0 +1,226 @@
+package store
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"honestplayer/internal/feedback"
+)
+
+func rec(s, c feedback.EntityID, good bool, at int64) feedback.Feedback {
+	r := feedback.Negative
+	if good {
+		r = feedback.Positive
+	}
+	return feedback.Feedback{Time: time.Unix(at, 0).UTC(), Server: s, Client: c, Rating: r}
+}
+
+func TestHashOfDistinguishes(t *testing.T) {
+	a := rec("s", "c", true, 1)
+	tests := []feedback.Feedback{
+		rec("s", "c", true, 2),  // time differs
+		rec("s", "c", false, 1), // rating differs
+		rec("s2", "c", true, 1), // server differs
+		rec("s", "c2", true, 1), // client differs
+	}
+	for i, b := range tests {
+		if HashOf(a) == HashOf(b) {
+			t.Errorf("case %d: hash collision for distinct records", i)
+		}
+	}
+	if HashOf(a) != HashOf(rec("s", "c", true, 1)) {
+		t.Error("identical records must hash equal")
+	}
+}
+
+func TestHashOfFieldBoundary(t *testing.T) {
+	// ("ab","c") must differ from ("a","bc"): the separator matters.
+	a := rec("ab", "c", true, 1)
+	b := rec("a", "bc", true, 1)
+	if HashOf(a) == HashOf(b) {
+		t.Fatal("field-boundary hash collision")
+	}
+}
+
+func TestStoreAddAndDedup(t *testing.T) {
+	s := New()
+	ok, err := s.Add(rec("srv", "c1", true, 1))
+	if err != nil || !ok {
+		t.Fatalf("first add: %v %v", ok, err)
+	}
+	ok, err = s.Add(rec("srv", "c1", true, 1))
+	if err != nil || ok {
+		t.Fatalf("duplicate add: %v %v", ok, err)
+	}
+	if s.Len() != 1 || s.ServerLen("srv") != 1 {
+		t.Fatalf("len = %d / %d", s.Len(), s.ServerLen("srv"))
+	}
+}
+
+func TestStoreAddInvalid(t *testing.T) {
+	s := New()
+	if _, err := s.Add(feedback.Feedback{}); err == nil {
+		t.Fatal("invalid record must fail")
+	}
+}
+
+func TestStoreTimeOrdering(t *testing.T) {
+	s := New()
+	// Insert out of order.
+	for _, at := range []int64{5, 1, 3, 2, 4} {
+		if _, err := s.Add(rec("srv", "c", at%2 == 0, at)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := s.Records("srv")
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time.Before(recs[i-1].Time) {
+			t.Fatalf("records out of order: %v", recs)
+		}
+	}
+	h, err := s.History("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 5 {
+		t.Fatalf("history len = %d", h.Len())
+	}
+}
+
+func TestStoreHistoryUnknownServer(t *testing.T) {
+	s := New()
+	h, err := s.History("nobody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 0 {
+		t.Fatal("unknown server must have empty history")
+	}
+}
+
+func TestStoreServers(t *testing.T) {
+	s := New()
+	_, _ = s.Add(rec("b", "c", true, 1))
+	_, _ = s.Add(rec("a", "c", true, 1))
+	got := s.Servers()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Servers = %v", got)
+	}
+}
+
+func TestStoreMissingFrom(t *testing.T) {
+	s := New()
+	r1 := rec("srv", "c1", true, 1)
+	r2 := rec("srv", "c2", false, 2)
+	_, _ = s.Add(r1)
+	_, _ = s.Add(r2)
+	missing := s.MissingFrom([]Hash{HashOf(r1)})
+	if len(missing) != 1 || HashOf(missing[0]) != HashOf(r2) {
+		t.Fatalf("MissingFrom = %v", missing)
+	}
+	if got := s.MissingFrom(s.Hashes()); len(got) != 0 {
+		t.Fatalf("nothing should be missing: %v", got)
+	}
+	if got := s.MissingFrom(nil); len(got) != 2 {
+		t.Fatalf("everything should be missing: %v", got)
+	}
+}
+
+func TestStoreAddAll(t *testing.T) {
+	s := New()
+	recs := []feedback.Feedback{
+		rec("srv", "c1", true, 1),
+		rec("srv", "c1", true, 1), // dup
+		rec("srv", "c2", false, 2),
+	}
+	added, err := s.AddAll(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 {
+		t.Fatalf("added = %d", added)
+	}
+	// Error propagates with partial insert count.
+	added, err = s.AddAll([]feedback.Feedback{rec("x", "c", true, 9), {}})
+	if err == nil {
+		t.Fatal("invalid record must fail")
+	}
+	if added != 1 {
+		t.Fatalf("partial added = %d", added)
+	}
+}
+
+func TestStoreConcurrentAdds(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, err := s.Add(rec("srv", feedback.EntityID(rune('a'+g)), i%2 == 0, int64(g*1000+i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Fatalf("len = %d, want 800", s.Len())
+	}
+	recs := s.Records("srv")
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time.Before(recs[i-1].Time) {
+			t.Fatal("concurrent inserts broke time ordering")
+		}
+	}
+}
+
+// Property: two stores that ingest the same multiset of records in
+// different orders converge to identical state (the gossip convergence
+// invariant).
+func TestStoreOrderIndependence(t *testing.T) {
+	f := func(raw []uint8) bool {
+		recs := make([]feedback.Feedback, len(raw))
+		for i, r := range raw {
+			recs[i] = rec(
+				feedback.EntityID(rune('s'+r%3)),
+				feedback.EntityID(rune('a'+r%7)),
+				r%2 == 0,
+				int64(r),
+			)
+		}
+		a, b := New(), New()
+		if _, err := a.AddAll(recs); err != nil {
+			return false
+		}
+		// Reverse order into b.
+		for i := len(recs) - 1; i >= 0; i-- {
+			if _, err := b.Add(recs[i]); err != nil {
+				return false
+			}
+		}
+		if a.Len() != b.Len() {
+			return false
+		}
+		for _, srv := range a.Servers() {
+			ra, rb := a.Records(srv), b.Records(srv)
+			if len(ra) != len(rb) {
+				return false
+			}
+			for i := range ra {
+				if HashOf(ra[i]) != HashOf(rb[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

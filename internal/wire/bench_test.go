@@ -1,0 +1,35 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+	"time"
+
+	"honestplayer/internal/feedback"
+)
+
+func BenchmarkEnvelopeRoundTrip(b *testing.B) {
+	f := feedback.Feedback{
+		Time: time.Unix(1, 0).UTC(), Server: "s", Client: "c", Rating: feedback.Positive,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env, err := Encode(TypeSubmit, uint64(i), SubmitRequest{Feedback: f})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, env); err != nil {
+			b.Fatal(err)
+		}
+		got, err := Read(bufio.NewReader(&buf))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out SubmitRequest
+		if err := DecodePayload(got, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzRead ensures the frame reader never panics and respects the frame
+// limit on arbitrary input.
+func FuzzRead(f *testing.F) {
+	env, _ := Encode(TypePing, 1, nil)
+	var buf bytes.Buffer
+	_ = Write(&buf, env)
+	f.Add(buf.Bytes())
+	f.Add([]byte("{}\n"))
+	f.Add([]byte("garbage with no newline"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if got.V != Version || got.Type == "" {
+			t.Fatalf("accepted invalid envelope: %+v", got)
+		}
+	})
+}

@@ -1,0 +1,255 @@
+// Package wire defines the newline-delimited JSON protocol spoken between
+// reputation clients, the reputation server, and gossiping peers.
+//
+// Every message is a single JSON envelope terminated by '\n':
+//
+//	{"v":1,"type":"assess","id":7,"payload":{...}}
+//
+// Responses echo the request id. Oversized or malformed frames are
+// rejected; the protocol is strictly request/response, one in flight per
+// connection from the client's perspective, which keeps both ends simple
+// and makes failure injection in tests deterministic.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+)
+
+// Version is the protocol version carried in every envelope.
+const Version = 1
+
+// MaxFrame bounds the size of one encoded message. History responses chunk
+// themselves to stay under it.
+const MaxFrame = 4 << 20
+
+// MsgType discriminates envelope payloads.
+type MsgType string
+
+// Message types.
+const (
+	TypePing     MsgType = "ping"
+	TypePong     MsgType = "pong"
+	TypeSubmit   MsgType = "submit"
+	TypeSubmitR  MsgType = "submit.resp"
+	TypeBatch    MsgType = "submit.batch"
+	TypeBatchR   MsgType = "submit.batch.resp"
+	TypeHistory  MsgType = "history"
+	TypeHistoryR MsgType = "history.resp"
+	TypeAssess   MsgType = "assess"
+	TypeAssessR  MsgType = "assess.resp"
+	TypeDigest   MsgType = "gossip.digest"
+	TypeDelta    MsgType = "gossip.delta"
+	TypeSummary  MsgType = "gossip.summary"
+	TypeSummaryR MsgType = "gossip.summary.resp"
+	TypeError    MsgType = "error"
+)
+
+// Protocol errors.
+var (
+	// ErrFrameTooLarge reports a frame above MaxFrame.
+	ErrFrameTooLarge = errors.New("wire: frame too large")
+	// ErrBadVersion reports an envelope with an unsupported version.
+	ErrBadVersion = errors.New("wire: unsupported protocol version")
+	// ErrBadMessage reports a malformed envelope or payload.
+	ErrBadMessage = errors.New("wire: malformed message")
+)
+
+// Envelope frames every message.
+type Envelope struct {
+	V       int             `json:"v"`
+	Type    MsgType         `json:"type"`
+	ID      uint64          `json:"id"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// SubmitRequest submits one feedback record.
+type SubmitRequest struct {
+	Feedback feedback.Feedback `json:"feedback"`
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	// Stored is false when the record was a duplicate.
+	Stored bool `json:"stored"`
+}
+
+// BatchRequest submits many feedback records in one frame. Records are
+// processed in order; on the first invalid record the whole request fails
+// with an error response, but records before it remain stored (the error
+// reports how many).
+type BatchRequest struct {
+	Records []feedback.Feedback `json:"records"`
+}
+
+// BatchResponse acknowledges a batch submission.
+type BatchResponse struct {
+	// Stored is the number of new records.
+	Stored int `json:"stored"`
+	// Duplicates is the number of records already present.
+	Duplicates int `json:"duplicates"`
+}
+
+// HistoryRequest fetches a server's records.
+type HistoryRequest struct {
+	Server feedback.EntityID `json:"server"`
+	// Limit caps the number of most recent records returned; 0 means all.
+	Limit int `json:"limit,omitempty"`
+}
+
+// HistoryResponse carries a server's records in time order.
+type HistoryResponse struct {
+	Records []feedback.Feedback `json:"records"`
+	// Total is the full history length, which may exceed len(Records) when
+	// Limit truncated the response.
+	Total int `json:"total"`
+}
+
+// AssessRequest asks the server to run two-phase trust assessment.
+type AssessRequest struct {
+	Server feedback.EntityID `json:"server"`
+	// Threshold is the client's trust threshold for the accept decision.
+	Threshold float64 `json:"threshold"`
+}
+
+// AssessResponse carries the assessment outcome.
+type AssessResponse struct {
+	Assessment core.Assessment `json:"assessment"`
+	Accept     bool            `json:"accept"`
+}
+
+// ServerSum is the per-server record-set checksum exchanged in gossip
+// summaries.
+type ServerSum struct {
+	Count int    `json:"count"`
+	XOR   uint64 `json:"xor"`
+}
+
+// SummaryMsg opens an anti-entropy exchange: the per-server checksums of
+// everything the initiator holds. The peer answers with the servers whose
+// record sets differ, so the (much larger) hash digests are exchanged only
+// for those.
+type SummaryMsg struct {
+	Node    string               `json:"node"`
+	Servers map[string]ServerSum `json:"servers"`
+}
+
+// SummaryResp lists the servers for which the responder holds a different
+// record set than the summary sender (including servers the sender has
+// never seen).
+type SummaryResp struct {
+	Stale []string `json:"stale"`
+}
+
+// DigestMsg carries a gossip digest: the content hashes of the records the
+// sender holds. When Servers is non-empty the digest (and the resulting
+// delta) is scoped to those servers only; empty means the whole store —
+// the unscoped protocol used as a fallback.
+type DigestMsg struct {
+	Node    string   `json:"node"`
+	Servers []string `json:"servers,omitempty"`
+	Hashes  []uint64 `json:"hashes"`
+}
+
+// DeltaMsg carries the records the digest sender was missing.
+type DeltaMsg struct {
+	Records []feedback.Feedback `json:"records"`
+}
+
+// ErrorResponse reports a request failure.
+type ErrorResponse struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface so clients can return it directly.
+func (e *ErrorResponse) Error() string {
+	return fmt.Sprintf("wire: remote error %s: %s", e.Code, e.Message)
+}
+
+// Encode marshals a payload into an envelope.
+func Encode(t MsgType, id uint64, payload any) (Envelope, error) {
+	env := Envelope{V: Version, Type: t, ID: id}
+	if payload != nil {
+		raw, err := json.Marshal(payload)
+		if err != nil {
+			return env, fmt.Errorf("encode %s: %w", t, err)
+		}
+		env.Payload = raw
+	}
+	return env, nil
+}
+
+// DecodePayload unmarshals an envelope's payload into out.
+func DecodePayload(env Envelope, out any) error {
+	if err := json.Unmarshal(env.Payload, out); err != nil {
+		return fmt.Errorf("%w: %s payload: %v", ErrBadMessage, env.Type, err)
+	}
+	return nil
+}
+
+// Write frames and writes one envelope.
+func Write(w io.Writer, env Envelope) error {
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("marshal envelope: %w", err)
+	}
+	if len(raw)+1 > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(raw))
+	}
+	raw = append(raw, '\n')
+	if _, err := w.Write(raw); err != nil {
+		return fmt.Errorf("write frame: %w", err)
+	}
+	return nil
+}
+
+// Read reads one envelope from a buffered reader, enforcing the frame
+// limit and protocol version.
+func Read(r *bufio.Reader) (Envelope, error) {
+	var env Envelope
+	line, err := readLine(r)
+	if err != nil {
+		return env, err
+	}
+	if err := json.Unmarshal(line, &env); err != nil {
+		return env, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if env.V != Version {
+		return env, fmt.Errorf("%w: %d", ErrBadVersion, env.V)
+	}
+	if env.Type == "" {
+		return env, fmt.Errorf("%w: missing type", ErrBadMessage)
+	}
+	return env, nil
+}
+
+// readLine reads one '\n'-terminated frame, failing fast when the frame
+// exceeds MaxFrame rather than buffering without bound.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if len(buf) > MaxFrame {
+			return nil, ErrFrameTooLarge
+		}
+		switch {
+		case err == nil:
+			return buf[:len(buf)-1], nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue
+		default:
+			if len(buf) > 0 && !errors.Is(err, io.EOF) {
+				return nil, fmt.Errorf("read frame: %w", err)
+			}
+			return nil, err
+		}
+	}
+}

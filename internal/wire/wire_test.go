@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"honestplayer/internal/feedback"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := feedback.Feedback{
+		Time: time.Unix(100, 0).UTC(), Server: "s", Client: "c", Rating: feedback.Positive,
+	}
+	env, err := Encode(TypeSubmit, 7, SubmitRequest{Feedback: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeSubmit || got.ID != 7 || got.V != Version {
+		t.Fatalf("envelope = %+v", got)
+	}
+	var req SubmitRequest
+	if err := DecodePayload(got, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Feedback.Server != "s" || !req.Feedback.Time.Equal(f.Time) {
+		t.Fatalf("payload = %+v", req)
+	}
+}
+
+func TestWriteMultipleFrames(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint64(1); i <= 3; i++ {
+		env, err := Encode(TypePing, i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Write(&buf, env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i := uint64(1); i <= 3; i++ {
+		env, err := Read(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.ID != i {
+			t.Fatalf("frame %d id = %d", i, env.ID)
+		}
+	}
+	if _, err := Read(r); !errors.Is(err, io.EOF) {
+		t.Fatalf("after last frame: %v", err)
+	}
+}
+
+func TestReadMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want error
+	}{
+		{"not json", "{nope\n", ErrBadMessage},
+		{"wrong version", `{"v":99,"type":"ping","id":1}` + "\n", ErrBadVersion},
+		{"missing type", `{"v":1,"id":1}` + "\n", ErrBadMessage},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Read(bufio.NewReader(strings.NewReader(tt.in)))
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestReadFrameTooLarge(t *testing.T) {
+	big := strings.Repeat("x", MaxFrame+10)
+	_, err := Read(bufio.NewReader(strings.NewReader(big)))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteFrameTooLarge(t *testing.T) {
+	recs := make([]feedback.Feedback, 0, 100000)
+	long := feedback.EntityID(strings.Repeat("e", 200))
+	for i := 0; i < 100000; i++ {
+		recs = append(recs, feedback.Feedback{
+			Time: time.Unix(int64(i), 0), Server: long, Client: long, Rating: feedback.Positive,
+		})
+	}
+	env, err := Encode(TypeHistoryR, 1, HistoryResponse{Records: recs, Total: len(recs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, env); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestErrorResponseIsError(t *testing.T) {
+	e := &ErrorResponse{Code: "bad_request", Message: "nope"}
+	msg := e.Error()
+	if !strings.Contains(msg, "bad_request") || !strings.Contains(msg, "nope") {
+		t.Fatalf("Error() = %q", msg)
+	}
+}
+
+func TestDecodePayloadError(t *testing.T) {
+	env := Envelope{V: Version, Type: TypeSubmit, Payload: []byte(`{"feedback":`)}
+	var req SubmitRequest
+	if err := DecodePayload(env, &req); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadAcrossBufferBoundary(t *testing.T) {
+	// A frame longer than the bufio buffer must still be read whole.
+	env, err := Encode(TypeDelta, 1, DeltaMsg{Records: manyRecords(t, 500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	small := bufio.NewReaderSize(&buf, 16)
+	got, err := Read(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delta DeltaMsg
+	if err := DecodePayload(got, &delta); err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.Records) != 500 {
+		t.Fatalf("records = %d", len(delta.Records))
+	}
+}
+
+func manyRecords(t *testing.T, n int) []feedback.Feedback {
+	t.Helper()
+	recs := make([]feedback.Feedback, n)
+	for i := range recs {
+		recs[i] = feedback.Feedback{
+			Time: time.Unix(int64(i), 0).UTC(), Server: "srv", Client: "c", Rating: feedback.Positive,
+		}
+	}
+	return recs
+}
