@@ -49,6 +49,8 @@ func run(args []string) error {
 		name       = fs.String("name", "node", "node name used in gossip digests")
 		ledgerPath = fs.String("ledger", "", "append-only ledger file for durable feedback storage (empty = in-memory only)")
 		seed       = fs.Uint64("seed", 1, "seed for threshold calibration")
+		shards     = fs.Int("shards", store.DefaultShards, "feedback store shard count (writes to different servers never contend)")
+		cacheSize  = fs.Int("assess-cache", 4096, "assessment cache entries (0 disables caching)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,10 +70,12 @@ func run(args []string) error {
 	}
 
 	logger := log.New(os.Stderr, "trustd ", log.LstdFlags)
-	st := store.New()
-	serverCfg := repserver.Config{Assessor: assessor, Store: st, Logger: logger}
+	st := store.NewSharded(*shards)
+	serverCfg := repserver.Config{
+		Assessor: assessor, Store: st, Logger: logger, AssessCacheSize: *cacheSize,
+	}
 	if *ledgerPath != "" {
-		ps, err := ledger.OpenStore(*ledgerPath)
+		ps, err := ledger.OpenStoreSharded(*ledgerPath, *shards)
 		if err != nil {
 			return err
 		}

@@ -338,6 +338,10 @@ type (
 // NewStore returns an empty feedback store.
 func NewStore() *FeedbackStore { return store.New() }
 
+// NewShardedStore returns an empty feedback store with an explicit shard
+// count; writes to different servers on different shards never contend.
+func NewShardedStore(shards int) *FeedbackStore { return store.NewSharded(shards) }
+
 // Ledger is an append-only durable feedback log.
 type Ledger = ledger.Ledger
 

@@ -1,0 +1,104 @@
+package assesscache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+)
+
+func res(trust float64) Result {
+	return Result{Assessment: core.Assessment{Server: "s", Trust: trust}, Accept: trust >= 0.5}
+}
+
+func TestCacheHitRequiresExactVersion(t *testing.T) {
+	c := New(8)
+	c.Put("s", 3, 0.5, res(0.9))
+
+	got, ok := c.Get("s", 3, 0.5)
+	if !ok || got.Assessment.Trust != 0.9 || !got.Accept {
+		t.Fatalf("hit = %v %+v", ok, got)
+	}
+	// A write bumped the version: the stale entry must not survive.
+	if _, ok := c.Get("s", 4, 0.5); ok {
+		t.Fatal("stale entry served after version bump")
+	}
+	// And it was dropped, not just skipped.
+	if c.Len() != 0 {
+		t.Fatalf("stale entry retained, len = %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Invalidations != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheDistinguishesThresholds(t *testing.T) {
+	c := New(8)
+	c.Put("s", 1, 0.5, res(0.6))
+	if _, ok := c.Get("s", 1, 0.9); ok {
+		t.Fatal("different threshold must miss")
+	}
+	if _, ok := c.Get("s", 1, 0.5); !ok {
+		t.Fatal("same threshold must hit")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1, 0.5, res(0.1))
+	c.Put("b", 1, 0.5, res(0.2))
+	// Touch "a" so "b" is the eviction victim.
+	if _, ok := c.Get("a", 1, 0.5); !ok {
+		t.Fatal("a must hit")
+	}
+	c.Put("c", 1, 0.5, res(0.3))
+	if _, ok := c.Get("b", 1, 0.5); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a", 1, 0.5); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.Get("c", 1, 0.5); !ok {
+		t.Fatal("c should be present")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCachePutReplacesInPlace(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1, 0.5, res(0.1))
+	c.Put("a", 2, 0.5, res(0.8))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	got, ok := c.Get("a", 2, 0.5)
+	if !ok || got.Assessment.Trust != 0.8 {
+		t.Fatalf("replaced entry: %v %+v", ok, got)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				srv := feedback.EntityID(fmt.Sprintf("s%d", i%100))
+				c.Put(srv, uint64(i), 0.5, res(0.5))
+				c.Get(srv, uint64(i), 0.5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+}

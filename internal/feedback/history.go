@@ -75,6 +75,17 @@ func (h *History) AppendOutcome(client EntityID, good bool, at time.Time) error 
 	return h.Append(Feedback{Time: at, Server: h.server, Client: client, Rating: r})
 }
 
+// SnapshotView returns an immutable view of h at its current length,
+// sharing the underlying storage — an O(1) alternative to Clone for
+// append-only producers. Appending to h afterwards leaves the view
+// unchanged: appends either write past the view's length or reallocate,
+// and existing elements are never rewritten. The view is invalidated only
+// if h is mutated non-monotonically (RemoveLast followed by Append); the
+// store layer, the intended producer, never does that.
+func (h *History) SnapshotView() *History {
+	return &History{server: h.server, recs: h.recs, goodPrefix: h.goodPrefix}
+}
+
 // RemoveLast removes the newest record. It supports the strategic attacker's
 // hypothesis testing (append a candidate transaction, test, roll back). It
 // returns ErrEmptyHistory when there is nothing to remove.

@@ -66,6 +66,14 @@ type Node struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
+	// Cached wire-form summary of the store, keyed by the store's global
+	// version: after convergence every round reuses it instead of walking
+	// the store.
+	sumMu      sync.Mutex
+	sumVersion uint64
+	sumCache   map[string]wire.ServerSum
+	sumValid   bool
+
 	rounds   atomic.Uint64
 	received atomic.Uint64
 	inSync   atomic.Uint64
@@ -158,6 +166,30 @@ func (n *Node) logf(format string, args ...any) {
 	}
 }
 
+// summary returns the store's per-server checksums in wire form. The store
+// bumps its global version on every accepted write, so an unchanged version
+// means the previous summary is still exact and is returned as-is — the
+// steady-state (converged) case. The returned map is shared; treat it as
+// read-only.
+func (n *Node) summary() map[string]wire.ServerSum {
+	v := n.cfg.Store.GlobalVersion()
+	n.sumMu.Lock()
+	defer n.sumMu.Unlock()
+	if n.sumValid && n.sumVersion == v {
+		return n.sumCache
+	}
+	sums := n.cfg.Store.Checksums()
+	m := make(map[string]wire.ServerSum, len(sums))
+	for srv, cs := range sums {
+		m[string(srv)] = wire.ServerSum{Count: cs.Count, XOR: cs.XOR}
+	}
+	// Writes that landed while we walked the store make the summary fresher
+	// than v; stamping v just means the next call recomputes. Conservative
+	// and correct.
+	n.sumVersion, n.sumCache, n.sumValid = v, m, true
+	return m
+}
+
 func (n *Node) isClosed() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -202,12 +234,11 @@ func (n *Node) serveConn(conn net.Conn) {
 			if err := wire.DecodePayload(env, &summary); err != nil {
 				return
 			}
-			local := n.cfg.Store.Checksums()
+			local := n.summary()
 			var stale []string
 			for srv, sum := range local {
-				remote, ok := summary.Servers[string(srv)]
-				if !ok || remote.Count != sum.Count || remote.XOR != sum.XOR {
-					stale = append(stale, string(srv))
+				if remote, ok := summary.Servers[srv]; !ok || remote != sum {
+					stale = append(stale, srv)
 				}
 			}
 			sort.Strings(stale)
@@ -292,11 +323,7 @@ func (n *Node) RoundOnce() error {
 	reader := bufio.NewReader(conn)
 
 	// Phase 1: summary exchange.
-	sums := n.cfg.Store.Checksums()
-	servers := make(map[string]wire.ServerSum, len(sums))
-	for srv, cs := range sums {
-		servers[string(srv)] = wire.ServerSum{Count: cs.Count, XOR: cs.XOR}
-	}
+	servers := n.summary()
 	req, err := wire.Encode(wire.TypeSummary, 1, wire.SummaryMsg{Node: n.cfg.Name, Servers: servers})
 	if err != nil {
 		return err

@@ -175,11 +175,17 @@ type PersistentStore struct {
 // OpenStore opens the ledger at path and builds the in-memory store from
 // it.
 func OpenStore(path string) (*PersistentStore, error) {
+	return OpenStoreSharded(path, store.DefaultShards)
+}
+
+// OpenStoreSharded is OpenStore with an explicit shard count for the
+// in-memory store.
+func OpenStoreSharded(path string, shards int) (*PersistentStore, error) {
 	l, recs, err := Open(path)
 	if err != nil {
 		return nil, err
 	}
-	st := store.New()
+	st := store.NewSharded(shards)
 	if _, err := st.AddAll(recs); err != nil {
 		cerr := l.Close()
 		if cerr != nil {

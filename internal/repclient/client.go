@@ -127,12 +127,29 @@ func (c *Client) Submit(f feedback.Feedback) (bool, error) {
 	return resp.Stored, nil
 }
 
-// SubmitBatch stores many records in one round trip, reporting how many
-// were new and how many duplicates.
-func (c *Client) SubmitBatch(recs []feedback.Feedback) (stored, duplicates int, err error) {
+// SubmitBatchReport stores many records in one round trip and returns the
+// server's per-record report. Invalid records do not abort the batch: every
+// valid record is stored and each rejected one is listed with its request
+// index and reason.
+func (c *Client) SubmitBatchReport(recs []feedback.Feedback) (wire.BatchResponse, error) {
 	var resp wire.BatchResponse
-	if err := c.roundTrip(wire.TypeBatch, wire.TypeBatchR, wire.BatchRequest{Records: recs}, &resp); err != nil {
+	err := c.roundTrip(wire.TypeBatch, wire.TypeBatchR, wire.BatchRequest{Records: recs}, &resp)
+	return resp, err
+}
+
+// SubmitBatch stores many records in one round trip, reporting how many
+// were new and how many duplicates. When the server rejected records, the
+// counts are returned together with an error naming the first rejection.
+func (c *Client) SubmitBatch(recs []feedback.Feedback) (stored, duplicates int, err error) {
+	resp, err := c.SubmitBatchReport(recs)
+	if err != nil {
 		return 0, 0, err
+	}
+	if len(resp.Rejected) > 0 {
+		r := resp.Rejected[0]
+		return resp.Stored, resp.Duplicates, fmt.Errorf(
+			"repclient: batch rejected %d of %d records (first: record %d: %s)",
+			len(resp.Rejected), len(recs), r.Index, r.Reason)
 	}
 	return resp.Stored, resp.Duplicates, nil
 }

@@ -1,0 +1,130 @@
+package repserver
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"honestplayer/internal/behavior"
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/stats"
+	"honestplayer/internal/trust"
+	"honestplayer/internal/wire"
+)
+
+func benchAssessor(b *testing.B) *core.TwoPhase {
+	b.Helper()
+	tester, err := behavior.NewMulti(behavior.Config{
+		Calibrator: stats.NewCalibrator(stats.CalibrationConfig{Seed: 1, Replicates: 200}, 0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tp, err := core.NewTwoPhase(tester, trust.Average{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tp
+}
+
+// benchRecs builds an honest-looking history: 19 good transactions out of
+// every 20, spread over 25 clients.
+func benchHistoryRecs(server feedback.EntityID, n int) []feedback.Feedback {
+	recs := make([]feedback.Feedback, n)
+	for i := range recs {
+		r := feedback.Positive
+		if i%20 == 19 {
+			r = feedback.Negative
+		}
+		recs[i] = feedback.Feedback{
+			Time:   time.Unix(int64(i), 0).UTC(),
+			Server: server,
+			Client: feedback.EntityID(fmt.Sprintf("c%d", i%25)),
+			Rating: r,
+		}
+	}
+	return recs
+}
+
+func benchServer(b *testing.B, cacheSize int) *Server {
+	b.Helper()
+	srv, err := New("127.0.0.1:0", Config{Assessor: benchAssessor(b), AssessCacheSize: cacheSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+// benchAssess measures the server-side assess path (request decode and
+// socket I/O excluded) against a 10k-record history.
+func benchAssess(b *testing.B, cacheSize int) {
+	srv := benchServer(b, cacheSize)
+	if _, err := srv.Seed(benchHistoryRecs("srv", 10000)); err != nil {
+		b.Fatal(err)
+	}
+	req := wire.AssessRequest{Server: "srv", Threshold: 0.9}
+	// Warm up calibration (and the cache, when enabled) outside the timer.
+	if _, code, msg := srv.assess(req); code != "" {
+		b.Fatalf("assess: %s %s", code, msg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, code, msg := srv.assess(req); code != "" {
+			b.Fatalf("assess: %s %s", code, msg)
+		}
+	}
+}
+
+// BenchmarkAssessUncached is the seed serving path: every request re-runs
+// the full two-phase test over the whole history.
+func BenchmarkAssessUncached(b *testing.B) { benchAssess(b, 0) }
+
+// BenchmarkAssessCached serves repeated assessments of an unchanged
+// history from the assessment cache.
+func BenchmarkAssessCached(b *testing.B) { benchAssess(b, 1024) }
+
+// BenchmarkAssessMixed interleaves writes with assessments (1 submit per 9
+// assessments, round-robin over 8 servers), so the cache is repeatedly
+// invalidated and refilled — the realistic steady-state mix.
+func BenchmarkAssessMixed(b *testing.B) {
+	for _, cacheSize := range []int{0, 1024} {
+		b.Run(fmt.Sprintf("cache=%d", cacheSize), func(b *testing.B) {
+			const servers = 8
+			srv := benchServer(b, cacheSize)
+			for s := 0; s < servers; s++ {
+				name := feedback.EntityID(fmt.Sprintf("srv%d", s))
+				if _, err := srv.Seed(benchHistoryRecs(name, 2000)); err != nil {
+					b.Fatal(err)
+				}
+				if _, code, msg := srv.assess(wire.AssessRequest{Server: name, Threshold: 0.9}); code != "" {
+					b.Fatalf("assess: %s %s", code, msg)
+				}
+			}
+			next := int64(100000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := feedback.EntityID(fmt.Sprintf("srv%d", i%servers))
+				if i%10 == 0 {
+					next++
+					f := feedback.Feedback{
+						Time:   time.Unix(next, 0).UTC(),
+						Server: name,
+						Client: feedback.EntityID(fmt.Sprintf("c%d", i%25)),
+						Rating: feedback.Positive,
+					}
+					if _, err := srv.cfg.Recorder.Add(f); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				if _, code, msg := srv.assess(wire.AssessRequest{Server: name, Threshold: 0.9}); code != "" {
+					b.Fatalf("assess: %s %s", code, msg)
+				}
+			}
+		})
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"honestplayer/internal/assesscache"
 	"honestplayer/internal/core"
 	"honestplayer/internal/feedback"
 	"honestplayer/internal/store"
@@ -45,6 +46,9 @@ type Config struct {
 	Logger *log.Logger
 	// MaxHistoryChunk caps records per history response; zero means 10000.
 	MaxHistoryChunk int
+	// AssessCacheSize bounds the assessment cache in entries; zero disables
+	// caching (every TypeAssess recomputes, the seed behaviour).
+	AssessCacheSize int
 }
 
 // Stats exposes server counters.
@@ -52,12 +56,16 @@ type Stats struct {
 	Connections uint64 `json:"connections"`
 	Requests    uint64 `json:"requests"`
 	Errors      uint64 `json:"errors"`
+	// Cache carries the assessment-cache counters; all-zero when caching
+	// is disabled.
+	Cache assesscache.Stats `json:"cache"`
 }
 
 // Server is a TCP reputation server.
 type Server struct {
 	cfg      Config
 	listener net.Listener
+	cache    *assesscache.Cache // nil when AssessCacheSize is zero
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -88,11 +96,15 @@ func New(addr string, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repserver: listen %s: %w", addr, err)
 	}
-	return &Server{
+	srv := &Server{
 		cfg:      cfg,
 		listener: ln,
 		conns:    make(map[net.Conn]struct{}),
-	}, nil
+	}
+	if cfg.AssessCacheSize > 0 {
+		srv.cache = assesscache.New(cfg.AssessCacheSize)
+	}
+	return srv, nil
 }
 
 // Addr returns the bound listener address.
@@ -103,11 +115,15 @@ func (s *Server) Store() *store.Store { return s.cfg.Store }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Connections: s.nConns.Load(),
 		Requests:    s.nRequests.Load(),
 		Errors:      s.nErrors.Load(),
 	}
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+	}
+	return st
 }
 
 // Serve accepts connections until Close is called. It returns nil after a
@@ -229,8 +245,10 @@ func (s *Server) dispatch(conn net.Conn, env wire.Envelope) error {
 		for i, rec := range req.Records {
 			stored, err := s.cfg.Recorder.Add(rec)
 			if err != nil {
-				return s.writeError(conn, env.ID, "invalid_feedback",
-					fmt.Sprintf("record %d (after %d stored): %v", i, resp.Stored, err))
+				// A bad record must not abort the batch: earlier records are
+				// already stored, so report it per record and keep going.
+				resp.Rejected = append(resp.Rejected, wire.BatchReject{Index: i, Reason: err.Error()})
+				continue
 			}
 			if stored {
 				resp.Stored++
@@ -262,25 +280,44 @@ func (s *Server) dispatch(conn net.Conn, env wire.Envelope) error {
 		if err := wire.DecodePayload(env, &req); err != nil {
 			return s.writeError(conn, env.ID, "bad_request", err.Error())
 		}
-		if req.Server == "" {
-			return s.writeError(conn, env.ID, "bad_request", "missing server")
+		resp, code, msg := s.assess(req)
+		if code != "" {
+			return s.writeError(conn, env.ID, code, msg)
 		}
-		h, err := s.cfg.Store.History(req.Server)
-		if err != nil {
-			return s.writeError(conn, env.ID, "internal", err.Error())
-		}
-		if h.Len() == 0 {
-			return s.writeError(conn, env.ID, "unknown_server",
-				fmt.Sprintf("no records for %q", req.Server))
-		}
-		accept, a, err := s.cfg.Assessor.Accept(h, req.Threshold)
-		if err != nil {
-			return s.writeError(conn, env.ID, "assessment_failed", err.Error())
-		}
-		return s.reply(conn, wire.TypeAssessR, env.ID, wire.AssessResponse{Assessment: a, Accept: accept})
+		return s.reply(conn, wire.TypeAssessR, env.ID, resp)
 	default:
 		return s.writeError(conn, env.ID, "unknown_type", string(env.Type))
 	}
+}
+
+// assess serves one TypeAssess request: history snapshot, cache probe,
+// two-phase assessment on miss. A non-empty code reports a request error.
+//
+// The cache key carries the store's per-server version, read atomically
+// with the history snapshot. Any accepted write bumps the version, so a
+// stale cached assessment can never be served: its version no longer
+// matches and the lookup falls through to recomputation.
+func (s *Server) assess(req wire.AssessRequest) (resp wire.AssessResponse, code, msg string) {
+	if req.Server == "" {
+		return resp, "bad_request", "missing server"
+	}
+	h, version := s.cfg.Store.Snapshot(req.Server)
+	if h.Len() == 0 {
+		return resp, "unknown_server", fmt.Sprintf("no records for %q", req.Server)
+	}
+	if s.cache != nil {
+		if res, ok := s.cache.Get(req.Server, version, req.Threshold); ok {
+			return wire.AssessResponse{Assessment: res.Assessment, Accept: res.Accept, Cached: true}, "", ""
+		}
+	}
+	accept, a, err := s.cfg.Assessor.Accept(h, req.Threshold)
+	if err != nil {
+		return resp, "assessment_failed", err.Error()
+	}
+	if s.cache != nil {
+		s.cache.Put(req.Server, version, req.Threshold, assesscache.Result{Assessment: a, Accept: accept})
+	}
+	return wire.AssessResponse{Assessment: a, Accept: accept}, "", ""
 }
 
 func (s *Server) reply(conn net.Conn, t wire.MsgType, id uint64, payload any) error {

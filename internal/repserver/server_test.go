@@ -473,16 +473,100 @@ func TestSubmitBatch(t *testing.T) {
 	if srv.Store().ServerLen("batched") != 2 {
 		t.Fatalf("store has %d", srv.Store().ServerLen("batched"))
 	}
-	// Invalid record mid-batch: error names the index, prefix persists.
-	_, _, err = c.SubmitBatch([]feedback.Feedback{rec("batched", "c", true, 3), {}})
-	var remote *wire.ErrorResponse
-	if !errors.As(err, &remote) || remote.Code != "invalid_feedback" {
-		t.Fatalf("err = %v", err)
+	// Invalid record mid-batch: it is reported per record with its request
+	// index, and every valid record — before AND after it — is stored.
+	resp, err := c.SubmitBatchReport([]feedback.Feedback{
+		rec("batched", "c", true, 3),
+		{},
+		rec("batched", "d", false, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(remote.Message, "record 1") {
-		t.Fatalf("message = %q", remote.Message)
+	if resp.Stored != 2 || resp.Duplicates != 0 {
+		t.Fatalf("batch report: %+v", resp)
 	}
-	if srv.Store().ServerLen("batched") != 3 {
-		t.Fatalf("prefix not stored: %d", srv.Store().ServerLen("batched"))
+	if len(resp.Rejected) != 1 || resp.Rejected[0].Index != 1 {
+		t.Fatalf("rejected = %+v", resp.Rejected)
+	}
+	if !strings.Contains(resp.Rejected[0].Reason, "invalid rating") {
+		t.Fatalf("reason = %q", resp.Rejected[0].Reason)
+	}
+	if srv.Store().ServerLen("batched") != 4 {
+		t.Fatalf("valid records not stored: %d", srv.Store().ServerLen("batched"))
+	}
+	// The convenience wrapper surfaces rejects as an error alongside counts.
+	stored, _, err = c.SubmitBatch([]feedback.Feedback{rec("batched", "e", true, 5), {}})
+	if err == nil || !strings.Contains(err.Error(), "record 1") {
+		t.Fatalf("SubmitBatch err = %v", err)
+	}
+	if stored != 1 {
+		t.Fatalf("SubmitBatch stored = %d", stored)
+	}
+}
+
+// TestAssessCacheEndToEnd drives the caching hot path over the wire: a
+// repeated assessment is served from the cache, and a write to the assessed
+// server invalidates it (a stale entry must not survive a write).
+func TestAssessCacheEndToEnd(t *testing.T) {
+	srv, err := New("127.0.0.1:0", Config{Assessor: testAssessor(t), AssessCacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	c := dial(t, srv)
+	for i := 0; i < 60; i++ {
+		if _, err := c.Submit(rec("cached", feedback.EntityID(rune('a'+i%20)), true, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	first, err := c.Assess("cached", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first assessment cannot be cached")
+	}
+	second, err := c.Assess("cached", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("repeat assessment not served from cache")
+	}
+	if second.Assessment.Trust != first.Assessment.Trust ||
+		second.Assessment.Suspicious != first.Assessment.Suspicious ||
+		second.Accept != first.Accept {
+		t.Fatalf("cached answer differs: %+v vs %+v", second, first)
+	}
+	// A different threshold is a different decision — never reuse blindly.
+	if resp, err := c.Assess("cached", 0.1); err != nil || resp.Cached {
+		t.Fatalf("different threshold served from cache: %+v %v", resp, err)
+	}
+
+	// A write to the server invalidates its cached assessments.
+	if _, err := c.Submit(rec("cached", "zz", true, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	third, err := c.Assess("cached", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached {
+		t.Fatal("stale assessment served after write")
+	}
+	if srv.Store().ServerLen("cached") != 61 {
+		t.Fatalf("store not updated before reassessment")
+	}
+
+	st := srv.Stats()
+	if st.Cache.Hits != 1 || st.Cache.Misses != 3 || st.Cache.Invalidations != 1 {
+		t.Fatalf("cache stats = %+v", st.Cache)
 	}
 }

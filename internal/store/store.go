@@ -2,6 +2,13 @@
 // reputation server (the paper's central-collector deployment) and the
 // gossip layer (the P2P deployment): per-server transaction histories with
 // duplicate suppression and deterministic time ordering.
+//
+// The store is sharded by server ID, so writes against different servers
+// proceed without contention, and every server carries a monotonic version
+// counter bumped on each accepted write. The version lets read paths — the
+// assessment cache above all — detect "history unchanged since I last
+// looked" in O(1) and reuse prior work instead of recomputing over the full
+// record list.
 package store
 
 import (
@@ -9,9 +16,15 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"honestplayer/internal/feedback"
 )
+
+// DefaultShards is the shard count used by New. Shards only bound write
+// contention (each shard has its own lock); the value does not affect any
+// observable ordering or content.
+const DefaultShards = 16
 
 // Hash is the content hash of a feedback record, used for duplicate
 // suppression and gossip set reconciliation.
@@ -33,23 +46,83 @@ func HashOf(f feedback.Feedback) Hash {
 	return Hash(h.Sum64())
 }
 
+// entry is one server's state within a shard: the working history, a
+// memoized read snapshot, the version, and a running content checksum.
+type entry struct {
+	// hist is the store-owned working history, mutated only under the
+	// shard's write lock: appended in place on the fast path, rebuilt on
+	// the rare out-of-order insert (never shifted in place, so handed-out
+	// snapshots stay intact).
+	hist *feedback.History
+	// snap memoizes the immutable view handed to readers; writes clear it,
+	// the next read rebuilds it in O(1) via SnapshotView. Atomic because
+	// readers memoize under the shard's read lock.
+	snap atomic.Pointer[feedback.History]
+	// version counts accepted writes for this server; it starts at 1 for
+	// the first record so that 0 can mean "never seen".
+	version uint64
+	// xor is the XOR of all content hashes, maintained incrementally so
+	// gossip checksums cost O(servers) instead of O(records).
+	xor uint64
+}
+
+// snapshot returns the entry's memoized immutable view, building it if a
+// write invalidated it. Callers must hold the shard lock (read suffices).
+func (e *entry) snapshot() *feedback.History {
+	if s := e.snap.Load(); s != nil {
+		return s
+	}
+	s := e.hist.SnapshotView()
+	e.snap.Store(s)
+	return s
+}
+
+// shard is one lock domain of the store, padded to a cache line so that
+// neighbouring shards' locks do not false-share.
+type shard struct {
+	mu     sync.RWMutex
+	byServ map[feedback.EntityID]*entry
+	seen   map[Hash]struct{}
+	_      [24]byte
+}
+
 // Store is a concurrent, deduplicating feedback store. Records are kept
 // per server, sorted by transaction time (ties broken by content hash for
 // determinism across nodes), which is the order behaviour tests require.
 //
-// The zero value is not usable; construct with New.
+// The zero value is not usable; construct with New or NewSharded.
 type Store struct {
-	mu     sync.RWMutex
-	byServ map[feedback.EntityID][]feedback.Feedback
-	seen   map[Hash]struct{}
+	shards []shard
+	// total counts stored (non-duplicate) records across all shards.
+	total atomic.Int64
+	// global counts accepted writes store-wide; read via GlobalVersion.
+	global atomic.Uint64
 }
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{
-		byServ: make(map[feedback.EntityID][]feedback.Feedback),
-		seen:   make(map[Hash]struct{}),
+// New returns an empty store with DefaultShards shards.
+func New() *Store { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty store with n shards; n < 1 is treated as 1.
+func NewSharded(n int) *Store {
+	if n < 1 {
+		n = 1
 	}
+	s := &Store{shards: make([]shard, n)}
+	for i := range s.shards {
+		s.shards[i].byServ = make(map[feedback.EntityID]*entry)
+		s.shards[i].seen = make(map[Hash]struct{})
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// shardOf maps a server ID to its shard.
+func (s *Store) shardOf(server feedback.EntityID) *shard {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(server))
+	return &s.shards[h.Sum64()%uint64(len(s.shards))]
 }
 
 // Add inserts a feedback record. It returns false when an identical record
@@ -60,24 +133,54 @@ func (s *Store) Add(f feedback.Feedback) (bool, error) {
 		return false, err
 	}
 	h := HashOf(f)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.seen[h]; dup {
+	sh := s.shardOf(f.Server)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.seen[h]; dup {
 		return false, nil
 	}
-	s.seen[h] = struct{}{}
-	recs := s.byServ[f.Server]
-	// Insert keeping (time, hash) order; appends dominate in practice, so
-	// check the tail first.
-	idx := len(recs)
-	if idx > 0 && !lessRecord(recs[idx-1], f) {
-		idx = sort.Search(len(recs), func(i int) bool { return lessRecord(f, recs[i]) })
+	e := sh.byServ[f.Server]
+	if e == nil {
+		e = &entry{hist: feedback.NewHistory(f.Server)}
+		sh.byServ[f.Server] = e
 	}
-	recs = append(recs, feedback.Feedback{})
-	copy(recs[idx+1:], recs[idx:])
-	recs[idx] = f
-	s.byServ[f.Server] = recs
+	n := e.hist.Len()
+	if n == 0 || lessRecord(e.hist.At(n-1), f) {
+		// Append fast path: in-place, amortised O(1). Outstanding snapshots
+		// are unaffected — the append writes past their length.
+		if err := e.hist.Append(f); err != nil {
+			return false, err
+		}
+	} else {
+		e.hist = insertSorted(e.hist, f)
+	}
+	e.snap.Store(nil)
+	sh.seen[h] = struct{}{}
+	e.version++
+	e.xor ^= uint64(h)
+	s.total.Add(1)
+	s.global.Add(1)
 	return true, nil
+}
+
+// insertSorted rebuilds a history with f inserted at its (time, hash)
+// position. Out-of-order arrivals are the rare path (gossip deltas, ledger
+// replays of interleaved servers), so the O(n) rebuild is acceptable; a
+// fresh backing array (rather than an in-place shift) keeps old snapshots
+// untouched.
+func insertSorted(h *feedback.History, f feedback.Feedback) *feedback.History {
+	n := h.Len()
+	idx := sort.Search(n, func(i int) bool { return lessRecord(f, h.At(i)) })
+	out := feedback.NewHistory(h.Server())
+	for i := 0; i < idx; i++ {
+		// Records re-appended from a valid history cannot fail.
+		_ = out.Append(h.At(i))
+	}
+	_ = out.Append(f)
+	for i := idx; i < n; i++ {
+		_ = out.Append(h.At(i))
+	}
+	return out
 }
 
 // lessRecord orders records by time, then content hash.
@@ -103,68 +206,85 @@ func (s *Store) AddAll(recs []feedback.Feedback) (int, error) {
 	return added, nil
 }
 
-// History returns the server's transaction history in time order as a
-// freshly built feedback.History. It is empty (not nil) for unknown
-// servers.
+// History returns the server's transaction history in time order. It is
+// empty (not nil) for unknown servers.
+//
+// The returned History is a shared immutable snapshot: it costs O(1), is
+// never modified by later writes, and MUST be treated read-only by the
+// caller (clone before mutating).
 func (s *Store) History(server feedback.EntityID) (*feedback.History, error) {
-	s.mu.RLock()
-	recs := s.byServ[server]
-	cp := make([]feedback.Feedback, len(recs))
-	copy(cp, recs)
-	s.mu.RUnlock()
-	h := feedback.NewHistory(server)
-	for _, f := range cp {
-		if err := h.Append(f); err != nil {
-			return nil, err
-		}
-	}
+	h, _ := s.Snapshot(server)
 	return h, nil
 }
 
+// Snapshot returns the server's history snapshot together with its version,
+// read atomically. The version is 0 for unknown servers and increases by
+// one with every accepted write, so equal versions imply identical
+// histories. The same read-only contract as History applies.
+func (s *Store) Snapshot(server feedback.EntityID) (*feedback.History, uint64) {
+	sh := s.shardOf(server)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e := sh.byServ[server]
+	if e == nil {
+		return feedback.NewHistory(server), 0
+	}
+	return e.snapshot(), e.version
+}
+
+// Version returns the server's current version counter: 0 when the server
+// is unknown, otherwise the number of accepted writes to it.
+func (s *Store) Version(server feedback.EntityID) uint64 {
+	_, v := s.Snapshot(server)
+	return v
+}
+
+// GlobalVersion counts accepted writes store-wide. Readers that derive
+// whole-store summaries (gossip checksums) use it to skip recomputation
+// when nothing changed.
+func (s *Store) GlobalVersion() uint64 { return s.global.Load() }
+
 // Records returns a copy of the server's records in time order.
 func (s *Store) Records(server feedback.EntityID) []feedback.Feedback {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	recs := s.byServ[server]
-	cp := make([]feedback.Feedback, len(recs))
-	copy(cp, recs)
-	return cp
+	h, _ := s.Snapshot(server)
+	return h.Records()
 }
 
 // Servers returns the known server IDs, sorted.
 func (s *Store) Servers() []feedback.EntityID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]feedback.EntityID, 0, len(s.byServ))
-	for id := range s.byServ {
-		out = append(out, id)
+	var out []feedback.EntityID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.byServ {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Len returns the total number of stored records.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.seen)
-}
+func (s *Store) Len() int { return int(s.total.Load()) }
 
 // ServerLen returns the number of records for one server.
 func (s *Store) ServerLen(server feedback.EntityID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byServ[server])
+	h, _ := s.Snapshot(server)
+	return h.Len()
 }
 
 // Hashes returns the content hashes of all stored records, sorted. It is
 // the digest the gossip layer exchanges.
 func (s *Store) Hashes() []Hash {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]Hash, 0, len(s.seen))
-	for h := range s.seen {
-		out = append(out, h)
+	var out []Hash
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for h := range sh.seen {
+			out = append(out, h)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -178,29 +298,28 @@ type Checksum struct {
 	XOR   uint64 `json:"xor"`
 }
 
-// Checksums returns the per-server summary of the whole store.
+// Checksums returns the per-server summary of the whole store. Checksums
+// are maintained incrementally on write, so this costs O(servers), not
+// O(records).
 func (s *Store) Checksums() map[feedback.EntityID]Checksum {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[feedback.EntityID]Checksum, len(s.byServ))
-	for srv, recs := range s.byServ {
-		var x uint64
-		for _, f := range recs {
-			x ^= uint64(HashOf(f))
+	out := make(map[feedback.EntityID]Checksum)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for srv, e := range sh.byServ {
+			out[srv] = Checksum{Count: e.hist.Len(), XOR: e.xor}
 		}
-		out[srv] = Checksum{Count: len(recs), XOR: x}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // ServerHashes returns the content hashes of one server's records, sorted.
 func (s *Store) ServerHashes(server feedback.EntityID) []Hash {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	recs := s.byServ[server]
-	out := make([]Hash, 0, len(recs))
-	for _, f := range recs {
-		out = append(out, HashOf(f))
+	h, _ := s.Snapshot(server)
+	out := make([]Hash, 0, h.Len())
+	for i := 0; i < h.Len(); i++ {
+		out = append(out, HashOf(h.At(i)))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -213,11 +332,10 @@ func (s *Store) ServerMissingFrom(server feedback.EntityID, digest []Hash) []fee
 	for _, h := range digest {
 		have[h] = struct{}{}
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	hist, _ := s.Snapshot(server)
 	var out []feedback.Feedback
-	for _, f := range s.byServ[server] {
-		if _, ok := have[HashOf(f)]; !ok {
+	for i := 0; i < hist.Len(); i++ {
+		if f := hist.At(i); !inDigest(have, f) {
 			out = append(out, f)
 		}
 	}
@@ -231,16 +349,25 @@ func (s *Store) MissingFrom(digest []Hash) []feedback.Feedback {
 	for _, h := range digest {
 		have[h] = struct{}{}
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []feedback.Feedback
-	for _, recs := range s.byServ {
-		for _, f := range recs {
-			if _, ok := have[HashOf(f)]; !ok {
-				out = append(out, f)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.byServ {
+			hist := e.hist
+			for j := 0; j < hist.Len(); j++ {
+				if f := hist.At(j); !inDigest(have, f) {
+					out = append(out, f)
+				}
 			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return lessRecord(out[i], out[j]) })
 	return out
+}
+
+func inDigest(have map[Hash]struct{}, f feedback.Feedback) bool {
+	_, ok := have[HashOf(f)]
+	return ok
 }

@@ -224,3 +224,174 @@ func TestStoreOrderIndependence(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestStoreVersionCounter(t *testing.T) {
+	s := New()
+	if v := s.Version("srv"); v != 0 {
+		t.Fatalf("unknown server version = %d", v)
+	}
+	if _, err := s.Add(rec("srv", "c1", true, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Version("srv"); v != 1 {
+		t.Fatalf("version after first add = %d", v)
+	}
+	// Duplicates are not accepted writes and must not bump the version.
+	if ok, _ := s.Add(rec("srv", "c1", true, 1)); ok {
+		t.Fatal("duplicate accepted")
+	}
+	if v := s.Version("srv"); v != 1 {
+		t.Fatalf("version after duplicate = %d", v)
+	}
+	// Out-of-order inserts bump too.
+	if _, err := s.Add(rec("srv", "c2", true, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Version("srv"); v != 2 {
+		t.Fatalf("version after out-of-order add = %d", v)
+	}
+	// Versions are per server.
+	if v := s.Version("other"); v != 0 {
+		t.Fatalf("other server version = %d", v)
+	}
+	if g := s.GlobalVersion(); g != 2 {
+		t.Fatalf("global version = %d", g)
+	}
+}
+
+func TestStoreSnapshotImmutable(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		if _, err := s.Add(rec("srv", "c", i%2 == 0, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, ver := s.Snapshot("srv")
+	if snap.Len() != 10 || ver != 10 {
+		t.Fatalf("snapshot len=%d ver=%d", snap.Len(), ver)
+	}
+	wantGood := snap.GoodCount()
+	// Later writes — both appends and an out-of-order insert that rebuilds —
+	// must not disturb the earlier snapshot.
+	if _, err := s.Add(rec("srv", "c", true, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(rec("srv", "zzz", true, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 10 || snap.GoodCount() != wantGood {
+		t.Fatalf("snapshot mutated: len=%d good=%d", snap.Len(), snap.GoodCount())
+	}
+	for i := 0; i < snap.Len(); i++ {
+		if snap.At(i).Client == "zzz" {
+			t.Fatal("later insert leaked into old snapshot")
+		}
+	}
+	if h2, ver2 := s.Snapshot("srv"); h2.Len() != 12 || ver2 != 12 {
+		t.Fatalf("new snapshot len=%d ver=%d", h2.Len(), ver2)
+	}
+}
+
+// TestStoreShardedConcurrentMixed hammers Add, History, Records, Checksums,
+// Hashes and Version across many servers (hence shards) in parallel. Run
+// under -race this is the store's main concurrency regression test.
+func TestStoreShardedConcurrentMixed(t *testing.T) {
+	s := NewSharded(8)
+	const writers, perWriter, servers = 8, 200, 13
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				srv := feedback.EntityID(rune('A' + (g*perWriter+i)%servers))
+				_, err := s.Add(rec(srv, feedback.EntityID(rune('a'+g)), i%3 == 0, int64(g*10000+i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Readers run concurrently with the writers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				srv := feedback.EntityID(rune('A' + i%servers))
+				h, ver := s.Snapshot(srv)
+				if uint64(h.Len()) > ver {
+					t.Errorf("snapshot len %d > version %d", h.Len(), ver)
+					return
+				}
+				_ = h.GoodRatio()
+				_ = s.Records(srv)
+				_ = s.Checksums()
+				_ = s.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != writers*perWriter {
+		t.Fatalf("len = %d, want %d", s.Len(), writers*perWriter)
+	}
+	// Per-server order survived the concurrency.
+	for i := 0; i < servers; i++ {
+		srv := feedback.EntityID(rune('A' + i))
+		recs := s.Records(srv)
+		for j := 1; j < len(recs); j++ {
+			if recs[j].Time.Before(recs[j-1].Time) {
+				t.Fatalf("server %s out of order", srv)
+			}
+		}
+	}
+	// Checksums agree with a fresh single-shard ingest of the same records.
+	ref := NewSharded(1)
+	for _, srv := range s.Servers() {
+		if _, err := ref.AddAll(s.Records(srv)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := ref.Checksums()
+	got := s.Checksums()
+	if len(got) != len(want) {
+		t.Fatalf("checksum servers: %d vs %d", len(got), len(want))
+	}
+	for srv, cs := range want {
+		if got[srv] != cs {
+			t.Fatalf("checksum mismatch for %s: %+v vs %+v", srv, got[srv], cs)
+		}
+	}
+}
+
+// Shard count must not change any observable content.
+func TestStoreShardCountInvariance(t *testing.T) {
+	recs := benchRecsMulti(300, 7)
+	for _, shards := range []int{1, 3, 16} {
+		s := NewSharded(shards)
+		if got := s.NumShards(); got != shards {
+			t.Fatalf("NumShards = %d", got)
+		}
+		if _, err := s.AddAll(recs); err != nil {
+			t.Fatal(err)
+		}
+		ref := NewSharded(1)
+		if _, err := ref.AddAll(recs); err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != ref.Len() {
+			t.Fatalf("shards=%d: len %d vs %d", shards, s.Len(), ref.Len())
+		}
+		gotServers, wantServers := s.Servers(), ref.Servers()
+		if len(gotServers) != len(wantServers) {
+			t.Fatalf("shards=%d: servers %v vs %v", shards, gotServers, wantServers)
+		}
+		gotHashes, wantHashes := s.Hashes(), ref.Hashes()
+		for i := range wantHashes {
+			if gotHashes[i] != wantHashes[i] {
+				t.Fatalf("shards=%d: hash digest differs at %d", shards, i)
+			}
+		}
+	}
+}

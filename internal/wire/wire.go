@@ -81,19 +81,29 @@ type SubmitResponse struct {
 }
 
 // BatchRequest submits many feedback records in one frame. Records are
-// processed in order; on the first invalid record the whole request fails
-// with an error response, but records before it remain stored (the error
-// reports how many).
+// processed in order; invalid records are skipped and reported per record
+// in the response, while every valid record is stored.
 type BatchRequest struct {
 	Records []feedback.Feedback `json:"records"`
 }
 
-// BatchResponse acknowledges a batch submission.
+// BatchReject reports one record of a batch that was not stored.
+type BatchReject struct {
+	// Index is the record's position in the request.
+	Index int `json:"index"`
+	// Reason is the validation error.
+	Reason string `json:"reason"`
+}
+
+// BatchResponse acknowledges a batch submission with a per-record report:
+// Stored + Duplicates + len(Rejected) always equals the request size.
 type BatchResponse struct {
 	// Stored is the number of new records.
 	Stored int `json:"stored"`
 	// Duplicates is the number of records already present.
 	Duplicates int `json:"duplicates"`
+	// Rejected lists the records that failed validation, in request order.
+	Rejected []BatchReject `json:"rejected,omitempty"`
 }
 
 // HistoryRequest fetches a server's records.
@@ -122,6 +132,9 @@ type AssessRequest struct {
 type AssessResponse struct {
 	Assessment core.Assessment `json:"assessment"`
 	Accept     bool            `json:"accept"`
+	// Cached reports that the server answered from its assessment cache
+	// (the history was unchanged since the assessment was computed).
+	Cached bool `json:"cached,omitempty"`
 }
 
 // ServerSum is the per-server record-set checksum exchanged in gossip
