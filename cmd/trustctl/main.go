@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,7 +37,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("trustctl", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7700", "reputation server address")
-	timeout := fs.Duration("timeout", 5*time.Second, "request timeout")
+	timeout := fs.Duration("timeout", 5*time.Second, "request timeout (bounds dial and each request)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +50,10 @@ func run(args []string, out io.Writer) error {
 		return localAssess(rest[1:], out)
 	}
 
+	// The flag bounds the whole command through the context-taking client
+	// methods (the dial timeout rides along via WithTimeout).
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 	client, err := repclient.Dial(*addr, repclient.WithTimeout(*timeout))
 	if err != nil {
 		return err
@@ -57,23 +62,23 @@ func run(args []string, out io.Writer) error {
 
 	switch rest[0] {
 	case "ping":
-		if err := client.Ping(); err != nil {
+		if err := client.PingCtx(ctx); err != nil {
 			return err
 		}
 		fmt.Fprintln(out, "pong")
 		return nil
 	case "submit":
-		return submit(client, rest[1:], out)
+		return submit(ctx, client, rest[1:], out)
 	case "history":
-		return history(client, rest[1:], out)
+		return history(ctx, client, rest[1:], out)
 	case "assess":
-		return assess(client, rest[1:], out)
+		return assess(ctx, client, rest[1:], out)
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
 }
 
-func submit(client *repclient.Client, args []string, out io.Writer) error {
+func submit(ctx context.Context, client *repclient.Client, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
 	var (
 		server = fs.String("server", "", "server being rated")
@@ -100,7 +105,7 @@ func submit(client *repclient.Client, args []string, out io.Writer) error {
 		}
 		when = parsed
 	}
-	stored, err := client.Submit(feedback.Feedback{
+	stored, err := client.SubmitCtx(ctx, feedback.Feedback{
 		Time: when, Server: feedback.EntityID(*server), Client: feedback.EntityID(*cl), Rating: r,
 	})
 	if err != nil {
@@ -114,7 +119,7 @@ func submit(client *repclient.Client, args []string, out io.Writer) error {
 	return nil
 }
 
-func history(client *repclient.Client, args []string, out io.Writer) error {
+func history(ctx context.Context, client *repclient.Client, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("history", flag.ContinueOnError)
 	var (
 		server = fs.String("server", "", "server to fetch")
@@ -123,7 +128,7 @@ func history(client *repclient.Client, args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	recs, total, err := client.History(feedback.EntityID(*server), *limit)
+	recs, total, err := client.HistoryCtx(ctx, feedback.EntityID(*server), *limit)
 	if err != nil {
 		return err
 	}
@@ -134,7 +139,7 @@ func history(client *repclient.Client, args []string, out io.Writer) error {
 	return nil
 }
 
-func assess(client *repclient.Client, args []string, out io.Writer) error {
+func assess(ctx context.Context, client *repclient.Client, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("assess", flag.ContinueOnError)
 	var (
 		server    = fs.String("server", "", "server to assess")
@@ -143,7 +148,7 @@ func assess(client *repclient.Client, args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	resp, err := client.Assess(feedback.EntityID(*server), *threshold)
+	resp, err := client.AssessCtx(ctx, feedback.EntityID(*server), *threshold)
 	if err != nil {
 		return err
 	}

@@ -2,16 +2,27 @@
 // configurable two-phase assessor, optionally gossiping its feedback store
 // with peer nodes for decentralised deployments.
 //
+// Requests are deadline-bounded (-request-timeout); shutdown on
+// SIGINT/SIGTERM is graceful, draining in-flight requests for up to
+// -drain-timeout before force-closing. With -metrics-addr an HTTP endpoint
+// serves GET /metricz: per-type request counts, error counts, and latency
+// quantiles as JSON.
+//
 // Usage:
 //
 //	trustd -addr 127.0.0.1:7700 -scheme multi -trust average
 //	trustd -addr :7700 -gossip :7701 -peers host2:7701,host3:7701
+//	trustd -addr :7700 -request-timeout 2s -drain-timeout 10s -metrics-addr 127.0.0.1:7780
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,19 +49,23 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("trustd", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", "127.0.0.1:7700", "reputation server listen address")
-		scheme     = fs.String("scheme", "multi", "behaviour testing: none | single | multi | collusion | collusion-multi")
-		trustName  = fs.String("trust", "average", "trust function: average | weighted | beta")
-		lambda     = fs.Float64("lambda", 0.5, "lambda for the weighted trust function")
-		window     = fs.Int("window", 10, "transaction window size m")
-		gossipAddr = fs.String("gossip", "", "gossip listen address (empty disables gossip)")
-		peersArg   = fs.String("peers", "", "comma-separated gossip peer addresses")
-		interval   = fs.Duration("interval", time.Second, "gossip round interval")
-		name       = fs.String("name", "node", "node name used in gossip digests")
-		ledgerPath = fs.String("ledger", "", "append-only ledger file for durable feedback storage (empty = in-memory only)")
-		seed       = fs.Uint64("seed", 1, "seed for threshold calibration")
-		shards     = fs.Int("shards", store.DefaultShards, "feedback store shard count (writes to different servers never contend)")
-		cacheSize  = fs.Int("assess-cache", 4096, "assessment cache entries (0 disables caching)")
+		addr        = fs.String("addr", "127.0.0.1:7700", "reputation server listen address")
+		scheme      = fs.String("scheme", "multi", "behaviour testing: none | single | multi | collusion | collusion-multi")
+		trustName   = fs.String("trust", "average", "trust function: average | weighted | beta")
+		lambda      = fs.Float64("lambda", 0.5, "lambda for the weighted trust function")
+		window      = fs.Int("window", 10, "transaction window size m")
+		gossipAddr  = fs.String("gossip", "", "gossip listen address (empty disables gossip)")
+		peersArg    = fs.String("peers", "", "comma-separated gossip peer addresses")
+		interval    = fs.Duration("interval", time.Second, "gossip round interval")
+		name        = fs.String("name", "node", "node name used in gossip digests")
+		ledgerPath  = fs.String("ledger", "", "append-only ledger file for durable feedback storage (empty = in-memory only)")
+		seed        = fs.Uint64("seed", 1, "seed for threshold calibration")
+		shards      = fs.Int("shards", store.DefaultShards, "feedback store shard count (writes to different servers never contend)")
+		cacheSize   = fs.Int("assess-cache", 4096, "assessment cache entries (0 disables caching)")
+		reqTimeout  = fs.Duration("request-timeout", 10*time.Second, "per-request deadline; exceeding it yields a deadline_exceeded error frame (0 disables)")
+		drain       = fs.Duration("drain-timeout", repserver.DefaultDrainTimeout, "grace period for in-flight requests at shutdown")
+		slowLog     = fs.Duration("slow-log", 0, "log requests slower than this (0 disables)")
+		metricsAddr = fs.String("metrics-addr", "", "HTTP listen address serving GET /metricz stats (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,13 +84,19 @@ func run(args []string) error {
 		return err
 	}
 
+	// ctx ends on SIGINT/SIGTERM; it also bounds a ledger replay so a node
+	// told to stop mid-startup exits promptly.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	logger := log.New(os.Stderr, "trustd ", log.LstdFlags)
 	st := store.NewSharded(*shards)
 	serverCfg := repserver.Config{
 		Assessor: assessor, Store: st, Logger: logger, AssessCacheSize: *cacheSize,
+		RequestTimeout: *reqTimeout, DrainTimeout: *drain, SlowLogThreshold: *slowLog,
 	}
 	if *ledgerPath != "" {
-		ps, err := ledger.OpenStoreSharded(*ledgerPath, *shards)
+		ps, err := ledger.OpenStoreShardedContext(ctx, *ledgerPath, *shards)
 		if err != nil {
 			return err
 		}
@@ -94,7 +115,28 @@ func run(args []string) error {
 		return err
 	}
 	srv.Start()
-	logger.Printf("reputation server (%s) listening on %s", assessor.Name(), srv.Addr())
+	logger.Printf("reputation server (%s) listening on %s (request timeout %s, drain %s)",
+		assessor.Name(), srv.Addr(), *reqTimeout, *drain)
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(srv.Stats()); err != nil {
+				logger.Printf("metricz encode: %v", err)
+			}
+		})
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("metrics server: %v", err)
+			}
+		}()
+		logger.Printf("metrics on http://%s/metricz", *metricsAddr)
+	}
 
 	var node *gossip.Node
 	if *gossipAddr != "" {
@@ -116,16 +158,25 @@ func run(args []string) error {
 		logger.Printf("gossip node %q on %s (peers: %v)", *name, node.Addr(), peers)
 	}
 
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	<-sigc
-	logger.Printf("shutting down")
+	<-ctx.Done()
+	logger.Printf("shutting down (draining up to %s)", *drain)
+	if metricsSrv != nil {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := metricsSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("close metrics server: %v", err)
+		}
+		cancel()
+	}
 	if node != nil {
 		if err := node.Close(); err != nil {
 			logger.Printf("close gossip: %v", err)
 		}
 	}
-	return srv.Close()
+	err = srv.Close()
+	if raw, jerr := json.Marshal(srv.Stats()); jerr == nil {
+		logger.Printf("final stats: %s", raw)
+	}
+	return err
 }
 
 func trustFunc(name string, lambda float64) (trust.Func, error) {

@@ -37,6 +37,8 @@
 package honestplayer
 
 import (
+	"time"
+
 	"honestplayer/internal/attack"
 	"honestplayer/internal/behavior"
 	"honestplayer/internal/core"
@@ -46,6 +48,7 @@ import (
 	"honestplayer/internal/ledger"
 	"honestplayer/internal/repclient"
 	"honestplayer/internal/repserver"
+	"honestplayer/internal/service"
 	"honestplayer/internal/sim"
 	"honestplayer/internal/stats"
 	"honestplayer/internal/store"
@@ -319,21 +322,40 @@ func WilsonInterval(good, n int, z float64) (lo, hi float64, err error) {
 	return stats.WilsonInterval(good, n, z)
 }
 
-// Networked deployments (packages store, repserver, repclient, gossip).
+// Networked deployments (packages store, repserver, repclient, gossip,
+// service).
 type (
 	// FeedbackStore is the concurrent deduplicating record store.
 	FeedbackStore = store.Store
 	// Server is the TCP reputation server (central deployment).
 	Server = repserver.Server
-	// ServerConfig parameterises the reputation server.
+	// ServerConfig parameterises the reputation server (request timeout,
+	// drain grace period, slow-request logging, caching, …).
 	ServerConfig = repserver.Config
-	// Client is the reputation-server client.
+	// ServerStats is the server's counter snapshot, including per-type
+	// request/error counts and latency quantiles from the service layer.
+	ServerStats = repserver.Stats
+	// Client is the reputation-server client. Every method has a
+	// context-taking variant (PingCtx, AssessCtx, …) that derives the
+	// round-trip deadline from the context.
 	Client = repclient.Client
 	// GossipNode disseminates feedback by anti-entropy (P2P deployment).
 	GossipNode = gossip.Node
 	// GossipConfig parameterises a gossip node.
 	GossipConfig = gossip.Config
+	// ServiceMetrics aggregates per-request-type counters and latency
+	// histograms for any transport built on the service layer.
+	ServiceMetrics = service.Metrics
 )
+
+// ErrConnBroken reports a client connection poisoned by a transport
+// failure (timeout, desynchronised stream) that could not be transparently
+// re-established; see repclient.
+var ErrConnBroken = repclient.ErrConnBroken
+
+// WithClientTimeout overrides the client's default per-request timeout
+// (also the dial timeout).
+func WithClientTimeout(d time.Duration) repclient.Option { return repclient.WithTimeout(d) }
 
 // NewStore returns an empty feedback store.
 func NewStore() *FeedbackStore { return store.New() }

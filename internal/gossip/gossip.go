@@ -19,6 +19,7 @@ package gossip
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -59,6 +60,11 @@ type Node struct {
 	listener net.Listener
 	rng      *stats.RNG
 
+	// baseCtx is cancelled by Close so an in-flight anti-entropy round
+	// aborts instead of riding out its dial/IO deadlines.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
 	mu     sync.Mutex
 	peers  []string
 	closed bool
@@ -97,10 +103,13 @@ func New(addr string, cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gossip: listen %s: %w", addr, err)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	n := &Node{
 		cfg:      cfg,
 		listener: ln,
 		rng:      stats.NewRNG(cfg.Seed),
+		baseCtx:  ctx,
+		cancel:   cancel,
 		peers:    append([]string(nil), cfg.Peers...),
 		stop:     make(chan struct{}),
 	}
@@ -153,6 +162,7 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
+	n.cancel()
 	close(n.stop)
 	err := n.listener.Close()
 	n.mu.Unlock()
@@ -292,7 +302,7 @@ func (n *Node) gossipLoop() {
 		case <-n.stop:
 			return
 		case <-ticker.C:
-			if err := n.RoundOnce(); err != nil {
+			if err := n.RoundOnceCtx(n.baseCtx); err != nil && n.baseCtx.Err() == nil {
 				n.logf("%s: gossip round: %v", n.cfg.Name, err)
 			}
 		}
@@ -305,7 +315,12 @@ func (n *Node) gossipLoop() {
 // the missing records. After convergence a round therefore costs one
 // summary round trip. It is exported so tests and tools can drive
 // convergence deterministically.
-func (n *Node) RoundOnce() error {
+func (n *Node) RoundOnce() error { return n.RoundOnceCtx(n.baseCtx) }
+
+// RoundOnceCtx is RoundOnce bounded by ctx: the dial respects ctx, the
+// exchange deadline is the earlier of ctx's deadline and the node's IO
+// deadline, and cancellation (e.g. Close) aborts a round mid-exchange.
+func (n *Node) RoundOnceCtx(ctx context.Context) error {
 	n.mu.Lock()
 	if len(n.peers) == 0 {
 		n.mu.Unlock()
@@ -313,13 +328,25 @@ func (n *Node) RoundOnce() error {
 	}
 	peer := n.peers[n.rng.Intn(len(n.peers))]
 	n.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
-	conn, err := net.DialTimeout("tcp", peer, n.cfg.DialTimeout)
+	dialer := net.Dialer{Timeout: n.cfg.DialTimeout}
+	conn, err := dialer.DialContext(ctx, "tcp", peer)
 	if err != nil {
 		return fmt.Errorf("dial %s: %w", peer, err)
 	}
 	defer func() { _ = conn.Close() }()
-	_ = conn.SetDeadline(time.Now().Add(n.cfg.DialTimeout * 2))
+	deadline := time.Now().Add(n.cfg.DialTimeout * 2)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = conn.SetDeadline(deadline)
+	// Cancellation must interrupt a blocked read: close the conn when ctx
+	// fires mid-round.
+	stopWatch := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	defer stopWatch()
 	reader := bufio.NewReader(conn)
 
 	// Phase 1: summary exchange.

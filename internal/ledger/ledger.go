@@ -14,6 +14,7 @@ package ledger
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,11 +41,18 @@ type Ledger struct {
 // record, truncates any torn trailing line, and returns the ledger together
 // with the replayed records in file order.
 func Open(path string) (*Ledger, []feedback.Feedback, error) {
+	return OpenContext(context.Background(), path)
+}
+
+// OpenContext is Open with a cancellable replay: a large ledger replay
+// aborts promptly (with ctx's error) when the context is cancelled, e.g. a
+// node told to shut down mid-startup.
+func OpenContext(ctx context.Context, path string) (*Ledger, []feedback.Feedback, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("ledger: open %s: %w", path, err)
 	}
-	recs, intact, err := replay(f)
+	recs, intact, err := replay(ctx, f)
 	if err != nil {
 		cerr := f.Close()
 		if cerr != nil {
@@ -71,7 +79,10 @@ func Open(path string) (*Ledger, []feedback.Feedback, error) {
 
 // replay reads records until EOF or the first torn/corrupt line, returning
 // the records and the byte offset of the end of the last intact record.
-func replay(f *os.File) ([]feedback.Feedback, int64, error) {
+// Cancellation is checked every replayCheckEvery records so a multi-GB
+// replay stays responsive to shutdown without a per-line ctx cost.
+func replay(ctx context.Context, f *os.File) ([]feedback.Feedback, int64, error) {
+	const replayCheckEvery = 1024
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, fmt.Errorf("ledger: seek: %w", err)
 	}
@@ -81,6 +92,11 @@ func replay(f *os.File) ([]feedback.Feedback, int64, error) {
 	)
 	r := bufio.NewReader(f)
 	for {
+		if len(recs)%replayCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, fmt.Errorf("ledger: replay: %w", err)
+			}
+		}
 		line, err := r.ReadBytes('\n')
 		if err != nil {
 			if errors.Is(err, io.EOF) {
@@ -181,7 +197,12 @@ func OpenStore(path string) (*PersistentStore, error) {
 // OpenStoreSharded is OpenStore with an explicit shard count for the
 // in-memory store.
 func OpenStoreSharded(path string, shards int) (*PersistentStore, error) {
-	l, recs, err := Open(path)
+	return OpenStoreShardedContext(context.Background(), path, shards)
+}
+
+// OpenStoreShardedContext is OpenStoreSharded with a cancellable replay.
+func OpenStoreShardedContext(ctx context.Context, path string, shards int) (*PersistentStore, error) {
+	l, recs, err := OpenContext(ctx, path)
 	if err != nil {
 		return nil, err
 	}

@@ -1,10 +1,20 @@
 // Package repclient is the client library for the reputation server: it
 // submits feedback, fetches histories, and requests two-phase trust
 // assessments over the wire protocol.
+//
+// Every method has a context-taking variant (PingCtx, SubmitCtx, …) whose
+// deadline bounds the round trip; the plain methods delegate with a
+// background context and the client's configured timeout. After any
+// transport failure — timeout, short read, id mismatch, unattributable
+// error frame — the connection is poisoned (a late response could otherwise
+// be read as the answer to the next request) and the client transparently
+// redials on the next call; if the redial fails the error matches
+// ErrConnBroken.
 package repclient
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -21,6 +31,10 @@ const DefaultTimeout = 5 * time.Second
 // ErrClosed reports use of a closed client.
 var ErrClosed = errors.New("repclient: client closed")
 
+// ErrConnBroken reports that the connection was poisoned by an earlier
+// transport failure and could not be re-established.
+var ErrConnBroken = errors.New("repclient: connection broken")
+
 // Client is a synchronous reputation-server client. It is safe for
 // concurrent use; requests are serialised over one connection.
 type Client struct {
@@ -32,6 +46,10 @@ type Client struct {
 	reader *bufio.Reader
 	nextID uint64
 	closed bool
+	// broken marks the connection poisoned: a request died mid-round-trip,
+	// so a late response may still be in flight and the stream cannot be
+	// trusted to pair responses with requests. The next round trip redials.
+	broken bool
 }
 
 // Option configures a Client.
@@ -68,14 +86,46 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
+// redialLocked replaces a poisoned connection. Called with c.mu held.
+func (c *Client) redialLocked(ctx context.Context) error {
+	_ = c.conn.Close()
+	d := net.Dialer{Timeout: c.timeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("%w: redial %s: %v", ErrConnBroken, c.addr, err)
+	}
+	c.conn = conn
+	c.reader = bufio.NewReader(conn)
+	c.broken = false
+	return nil
+}
+
+// deadline derives the round-trip deadline: the context's deadline when it
+// has one, the configured timeout otherwise.
+func (c *Client) deadline(ctx context.Context) time.Time {
+	if d, ok := ctx.Deadline(); ok {
+		return d
+	}
+	return time.Now().Add(c.timeout)
+}
+
 // roundTrip sends one request and decodes the matching response into out
 // (skipped when out is nil). A TypeError response is returned as a
-// *wire.ErrorResponse error.
-func (c *Client) roundTrip(reqType, respType wire.MsgType, payload, out any) error {
+// *wire.ErrorResponse error. Any transport failure poisons the connection;
+// the next round trip redials.
+func (c *Client) roundTrip(ctx context.Context, reqType, respType wire.MsgType, payload, out any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("repclient: %s: %w", reqType, err)
+	}
+	if c.broken {
+		if err := c.redialLocked(ctx); err != nil {
+			return err
+		}
 	}
 	c.nextID++
 	id := c.nextID
@@ -83,19 +133,43 @@ func (c *Client) roundTrip(reqType, respType wire.MsgType, payload, out any) err
 	if err != nil {
 		return err
 	}
-	deadline := time.Now().Add(c.timeout)
-	if err := c.conn.SetDeadline(deadline); err != nil {
+	if err := c.conn.SetDeadline(c.deadline(ctx)); err != nil {
 		return fmt.Errorf("repclient: set deadline: %w", err)
 	}
+	// A cancelled context must interrupt a blocked read, not just a
+	// deadline: fire an immediate conn deadline on cancellation. The conn
+	// is captured directly (not via c) because roundTrip holds c.mu for the
+	// whole call; poking an already-replaced conn is harmless.
+	conn := c.conn
+	stop := context.AfterFunc(ctx, func() {
+		_ = conn.SetDeadline(time.Unix(1, 0))
+	})
+	defer stop()
 	if err := wire.Write(c.conn, env); err != nil {
-		return err
+		c.broken = true
+		return c.transportErr(ctx, reqType, err)
 	}
 	resp, err := wire.Read(c.reader)
 	if err != nil {
-		return fmt.Errorf("repclient: read response: %w", err)
+		c.broken = true
+		return c.transportErr(ctx, reqType, fmt.Errorf("read response: %w", err))
+	}
+	if resp.Type == wire.TypeError && resp.ID == wire.UnattributableID {
+		// The server could not parse a frame and cannot say which request
+		// the error answers; the stream is desynchronised (PROTOCOL.md
+		// documents id 0 as unattributable and connection-fatal).
+		c.broken = true
+		var e wire.ErrorResponse
+		if derr := wire.DecodePayload(resp, &e); derr != nil {
+			return derr
+		}
+		return fmt.Errorf("%w: unattributable server error: %v", ErrConnBroken, &e)
 	}
 	if resp.ID != id {
-		return fmt.Errorf("repclient: response id %d for request %d", resp.ID, id)
+		// A response for another id means an earlier abandoned request's
+		// late answer: drop the connection before it poisons anything else.
+		c.broken = true
+		return fmt.Errorf("%w: response id %d for request %d", ErrConnBroken, resp.ID, id)
 	}
 	if resp.Type == wire.TypeError {
 		var e wire.ErrorResponse
@@ -113,15 +187,32 @@ func (c *Client) roundTrip(reqType, respType wire.MsgType, payload, out any) err
 	return wire.DecodePayload(resp, out)
 }
 
+// transportErr dresses a transport failure, preferring the context's own
+// error when the failure was caused by cancellation or deadline expiry.
+func (c *Client) transportErr(ctx context.Context, reqType wire.MsgType, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("repclient: %s: %w", reqType, cerr)
+	}
+	return fmt.Errorf("repclient: %s: %w", reqType, err)
+}
+
 // Ping checks connectivity.
-func (c *Client) Ping() error {
-	return c.roundTrip(wire.TypePing, wire.TypePong, nil, nil)
+func (c *Client) Ping() error { return c.PingCtx(context.Background()) }
+
+// PingCtx is Ping bounded by ctx.
+func (c *Client) PingCtx(ctx context.Context) error {
+	return c.roundTrip(ctx, wire.TypePing, wire.TypePong, nil, nil)
 }
 
 // Submit stores one feedback record; it reports whether the record was new.
 func (c *Client) Submit(f feedback.Feedback) (bool, error) {
+	return c.SubmitCtx(context.Background(), f)
+}
+
+// SubmitCtx is Submit bounded by ctx.
+func (c *Client) SubmitCtx(ctx context.Context, f feedback.Feedback) (bool, error) {
 	var resp wire.SubmitResponse
-	if err := c.roundTrip(wire.TypeSubmit, wire.TypeSubmitR, wire.SubmitRequest{Feedback: f}, &resp); err != nil {
+	if err := c.roundTrip(ctx, wire.TypeSubmit, wire.TypeSubmitR, wire.SubmitRequest{Feedback: f}, &resp); err != nil {
 		return false, err
 	}
 	return resp.Stored, nil
@@ -132,8 +223,13 @@ func (c *Client) Submit(f feedback.Feedback) (bool, error) {
 // valid record is stored and each rejected one is listed with its request
 // index and reason.
 func (c *Client) SubmitBatchReport(recs []feedback.Feedback) (wire.BatchResponse, error) {
+	return c.SubmitBatchReportCtx(context.Background(), recs)
+}
+
+// SubmitBatchReportCtx is SubmitBatchReport bounded by ctx.
+func (c *Client) SubmitBatchReportCtx(ctx context.Context, recs []feedback.Feedback) (wire.BatchResponse, error) {
 	var resp wire.BatchResponse
-	err := c.roundTrip(wire.TypeBatch, wire.TypeBatchR, wire.BatchRequest{Records: recs}, &resp)
+	err := c.roundTrip(ctx, wire.TypeBatch, wire.TypeBatchR, wire.BatchRequest{Records: recs}, &resp)
 	return resp, err
 }
 
@@ -141,7 +237,12 @@ func (c *Client) SubmitBatchReport(recs []feedback.Feedback) (wire.BatchResponse
 // were new and how many duplicates. When the server rejected records, the
 // counts are returned together with an error naming the first rejection.
 func (c *Client) SubmitBatch(recs []feedback.Feedback) (stored, duplicates int, err error) {
-	resp, err := c.SubmitBatchReport(recs)
+	return c.SubmitBatchCtx(context.Background(), recs)
+}
+
+// SubmitBatchCtx is SubmitBatch bounded by ctx.
+func (c *Client) SubmitBatchCtx(ctx context.Context, recs []feedback.Feedback) (stored, duplicates int, err error) {
+	resp, err := c.SubmitBatchReportCtx(ctx, recs)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -157,9 +258,14 @@ func (c *Client) SubmitBatch(recs []feedback.Feedback) (stored, duplicates int, 
 // History fetches up to limit most recent records of a server (0 = server
 // default), along with the full history length.
 func (c *Client) History(server feedback.EntityID, limit int) ([]feedback.Feedback, int, error) {
+	return c.HistoryCtx(context.Background(), server, limit)
+}
+
+// HistoryCtx is History bounded by ctx.
+func (c *Client) HistoryCtx(ctx context.Context, server feedback.EntityID, limit int) ([]feedback.Feedback, int, error) {
 	var resp wire.HistoryResponse
 	req := wire.HistoryRequest{Server: server, Limit: limit}
-	if err := c.roundTrip(wire.TypeHistory, wire.TypeHistoryR, req, &resp); err != nil {
+	if err := c.roundTrip(ctx, wire.TypeHistory, wire.TypeHistoryR, req, &resp); err != nil {
 		return nil, 0, err
 	}
 	return resp.Records, resp.Total, nil
@@ -167,8 +273,13 @@ func (c *Client) History(server feedback.EntityID, limit int) ([]feedback.Feedba
 
 // Assess runs a server-side two-phase assessment and accept decision.
 func (c *Client) Assess(server feedback.EntityID, threshold float64) (wire.AssessResponse, error) {
+	return c.AssessCtx(context.Background(), server, threshold)
+}
+
+// AssessCtx is Assess bounded by ctx.
+func (c *Client) AssessCtx(ctx context.Context, server feedback.EntityID, threshold float64) (wire.AssessResponse, error) {
 	var resp wire.AssessResponse
 	req := wire.AssessRequest{Server: server, Threshold: threshold}
-	err := c.roundTrip(wire.TypeAssess, wire.TypeAssessR, req, &resp)
+	err := c.roundTrip(ctx, wire.TypeAssess, wire.TypeAssessR, req, &resp)
 	return resp, err
 }

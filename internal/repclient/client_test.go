@@ -2,6 +2,7 @@ package repclient
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -133,5 +134,202 @@ func TestClosedClient(t *testing.T) {
 	}
 	if err := c.Ping(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// multiServer accepts connections until the test ends and runs handler on
+// each, passing the 1-based accept index.
+func multiServer(t *testing.T, handler func(n int, conn net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for n := 1; ; n++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(n int, conn net.Conn) {
+				defer func() { _ = conn.Close() }()
+				handler(n, conn)
+			}(n, conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestPoisonedConnectionRedials is the regression test for the
+// late-response bug: the first request times out while the server is still
+// composing its answer; the late pong must never be read as the reply to
+// the second request. The client redials and the retry succeeds.
+func TestPoisonedConnectionRedials(t *testing.T) {
+	addr := multiServer(t, func(n int, conn net.Conn) {
+		r := bufio.NewReader(conn)
+		for {
+			env, err := wire.Read(r)
+			if err != nil {
+				return
+			}
+			if n == 1 {
+				// Answer the first connection's request well past the
+				// client timeout — a late pong poised to poison the stream.
+				time.Sleep(400 * time.Millisecond)
+			}
+			resp, _ := wire.Encode(wire.TypePong, env.ID, nil)
+			if err := wire.Write(conn, resp); err != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial(addr, WithTimeout(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	if err := c.Ping(); err == nil {
+		t.Fatal("first ping must time out")
+	}
+	// Without poisoning, this request would be sent on the old connection
+	// and read connection 1's late pong — whose id (1) would not match and
+	// previously desynchronised every later request. With poisoning the
+	// client redials and connection 2 answers promptly.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after redial: %v", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("third ping: %v", err)
+	}
+}
+
+// TestRedialFailureIsErrConnBroken: when the connection is poisoned and the
+// server is gone, the next call fails fast with ErrConnBroken.
+func TestRedialFailureIsErrConnBroken(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Swallow the request, never answer.
+		_, _ = wire.Read(bufio.NewReader(conn))
+		time.Sleep(2 * time.Second)
+		_ = conn.Close()
+	}()
+	c, err := Dial(ln.Addr().String(), WithTimeout(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping against silent server must time out")
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("err = %v, want ErrConnBroken", err)
+	}
+}
+
+// TestMismatchedResponseIDBreaksConn: a response for the wrong request id
+// poisons the connection; the next call redials.
+func TestMismatchedResponseIDBreaksConn(t *testing.T) {
+	addr := multiServer(t, func(n int, conn net.Conn) {
+		r := bufio.NewReader(conn)
+		for {
+			env, err := wire.Read(r)
+			if err != nil {
+				return
+			}
+			id := env.ID
+			if n == 1 {
+				id = 999
+			}
+			resp, _ := wire.Encode(wire.TypePong, id, nil)
+			if err := wire.Write(conn, resp); err != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial(addr, WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Ping(); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("err = %v, want ErrConnBroken", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after redial: %v", err)
+	}
+}
+
+// TestUnattributableErrorIsConnectionFatal: an error frame with id 0 means
+// the server could not tell which request failed (mid-frame read error), so
+// the stream is desynchronised and the client must redial.
+func TestUnattributableErrorIsConnectionFatal(t *testing.T) {
+	addr := multiServer(t, func(n int, conn net.Conn) {
+		r := bufio.NewReader(conn)
+		for {
+			env, err := wire.Read(r)
+			if err != nil {
+				return
+			}
+			if n == 1 {
+				resp, _ := wire.Encode(wire.TypeError, wire.UnattributableID,
+					wire.ErrorResponse{Code: wire.CodeBadRequest, Message: "bad frame"})
+				_ = wire.Write(conn, resp)
+				return
+			}
+			resp, _ := wire.Encode(wire.TypePong, env.ID, nil)
+			if err := wire.Write(conn, resp); err != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial(addr, WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Ping(); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("err = %v, want ErrConnBroken", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after redial: %v", err)
+	}
+}
+
+// TestCtxCancellationInterruptsBlockedRead: cancelling the context releases
+// a round trip blocked on a silent server, well before the client timeout.
+func TestCtxCancellationInterruptsBlockedRead(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		_, _ = wire.Read(bufio.NewReader(conn))
+		time.Sleep(2 * time.Second)
+	})
+	c, err := Dial(addr, WithTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err = c.PingCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation did not interrupt the blocked read promptly")
 	}
 }

@@ -1,6 +1,7 @@
 package repserver
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -65,15 +66,16 @@ func benchAssess(b *testing.B, cacheSize int) {
 		b.Fatal(err)
 	}
 	req := wire.AssessRequest{Server: "srv", Threshold: 0.9}
+	ctx := context.Background()
 	// Warm up calibration (and the cache, when enabled) outside the timer.
-	if _, code, msg := srv.assess(req); code != "" {
-		b.Fatalf("assess: %s %s", code, msg)
+	if _, err := srv.assess(ctx, req); err != nil {
+		b.Fatalf("assess: %v", err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, code, msg := srv.assess(req); code != "" {
-			b.Fatalf("assess: %s %s", code, msg)
+		if _, err := srv.assess(ctx, req); err != nil {
+			b.Fatalf("assess: %v", err)
 		}
 	}
 }
@@ -92,6 +94,7 @@ func BenchmarkAssessCached(b *testing.B) { benchAssess(b, 1024) }
 func BenchmarkAssessMixed(b *testing.B) {
 	for _, cacheSize := range []int{0, 1024} {
 		b.Run(fmt.Sprintf("cache=%d", cacheSize), func(b *testing.B) {
+			ctx := context.Background()
 			const servers = 8
 			srv := benchServer(b, cacheSize)
 			for s := 0; s < servers; s++ {
@@ -99,8 +102,8 @@ func BenchmarkAssessMixed(b *testing.B) {
 				if _, err := srv.Seed(benchHistoryRecs(name, 2000)); err != nil {
 					b.Fatal(err)
 				}
-				if _, code, msg := srv.assess(wire.AssessRequest{Server: name, Threshold: 0.9}); code != "" {
-					b.Fatalf("assess: %s %s", code, msg)
+				if _, err := srv.assess(ctx, wire.AssessRequest{Server: name, Threshold: 0.9}); err != nil {
+					b.Fatalf("assess: %v", err)
 				}
 			}
 			next := int64(100000)
@@ -121,8 +124,8 @@ func BenchmarkAssessMixed(b *testing.B) {
 					}
 					continue
 				}
-				if _, code, msg := srv.assess(wire.AssessRequest{Server: name, Threshold: 0.9}); code != "" {
-					b.Fatalf("assess: %s %s", code, msg)
+				if _, err := srv.assess(ctx, wire.AssessRequest{Server: name, Threshold: 0.9}); err != nil {
+					b.Fatalf("assess: %v", err)
 				}
 			}
 		})

@@ -4,26 +4,40 @@
 // behalf of clients.
 //
 // The server speaks the wire protocol over TCP, one goroutine per
-// connection, with a managed lifecycle: Serve runs until Close, which stops
-// the listener, closes active connections, and waits for all handlers to
-// exit.
+// connection. Requests are dispatched through the transport-agnostic
+// service layer (internal/service): per-type registered handlers wrapped in
+// an interceptor chain — panic recovery, per-type metrics, slow-request
+// logging, and per-request deadline enforcement — with a context threaded
+// from the accept loop into every handler.
+//
+// Shutdown is graceful: Close (or Shutdown with a caller context) stops the
+// listener, closes idle connections, lets in-flight requests finish within
+// a drain grace period, then cancels their contexts and force-closes
+// whatever remains.
 package repserver
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"log"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"honestplayer/internal/assesscache"
 	"honestplayer/internal/core"
 	"honestplayer/internal/feedback"
+	"honestplayer/internal/service"
 	"honestplayer/internal/store"
 	"honestplayer/internal/wire"
 )
+
+// DefaultDrainTimeout bounds how long Close waits for in-flight requests
+// before force-closing their connections.
+const DefaultDrainTimeout = 5 * time.Second
 
 // Recorder is the write path for incoming feedback. The default writes to
 // the in-memory store; deployments wanting durability pass a
@@ -49,6 +63,17 @@ type Config struct {
 	// AssessCacheSize bounds the assessment cache in entries; zero disables
 	// caching (every TypeAssess recomputes, the seed behaviour).
 	AssessCacheSize int
+	// RequestTimeout bounds each request's handler; a request exceeding it
+	// gets a deadline_exceeded error frame and the connection stays open.
+	// Zero means no per-request deadline.
+	RequestTimeout time.Duration
+	// DrainTimeout is the grace period Close gives in-flight requests
+	// before cancelling their contexts and force-closing connections; zero
+	// means DefaultDrainTimeout.
+	DrainTimeout time.Duration
+	// SlowLogThreshold logs any request slower than it via Logger; zero
+	// disables slow-request logging.
+	SlowLogThreshold time.Duration
 }
 
 // Stats exposes server counters.
@@ -59,6 +84,30 @@ type Stats struct {
 	// Cache carries the assessment-cache counters; all-zero when caching
 	// is disabled.
 	Cache assesscache.Stats `json:"cache"`
+	// PerType carries per-request-type counts, error counts, and latency
+	// quantiles from the service-layer metrics.
+	PerType service.Snapshot `json:"per_type,omitempty"`
+}
+
+// conn wraps one accepted connection with its drain state: Close shuts an
+// idle connection immediately but lets a busy one finish its in-flight
+// request first (the handle loop notices closing on the next idle
+// transition and exits).
+type conn struct {
+	nc net.Conn
+
+	mu      sync.Mutex
+	busy    bool
+	closing bool
+}
+
+// setBusy flips the busy flag and reports whether the server has started
+// draining this connection.
+func (c *conn) setBusy(b bool) (closing bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.busy = b
+	return c.closing
 }
 
 // Server is a TCP reputation server.
@@ -67,11 +116,18 @@ type Server struct {
 	listener net.Listener
 	cache    *assesscache.Cache // nil when AssessCacheSize is zero
 
+	pipeline service.Handler // registry dispatch wrapped in interceptors
+	metrics  *service.Metrics
+
+	baseCtx context.Context // cancelled to abort in-flight handlers
+	cancel  context.CancelFunc
+
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[*conn]struct{}
 	closed bool
 
-	wg sync.WaitGroup
+	wg     sync.WaitGroup // Serve/Start goroutines
+	connWg sync.WaitGroup // per-connection handle loops
 
 	nConns    atomic.Uint64
 	nRequests atomic.Uint64
@@ -92,19 +148,58 @@ func New(addr string, cfg Config) (*Server, error) {
 	if cfg.MaxHistoryChunk == 0 {
 		cfg.MaxHistoryChunk = 10000
 	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("repserver: listen %s: %w", addr, err)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	srv := &Server{
 		cfg:      cfg,
 		listener: ln,
-		conns:    make(map[net.Conn]struct{}),
+		conns:    make(map[*conn]struct{}),
+		metrics:  service.NewMetrics(),
+		baseCtx:  ctx,
+		cancel:   cancel,
 	}
 	if cfg.AssessCacheSize > 0 {
 		srv.cache = assesscache.New(cfg.AssessCacheSize)
 	}
+	srv.pipeline = srv.buildPipeline()
 	return srv, nil
+}
+
+// buildPipeline registers the per-type handlers and wraps dispatch in the
+// interceptor chain. Order, outermost first: panic recovery (nothing above
+// it may be skipped), metrics and slow-log (outside the deadline so a
+// timed-out request is observed at its timeout with a deadline error, not
+// whenever the abandoned handler finishes), then deadline enforcement. The
+// deadline interceptor always runs — even with RequestTimeout zero — so
+// that cancelling the server's base context during a forced shutdown
+// releases handle loops stuck on a stalled handler.
+func (s *Server) buildPipeline() service.Handler {
+	reg := service.NewRegistry()
+	reg.Register(wire.TypePing, s.handlePing)
+	reg.Register(wire.TypeSubmit, s.handleSubmit)
+	reg.Register(wire.TypeBatch, s.handleBatch)
+	reg.Register(wire.TypeHistory, s.handleHistory)
+	reg.Register(wire.TypeAssess, s.handleAssess)
+
+	dispatch := func(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+		h, ok := reg.Lookup(env.Type)
+		if !ok {
+			return wire.Envelope{}, service.Errorf(wire.CodeUnknownType, "%s", env.Type)
+		}
+		return h(ctx, env)
+	}
+	return service.Chain(dispatch,
+		service.Recover(s.logf),
+		service.WithMetrics(s.metrics),
+		service.SlowLog(s.logf, s.cfg.SlowLogThreshold),
+		service.Deadline(s.cfg.RequestTimeout),
+	)
 }
 
 // Addr returns the bound listener address.
@@ -119,6 +214,7 @@ func (s *Server) Stats() Stats {
 		Connections: s.nConns.Load(),
 		Requests:    s.nRequests.Load(),
 		Errors:      s.nErrors.Load(),
+		PerType:     s.metrics.Snapshot(),
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()
@@ -130,7 +226,7 @@ func (s *Server) Stats() Stats {
 // clean shutdown.
 func (s *Server) Serve() error {
 	for {
-		conn, err := s.listener.Accept()
+		nc, err := s.listener.Accept()
 		if err != nil {
 			s.mu.Lock()
 			closed := s.closed
@@ -140,19 +236,20 @@ func (s *Server) Serve() error {
 			}
 			return fmt.Errorf("repserver: accept: %w", err)
 		}
+		c := &conn{nc: nc}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			_ = conn.Close()
+			_ = nc.Close()
 			return nil
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[c] = struct{}{}
 		s.mu.Unlock()
 		s.nConns.Add(1)
-		s.wg.Add(1)
+		s.connWg.Add(1)
 		go func() {
-			defer s.wg.Done()
-			s.handle(conn)
+			defer s.connWg.Done()
+			s.handle(c)
 		}()
 	}
 }
@@ -168,21 +265,61 @@ func (s *Server) Start() {
 	}()
 }
 
-// Close stops the listener, closes every active connection, and waits for
-// all handlers to finish. It is idempotent.
+// Close gracefully shuts the server down with the configured DrainTimeout:
+// it stops accepting, closes idle connections, waits for in-flight
+// requests to complete, then force-closes whatever remains. It is
+// idempotent.
 func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// Shutdown is Close with a caller-supplied drain context: in-flight
+// requests may complete until ctx is done, after which their contexts are
+// cancelled and the connections force-closed. Shutdown always waits for
+// every handler goroutine to exit before returning.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.connWg.Wait()
 		s.wg.Wait()
 		return nil
 	}
 	s.closed = true
 	err := s.listener.Close()
-	for conn := range s.conns {
-		_ = conn.Close()
+	// Mark every connection draining; close the idle ones now (their handle
+	// loops are blocked in wire.Read and wake on the close). Busy ones get
+	// to finish their current request.
+	for c := range s.conns {
+		c.mu.Lock()
+		c.closing = true
+		if !c.busy {
+			_ = c.nc.Close()
+		}
+		c.mu.Unlock()
 	}
 	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.connWg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		// Grace period over: abort in-flight handlers and cut the wires.
+		s.cancel()
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-drained
+	}
+	s.cancel()
 	s.wg.Wait()
 	return err
 }
@@ -193,147 +330,182 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
+// handle serves one connection's request loop. Each request runs through
+// the service pipeline with the server's base context; handler errors
+// become error frames (the connection survives them), write failures end
+// the connection.
+func (s *Server) handle(c *conn) {
 	defer func() {
-		_ = conn.Close()
+		_ = c.nc.Close()
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.conns, c)
 		s.mu.Unlock()
 	}()
-	reader := bufio.NewReader(conn)
+	reader := bufio.NewReader(c.nc)
 	for {
+		if c.setBusy(false) {
+			return // draining and idle: stop before reading another request
+		}
 		env, err := wire.Read(reader)
 		if err != nil {
 			// EOF and closed connections are normal terminations; protocol
-			// violations get a best-effort error frame.
+			// violations get a best-effort error frame. When the frame could
+			// not be parsed env.ID is zero — wire.UnattributableID — which
+			// clients treat as connection-fatal, and the connection is
+			// indeed closed right after.
 			if errors.Is(err, wire.ErrBadMessage) || errors.Is(err, wire.ErrBadVersion) ||
 				errors.Is(err, wire.ErrFrameTooLarge) {
 				s.nErrors.Add(1)
-				_ = s.writeError(conn, env.ID, "bad_request", err.Error())
+				_ = wire.Write(c.nc, service.ErrorEnvelope(env.ID,
+					service.Errorf(wire.CodeBadRequest, "%v", err)))
 			}
 			return
 		}
+		// Claim the request under the conn lock: either we mark ourselves
+		// busy before the drain pass inspects this connection (so it stays
+		// open until the response is written), or the drain pass already
+		// closed it as idle and the frame cannot be answered.
+		c.mu.Lock()
+		if c.closing {
+			c.mu.Unlock()
+			return
+		}
+		c.busy = true
+		c.mu.Unlock()
 		s.nRequests.Add(1)
-		if err := s.dispatch(conn, env); err != nil {
+		resp, herr := s.pipeline(s.baseCtx, env)
+		if herr != nil {
 			s.nErrors.Add(1)
-			s.logf("conn %s: %v", conn.RemoteAddr(), err)
+			resp = service.ErrorEnvelope(env.ID, herr)
+		}
+		if err := wire.Write(c.nc, resp); err != nil {
+			s.nErrors.Add(1)
+			s.logf("conn %s: write %s response: %v", c.nc.RemoteAddr(), env.Type, err)
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(conn net.Conn, env wire.Envelope) error {
-	switch env.Type {
-	case wire.TypePing:
-		return s.reply(conn, wire.TypePong, env.ID, nil)
-	case wire.TypeSubmit:
-		var req wire.SubmitRequest
-		if err := wire.DecodePayload(env, &req); err != nil {
-			return s.writeError(conn, env.ID, "bad_request", err.Error())
-		}
-		stored, err := s.cfg.Recorder.Add(req.Feedback)
-		if err != nil {
-			return s.writeError(conn, env.ID, "invalid_feedback", err.Error())
-		}
-		return s.reply(conn, wire.TypeSubmitR, env.ID, wire.SubmitResponse{Stored: stored})
-	case wire.TypeBatch:
-		var req wire.BatchRequest
-		if err := wire.DecodePayload(env, &req); err != nil {
-			return s.writeError(conn, env.ID, "bad_request", err.Error())
-		}
-		var resp wire.BatchResponse
-		for i, rec := range req.Records {
-			stored, err := s.cfg.Recorder.Add(rec)
-			if err != nil {
-				// A bad record must not abort the batch: earlier records are
-				// already stored, so report it per record and keep going.
-				resp.Rejected = append(resp.Rejected, wire.BatchReject{Index: i, Reason: err.Error()})
-				continue
-			}
-			if stored {
-				resp.Stored++
-			} else {
-				resp.Duplicates++
-			}
-		}
-		return s.reply(conn, wire.TypeBatchR, env.ID, resp)
-	case wire.TypeHistory:
-		var req wire.HistoryRequest
-		if err := wire.DecodePayload(env, &req); err != nil {
-			return s.writeError(conn, env.ID, "bad_request", err.Error())
-		}
-		if req.Server == "" {
-			return s.writeError(conn, env.ID, "bad_request", "missing server")
-		}
-		recs := s.cfg.Store.Records(req.Server)
-		total := len(recs)
-		limit := req.Limit
-		if limit <= 0 || limit > s.cfg.MaxHistoryChunk {
-			limit = s.cfg.MaxHistoryChunk
-		}
-		if len(recs) > limit {
-			recs = recs[len(recs)-limit:]
-		}
-		return s.reply(conn, wire.TypeHistoryR, env.ID, wire.HistoryResponse{Records: recs, Total: total})
-	case wire.TypeAssess:
-		var req wire.AssessRequest
-		if err := wire.DecodePayload(env, &req); err != nil {
-			return s.writeError(conn, env.ID, "bad_request", err.Error())
-		}
-		resp, code, msg := s.assess(req)
-		if code != "" {
-			return s.writeError(conn, env.ID, code, msg)
-		}
-		return s.reply(conn, wire.TypeAssessR, env.ID, resp)
-	default:
-		return s.writeError(conn, env.ID, "unknown_type", string(env.Type))
+// Per-type handlers. Each takes the request context threaded from the
+// accept loop (bounded by the deadline interceptor) and returns either a
+// response envelope or an error the transport converts to an error frame.
+
+func (s *Server) handlePing(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+	return wire.Encode(wire.TypePong, env.ID, nil)
+}
+
+func (s *Server) handleSubmit(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+	var req wire.SubmitRequest
+	if err := wire.DecodePayload(env, &req); err != nil {
+		return wire.Envelope{}, service.Errorf(wire.CodeBadRequest, "%v", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return wire.Envelope{}, err
+	}
+	stored, err := s.cfg.Recorder.Add(req.Feedback)
+	if err != nil {
+		return wire.Envelope{}, service.Errorf(wire.CodeInvalidFeedback, "%v", err)
+	}
+	return wire.Encode(wire.TypeSubmitR, env.ID, wire.SubmitResponse{Stored: stored})
+}
+
+func (s *Server) handleBatch(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+	var req wire.BatchRequest
+	if err := wire.DecodePayload(env, &req); err != nil {
+		return wire.Envelope{}, service.Errorf(wire.CodeBadRequest, "%v", err)
+	}
+	var resp wire.BatchResponse
+	for i, rec := range req.Records {
+		// A cancelled request must stop writing, but records already stored
+		// stay stored — the client learns how far it got from the error.
+		if err := ctx.Err(); err != nil {
+			return wire.Envelope{}, err
+		}
+		stored, err := s.cfg.Recorder.Add(rec)
+		if err != nil {
+			// A bad record must not abort the batch: earlier records are
+			// already stored, so report it per record and keep going.
+			resp.Rejected = append(resp.Rejected, wire.BatchReject{Index: i, Reason: err.Error()})
+			continue
+		}
+		if stored {
+			resp.Stored++
+		} else {
+			resp.Duplicates++
+		}
+	}
+	return wire.Encode(wire.TypeBatchR, env.ID, resp)
+}
+
+func (s *Server) handleHistory(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+	var req wire.HistoryRequest
+	if err := wire.DecodePayload(env, &req); err != nil {
+		return wire.Envelope{}, service.Errorf(wire.CodeBadRequest, "%v", err)
+	}
+	if req.Server == "" {
+		return wire.Envelope{}, service.Errorf(wire.CodeBadRequest, "missing server")
+	}
+	if err := ctx.Err(); err != nil {
+		return wire.Envelope{}, err
+	}
+	recs := s.cfg.Store.Records(req.Server)
+	total := len(recs)
+	limit := req.Limit
+	if limit <= 0 || limit > s.cfg.MaxHistoryChunk {
+		limit = s.cfg.MaxHistoryChunk
+	}
+	if len(recs) > limit {
+		recs = recs[len(recs)-limit:]
+	}
+	return wire.Encode(wire.TypeHistoryR, env.ID, wire.HistoryResponse{Records: recs, Total: total})
+}
+
+func (s *Server) handleAssess(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+	var req wire.AssessRequest
+	if err := wire.DecodePayload(env, &req); err != nil {
+		return wire.Envelope{}, service.Errorf(wire.CodeBadRequest, "%v", err)
+	}
+	resp, err := s.assess(ctx, req)
+	if err != nil {
+		return wire.Envelope{}, err
+	}
+	return wire.Encode(wire.TypeAssessR, env.ID, resp)
 }
 
 // assess serves one TypeAssess request: history snapshot, cache probe,
-// two-phase assessment on miss. A non-empty code reports a request error.
+// two-phase assessment on miss.
 //
 // The cache key carries the store's per-server version, read atomically
 // with the history snapshot. Any accepted write bumps the version, so a
 // stale cached assessment can never be served: its version no longer
 // matches and the lookup falls through to recomputation.
-func (s *Server) assess(req wire.AssessRequest) (resp wire.AssessResponse, code, msg string) {
+func (s *Server) assess(ctx context.Context, req wire.AssessRequest) (wire.AssessResponse, error) {
+	var resp wire.AssessResponse
 	if req.Server == "" {
-		return resp, "bad_request", "missing server"
+		return resp, service.Errorf(wire.CodeBadRequest, "missing server")
 	}
 	h, version := s.cfg.Store.Snapshot(req.Server)
 	if h.Len() == 0 {
-		return resp, "unknown_server", fmt.Sprintf("no records for %q", req.Server)
+		return resp, service.Errorf(wire.CodeUnknownServer, "no records for %q", req.Server)
 	}
 	if s.cache != nil {
 		if res, ok := s.cache.Get(req.Server, version, req.Threshold); ok {
-			return wire.AssessResponse{Assessment: res.Assessment, Accept: res.Accept, Cached: true}, "", ""
+			return wire.AssessResponse{Assessment: res.Assessment, Accept: res.Accept, Cached: true}, nil
 		}
+	}
+	// The two-phase computation is the expensive part; don't start it for a
+	// request whose deadline already expired.
+	if err := ctx.Err(); err != nil {
+		return resp, err
 	}
 	accept, a, err := s.cfg.Assessor.Accept(h, req.Threshold)
 	if err != nil {
-		return resp, "assessment_failed", err.Error()
+		return resp, service.Errorf(wire.CodeAssessmentFailed, "%v", err)
 	}
 	if s.cache != nil {
 		s.cache.Put(req.Server, version, req.Threshold, assesscache.Result{Assessment: a, Accept: accept})
 	}
-	return wire.AssessResponse{Assessment: a, Accept: accept}, "", ""
-}
-
-func (s *Server) reply(conn net.Conn, t wire.MsgType, id uint64, payload any) error {
-	env, err := wire.Encode(t, id, payload)
-	if err != nil {
-		return err
-	}
-	return wire.Write(conn, env)
-}
-
-func (s *Server) writeError(conn net.Conn, id uint64, code, msg string) error {
-	env, err := wire.Encode(wire.TypeError, id, wire.ErrorResponse{Code: code, Message: msg})
-	if err != nil {
-		return err
-	}
-	return wire.Write(conn, env)
+	return wire.AssessResponse{Assessment: a, Accept: accept}, nil
 }
 
 // Seed loads records into the store directly (bypassing the network), for

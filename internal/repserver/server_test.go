@@ -2,6 +2,7 @@ package repserver
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"net"
 	"path/filepath"
@@ -18,6 +19,43 @@ import (
 	"honestplayer/internal/trust"
 	"honestplayer/internal/wire"
 )
+
+// blockingTester stalls every behaviour test until released, so tests can
+// hold an assess request in flight deterministically. started is signalled
+// once per Test call.
+type blockingTester struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (bt *blockingTester) Name() string { return "blocking" }
+
+func (bt *blockingTester) Test(h *feedback.History) (behavior.Verdict, error) {
+	select {
+	case bt.started <- struct{}{}:
+	default:
+	}
+	<-bt.release
+	return behavior.Verdict{Honest: true}, nil
+}
+
+// blockingServer starts a server whose assess path stalls until the
+// returned tester is released.
+func blockingServer(t *testing.T, cfg Config) (*Server, *blockingTester) {
+	t.Helper()
+	bt := &blockingTester{started: make(chan struct{}, 1), release: make(chan struct{})}
+	tp, err := core.NewTwoPhase(bt, trust.Average{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Assessor = tp
+	srv, err := New("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	return srv, bt
+}
 
 func testAssessor(t *testing.T) *core.TwoPhase {
 	t.Helper()
@@ -568,5 +606,171 @@ func TestAssessCacheEndToEnd(t *testing.T) {
 	st := srv.Stats()
 	if st.Cache.Hits != 1 || st.Cache.Misses != 3 || st.Cache.Invalidations != 1 {
 		t.Fatalf("cache stats = %+v", st.Cache)
+	}
+}
+
+// TestRequestDeadlineExceeded drives the acceptance criterion end to end: a
+// TypeAssess request whose handler stalls past RequestTimeout must yield a
+// deadline_exceeded error frame — not a hung connection — and the
+// connection must stay usable afterwards.
+func TestRequestDeadlineExceeded(t *testing.T) {
+	srv, bt := blockingServer(t, Config{RequestTimeout: 80 * time.Millisecond})
+	t.Cleanup(func() {
+		close(bt.release) // let the abandoned handler goroutine finish
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	c := dial(t, srv)
+	if _, err := c.Submit(rec("slow", "alice", true, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, err := c.Assess("slow", 0.9)
+	var remote *wire.ErrorResponse
+	if !errors.As(err, &remote) || remote.Code != wire.CodeDeadlineExceeded {
+		t.Fatalf("err = %v, want %s error frame", err, wire.CodeDeadlineExceeded)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline reply took %s", elapsed)
+	}
+	// The connection survives a deadline error: the error frame carried the
+	// request id, so the stream is still synchronised.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after deadline error: %v", err)
+	}
+
+	st := srv.Stats()
+	assess := st.PerType[string(wire.TypeAssess)]
+	if assess.Requests == 0 || assess.Errors == 0 {
+		t.Fatalf("assess metrics = %+v", assess)
+	}
+	if ping := st.PerType[string(wire.TypePing)]; ping.Requests == 0 || ping.Errors != 0 {
+		t.Fatalf("ping metrics = %+v", ping)
+	}
+}
+
+// TestGracefulShutdownDrainsInFlight verifies the drain path: a request in
+// flight when Close starts completes and its response is delivered, while
+// the listener refuses new connections.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	srv, bt := blockingServer(t, Config{DrainTimeout: 5 * time.Second})
+	c := dial(t, srv)
+	if _, err := c.Submit(rec("srv", "alice", true, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	type assessResult struct {
+		resp wire.AssessResponse
+		err  error
+	}
+	got := make(chan assessResult, 1)
+	go func() {
+		resp, err := c.Assess("srv", 0.9)
+		got <- assessResult{resp, err}
+	}()
+	<-bt.started // the assess request is now in flight
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+
+	// New connections are refused while draining (listener already closed).
+	refusedBy := time.Now().Add(2 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			break
+		}
+		// A connection accepted in the closing race is cut without service.
+		_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+		if _, rerr := wire.Read(bufio.NewReader(conn)); rerr != nil {
+			_ = conn.Close()
+			break
+		}
+		_ = conn.Close()
+		if time.Now().After(refusedBy) {
+			t.Fatal("server still accepting connections while draining")
+		}
+	}
+
+	// Release the handler: the drained request must complete successfully.
+	close(bt.release)
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatalf("in-flight assess failed during drain: %v", r.err)
+		}
+		if !r.resp.Accept {
+			t.Fatalf("assess resp = %+v", r.resp)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight assess never completed")
+	}
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after drain")
+	}
+}
+
+// TestCloseForceTerminatesStalledRequest: a handler that never returns (and
+// a client that never hangs up) must not hold Close past the drain grace
+// period — the base context is cancelled and the connection force-closed.
+func TestCloseForceTerminatesStalledRequest(t *testing.T) {
+	srv, bt := blockingServer(t, Config{DrainTimeout: 150 * time.Millisecond})
+	t.Cleanup(func() { close(bt.release) })
+	c := dial(t, srv)
+	if _, err := c.Submit(rec("srv", "alice", true, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := c.Assess("srv", 0.9)
+		got <- err
+	}()
+	<-bt.started
+
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Close took %s with a stalled request", elapsed)
+	}
+	// The stalled client observes a dead connection, not a hang.
+	select {
+	case err := <-got:
+		if err == nil {
+			t.Fatal("stalled assess succeeded after force-close")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("client still blocked after force-close")
+	}
+}
+
+// TestShutdownHonoursCallerContext: Shutdown with an already-expired
+// context still waits for handlers but force-closes immediately.
+func TestShutdownHonoursCallerContext(t *testing.T) {
+	srv, bt := blockingServer(t, Config{})
+	t.Cleanup(func() { close(bt.release) })
+	c := dial(t, srv)
+	if _, err := c.Submit(rec("srv", "alice", true, 1)); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = c.Assess("srv", 0.9) }()
+	<-bt.started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Shutdown took %s with a cancelled context", elapsed)
 	}
 }

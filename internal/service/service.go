@@ -1,0 +1,192 @@
+// Package service is the transport-agnostic request layer shared by the
+// serving stack: a handler registry keyed by message type, wrapped in a
+// composable interceptor chain (panic recovery, per-request deadline
+// enforcement, per-type metrics, slow-request logging).
+//
+// The registry decouples "what a request does" from "how its bytes arrive":
+// handlers see only a context and an envelope, so the same pipeline serves
+// TCP today and can serve pooled/multiplexed transports later. Interceptors
+// compose like gRPC middleware — each wraps the next handler and may
+// short-circuit (the deadline interceptor abandons a stalled handler and
+// returns context.DeadlineExceeded while the handler goroutine winds down
+// on its own).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"honestplayer/internal/wire"
+)
+
+// Handler serves one request envelope. The returned envelope is written
+// back to the caller; a non-nil error is converted to a TypeError frame
+// (see ErrorEnvelope) carrying the request id.
+type Handler func(ctx context.Context, env wire.Envelope) (wire.Envelope, error)
+
+// Interceptor wraps a handler with cross-cutting behaviour. The first
+// interceptor passed to Chain is the outermost.
+type Interceptor func(next Handler) Handler
+
+// Registry maps message types to handlers.
+type Registry struct {
+	handlers map[wire.MsgType]Handler
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{handlers: make(map[wire.MsgType]Handler)}
+}
+
+// Register binds a handler to a message type, replacing any previous
+// binding. Registration is not synchronised: register everything before
+// serving.
+func (r *Registry) Register(t wire.MsgType, h Handler) {
+	if h == nil {
+		panic("service: nil handler for " + string(t))
+	}
+	r.handlers[t] = h
+}
+
+// Lookup returns the handler for a message type.
+func (r *Registry) Lookup(t wire.MsgType) (Handler, bool) {
+	h, ok := r.handlers[t]
+	return h, ok
+}
+
+// Types returns the registered message types in sorted order.
+func (r *Registry) Types() []wire.MsgType {
+	out := make([]wire.MsgType, 0, len(r.handlers))
+	for t := range r.handlers {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Chain wraps h in the given interceptors; the first interceptor is the
+// outermost (runs first on the way in, last on the way out).
+func Chain(h Handler, interceptors ...Interceptor) Handler {
+	for i := len(interceptors) - 1; i >= 0; i-- {
+		h = interceptors[i](h)
+	}
+	return h
+}
+
+// Errorf builds a protocol error with an explicit code. Handlers return it
+// to produce a typed error frame instead of a generic internal error.
+func Errorf(code, format string, args ...any) error {
+	return &wire.ErrorResponse{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrorEnvelope converts a handler error into a TypeError envelope for the
+// given request id. Protocol errors (*wire.ErrorResponse) keep their code;
+// context expiry maps to wire.CodeDeadlineExceeded / wire.CodeCanceled;
+// everything else is wire.CodeInternal.
+func ErrorEnvelope(id uint64, err error) wire.Envelope {
+	resp := wire.ErrorResponse{Code: wire.CodeInternal, Message: err.Error()}
+	var proto *wire.ErrorResponse
+	switch {
+	case errors.As(err, &proto):
+		resp = *proto
+	case errors.Is(err, context.DeadlineExceeded):
+		resp.Code = wire.CodeDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		resp.Code = wire.CodeCanceled
+	}
+	env, encErr := wire.Encode(wire.TypeError, id, resp)
+	if encErr != nil {
+		// An ErrorResponse always marshals; this is unreachable, but never
+		// return a zero envelope from an error path.
+		env, _ = wire.Encode(wire.TypeError, id, wire.ErrorResponse{Code: wire.CodeInternal, Message: "encode error response"})
+	}
+	return env
+}
+
+// Recover returns an interceptor converting handler panics into internal
+// errors so one bad request cannot take down the whole process. logf
+// receives a diagnostic line (nil disables logging).
+func Recover(logf func(format string, args ...any)) Interceptor {
+	return func(next Handler) Handler {
+		return func(ctx context.Context, env wire.Envelope) (out wire.Envelope, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					if logf != nil {
+						logf("panic serving %s id=%d: %v", env.Type, env.ID, r)
+					}
+					out, err = wire.Envelope{}, Errorf(wire.CodeInternal, "internal error serving %s", env.Type)
+				}
+			}()
+			return next(ctx, env)
+		}
+	}
+}
+
+// Deadline returns an interceptor that bounds each request to d (no bound
+// when d <= 0) and enforces context cancellation even against a handler
+// that never returns: the handler runs on its own goroutine and the
+// interceptor abandons it when the context expires first, returning
+// ctx.Err(). The abandoned goroutine finishes in the background; its result
+// is discarded through a buffered channel so it never blocks.
+func Deadline(d time.Duration) Interceptor {
+	return func(next Handler) Handler {
+		return func(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+			if d > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, d)
+				defer cancel()
+			}
+			type result struct {
+				env wire.Envelope
+				err error
+			}
+			done := make(chan result, 1)
+			go func() {
+				env, err := next(ctx, env)
+				done <- result{env, err}
+			}()
+			select {
+			case r := <-done:
+				return r.env, r.err
+			case <-ctx.Done():
+				return wire.Envelope{}, ctx.Err()
+			}
+		}
+	}
+}
+
+// WithMetrics returns an interceptor recording per-type request counts,
+// error counts, and latency into m. It sits outside the deadline
+// interceptor so a timed-out request is observed at its timeout (with a
+// deadline_exceeded error), not whenever the abandoned handler finishes.
+func WithMetrics(m *Metrics) Interceptor {
+	return func(next Handler) Handler {
+		return func(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+			start := time.Now()
+			out, err := next(ctx, env)
+			m.Observe(env.Type, time.Since(start), err != nil)
+			return out, err
+		}
+	}
+}
+
+// SlowLog returns an interceptor logging any request slower than threshold
+// (disabled when threshold <= 0 or logf is nil).
+func SlowLog(logf func(format string, args ...any), threshold time.Duration) Interceptor {
+	return func(next Handler) Handler {
+		if threshold <= 0 || logf == nil {
+			return next
+		}
+		return func(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+			start := time.Now()
+			out, err := next(ctx, env)
+			if elapsed := time.Since(start); elapsed >= threshold {
+				logf("slow request: %s id=%d took %s (err=%v)", env.Type, env.ID, elapsed, err)
+			}
+			return out, err
+		}
+	}
+}

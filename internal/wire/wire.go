@@ -51,6 +51,36 @@ const (
 	TypeError    MsgType = "error"
 )
 
+// Error codes carried by ErrorResponse frames. Servers use these; clients
+// match on them (string-compare or errors.As on *ErrorResponse).
+const (
+	// CodeBadRequest reports a malformed or incomplete request payload.
+	CodeBadRequest = "bad_request"
+	// CodeInvalidFeedback reports a feedback record failing validation.
+	CodeInvalidFeedback = "invalid_feedback"
+	// CodeUnknownServer reports an assessment of a server with no records.
+	CodeUnknownServer = "unknown_server"
+	// CodeAssessmentFailed reports a two-phase assessment error.
+	CodeAssessmentFailed = "assessment_failed"
+	// CodeUnknownType reports an unregistered request type.
+	CodeUnknownType = "unknown_type"
+	// CodeDeadlineExceeded reports a request that exceeded the server's
+	// per-request deadline; the connection stays usable.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeCanceled reports a request abandoned because the server is
+	// shutting down past its drain grace period.
+	CodeCanceled = "canceled"
+	// CodeInternal reports an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// UnattributableID is the envelope id used in error frames that cannot be
+// correlated to a request — typically a frame the server failed to parse.
+// Clients never issue request id 0 (ids start at 1), so an error frame with
+// id 0 is connection-fatal: the stream may be desynchronised and the client
+// must redial.
+const UnattributableID uint64 = 0
+
 // Protocol errors.
 var (
 	// ErrFrameTooLarge reports a frame above MaxFrame.
