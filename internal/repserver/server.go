@@ -122,9 +122,10 @@ type Server struct {
 	baseCtx context.Context // cancelled to abort in-flight handlers
 	cancel  context.CancelFunc
 
-	mu     sync.Mutex
-	conns  map[*conn]struct{}
-	closed bool
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	closed   bool
+	closeErr error // listener-close error from the first Shutdown
 
 	wg     sync.WaitGroup // Serve/Start goroutines
 	connWg sync.WaitGroup // per-connection handle loops
@@ -277,18 +278,32 @@ func (s *Server) Close() error {
 
 // Shutdown is Close with a caller-supplied drain context: in-flight
 // requests may complete until ctx is done, after which their contexts are
-// cancelled and the connections force-closed. Shutdown always waits for
-// every handler goroutine to exit before returning.
+// cancelled and the connections force-closed. The first call owns the drain
+// and always waits for every handler goroutine to exit before returning;
+// concurrent calls wait for that drain only until their own ctx expires
+// (returning ctx.Err()), and otherwise report the first call's
+// listener-close error.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
+		closeErr := s.closeErr
 		s.mu.Unlock()
-		s.connWg.Wait()
-		s.wg.Wait()
-		return nil
+		drained := make(chan struct{})
+		go func() {
+			s.connWg.Wait()
+			s.wg.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+			return closeErr
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	s.closed = true
 	err := s.listener.Close()
+	s.closeErr = err
 	// Mark every connection draining; close the idle ones now (their handle
 	// loops are blocked in wire.Read and wake on the close). Busy ones get
 	// to finish their current request.
@@ -349,14 +364,16 @@ func (s *Server) handle(c *conn) {
 		env, err := wire.Read(reader)
 		if err != nil {
 			// EOF and closed connections are normal terminations; protocol
-			// violations get a best-effort error frame. When the frame could
-			// not be parsed env.ID is zero — wire.UnattributableID — which
-			// clients treat as connection-fatal, and the connection is
-			// indeed closed right after.
+			// violations get a best-effort error frame. The frame is forced
+			// to wire.UnattributableID — even when the offending request's
+			// own id parsed (bad version, missing type) — because the server
+			// closes the connection right after, and id 0 is the documented
+			// connection-fatal signal that makes clients poison it
+			// immediately instead of on their next call.
 			if errors.Is(err, wire.ErrBadMessage) || errors.Is(err, wire.ErrBadVersion) ||
 				errors.Is(err, wire.ErrFrameTooLarge) {
 				s.nErrors.Add(1)
-				_ = wire.Write(c.nc, service.ErrorEnvelope(env.ID,
+				_ = wire.Write(c.nc, service.ErrorEnvelope(wire.UnattributableID,
 					service.Errorf(wire.CodeBadRequest, "%v", err)))
 			}
 			return

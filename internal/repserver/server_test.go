@@ -248,6 +248,47 @@ func TestMalformedFrameGetsErrorAndClose(t *testing.T) {
 	if env.Type != wire.TypeError {
 		t.Fatalf("type = %s", env.Type)
 	}
+	if env.ID != wire.UnattributableID {
+		t.Fatalf("error frame id = %d, want %d", env.ID, wire.UnattributableID)
+	}
+}
+
+// TestBadVersionFrameErrorIsUnattributable: a frame whose envelope parses
+// (so its id is known) but carries a bad protocol version still gets an
+// id-0 error frame — the server closes the connection afterwards, and id 0
+// is the documented connection-fatal signal. Echoing the request id here
+// would make the client treat it as an ordinary per-request error and only
+// notice the dead connection on its next call.
+func TestBadVersionFrameErrorIsUnattributable(t *testing.T) {
+	srv := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Write([]byte(`{"v":99,"type":"ping","id":9}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	reader := bufio.NewReader(conn)
+	env, err := wire.Read(reader)
+	if err != nil {
+		t.Fatalf("expected error frame, got %v", err)
+	}
+	if env.Type != wire.TypeError || env.ID != wire.UnattributableID {
+		t.Fatalf("env = %+v, want %s with id %d", env, wire.TypeError, wire.UnattributableID)
+	}
+	var e wire.ErrorResponse
+	if err := wire.DecodePayload(env, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != wire.CodeBadRequest {
+		t.Fatalf("code = %q", e.Code)
+	}
+	// The connection is closed right after the error frame.
+	if _, err := wire.Read(reader); err == nil {
+		t.Fatal("connection still open after bad-version frame")
+	}
 }
 
 func TestUnknownMessageType(t *testing.T) {
@@ -772,5 +813,57 @@ func TestShutdownHonoursCallerContext(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 3*time.Second {
 		t.Fatalf("Shutdown took %s with a cancelled context", elapsed)
+	}
+}
+
+// TestConcurrentShutdownHonoursOwnContext: while the first Shutdown owns
+// the drain (held open by a stalled handler), a second Shutdown whose
+// context has already expired must return ctx.Err() promptly instead of
+// blocking unboundedly on the drain.
+func TestConcurrentShutdownHonoursOwnContext(t *testing.T) {
+	srv, bt := blockingServer(t, Config{DrainTimeout: 10 * time.Second})
+	c := dial(t, srv)
+	if _, err := c.Submit(rec("srv", "alice", true, 1)); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = c.Assess("srv", 0.9) }()
+	<-bt.started
+
+	firstDone := make(chan error, 1)
+	go func() { firstDone <- srv.Close() }() // owns the drain
+	// Wait until the first call has marked the server closed.
+	for {
+		srv.mu.Lock()
+		closed := srv.closed
+		srv.mu.Unlock()
+		if closed {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := srv.Shutdown(expired); !errors.Is(err, context.Canceled) {
+		t.Fatalf("concurrent shutdown err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("concurrent Shutdown blocked %s past its context", elapsed)
+	}
+
+	// Release the handler so the first call's drain completes; a later
+	// Shutdown with a live context reports the first call's close error.
+	close(bt.release)
+	select {
+	case err := <-firstDone:
+		if err != nil {
+			t.Fatalf("first close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("first Close never returned after release")
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("post-drain shutdown: %v", err)
 	}
 }

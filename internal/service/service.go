@@ -106,8 +106,20 @@ func ErrorEnvelope(id uint64, err error) wire.Envelope {
 	return env
 }
 
+// panicError carries a panic value recovered on another goroutine (the
+// Deadline interceptor's handler goroutine) back to the calling chain as an
+// ordinary error, so Recover can log and convert it even though a deferred
+// recover() on the calling goroutine could never catch it.
+type panicError struct {
+	value any
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("panic: %v", p.value) }
+
 // Recover returns an interceptor converting handler panics into internal
-// errors so one bad request cannot take down the whole process. logf
+// errors so one bad request cannot take down the whole process. It handles
+// both panics on the calling goroutine and panics recovered on the Deadline
+// interceptor's handler goroutine (surfaced as a *panicError). logf
 // receives a diagnostic line (nil disables logging).
 func Recover(logf func(format string, args ...any)) Interceptor {
 	return func(next Handler) Handler {
@@ -120,7 +132,15 @@ func Recover(logf func(format string, args ...any)) Interceptor {
 					out, err = wire.Envelope{}, Errorf(wire.CodeInternal, "internal error serving %s", env.Type)
 				}
 			}()
-			return next(ctx, env)
+			out, err = next(ctx, env)
+			var pe *panicError
+			if errors.As(err, &pe) {
+				if logf != nil {
+					logf("panic serving %s id=%d: %v", env.Type, env.ID, pe.value)
+				}
+				out, err = wire.Envelope{}, Errorf(wire.CodeInternal, "internal error serving %s", env.Type)
+			}
+			return out, err
 		}
 	}
 }
@@ -145,6 +165,15 @@ func Deadline(d time.Duration) Interceptor {
 			}
 			done := make(chan result, 1)
 			go func() {
+				// recover() only catches panics on its own goroutine, so an
+				// outer Recover interceptor cannot see a panic raised here.
+				// Convert it to a *panicError result instead; Recover treats
+				// that error exactly like a direct panic.
+				defer func() {
+					if r := recover(); r != nil {
+						done <- result{wire.Envelope{}, &panicError{value: r}}
+					}
+				}()
 				env, err := next(ctx, env)
 				done <- result{env, err}
 			}()

@@ -86,6 +86,44 @@ func TestRecoverInterceptor(t *testing.T) {
 	}
 }
 
+// TestRecoverCatchesPanicAcrossDeadlineGoroutine is the regression test for
+// the full server pipeline shape: Deadline runs the handler on its own
+// goroutine, where a deferred recover() in Recover (on the calling
+// goroutine) can never catch a panic. The Deadline goroutine must convert
+// the panic into an error that Recover logs and maps to an internal error —
+// without it, a panicking handler kills the whole process.
+func TestRecoverCatchesPanicAcrossDeadlineGoroutine(t *testing.T) {
+	panicking := func(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+		panic("boom across goroutines")
+	}
+	for _, d := range []time.Duration{time.Second, 0} { // deadline set and unset
+		var logged string
+		h := Chain(panicking, Recover(func(format string, args ...any) {
+			logged = format
+		}), Deadline(d))
+		_, err := h(context.Background(), wire.Envelope{Type: wire.TypePing, ID: 3})
+		var proto *wire.ErrorResponse
+		if !errors.As(err, &proto) || proto.Code != wire.CodeInternal {
+			t.Fatalf("Deadline(%v): err = %v", d, err)
+		}
+		if !strings.Contains(logged, "panic") {
+			t.Fatalf("Deadline(%v): panic not logged: %q", d, logged)
+		}
+	}
+}
+
+// TestDeadlineAloneSurvivesPanic: even without Recover above it, a panic on
+// the Deadline goroutine must surface as an error, not crash the process.
+func TestDeadlineAloneSurvivesPanic(t *testing.T) {
+	h := Chain(func(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+		panic("boom")
+	}, Deadline(time.Second))
+	_, err := h(context.Background(), wire.Envelope{Type: wire.TypePing})
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
 func TestDeadlineInterceptorStallsReturnDeadlineExceeded(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
