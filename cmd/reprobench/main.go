@@ -6,6 +6,7 @@
 //	reprobench -fig all            # every figure, full workloads
 //	reprobench -fig 3 -quick      # one figure, reduced workload
 //	reprobench -fig all -csv out/  # also write out/fig3.csv …
+//	reprobench -incrbench          # incremental engine vs recompute (JSON)
 package main
 
 import (
@@ -36,9 +37,14 @@ func run(args []string, out *os.File) error {
 		csvDir = fs.String("csv", "", "directory to write <fig>.csv files into (optional)")
 		plot   = fs.Bool("plot", false, "also render an ASCII plot of each figure")
 		asJSON = fs.Bool("json", false, "emit JSON instead of tables")
+		incr   = fs.Bool("incrbench", false, "benchmark the incremental assessment engine against the cache-invalidated recompute path and emit a JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *incr {
+		return runIncrBench(out, *seed, *quick)
 	}
 
 	ids, err := selectFigures(*fig)

@@ -1,8 +1,33 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 )
+
+func TestRunIncrBenchQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runIncrBench(&buf, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	var report incrBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(report.Sizes) != 1 {
+		t.Fatalf("sizes = %+v", report.Sizes)
+	}
+	r := report.Sizes[0]
+	if r.History != 1000 || r.RecomputeNsOp <= 0 || r.IncrementalNsOp <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	// The speedup varies with machine and history size; what must always
+	// hold is the differential guarantee.
+	if !r.AssessmentsMatch {
+		t.Fatalf("incremental and recompute assessments diverged: %+v", r)
+	}
+}
 
 func TestSelectFigures(t *testing.T) {
 	all, err := selectFigures("all")

@@ -13,6 +13,7 @@
 //	trustd -addr 127.0.0.1:7700 -scheme multi -trust average
 //	trustd -addr :7700 -gossip :7701 -peers host2:7701,host3:7701
 //	trustd -addr :7700 -request-timeout 2s -drain-timeout 10s -metrics-addr 127.0.0.1:7780
+//	trustd -addr :7700 -incremental        # O(windows) assessments under writes
 package main
 
 import (
@@ -40,13 +41,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(context.Background(), os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "trustd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("trustd", flag.ContinueOnError)
 	var (
 		addr        = fs.String("addr", "127.0.0.1:7700", "reputation server listen address")
@@ -66,6 +67,7 @@ func run(args []string) error {
 		drain       = fs.Duration("drain-timeout", repserver.DefaultDrainTimeout, "grace period for in-flight requests at shutdown")
 		slowLog     = fs.Duration("slow-log", 0, "log requests slower than this (0 disables)")
 		metricsAddr = fs.String("metrics-addr", "", "HTTP listen address serving GET /metricz stats (empty disables)")
+		incremental = fs.Bool("incremental", false, "serve assessments from per-server incremental accumulators (O(windows) per assess, bit-identical to a full recompute; replayed ledgers are folded in at startup)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,9 +86,10 @@ func run(args []string) error {
 		return err
 	}
 
-	// ctx ends on SIGINT/SIGTERM; it also bounds a ledger replay so a node
-	// told to stop mid-startup exits promptly.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// ctx ends on SIGINT/SIGTERM (or when the caller cancels it); it also
+	// bounds a ledger replay so a node told to stop mid-startup exits
+	// promptly.
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
 	logger := log.New(os.Stderr, "trustd ", log.LstdFlags)
@@ -94,6 +97,7 @@ func run(args []string) error {
 	serverCfg := repserver.Config{
 		Assessor: assessor, Store: st, Logger: logger, AssessCacheSize: *cacheSize,
 		RequestTimeout: *reqTimeout, DrainTimeout: *drain, SlowLogThreshold: *slowLog,
+		Incremental: *incremental,
 	}
 	if *ledgerPath != "" {
 		ps, err := ledger.OpenStoreShardedContext(ctx, *ledgerPath, *shards)

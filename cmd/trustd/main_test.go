@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+	"time"
+)
 
 func TestTrustFunc(t *testing.T) {
 	for _, name := range []string{"average", "weighted", "beta"} {
@@ -33,5 +37,16 @@ func TestTesterSelection(t *testing.T) {
 	}
 	if _, err := tester("single", -1, 1); err == nil {
 		t.Error("invalid window must fail")
+	}
+}
+
+// TestRunIncremental drives a full startup/shutdown cycle with the
+// incremental engine enabled; run must come up (installing the per-server
+// accumulator factory) and exit cleanly when the context ends.
+func TestRunIncremental(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if err := run(ctx, []string{"-addr", "127.0.0.1:0", "-scheme", "multi", "-incremental"}); err != nil {
+		t.Fatalf("run: %v", err)
 	}
 }

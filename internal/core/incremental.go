@@ -1,0 +1,126 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"honestplayer/internal/behavior"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/stats"
+	"honestplayer/internal/trust"
+)
+
+// ServerAccumulator is the incremental counterpart of TwoPhase for a single
+// server: it consumes the server's feedback stream in amortised O(1) per
+// record and can produce at any point the Assessment that TwoPhase.Assess
+// would compute over the history consumed so far — the same Honest flag,
+// p̂ values, distances, trust value, Wilson bounds, and errors, bit for bit.
+//
+// The store layer owns one accumulator per server and feeds it under the
+// shard write lock; assessments run under the shard read lock. Outside that
+// arrangement the caller must guarantee that Append never runs concurrently
+// with anything else (concurrent Assess/Accept calls are safe with each
+// other).
+type ServerAccumulator struct {
+	tp     *TwoPhase
+	server feedback.EntityID
+	beh    *behavior.Accumulator // nil when phase 1 is disabled
+	tr     *trust.Accumulator
+}
+
+// SupportsIncremental reports whether NewServerAccumulator can mirror this
+// assessor: the trust function must provide a tracker and the tester (when
+// set) an incremental accumulator. All built-in combinations qualify.
+func (tp *TwoPhase) SupportsIncremental() bool {
+	if _, ok := tp.fn.(trust.TrackerFunc); !ok {
+		return false
+	}
+	return tp.tester == nil || behavior.SupportsAccumulator(tp.tester)
+}
+
+// NewServerAccumulator mints an empty incremental assessment state for one
+// server. It fails when the assessor's components have no incremental form;
+// use SupportsIncremental to check up front.
+func (tp *TwoPhase) NewServerAccumulator(server feedback.EntityID) (*ServerAccumulator, error) {
+	tr, ok := trust.NewAccumulator(tp.fn)
+	if !ok {
+		return nil, fmt.Errorf("core: trust function %s has no incremental tracker", tp.fn.Name())
+	}
+	sa := &ServerAccumulator{tp: tp, server: server, tr: tr}
+	if tp.tester != nil {
+		beh, ok := behavior.NewAccumulatorFor(tp.tester)
+		if !ok {
+			return nil, fmt.Errorf("core: tester %s has no incremental accumulator", tp.tester.Name())
+		}
+		sa.beh = beh
+	}
+	return sa, nil
+}
+
+// Server returns the server this accumulator assesses.
+func (sa *ServerAccumulator) Server() feedback.EntityID { return sa.server }
+
+// Len returns the number of feedback records consumed.
+func (sa *ServerAccumulator) Len() int {
+	n, _ := sa.tr.Counts()
+	return n
+}
+
+// Append consumes the server's next feedback record in amortised O(1).
+// Records must arrive in history (time) order.
+func (sa *ServerAccumulator) Append(f feedback.Feedback) {
+	if sa.beh != nil {
+		sa.beh.Append(f)
+	}
+	sa.tr.Update(f.Good())
+}
+
+// Assess produces the two-phase assessment over the records consumed so
+// far. It mirrors TwoPhase.Assess on the equivalent history exactly,
+// including the short-history policy and error wrapping.
+func (sa *ServerAccumulator) Assess() (Assessment, error) {
+	a := Assessment{Server: sa.server, TrustFunc: sa.tp.fn.Name()}
+	if sa.beh != nil {
+		a.Tester = sa.tp.tester.Name()
+		v, err := sa.beh.Test()
+		switch {
+		case errors.Is(err, behavior.ErrInsufficientHistory):
+			a.ShortHistory = true
+			if sa.tp.policy == RejectShort {
+				a.Suspicious = true
+				return a, nil
+			}
+		case err != nil:
+			return a, fmt.Errorf("behaviour test: %w", err)
+		default:
+			a.Verdict = v
+			if !v.Honest {
+				a.Suspicious = true
+				return a, nil
+			}
+		}
+	}
+	value, err := sa.tr.Value()
+	if err != nil {
+		return a, fmt.Errorf("trust function: %w", err)
+	}
+	a.Trust = value
+	if n, good := sa.tr.Counts(); n > 0 {
+		lo, hi, err := stats.WilsonInterval(good, n, 1.96)
+		if err != nil {
+			return a, fmt.Errorf("trust interval: %w", err)
+		}
+		a.TrustLow, a.TrustHigh = lo, hi
+	}
+	return a, nil
+}
+
+// Accept is the incremental counterpart of TwoPhase.Accept: Assess plus the
+// client's trust-threshold decision.
+func (sa *ServerAccumulator) Accept(threshold float64) (bool, Assessment, error) {
+	a, err := sa.Assess()
+	if err != nil {
+		return false, a, err
+	}
+	return !a.Suspicious && a.Trust >= threshold, a, nil
+}

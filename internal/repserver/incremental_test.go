@@ -1,0 +1,151 @@
+package repserver
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/wire"
+)
+
+// startIncrementalPair starts two servers over the same assessor geometry:
+// one with the incremental engine, one without. Differential assertions
+// compare their answers request for request.
+func startIncrementalPair(t *testing.T) (incr, batch *Server) {
+	t.Helper()
+	mk := func(incremental bool) *Server {
+		srv, err := New("127.0.0.1:0", Config{Assessor: testAssessor(t), Incremental: incremental})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		t.Cleanup(func() {
+			if err := srv.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		})
+		return srv
+	}
+	return mk(true), mk(false)
+}
+
+// TestAssessIncrementalMatchesBatch drives a write-then-assess workload —
+// the pattern that defeats the assessment cache — and checks the
+// incremental server answers every request identically to the batch server,
+// with the Incremental flag set and the counters moving.
+func TestAssessIncrementalMatchesBatch(t *testing.T) {
+	incrSrv, batchSrv := startIncrementalPair(t)
+	ctx := context.Background()
+	const server = "srv"
+	for i := 0; i < 90; i++ {
+		f := rec(server, feedback.EntityID(rune('a'+i%5)), i%10 != 9, int64(i)+1)
+		for _, srv := range []*Server{incrSrv, batchSrv} {
+			if _, err := srv.cfg.Recorder.Add(f); err != nil {
+				t.Fatalf("add: %v", err)
+			}
+		}
+		if i < 45 || i%3 != 0 {
+			continue
+		}
+		req := wire.AssessRequest{Server: server, Threshold: 0.7}
+		got, gotErr := incrSrv.assess(ctx, req)
+		want, wantErr := batchSrv.assess(ctx, req)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("n=%d: error mismatch: incremental=%v batch=%v", i+1, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("n=%d: error text mismatch: %v vs %v", i+1, gotErr, wantErr)
+			}
+			continue
+		}
+		if !got.Incremental {
+			t.Fatalf("n=%d: response not served incrementally", i+1)
+		}
+		got.Incremental = false
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: response mismatch:\nincremental: %+v\nbatch:       %+v", i+1, got, want)
+		}
+	}
+	st := incrSrv.Stats().Incremental
+	if !st.Enabled || st.ServersTracked != 1 || st.Served == 0 {
+		t.Fatalf("incremental stats = %+v, want enabled with served requests and one tracked server", st)
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("unexpected fallbacks: %+v", st)
+	}
+	if bst := batchSrv.Stats().Incremental; bst.Enabled || bst.Served != 0 || bst.ServersTracked != 0 {
+		t.Fatalf("batch server incremental stats = %+v, want all-off", bst)
+	}
+}
+
+// TestAssessIncrementalOverWire checks the Incremental flag survives the
+// wire round-trip and the engine feeds from client submissions.
+func TestAssessIncrementalOverWire(t *testing.T) {
+	srv, err := New("127.0.0.1:0", Config{Assessor: testAssessor(t), Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(func() { _ = srv.Close() })
+	c := dial(t, srv)
+	for i := 0; i < 60; i++ {
+		if _, err := c.Submit(rec("srv", feedback.EntityID(rune('a'+i%4)), true, int64(i)+1)); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	resp, err := c.Assess("srv", 0.5)
+	if err != nil {
+		t.Fatalf("assess: %v", err)
+	}
+	if !resp.Incremental {
+		t.Fatal("response should be marked incremental")
+	}
+	if resp.Assessment.Suspicious || !resp.Accept {
+		t.Fatalf("all-good history rejected: %+v", resp.Assessment)
+	}
+}
+
+// TestAssessIncrementalUnknownServer keeps the unknown-server error intact
+// when the engine is on.
+func TestAssessIncrementalUnknownServer(t *testing.T) {
+	srv, err := New("127.0.0.1:0", Config{Assessor: testAssessor(t), Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	_, aerr := srv.assess(context.Background(), wire.AssessRequest{Server: "ghost"})
+	if aerr == nil || !strings.Contains(aerr.Error(), "no records") {
+		t.Fatalf("unknown server error = %v", aerr)
+	}
+	if st := srv.Stats().Incremental; st.Fallbacks != 0 {
+		t.Fatalf("unknown server must not count as fallback: %+v", st)
+	}
+}
+
+// nonTrackerTrust is a trust function without an incremental tracker.
+type nonTrackerTrust struct{}
+
+func (nonTrackerTrust) Name() string                                  { return "non-tracker" }
+func (nonTrackerTrust) Evaluate(h *feedback.History) (float64, error) { return 0.5, nil }
+
+// TestNewIncrementalRequiresSupport rejects Incremental with an assessor
+// whose components have no incremental form.
+func TestNewIncrementalRequiresSupport(t *testing.T) {
+	tp, err := core.NewTwoPhase(nil, nonTrackerTrust{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New("127.0.0.1:0", Config{Assessor: tp, Incremental: true}); err == nil {
+		t.Fatal("New must reject Incremental for a non-incremental assessor")
+	}
+	// The same assessor without the flag still works.
+	srv, err := New("127.0.0.1:0", Config{Assessor: tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Close()
+}

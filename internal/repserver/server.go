@@ -63,6 +63,14 @@ type Config struct {
 	// AssessCacheSize bounds the assessment cache in entries; zero disables
 	// caching (every TypeAssess recomputes, the seed behaviour).
 	AssessCacheSize int
+	// Incremental enables the incremental assessment engine: the server
+	// installs a per-server accumulator factory on the Store and answers
+	// TypeAssess from the accumulators in O(windows) instead of re-running
+	// the two-phase assessment over the whole history. The batch path (and
+	// the assesscache) remains as fallback. Requires an assessor whose
+	// tester and trust function have incremental forms (all built-ins do);
+	// New fails otherwise.
+	Incremental bool
 	// RequestTimeout bounds each request's handler; a request exceeding it
 	// gets a deadline_exceeded error frame and the connection stays open.
 	// Zero means no per-request deadline.
@@ -87,6 +95,23 @@ type Stats struct {
 	// PerType carries per-request-type counts, error counts, and latency
 	// quantiles from the service-layer metrics.
 	PerType service.Snapshot `json:"per_type,omitempty"`
+	// Incremental carries the incremental assessment engine's counters;
+	// Enabled is false and the rest zero when the engine is off.
+	Incremental IncrementalStats `json:"incremental"`
+}
+
+// IncrementalStats exposes the incremental assessment engine's counters.
+type IncrementalStats struct {
+	// Enabled reports whether the engine is on.
+	Enabled bool `json:"enabled"`
+	// ServersTracked counts servers currently carrying a live accumulator.
+	ServersTracked int `json:"servers_tracked"`
+	// Served counts assess requests answered from an accumulator.
+	Served uint64 `json:"served"`
+	// Fallbacks counts assess requests for known servers that the engine
+	// could not answer and the batch path (cache or recompute) served
+	// instead while the engine was enabled.
+	Fallbacks uint64 `json:"fallbacks"`
 }
 
 // conn wraps one accepted connection with its drain state: Close shuts an
@@ -130,15 +155,21 @@ type Server struct {
 	wg     sync.WaitGroup // Serve/Start goroutines
 	connWg sync.WaitGroup // per-connection handle loops
 
-	nConns    atomic.Uint64
-	nRequests atomic.Uint64
-	nErrors   atomic.Uint64
+	nConns       atomic.Uint64
+	nRequests    atomic.Uint64
+	nErrors      atomic.Uint64
+	nIncremental atomic.Uint64
+	nFallback    atomic.Uint64
 }
 
 // New creates a server listening on addr (e.g. "127.0.0.1:0").
 func New(addr string, cfg Config) (*Server, error) {
 	if cfg.Assessor == nil {
 		return nil, errors.New("repserver: nil assessor")
+	}
+	if cfg.Incremental && !cfg.Assessor.SupportsIncremental() {
+		return nil, fmt.Errorf("repserver: assessor %s does not support incremental assessment",
+			cfg.Assessor.Name())
 	}
 	if cfg.Store == nil {
 		cfg.Store = store.New()
@@ -167,6 +198,18 @@ func New(addr string, cfg Config) (*Server, error) {
 	}
 	if cfg.AssessCacheSize > 0 {
 		srv.cache = assesscache.New(cfg.AssessCacheSize)
+	}
+	if cfg.Incremental {
+		assessor := cfg.Assessor
+		cfg.Store.SetAccumulatorFactory(func(server feedback.EntityID) store.Accumulator {
+			sa, err := assessor.NewServerAccumulator(server)
+			if err != nil {
+				// SupportsIncremental was verified above; per-server minting
+				// cannot fail after that.
+				panic(err)
+			}
+			return sa
+		})
 	}
 	srv.pipeline = srv.buildPipeline()
 	return srv, nil
@@ -219,6 +262,12 @@ func (s *Server) Stats() Stats {
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()
+	}
+	st.Incremental = IncrementalStats{
+		Enabled:        s.cfg.Incremental,
+		ServersTracked: s.cfg.Store.AccumulatorsTracked(),
+		Served:         s.nIncremental.Load(),
+		Fallbacks:      s.nFallback.Load(),
 	}
 	return st
 }
@@ -489,21 +538,68 @@ func (s *Server) handleAssess(ctx context.Context, env wire.Envelope) (wire.Enve
 	return wire.Encode(wire.TypeAssessR, env.ID, resp)
 }
 
-// assess serves one TypeAssess request: history snapshot, cache probe,
-// two-phase assessment on miss.
+// Assess runs one assessment in process, exactly as a TypeAssess request
+// would be served minus the wire decode and socket I/O. It is the entry
+// point for embedders and benchmark harnesses (cmd/reprobench) that need
+// the serving semantics — incremental accumulator, cache, version checks —
+// without a network round trip.
+func (s *Server) Assess(ctx context.Context, req wire.AssessRequest) (wire.AssessResponse, error) {
+	return s.assess(ctx, req)
+}
+
+// assess serves one TypeAssess request: incremental accumulator first when
+// the engine is on, otherwise history snapshot, cache probe, and two-phase
+// assessment on miss.
 //
-// The cache key carries the store's per-server version, read atomically
-// with the history snapshot. Any accepted write bumps the version, so a
-// stale cached assessment can never be served: its version no longer
-// matches and the lookup falls through to recomputation.
+// The incremental path reads the per-server accumulator under the shard
+// read lock and costs O(windows) regardless of history length; its result
+// is bit-identical to the batch recompute (the accumulator's differential
+// guarantee), so the two paths are interchangeable per request.
+//
+// On the fallback path the cache key carries the store's per-server
+// version, read atomically with the history snapshot. Any accepted write
+// bumps the version, so a stale cached assessment can never be served: its
+// version no longer matches and the lookup falls through to recomputation.
 func (s *Server) assess(ctx context.Context, req wire.AssessRequest) (wire.AssessResponse, error) {
 	var resp wire.AssessResponse
 	if req.Server == "" {
 		return resp, service.Errorf(wire.CodeBadRequest, "missing server")
 	}
+	if s.cfg.Incremental {
+		if err := ctx.Err(); err != nil {
+			return resp, err
+		}
+		var (
+			served bool
+			ierr   error
+		)
+		s.cfg.Store.ViewAccumulator(req.Server, func(acc store.Accumulator, _ uint64) {
+			sa, ok := acc.(*core.ServerAccumulator)
+			if !ok {
+				return // foreign accumulator installed on the store; fall back
+			}
+			served = true
+			accept, a, err := sa.Accept(req.Threshold)
+			if err != nil {
+				ierr = service.Errorf(wire.CodeAssessmentFailed, "%v", err)
+				return
+			}
+			resp = wire.AssessResponse{Assessment: a, Accept: accept, Incremental: true}
+		})
+		if served {
+			if ierr != nil {
+				return wire.AssessResponse{}, ierr
+			}
+			s.nIncremental.Add(1)
+			return resp, nil
+		}
+	}
 	h, version := s.cfg.Store.Snapshot(req.Server)
 	if h.Len() == 0 {
 		return resp, service.Errorf(wire.CodeUnknownServer, "no records for %q", req.Server)
+	}
+	if s.cfg.Incremental {
+		s.nFallback.Add(1)
 	}
 	if s.cache != nil {
 		if res, ok := s.cache.Get(req.Server, version, req.Threshold); ok {

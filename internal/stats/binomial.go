@@ -29,11 +29,10 @@ type Binomial struct {
 // NewBinomial returns the binomial distribution B(n, p). It returns
 // ErrInvalidDistribution if n < 0 or p is outside [0, 1] or NaN.
 func NewBinomial(n int, p float64) (*Binomial, error) {
-	if n < 0 || math.IsNaN(p) || p < 0 || p > 1 {
-		return nil, fmt.Errorf("%w: B(%d, %v)", ErrInvalidDistribution, n, p)
-	}
 	b := &Binomial{n: n, p: p, pmf: make([]float64, n+1)}
-	b.fillPMF()
+	if err := BinomialPMFInto(b.pmf, n, p); err != nil {
+		return nil, err
+	}
 	return b, nil
 }
 
@@ -47,13 +46,25 @@ func MustBinomial(n int, p float64) *Binomial {
 	return b
 }
 
-func (b *Binomial) fillPMF() {
-	n, p := b.n, b.p
+// BinomialPMFInto fills dst, which must have length n+1, with the PMF of
+// B(n, p), computed in log space for numerical stability. NewBinomial
+// delegates to it, so a caller-managed buffer (e.g. the incremental
+// accumulator's PMF arena) holds bit-identical values to a freshly
+// constructed Binomial's table — there is exactly one fill code path.
+func BinomialPMFInto(dst []float64, n int, p float64) error {
+	if n < 0 || math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("%w: B(%d, %v)", ErrInvalidDistribution, n, p)
+	}
+	if len(dst) != n+1 {
+		return fmt.Errorf("%w: pmf buffer length %d for B(%d,·)", ErrInvalidDistribution, len(dst), n)
+	}
 	switch {
 	case p == 0:
-		b.pmf[0] = 1
+		clear(dst)
+		dst[0] = 1
 	case p == 1:
-		b.pmf[n] = 1
+		clear(dst)
+		dst[n] = 1
 	default:
 		logP, logQ := math.Log(p), math.Log1p(-p)
 		lgN, _ := math.Lgamma(float64(n) + 1)
@@ -61,9 +72,10 @@ func (b *Binomial) fillPMF() {
 			lgK, _ := math.Lgamma(float64(k) + 1)
 			lgNK, _ := math.Lgamma(float64(n-k) + 1)
 			logPMF := lgN - lgK - lgNK + float64(k)*logP + float64(n-k)*logQ
-			b.pmf[k] = math.Exp(logPMF)
+			dst[k] = math.Exp(logPMF)
 		}
 	}
+	return nil
 }
 
 // N returns the number of trials.

@@ -167,11 +167,37 @@ func (c *Calibrator) Threshold(m, numWindows int, pHat float64) (float64, error)
 // achievable quantile resolution is limited by the replicate count;
 // confidences beyond it degrade to the sample maximum.
 func (c *Calibrator) ThresholdAt(m, numWindows int, pHat, confidence float64) (float64, error) {
+	g, err := c.ThresholdGrid(m, numWindows, pHat, confidence)
+	if err != nil {
+		return 0, err
+	}
+	return g.Eps * g.Scale, nil
+}
+
+// GridThreshold is a threshold query resolved onto the calibrator's
+// discretisation grid. ThresholdAt returns exactly Eps·Scale: Eps is the
+// cached Monte-Carlo threshold at the grid point (WindowsBucket, PBucket,
+// ConfBucket) and Scale is the 1/√w extrapolation factor, which depends only
+// on the queried window count. Two queries resolving to the same grid point
+// share Eps bit for bit, which hot read paths exploit to memoise thresholds
+// on the small grid coordinates instead of exact float inputs.
+type GridThreshold struct {
+	Eps           float64
+	Scale         float64
+	WindowsBucket int
+	PBucket       int
+	ConfBucket    int
+}
+
+// ThresholdGrid resolves a threshold query to its grid point, computing and
+// caching the grid threshold if it is not yet calibrated. It is the
+// decomposed form of ThresholdAt; see GridThreshold.
+func (c *Calibrator) ThresholdGrid(m, numWindows int, pHat, confidence float64) (GridThreshold, error) {
 	if numWindows <= 0 {
-		return 0, fmt.Errorf("%w: windows=%d", ErrInvalidDistribution, numWindows)
+		return GridThreshold{}, fmt.Errorf("%w: windows=%d", ErrInvalidDistribution, numWindows)
 	}
 	if math.IsNaN(confidence) || confidence <= 0 || confidence >= 1 {
-		return 0, fmt.Errorf("%w: confidence=%v", ErrInvalidDistribution, confidence)
+		return GridThreshold{}, fmt.Errorf("%w: confidence=%v", ErrInvalidDistribution, confidence)
 	}
 	// Beyond the Monte-Carlo budget, calibrate at maxWindows and apply the
 	// 1/√w extrapolation.
@@ -187,11 +213,18 @@ func (c *Calibrator) ThresholdAt(m, numWindows int, pHat, confidence float64) (f
 		pBucket:    c.bucketP(pHat),
 		confBucket: int(math.Round(confidence * 1e4)),
 	}
+	g := GridThreshold{
+		Scale:         scale,
+		WindowsBucket: key.windows,
+		PBucket:       key.pBucket,
+		ConfBucket:    key.confBucket,
+	}
 	c.mu.Lock()
 	eps, ok := c.cache[key]
 	c.mu.Unlock()
 	if ok {
-		return eps * scale, nil
+		g.Eps = eps
+		return g, nil
 	}
 	p := float64(key.pBucket) * c.pResolution
 	if p > 1 {
@@ -201,12 +234,13 @@ func (c *Calibrator) ThresholdAt(m, numWindows int, pHat, confidence float64) (f
 	cfg.Confidence = confidence
 	eps, err := CalibrateL1(key.m, key.windows, p, cfg)
 	if err != nil {
-		return 0, err
+		return GridThreshold{}, err
 	}
 	c.mu.Lock()
 	c.cache[key] = eps
 	c.mu.Unlock()
-	return eps * scale, nil
+	g.Eps = eps
+	return g, nil
 }
 
 // CacheSize returns the number of grid points calibrated so far.
@@ -215,6 +249,11 @@ func (c *Calibrator) CacheSize() int {
 	defer c.mu.Unlock()
 	return len(c.cache)
 }
+
+// PBucket returns the grid bucket pHat falls in — the PBucket coordinate
+// ThresholdGrid would report for it. It lets hot read paths index local
+// threshold tables without taking the calibrator lock.
+func (c *Calibrator) PBucket(pHat float64) int { return c.bucketP(pHat) }
 
 func (c *Calibrator) bucketP(pHat float64) int {
 	if pHat < 0 {

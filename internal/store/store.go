@@ -46,8 +46,22 @@ func HashOf(f feedback.Feedback) Hash {
 	return Hash(h.Sum64())
 }
 
+// Accumulator consumes a server's accepted writes in history (time) order.
+// The store feeds it under the shard write lock, so implementations need no
+// internal synchronisation against writers; read access goes through
+// ViewAccumulator, which holds the shard read lock. The incremental
+// assessment engine (core.ServerAccumulator) is the intended implementation.
+type Accumulator interface {
+	Append(feedback.Feedback)
+}
+
+// AccumulatorFactory mints the per-server accumulator the store maintains
+// once a factory is installed via SetAccumulatorFactory.
+type AccumulatorFactory func(server feedback.EntityID) Accumulator
+
 // entry is one server's state within a shard: the working history, a
-// memoized read snapshot, the version, and a running content checksum.
+// memoized read snapshot, the version, a running content checksum, and the
+// optional incremental accumulator.
 type entry struct {
 	// hist is the store-owned working history, mutated only under the
 	// shard's write lock: appended in place on the fast path, rebuilt on
@@ -64,6 +78,10 @@ type entry struct {
 	// xor is the XOR of all content hashes, maintained incrementally so
 	// gossip checksums cost O(servers) instead of O(records).
 	xor uint64
+	// acc is the incremental assessment accumulator, nil until a factory is
+	// installed. Mutated only under the shard write lock; rebuilt from the
+	// history on the rare out-of-order insert.
+	acc Accumulator
 }
 
 // snapshot returns the entry's memoized immutable view, building it if a
@@ -97,6 +115,12 @@ type Store struct {
 	total atomic.Int64
 	// global counts accepted writes store-wide; read via GlobalVersion.
 	global atomic.Uint64
+	// accFactory mints per-server incremental accumulators; nil pointer
+	// means the engine is off. Atomic so Add can read it under only its own
+	// shard lock while SetAccumulatorFactory installs it store-wide.
+	accFactory atomic.Pointer[AccumulatorFactory]
+	// accTracked counts servers currently carrying a live accumulator.
+	accTracked atomic.Int64
 }
 
 // New returns an empty store with DefaultShards shards.
@@ -145,7 +169,8 @@ func (s *Store) Add(f feedback.Feedback) (bool, error) {
 		sh.byServ[f.Server] = e
 	}
 	n := e.hist.Len()
-	if n == 0 || lessRecord(e.hist.At(n-1), f) {
+	inOrder := n == 0 || lessRecord(e.hist.At(n-1), f)
+	if inOrder {
 		// Append fast path: in-place, amortised O(1). Outstanding snapshots
 		// are unaffected — the append writes past their length.
 		if err := e.hist.Append(f); err != nil {
@@ -153,6 +178,24 @@ func (s *Store) Add(f feedback.Feedback) (bool, error) {
 		}
 	} else {
 		e.hist = insertSorted(e.hist, f)
+	}
+	if fp := s.accFactory.Load(); fp != nil {
+		switch {
+		case e.acc == nil:
+			// Factory installed after this server gained records (or the
+			// server is new): mint and catch up on the whole history.
+			e.acc = (*fp)(f.Server)
+			s.accTracked.Add(1)
+			replayAccumulator(e.acc, e.hist)
+		case inOrder:
+			e.acc.Append(f)
+		default:
+			// Out-of-order insert: accumulators are strictly append-only, so
+			// rebuild by replaying the re-ordered history — the insert above
+			// already paid O(n) on this path.
+			e.acc = (*fp)(f.Server)
+			replayAccumulator(e.acc, e.hist)
+		}
 	}
 	e.snap.Store(nil)
 	sh.seen[h] = struct{}{}
@@ -231,6 +274,72 @@ func (s *Store) Snapshot(server feedback.EntityID) (*feedback.History, uint64) {
 	}
 	return e.snapshot(), e.version
 }
+
+// SetAccumulatorFactory installs (or, with nil, removes) the per-server
+// incremental accumulator factory. Servers that already hold records get an
+// accumulator immediately, replayed over their existing history, so the
+// factory may be installed before or after seeding. Concurrent writes are
+// safe: a write that races ahead of the installation sweep mints its own
+// accumulator and the sweep skips it.
+func (s *Store) SetAccumulatorFactory(f AccumulatorFactory) {
+	if f == nil {
+		s.accFactory.Store(nil)
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			for _, e := range sh.byServ {
+				if e.acc != nil {
+					e.acc = nil
+					s.accTracked.Add(-1)
+				}
+			}
+			sh.mu.Unlock()
+		}
+		return
+	}
+	s.accFactory.Store(&f)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for srv, e := range sh.byServ {
+			if e.acc == nil {
+				e.acc = f(srv)
+				s.accTracked.Add(1)
+				replayAccumulator(e.acc, e.hist)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// replayAccumulator feeds an entire history to a fresh accumulator.
+func replayAccumulator(acc Accumulator, h *feedback.History) {
+	for i := 0; i < h.Len(); i++ {
+		acc.Append(h.At(i))
+	}
+}
+
+// ViewAccumulator runs view with the server's accumulator and current
+// version under the shard's read lock, returning false (without calling
+// view) when the server is unknown or carries no accumulator. The callback
+// must treat the accumulator read-only and must not call back into the
+// store: it runs under the shard lock, so writes to this server's shard
+// wait for it.
+func (s *Store) ViewAccumulator(server feedback.EntityID, view func(acc Accumulator, version uint64)) bool {
+	sh := s.shardOf(server)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e := sh.byServ[server]
+	if e == nil || e.acc == nil {
+		return false
+	}
+	view(e.acc, e.version)
+	return true
+}
+
+// AccumulatorsTracked returns the number of servers carrying a live
+// incremental accumulator.
+func (s *Store) AccumulatorsTracked() int { return int(s.accTracked.Load()) }
 
 // Version returns the server's current version counter: 0 when the server
 // is unknown, otherwise the number of accepted writes to it.

@@ -1,0 +1,274 @@
+package store
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"honestplayer/internal/behavior"
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/stats"
+	"honestplayer/internal/trust"
+)
+
+// recordingAcc captures the records fed to it, for plumbing assertions.
+type recordingAcc struct {
+	server feedback.EntityID
+	recs   []feedback.Feedback
+}
+
+func (r *recordingAcc) Append(f feedback.Feedback) { r.recs = append(r.recs, f) }
+
+func accFeedback(server, client feedback.EntityID, i int, good bool) feedback.Feedback {
+	rating := feedback.Negative
+	if good {
+		rating = feedback.Positive
+	}
+	return feedback.Feedback{Time: time.Unix(int64(i)+1, 0), Server: server, Client: client, Rating: rating}
+}
+
+// TestAccumulatorFactoryFeedsInOrder installs the factory before writing and
+// checks the accumulator sees exactly the accepted records, duplicates
+// excluded, in history order.
+func TestAccumulatorFactoryFeedsInOrder(t *testing.T) {
+	s := New()
+	minted := 0
+	s.SetAccumulatorFactory(func(server feedback.EntityID) Accumulator {
+		minted++
+		return &recordingAcc{server: server}
+	})
+	recs := []feedback.Feedback{
+		accFeedback("srv", "a", 0, true),
+		accFeedback("srv", "b", 1, false),
+		accFeedback("srv", "c", 2, true),
+	}
+	for _, f := range recs {
+		if ok, err := s.Add(f); err != nil || !ok {
+			t.Fatalf("Add: ok=%v err=%v", ok, err)
+		}
+	}
+	// A duplicate must not reach the accumulator.
+	if ok, err := s.Add(recs[1]); err != nil || ok {
+		t.Fatalf("duplicate Add: ok=%v err=%v", ok, err)
+	}
+	if minted != 1 {
+		t.Fatalf("factory minted %d accumulators, want 1", minted)
+	}
+	if got := s.AccumulatorsTracked(); got != 1 {
+		t.Fatalf("AccumulatorsTracked = %d, want 1", got)
+	}
+	seen := false
+	ok := s.ViewAccumulator("srv", func(acc Accumulator, version uint64) {
+		seen = true
+		if version != 3 {
+			t.Errorf("version = %d, want 3", version)
+		}
+		if got := acc.(*recordingAcc).recs; !reflect.DeepEqual(got, recs) {
+			t.Errorf("accumulator saw %v, want %v", got, recs)
+		}
+	})
+	if !ok || !seen {
+		t.Fatalf("ViewAccumulator: ok=%v seen=%v", ok, seen)
+	}
+	if s.ViewAccumulator("unknown", func(Accumulator, uint64) { t.Error("view called for unknown server") }) {
+		t.Fatal("ViewAccumulator should report false for unknown servers")
+	}
+}
+
+// TestAccumulatorFactoryReplaysExisting seeds the store first and checks the
+// installation sweep replays existing histories.
+func TestAccumulatorFactoryReplaysExisting(t *testing.T) {
+	s := New()
+	var want []feedback.Feedback
+	for i := 0; i < 5; i++ {
+		f := accFeedback("srv", "a", i, i%2 == 0)
+		want = append(want, f)
+		if _, err := s.Add(f); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	s.SetAccumulatorFactory(func(server feedback.EntityID) Accumulator {
+		return &recordingAcc{server: server}
+	})
+	if got := s.AccumulatorsTracked(); got != 1 {
+		t.Fatalf("AccumulatorsTracked = %d, want 1", got)
+	}
+	s.ViewAccumulator("srv", func(acc Accumulator, _ uint64) {
+		if got := acc.(*recordingAcc).recs; !reflect.DeepEqual(got, want) {
+			t.Errorf("replayed %v, want %v", got, want)
+		}
+	})
+	// Removing the factory drops the accumulators.
+	s.SetAccumulatorFactory(nil)
+	if got := s.AccumulatorsTracked(); got != 0 {
+		t.Fatalf("AccumulatorsTracked after removal = %d, want 0", got)
+	}
+	if s.ViewAccumulator("srv", func(Accumulator, uint64) {}) {
+		t.Fatal("ViewAccumulator should report false after factory removal")
+	}
+}
+
+// TestAccumulatorRebuiltOnOutOfOrderInsert writes records out of time order
+// and checks the accumulator ends up reflecting the re-sorted history.
+func TestAccumulatorRebuiltOnOutOfOrderInsert(t *testing.T) {
+	s := New()
+	s.SetAccumulatorFactory(func(server feedback.EntityID) Accumulator {
+		return &recordingAcc{server: server}
+	})
+	f0 := accFeedback("srv", "a", 0, true)
+	f1 := accFeedback("srv", "b", 1, false)
+	f2 := accFeedback("srv", "c", 2, true)
+	for _, f := range []feedback.Feedback{f0, f2, f1} { // f1 arrives late
+		if _, err := s.Add(f); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	want := []feedback.Feedback{f0, f1, f2}
+	s.ViewAccumulator("srv", func(acc Accumulator, _ uint64) {
+		if got := acc.(*recordingAcc).recs; !reflect.DeepEqual(got, want) {
+			t.Errorf("after out-of-order insert accumulator saw %v, want %v", got, want)
+		}
+	})
+}
+
+// newIncrementalAssessor builds the assessor pair used by the end-to-end and
+// race tests: a multi tester over a fast calibrator plus the average trust
+// function.
+func newIncrementalAssessor(t testing.TB) *core.TwoPhase {
+	t.Helper()
+	cal := stats.NewCalibrator(stats.CalibrationConfig{Replicates: 120, Seed: 9}, 0)
+	tester, err := behavior.NewMulti(behavior.Config{Calibrator: cal})
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	tp, err := core.NewTwoPhase(tester, trust.Average{})
+	if err != nil {
+		t.Fatalf("NewTwoPhase: %v", err)
+	}
+	return tp
+}
+
+func coreFactory(t testing.TB, tp *core.TwoPhase) AccumulatorFactory {
+	t.Helper()
+	return func(server feedback.EntityID) Accumulator {
+		sa, err := tp.NewServerAccumulator(server)
+		if err != nil {
+			t.Errorf("NewServerAccumulator: %v", err)
+			return &recordingAcc{server: server}
+		}
+		return sa
+	}
+}
+
+// TestStoreIncrementalMatchesBatch drives the full stack store-side: every
+// few writes, the accumulator-served assessment must equal the batch
+// assessment over the store's snapshot.
+func TestStoreIncrementalMatchesBatch(t *testing.T) {
+	tp := newIncrementalAssessor(t)
+	s := New()
+	s.SetAccumulatorFactory(coreFactory(t, tp))
+	rng := stats.NewRNG(77)
+	for i := 0; i < 220; i++ {
+		client := feedback.EntityID(rune('a' + rng.Intn(6)))
+		if _, err := s.Add(accFeedback("srv", client, i, rng.Float64() < 0.9)); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+		if i%7 != 0 {
+			continue
+		}
+		var gotA core.Assessment
+		var gotErr error
+		ok := s.ViewAccumulator("srv", func(acc Accumulator, _ uint64) {
+			gotA, gotErr = acc.(*core.ServerAccumulator).Assess()
+		})
+		if !ok {
+			t.Fatal("ViewAccumulator: no accumulator")
+		}
+		h, _ := s.Snapshot("srv")
+		wantA, wantErr := tp.Assess(h)
+		if (gotErr == nil) != (wantErr == nil) || (gotErr != nil && gotErr.Error() != wantErr.Error()) {
+			t.Fatalf("n=%d: error mismatch: incremental=%v batch=%v", i+1, gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(gotA, wantA) {
+			t.Fatalf("n=%d: assessment mismatch:\nincremental: %+v\nbatch:       %+v", i+1, gotA, wantA)
+		}
+	}
+}
+
+// TestConcurrentAddAndAssess exercises the accumulator under the race
+// detector: writers appending under the shard write lock while readers
+// assess under the read lock.
+func TestConcurrentAddAndAssess(t *testing.T) {
+	tp := newIncrementalAssessor(t)
+	s := New()
+	s.SetAccumulatorFactory(coreFactory(t, tp))
+	servers := []feedback.EntityID{"srv-a", "srv-b", "srv-c"}
+	const perWriter = 150
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(1000 + w))
+			for i := 0; i < perWriter; i++ {
+				srv := servers[w]
+				client := feedback.EntityID(rune('a' + rng.Intn(5)))
+				if _, err := s.Add(accFeedback(srv, client, w*perWriter+i, rng.Float64() < 0.9)); err != nil {
+					t.Errorf("Add: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				srv := servers[(r+i)%len(servers)]
+				s.ViewAccumulator(srv, func(acc Accumulator, _ uint64) {
+					if _, _, err := acc.(*core.ServerAccumulator).Accept(0.5); err != nil {
+						t.Errorf("Accept: %v", err)
+					}
+				})
+			}
+		}()
+	}
+	// Writers finish, then stop the readers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	go func() {
+		// Readers loop until stop; wait for the three writers by polling the
+		// record count.
+		for s.Len() < 3*perWriter {
+			time.Sleep(time.Millisecond)
+		}
+		close(stop)
+	}()
+	<-done
+	// Final consistency check per server.
+	for _, srv := range servers {
+		var got core.Assessment
+		s.ViewAccumulator(srv, func(acc Accumulator, _ uint64) {
+			got, _ = acc.(*core.ServerAccumulator).Assess()
+		})
+		h, _ := s.Snapshot(srv)
+		want, _ := tp.Assess(h)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: final assessment mismatch:\nincremental: %+v\nbatch:       %+v", srv, got, want)
+		}
+	}
+}

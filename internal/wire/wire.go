@@ -165,6 +165,10 @@ type AssessResponse struct {
 	// Cached reports that the server answered from its assessment cache
 	// (the history was unchanged since the assessment was computed).
 	Cached bool `json:"cached,omitempty"`
+	// Incremental reports that the server answered from its incremental
+	// per-server assessment engine instead of a batch recompute. The result
+	// is identical either way; the flag exists for observability.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // ServerSum is the per-server record-set checksum exchanged in gossip
