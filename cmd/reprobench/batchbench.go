@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/repclient"
+	"honestplayer/internal/repserver"
+	"honestplayer/internal/trust"
+)
+
+// The batch-assessment benchmark compares the two ways a client can assess N
+// servers over the wire:
+//
+//   - single: N sequential assess round-trips, one per server.
+//   - batch: one assess.batch round-trip; the server fans the items out over
+//     its store shards with a bounded worker pool.
+//
+// Both run against the same server — incremental engine on, assessment cache
+// off — on a warm cache-miss workload: every server receives a fresh feedback
+// record (outside the timer) before each measured round, so no assessment can
+// be served from a cache and every verdict reads live accumulator state. The
+// assessor is the trust-only two-phase (phase 1 off): batching amortises the
+// per-request costs (round-trip, envelope, dispatch), so its win is largest
+// when the per-item work — here a constant-time accumulator read — does not
+// drown them out. Verdict-carrying testers add per-suffix diagnostics to
+// every item, shifting both strategies toward JSON encode/decode and the
+// ratio toward 1. The calibration-free setup needs no prewarm; the median of
+// three timed passes is reported, mirroring the -incrbench methodology.
+
+// batchBenchSize is one batch width of the comparison.
+type batchBenchSize struct {
+	N       int // servers assessed per round
+	History int // seeded records per server
+	Rounds  int // measured rounds per pass (each: N singles + one batch)
+	Warmup  int // unmeasured rounds
+}
+
+// batchSizeResult is the per-size outcome. The ns figures are per round:
+// assessing all N servers once, sequentially vs batched.
+type batchSizeResult struct {
+	N                int     `json:"n"`
+	History          int     `json:"history"`
+	Rounds           int     `json:"rounds"`
+	SingleNsPerBatch float64 `json:"single_ns_per_batch"`
+	BatchNsPerBatch  float64 `json:"batch_ns_per_batch"`
+	Speedup          float64 `json:"speedup"`
+	AssessmentsMatch bool    `json:"assessments_match"`
+}
+
+// batchBenchReport is the JSON document the -batchbench mode emits.
+type batchBenchReport struct {
+	Description string            `json:"description"`
+	Command     string            `json:"command"`
+	Environment map[string]any    `json:"environment"`
+	Config      map[string]any    `json:"config"`
+	Sizes       []batchSizeResult `json:"sizes"`
+	Acceptance  string            `json:"acceptance"`
+}
+
+// batchMeasure runs both strategies at one batch width over a real TCP
+// connection and returns the median-pass timings plus the differential check.
+func batchMeasure(size batchBenchSize) (batchSizeResult, error) {
+	res := batchSizeResult{N: size.N, History: size.History, Rounds: size.Rounds}
+	assessor, err := core.NewTwoPhase(nil, trust.Average{})
+	if err != nil {
+		return res, err
+	}
+	srv, err := repserver.New("127.0.0.1:0", repserver.Config{
+		Assessor:    assessor,
+		Incremental: true,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer srv.Close()
+	servers := make([]feedback.EntityID, size.N)
+	for i := range servers {
+		servers[i] = feedback.EntityID(fmt.Sprintf("srv-%03d", i))
+		if _, err := srv.Seed(incrHistory(servers[i], size.History)); err != nil {
+			return res, err
+		}
+	}
+	srv.Start()
+	client, err := repclient.Dial(srv.Addr(), repclient.WithTimeout(30*time.Second))
+	if err != nil {
+		return res, err
+	}
+	defer func() { _ = client.Close() }()
+
+	// touch appends one fresh record to every server so the next assessment
+	// of any of them is a cache miss on live state.
+	next := int64(1 << 30)
+	touch := func() error {
+		next++
+		f := feedback.Feedback{
+			Time:   time.Unix(next, 0).UTC(),
+			Client: feedback.EntityID(fmt.Sprintf("c%d", int(next)%25)),
+			Rating: feedback.Positive,
+		}
+		for _, sv := range servers {
+			f.Server = sv
+			if _, err := srv.Store().Add(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	singles := func() (time.Duration, error) {
+		start := time.Now()
+		for _, sv := range servers {
+			if _, err := client.Assess(sv, 0.9); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	batch := func() (time.Duration, error) {
+		start := time.Now()
+		items, err := client.AssessBatch(servers, 0.9)
+		if err != nil {
+			return 0, err
+		}
+		if len(items) != size.N {
+			return 0, fmt.Errorf("batch returned %d items, want %d", len(items), size.N)
+		}
+		return time.Since(start), nil
+	}
+	round := func() (time.Duration, time.Duration, error) {
+		if err := touch(); err != nil {
+			return 0, 0, err
+		}
+		s, err := singles()
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := touch(); err != nil {
+			return 0, 0, err
+		}
+		b, err := batch()
+		if err != nil {
+			return 0, 0, err
+		}
+		return s, b, nil
+	}
+
+	for i := 0; i < size.Warmup; i++ {
+		if _, _, err := round(); err != nil {
+			return res, err
+		}
+	}
+	const passes = 3
+	singleNs := make([]float64, 0, passes)
+	batchNs := make([]float64, 0, passes)
+	for p := 0; p < passes; p++ {
+		var sTotal, bTotal time.Duration
+		for r := 0; r < size.Rounds; r++ {
+			s, b, err := round()
+			if err != nil {
+				return res, err
+			}
+			sTotal += s
+			bTotal += b
+		}
+		singleNs = append(singleNs, float64(sTotal.Nanoseconds())/float64(size.Rounds))
+		batchNs = append(batchNs, float64(bTotal.Nanoseconds())/float64(size.Rounds))
+	}
+	sort.Float64s(singleNs)
+	sort.Float64s(batchNs)
+	res.SingleNsPerBatch = singleNs[passes/2]
+	res.BatchNsPerBatch = batchNs[passes/2]
+	res.Speedup = float64(int(res.SingleNsPerBatch/res.BatchNsPerBatch*100)) / 100
+
+	// Differential check on frozen state: with no writes in between, the
+	// batched items must decode byte-identical to N sequential assessments
+	// (the concurrent-write variant runs under -race in internal/repserver).
+	if err := touch(); err != nil {
+		return res, err
+	}
+	items, err := client.AssessBatch(servers, 0.9)
+	if err != nil {
+		return res, err
+	}
+	res.AssessmentsMatch = len(items) == size.N
+	for i, sv := range servers {
+		single, err := client.Assess(sv, 0.9)
+		if err != nil {
+			return res, err
+		}
+		if items[i].Error != nil || !reflect.DeepEqual(items[i].AssessResponse, single) {
+			res.AssessmentsMatch = false
+		}
+	}
+	return res, nil
+}
+
+// runBatchBench executes the batched-vs-sequential comparison and writes the
+// JSON report. With minSpeedup > 0 it fails unless every size reaches that
+// speedup with matching assessments — the CI smoke gate.
+func runBatchBench(out io.Writer, quick bool, minSpeedup float64) error {
+	sizes := []batchBenchSize{
+		{N: 10, History: 160, Rounds: 20, Warmup: 3},
+		{N: 100, History: 160, Rounds: 8, Warmup: 2},
+		{N: 256, History: 160, Rounds: 5, Warmup: 2},
+	}
+	if quick {
+		sizes = []batchBenchSize{{N: 16, History: 120, Rounds: 5, Warmup: 1}}
+	}
+	report := batchBenchReport{
+		Description: "Wire latency of one assess.batch round-trip vs N sequential assess round-trips against the same server (trust-only two-phase assessor, incremental engine on, assessment cache off). Every server receives a fresh feedback record outside the timer before each measured round, so every assessment is a cache miss served from live accumulator state; the median of three timed passes is reported per strategy. Batching amortises per-request costs (round-trip, envelope, dispatch) and additionally parallelises shard groups when GOMAXPROCS > 1; verdict-carrying testers enlarge every item's payload and pull the ratio toward the JSON encode/decode floor shared by both strategies.",
+		Command:     "go run ./cmd/reprobench -batchbench",
+		Environment: map[string]any{
+			"go":         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"date":       time.Now().UTC().Format("2006-01-02"),
+		},
+		Config: map[string]any{
+			"clients":             25,
+			"good_ratio":          "19/20",
+			"trust":               "average",
+			"tester":              "none (trust-only)",
+			"incremental":         true,
+			"assess_cache":        0,
+			"batch_workers":       "GOMAXPROCS",
+			"threshold":           0.9,
+			"passes_per_strategy": 3,
+		},
+		Acceptance: "speedup at n=100 must be >= 5 with assessments_match true",
+	}
+	for _, size := range sizes {
+		res, err := batchMeasure(size)
+		if err != nil {
+			return fmt.Errorf("n=%d: %w", size.N, err)
+		}
+		report.Sizes = append(report.Sizes, res)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	if minSpeedup > 0 {
+		for _, res := range report.Sizes {
+			if !res.AssessmentsMatch {
+				return fmt.Errorf("n=%d: batched assessments diverge from sequential", res.N)
+			}
+			if res.Speedup < minSpeedup {
+				return fmt.Errorf("n=%d: speedup %.2f below required %.2f", res.N, res.Speedup, minSpeedup)
+			}
+		}
+	}
+	return nil
+}

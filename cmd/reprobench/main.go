@@ -7,6 +7,7 @@
 //	reprobench -fig 3 -quick      # one figure, reduced workload
 //	reprobench -fig all -csv out/  # also write out/fig3.csv …
 //	reprobench -incrbench          # incremental engine vs recompute (JSON)
+//	reprobench -batchbench         # assess.batch vs N single assess (JSON)
 package main
 
 import (
@@ -38,6 +39,8 @@ func run(args []string, out *os.File) error {
 		plot   = fs.Bool("plot", false, "also render an ASCII plot of each figure")
 		asJSON = fs.Bool("json", false, "emit JSON instead of tables")
 		incr   = fs.Bool("incrbench", false, "benchmark the incremental assessment engine against the cache-invalidated recompute path and emit a JSON report")
+		batch  = fs.Bool("batchbench", false, "benchmark one assess.batch round-trip against N sequential assess round-trips and emit a JSON report")
+		minSp  = fs.Float64("batch-min-speedup", 0, "with -batchbench: fail unless every size reaches this speedup with matching assessments (0 disables the gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,6 +48,9 @@ func run(args []string, out *os.File) error {
 
 	if *incr {
 		return runIncrBench(out, *seed, *quick)
+	}
+	if *batch {
+		return runBatchBench(out, *quick, *minSp)
 	}
 
 	ids, err := selectFigures(*fig)

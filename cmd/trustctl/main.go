@@ -6,16 +6,20 @@
 //	trustctl -addr 127.0.0.1:7700 submit -server s1 -client alice -rating positive
 //	trustctl -addr 127.0.0.1:7700 history -server s1 -limit 20
 //	trustctl -addr 127.0.0.1:7700 assess -server s1 -threshold 0.9
+//	trustctl -addr 127.0.0.1:7700 assess-batch -threshold 0.9 s1 s2 s3
+//	trustctl assess-batch -threshold 0.9 < servers.txt   # IDs from stdin
 //	trustctl local-assess -file history.jsonl -scheme multi -trust average
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"honestplayer/internal/behavior"
@@ -43,7 +47,7 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command: ping | submit | history | assess | local-assess")
+		return fmt.Errorf("missing command: ping | submit | history | assess | assess-batch | local-assess")
 	}
 	// local-assess needs no server connection.
 	if rest[0] == "local-assess" {
@@ -73,6 +77,8 @@ func run(args []string, out io.Writer) error {
 		return history(ctx, client, rest[1:], out)
 	case "assess":
 		return assess(ctx, client, rest[1:], out)
+	case "assess-batch":
+		return assessBatch(ctx, client, rest[1:], out)
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
@@ -155,6 +161,47 @@ func assess(ctx context.Context, client *repclient.Client, args []string, out io
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(resp)
+}
+
+// stdin is the assess-batch fallback input, swappable in tests.
+var stdin io.Reader = os.Stdin
+
+// assessBatch assesses many servers in one request (the client chunks
+// transparently past the wire's max batch size). Server IDs come from the
+// positional arguments, or — when none are given — one per line from stdin.
+// The output is the JSON item array; per-server failures appear in their
+// item's "error" field without failing the command.
+func assessBatch(ctx context.Context, client *repclient.Client, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("assess-batch", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.9, "trust threshold applied to every server")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var servers []feedback.EntityID
+	for _, a := range fs.Args() {
+		servers = append(servers, feedback.EntityID(a))
+	}
+	if len(servers) == 0 {
+		sc := bufio.NewScanner(stdin)
+		for sc.Scan() {
+			if line := strings.TrimSpace(sc.Text()); line != "" {
+				servers = append(servers, feedback.EntityID(line))
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("read server IDs from stdin: %w", err)
+		}
+	}
+	if len(servers) == 0 {
+		return fmt.Errorf("assess-batch: no server IDs (pass them as arguments or one per line on stdin)")
+	}
+	items, err := client.AssessBatchCtx(ctx, servers, *threshold)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(items)
 }
 
 // localAssess runs the two-phase assessment offline over a JSON-lines

@@ -174,3 +174,49 @@ func TestLocalAssessErrors(t *testing.T) {
 		t.Error("missing file must fail")
 	}
 }
+
+func TestAssessBatch(t *testing.T) {
+	addr := startTestServer(t)
+	// Seed two servers through the CLI submit path.
+	for _, srv := range []string{"b1", "b2"} {
+		for i := 0; i < 90; i++ {
+			ts := "2026-01-01T00:" + twoDigits(i/60) + ":" + twoDigits(i%60) + "Z"
+			err := run([]string{"-addr", addr, "submit",
+				"-server", srv, "-client", "alice", "-rating", "positive", "-time", ts}, &strings.Builder{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Server IDs as positional arguments, one of them unknown.
+	var out strings.Builder
+	if err := run([]string{"-addr", addr, "assess-batch", "-threshold", "0.9", "b1", "ghost", "b2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if strings.Count(got, `"accept": true`) != 2 {
+		t.Fatalf("assess-batch output:\n%s", got)
+	}
+	if !strings.Contains(got, `"unknown_server"`) || !strings.Contains(got, `no records for \"ghost\"`) {
+		t.Fatalf("missing per-item error:\n%s", got)
+	}
+
+	// Server IDs from stdin, one per line.
+	oldStdin := stdin
+	stdin = strings.NewReader("b1\n\n  b2  \n")
+	t.Cleanup(func() { stdin = oldStdin })
+	out.Reset()
+	if err := run([]string{"-addr", addr, "assess-batch"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), `"accept": true`) != 2 || strings.Contains(out.String(), `"error"`) {
+		t.Fatalf("stdin assess-batch output:\n%s", out.String())
+	}
+
+	// Empty stdin and no arguments must fail.
+	stdin = strings.NewReader("")
+	if err := run([]string{"-addr", addr, "assess-batch"}, &strings.Builder{}); err == nil {
+		t.Error("assess-batch with no servers must fail")
+	}
+}

@@ -50,24 +50,26 @@ func main() {
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("trustd", flag.ContinueOnError)
 	var (
-		addr        = fs.String("addr", "127.0.0.1:7700", "reputation server listen address")
-		scheme      = fs.String("scheme", "multi", "behaviour testing: none | single | multi | collusion | collusion-multi")
-		trustName   = fs.String("trust", "average", "trust function: average | weighted | beta")
-		lambda      = fs.Float64("lambda", 0.5, "lambda for the weighted trust function")
-		window      = fs.Int("window", 10, "transaction window size m")
-		gossipAddr  = fs.String("gossip", "", "gossip listen address (empty disables gossip)")
-		peersArg    = fs.String("peers", "", "comma-separated gossip peer addresses")
-		interval    = fs.Duration("interval", time.Second, "gossip round interval")
-		name        = fs.String("name", "node", "node name used in gossip digests")
-		ledgerPath  = fs.String("ledger", "", "append-only ledger file for durable feedback storage (empty = in-memory only)")
-		seed        = fs.Uint64("seed", 1, "seed for threshold calibration")
-		shards      = fs.Int("shards", store.DefaultShards, "feedback store shard count (writes to different servers never contend)")
-		cacheSize   = fs.Int("assess-cache", 4096, "assessment cache entries (0 disables caching)")
-		reqTimeout  = fs.Duration("request-timeout", 10*time.Second, "per-request deadline; exceeding it yields a deadline_exceeded error frame (0 disables)")
-		drain       = fs.Duration("drain-timeout", repserver.DefaultDrainTimeout, "grace period for in-flight requests at shutdown")
-		slowLog     = fs.Duration("slow-log", 0, "log requests slower than this (0 disables)")
-		metricsAddr = fs.String("metrics-addr", "", "HTTP listen address serving GET /metricz stats (empty disables)")
-		incremental = fs.Bool("incremental", false, "serve assessments from per-server incremental accumulators (O(windows) per assess, bit-identical to a full recompute; replayed ledgers are folded in at startup)")
+		addr         = fs.String("addr", "127.0.0.1:7700", "reputation server listen address")
+		scheme       = fs.String("scheme", "multi", "behaviour testing: none | single | multi | collusion | collusion-multi")
+		trustName    = fs.String("trust", "average", "trust function: average | weighted | beta")
+		lambda       = fs.Float64("lambda", 0.5, "lambda for the weighted trust function")
+		window       = fs.Int("window", 10, "transaction window size m")
+		gossipAddr   = fs.String("gossip", "", "gossip listen address (empty disables gossip)")
+		peersArg     = fs.String("peers", "", "comma-separated gossip peer addresses")
+		interval     = fs.Duration("interval", time.Second, "gossip round interval")
+		name         = fs.String("name", "node", "node name used in gossip digests")
+		ledgerPath   = fs.String("ledger", "", "append-only ledger file for durable feedback storage (empty = in-memory only)")
+		seed         = fs.Uint64("seed", 1, "seed for threshold calibration")
+		shards       = fs.Int("shards", store.DefaultShards, "feedback store shard count (writes to different servers never contend)")
+		cacheSize    = fs.Int("assess-cache", 4096, "assessment cache entries (0 disables caching)")
+		reqTimeout   = fs.Duration("request-timeout", 10*time.Second, "per-request deadline; exceeding it yields a deadline_exceeded error frame (0 disables)")
+		drain        = fs.Duration("drain-timeout", repserver.DefaultDrainTimeout, "grace period for in-flight requests at shutdown")
+		slowLog      = fs.Duration("slow-log", 0, "log requests slower than this (0 disables)")
+		metricsAddr  = fs.String("metrics-addr", "", "HTTP listen address serving GET /metricz stats (empty disables)")
+		incremental  = fs.Bool("incremental", false, "serve assessments from per-server incremental accumulators (O(windows) per assess, bit-identical to a full recompute; replayed ledgers are folded in at startup)")
+		batchWorkers = fs.Int("batch-workers", 0, "worker pool size for assess.batch shard fan-out (0 = GOMAXPROCS)")
+		arenaCap     = fs.Int("arena-cap", 0, "per-server incremental PMF-arena cap in entries per generation (0 = default 32768, ~6 MiB worst case per server at window size 10)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,7 +79,7 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	tester, err := tester(*scheme, *window, *seed)
+	tester, err := tester(*scheme, *window, *seed, *arenaCap)
 	if err != nil {
 		return err
 	}
@@ -97,7 +99,7 @@ func run(ctx context.Context, args []string) error {
 	serverCfg := repserver.Config{
 		Assessor: assessor, Store: st, Logger: logger, AssessCacheSize: *cacheSize,
 		RequestTimeout: *reqTimeout, DrainTimeout: *drain, SlowLogThreshold: *slowLog,
-		Incremental: *incremental,
+		Incremental: *incremental, BatchWorkers: *batchWorkers,
 	}
 	if *ledgerPath != "" {
 		ps, err := ledger.OpenStoreShardedContext(ctx, *ledgerPath, *shards)
@@ -196,10 +198,11 @@ func trustFunc(name string, lambda float64) (trust.Func, error) {
 	}
 }
 
-func tester(scheme string, window int, seed uint64) (behavior.Tester, error) {
+func tester(scheme string, window int, seed uint64, arenaCap int) (behavior.Tester, error) {
 	cfg := behavior.Config{
 		WindowSize: window,
 		Calibrator: stats.NewCalibrator(stats.CalibrationConfig{Seed: seed}, 0),
+		ArenaCap:   arenaCap,
 	}
 	switch scheme {
 	case "none":

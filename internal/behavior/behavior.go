@@ -64,6 +64,18 @@ type Config struct {
 	// Calibrator supplies the distance threshold ε. Nil means a private
 	// calibrator with default settings.
 	Calibrator *stats.Calibrator
+	// ArenaCap caps the incremental accumulator's binomial PMF arena, in
+	// entries per generation (rounded up to a power of two, minimum 16).
+	// Zero means DefaultArenaCap; negative is invalid. The cap bounds
+	// per-server memory: at the default cap of 32768 entries and m = 10 a
+	// slot is m+1 = 11 float64s, so one generation is 32768 × 11 × 8 B ≈
+	// 2.9 MiB and a server whose p̂ churn keeps both generations live tops
+	// out near 6 MiB. Smaller caps trade recompute churn (generation
+	// rotation) for memory; results are unaffected either way, since the
+	// cached PMF is a pure function of its key. Only the Single, Multi and
+	// MultiNaive accumulators carry an arena; the collusion testers use a
+	// separate memo with its own fixed bound.
+	ArenaCap int
 	// FamilywiseCorrection applies a Bonferroni correction across the
 	// suffixes of a multi-test: with k suffixes each individual test runs at
 	// confidence 1 − (1−c)/k so the whole multi-test keeps an honest-player
@@ -99,6 +111,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Stride < 1 || c.Stride%c.WindowSize != 0 {
 		return c, fmt.Errorf("%w: stride %d not a positive multiple of window size %d",
 			ErrBadConfig, c.Stride, c.WindowSize)
+	}
+	if c.ArenaCap < 0 {
+		return c, fmt.Errorf("%w: arena cap %d", ErrBadConfig, c.ArenaCap)
+	}
+	if c.ArenaCap == 0 {
+		c.ArenaCap = DefaultArenaCap
 	}
 	return c, nil
 }

@@ -56,7 +56,8 @@ const (
 // stride), so it carries no pointers for the garbage collector to scan and a
 // hit is one key probe plus a contiguous slice view. A read over a w-window
 // history touches ≈w distinct p̂ values and the drift of p̂ under appends
-// keeps minting nearby ones, so the table grows (doubling up to binoMaxBits)
+// keeps minting nearby ones, so the table grows (doubling up to the
+// Config.ArenaCap-derived size, DefaultArenaCap entries unless overridden)
 // while its load stays under half. At the size cap the table runs two
 // generations instead of overwriting in place: when load would pass half, the
 // current generation retires to prev and lookups that miss the fresh table
@@ -64,9 +65,17 @@ const (
 // Lgamma/Exp refill — while entries idle for a whole generation fall off.
 // The cached PMF is a pure function of its key, so any eviction or migration
 // policy is result-neutral.
+// DefaultArenaCap is the default PMF-arena size cap in entries per
+// generation (2^15), the size the engine shipped with before the cap became
+// configurable. See Config.ArenaCap for the memory arithmetic.
+const DefaultArenaCap = 1 << 15
+
 const (
-	binoMinBits    = 10
-	binoMaxBits    = 15
+	binoMinBits = 10
+	// binoCapMinBits floors the configured cap: a generation never runs
+	// smaller than one probe window, or every miss would thrash the whole
+	// table.
+	binoCapMinBits = 4
 	binoProbeLimit = 16
 
 	// binoEmptyKey marks a free slot. Keys are Float64bits of p̂ ∈ [0, 1],
@@ -81,20 +90,37 @@ const (
 
 // binoCache is the PMF arena (see the geometry comment above the constants).
 type binoCache struct {
-	bits   int
-	stride int       // m + 1 floats per slot
-	keys   []uint64  // len 1<<bits; binoEmptyKey marks empty
-	pmfs   []float64 // len (1<<bits)·stride
-	used   int
+	bits    int
+	maxBits int       // size cap from Config.ArenaCap; grow stops here
+	stride  int       // m + 1 floats per slot
+	keys    []uint64  // len 1<<bits; binoEmptyKey marks empty
+	pmfs    []float64 // len (1<<bits)·stride
+	used    int
 
-	// Previous generation, populated only once the table reaches binoMaxBits
+	// Previous generation, populated only once the table reaches maxBits
 	// (both generations then share the cap size, so home() addresses either).
 	prevKeys []uint64
 	prevPmfs []float64
 }
 
-func newBinoCache(m int) *binoCache {
-	c := &binoCache{bits: binoMinBits, stride: m + 1}
+// arenaBits converts an entry cap into table bits: the smallest power of two
+// holding cap entries, floored at binoCapMinBits.
+func arenaBits(cap int) int {
+	bits := binoCapMinBits
+	for 1<<bits < cap {
+		bits++
+	}
+	return bits
+}
+
+func newBinoCache(m, arenaCap int) *binoCache {
+	if arenaCap <= 0 {
+		arenaCap = DefaultArenaCap
+	}
+	c := &binoCache{bits: binoMinBits, maxBits: arenaBits(arenaCap), stride: m + 1}
+	if c.bits > c.maxBits {
+		c.bits = c.maxBits
+	}
 	c.keys = make([]uint64, 1<<c.bits)
 	for i := range c.keys {
 		c.keys[i] = binoEmptyKey
@@ -303,7 +329,7 @@ func NewAccumulatorFor(t Tester) (*Accumulator, bool) {
 		a.clients = make(map[feedback.EntityID]*clientSeries)
 		a.binoObjs = make(map[uint64]*stats.Binomial)
 	default:
-		a.bino = newBinoCache(m)
+		a.bino = newBinoCache(m, cfg.ArenaCap)
 		a.prefRing = make([]int, m+1)
 		a.phases = make([]accPhase, m)
 		for i := range a.phases {
@@ -728,7 +754,7 @@ func (a *Accumulator) binomialPMF(pHat float64) ([]float64, error) {
 func (a *Accumulator) binomialPMFMiss(key uint64, pHat float64) ([]float64, error) {
 	c := a.bino
 	if c.used > len(c.keys)/2 {
-		if c.bits < binoMaxBits {
+		if c.bits < c.maxBits {
 			c.grow()
 		} else {
 			c.rotate()

@@ -53,10 +53,10 @@ type Assessment struct {
 	Server feedback.EntityID `json:"server"`
 	// Suspicious reports that phase 1 flagged the server; Trust is
 	// meaningless (zero) in that case.
-	Suspicious bool `json:"suspicious"`
+	Suspicious bool `json:"suspicious,omitempty"`
 	// ShortHistory reports that the history was too short to behaviour-test
 	// and the configured policy decided the outcome.
-	ShortHistory bool `json:"shortHistory"`
+	ShortHistory bool `json:"shortHistory,omitempty"`
 	// Trust is the phase-2 trust value; valid only when !Suspicious.
 	Trust float64 `json:"trust"`
 	// TrustLow and TrustHigh bound the underlying good-transaction ratio
@@ -65,11 +65,12 @@ type Assessment struct {
 	TrustLow  float64 `json:"trustLow"`
 	TrustHigh float64 `json:"trustHigh"`
 	// Verdict carries the per-suffix behaviour-test details when phase 1
-	// ran.
-	Verdict behavior.Verdict `json:"verdict"`
+	// ran; it is omitted from the wire encoding when phase 1 never ran
+	// (no tester, or a short history), keeping trust-only responses lean.
+	Verdict behavior.Verdict `json:"verdict,omitzero"`
 	// Tester and TrustFunc name the components that produced this
 	// assessment.
-	Tester    string `json:"tester"`
+	Tester    string `json:"tester,omitempty"`
 	TrustFunc string `json:"trustFunc"`
 }
 

@@ -15,6 +15,7 @@ package repclient
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -113,7 +114,14 @@ func (c *Client) deadline(ctx context.Context) time.Time {
 // (skipped when out is nil). A TypeError response is returned as a
 // *wire.ErrorResponse error. Any transport failure poisons the connection;
 // the next round trip redials.
-func (c *Client) roundTrip(ctx context.Context, reqType, respType wire.MsgType, payload, out any) error {
+//
+// It is a package function rather than a method only because Go methods
+// cannot have type parameters: the response type T lets the expected frame
+// decode straight into out in one json.Unmarshal — envelope and payload
+// together — instead of detouring through a RawMessage. Anything but the
+// expected response (error frames, id mismatches, bad versions) takes the
+// slow path through wire.Parse for the precise error semantics.
+func roundTrip[T any](c *Client, ctx context.Context, reqType, respType wire.MsgType, payload any, out *T) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -149,7 +157,23 @@ func (c *Client) roundTrip(ctx context.Context, reqType, respType wire.MsgType, 
 		c.broken = true
 		return c.transportErr(ctx, reqType, err)
 	}
-	resp, err := wire.Read(c.reader)
+	line, err := wire.ReadRaw(c.reader)
+	if err != nil {
+		c.broken = true
+		return c.transportErr(ctx, reqType, fmt.Errorf("read response: %w", err))
+	}
+	var fast struct {
+		V       int          `json:"v"`
+		Type    wire.MsgType `json:"type"`
+		ID      uint64       `json:"id"`
+		Payload *T           `json:"payload"`
+	}
+	fast.Payload = out
+	if err := json.Unmarshal(line, &fast); err == nil &&
+		fast.V == wire.Version && fast.Type == respType && fast.ID == id {
+		return nil
+	}
+	resp, err := wire.Parse(line)
 	if err != nil {
 		c.broken = true
 		return c.transportErr(ctx, reqType, fmt.Errorf("read response: %w", err))
@@ -201,7 +225,7 @@ func (c *Client) Ping() error { return c.PingCtx(context.Background()) }
 
 // PingCtx is Ping bounded by ctx.
 func (c *Client) PingCtx(ctx context.Context) error {
-	return c.roundTrip(ctx, wire.TypePing, wire.TypePong, nil, nil)
+	return roundTrip[struct{}](c, ctx, wire.TypePing, wire.TypePong, nil, nil)
 }
 
 // Submit stores one feedback record; it reports whether the record was new.
@@ -212,7 +236,7 @@ func (c *Client) Submit(f feedback.Feedback) (bool, error) {
 // SubmitCtx is Submit bounded by ctx.
 func (c *Client) SubmitCtx(ctx context.Context, f feedback.Feedback) (bool, error) {
 	var resp wire.SubmitResponse
-	if err := c.roundTrip(ctx, wire.TypeSubmit, wire.TypeSubmitR, wire.SubmitRequest{Feedback: f}, &resp); err != nil {
+	if err := roundTrip(c, ctx, wire.TypeSubmit, wire.TypeSubmitR, wire.SubmitRequest{Feedback: f}, &resp); err != nil {
 		return false, err
 	}
 	return resp.Stored, nil
@@ -229,7 +253,7 @@ func (c *Client) SubmitBatchReport(recs []feedback.Feedback) (wire.BatchResponse
 // SubmitBatchReportCtx is SubmitBatchReport bounded by ctx.
 func (c *Client) SubmitBatchReportCtx(ctx context.Context, recs []feedback.Feedback) (wire.BatchResponse, error) {
 	var resp wire.BatchResponse
-	err := c.roundTrip(ctx, wire.TypeBatch, wire.TypeBatchR, wire.BatchRequest{Records: recs}, &resp)
+	err := roundTrip(c, ctx, wire.TypeBatch, wire.TypeBatchR, wire.BatchRequest{Records: recs}, &resp)
 	return resp, err
 }
 
@@ -265,7 +289,7 @@ func (c *Client) History(server feedback.EntityID, limit int) ([]feedback.Feedba
 func (c *Client) HistoryCtx(ctx context.Context, server feedback.EntityID, limit int) ([]feedback.Feedback, int, error) {
 	var resp wire.HistoryResponse
 	req := wire.HistoryRequest{Server: server, Limit: limit}
-	if err := c.roundTrip(ctx, wire.TypeHistory, wire.TypeHistoryR, req, &resp); err != nil {
+	if err := roundTrip(c, ctx, wire.TypeHistory, wire.TypeHistoryR, req, &resp); err != nil {
 		return nil, 0, err
 	}
 	return resp.Records, resp.Total, nil
@@ -280,6 +304,42 @@ func (c *Client) Assess(server feedback.EntityID, threshold float64) (wire.Asses
 func (c *Client) AssessCtx(ctx context.Context, server feedback.EntityID, threshold float64) (wire.AssessResponse, error) {
 	var resp wire.AssessResponse
 	req := wire.AssessRequest{Server: server, Threshold: threshold}
-	err := c.roundTrip(ctx, wire.TypeAssess, wire.TypeAssessR, req, &resp)
+	err := roundTrip(c, ctx, wire.TypeAssess, wire.TypeAssessR, req, &resp)
 	return resp, err
+}
+
+// AssessBatch assesses many servers in one round trip (or several: requests
+// above wire.MaxAssessBatch are chunked transparently and the chunk
+// responses concatenated). Items[i] answers servers[i] and per-server
+// failures — unknown servers above all — land in their item's Error slot
+// without failing the batch; only transport and request-level failures
+// return an error, in which case no items are returned (a partially
+// assessed prefix would be indistinguishable from a short response).
+func (c *Client) AssessBatch(servers []feedback.EntityID, threshold float64) ([]wire.AssessBatchItem, error) {
+	return c.AssessBatchCtx(context.Background(), servers, threshold)
+}
+
+// AssessBatchCtx is AssessBatch bounded by ctx. The deadline covers the
+// whole call: every chunk's round trip runs under the same ctx.
+func (c *Client) AssessBatchCtx(ctx context.Context, servers []feedback.EntityID, threshold float64) ([]wire.AssessBatchItem, error) {
+	if len(servers) == 0 {
+		return nil, errors.New("repclient: empty assess batch")
+	}
+	items := make([]wire.AssessBatchItem, 0, len(servers))
+	for start := 0; start < len(servers); start += wire.MaxAssessBatch {
+		chunk := servers[start:min(start+wire.MaxAssessBatch, len(servers))]
+		var resp wire.AssessBatchResponse
+		req := wire.AssessBatchRequest{Servers: chunk, Threshold: threshold}
+		if err := roundTrip(c, ctx, wire.TypeAssessB, wire.TypeAssessBR, req, &resp); err != nil {
+			return nil, err
+		}
+		if len(resp.Items) != len(chunk) {
+			// The protocol guarantees one item per requested server; a
+			// mismatch means the response cannot be aligned with the request.
+			return nil, fmt.Errorf("repclient: assess batch returned %d items for %d servers",
+				len(resp.Items), len(chunk))
+		}
+		items = append(items, resp.Items...)
+	}
+	return items, nil
 }

@@ -5,9 +5,11 @@ import (
 	"context"
 	"errors"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
+	"honestplayer/internal/feedback"
 	"honestplayer/internal/wire"
 )
 
@@ -331,5 +333,125 @@ func TestCtxCancellationInterruptsBlockedRead(t *testing.T) {
 	}
 	if time.Since(start) > 2*time.Second {
 		t.Fatal("cancellation did not interrupt the blocked read promptly")
+	}
+}
+
+// batchEchoServer answers assess.batch requests with one synthetic item per
+// requested server (ghosts get a per-item error), recording each chunk size.
+func batchEchoServer(t *testing.T, chunkSizes *[]int) string {
+	t.Helper()
+	return fakeServer(t, func(conn net.Conn) {
+		r := bufio.NewReader(conn)
+		for {
+			env, err := wire.Read(r)
+			if err != nil {
+				return
+			}
+			var req wire.AssessBatchRequest
+			if err := wire.DecodePayload(env, &req); err != nil {
+				return
+			}
+			*chunkSizes = append(*chunkSizes, len(req.Servers))
+			resp := wire.AssessBatchResponse{Items: make([]wire.AssessBatchItem, len(req.Servers))}
+			for i, s := range req.Servers {
+				resp.Items[i].Server = s
+				if s == "ghost" {
+					resp.Items[i].Error = &wire.ErrorResponse{Code: wire.CodeUnknownServer, Message: "no records"}
+					continue
+				}
+				resp.Items[i].Accept = true
+			}
+			out, err := wire.Encode(wire.TypeAssessBR, env.ID, resp)
+			if err != nil {
+				return
+			}
+			if err := wire.Write(conn, out); err != nil {
+				return
+			}
+		}
+	})
+}
+
+func TestAssessBatchChunking(t *testing.T) {
+	var chunks []int
+	addr := batchEchoServer(t, &chunks)
+	c, err := Dial(addr, WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	// 600 servers must split into 256 + 256 + 88 and reassemble in request
+	// order, with the per-item error of the one ghost intact.
+	servers := make([]feedback.EntityID, 600)
+	for i := range servers {
+		servers[i] = feedback.EntityID("s" + string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('A'+i/60)))
+	}
+	servers[300] = "ghost"
+	items, err := c.AssessBatch(servers, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(servers) {
+		t.Fatalf("items = %d, want %d", len(items), len(servers))
+	}
+	for i, item := range items {
+		if item.Server != servers[i] {
+			t.Fatalf("item %d answers %q, want %q", i, item.Server, servers[i])
+		}
+	}
+	if items[300].Error == nil || items[300].Error.Code != wire.CodeUnknownServer {
+		t.Fatalf("ghost item = %+v", items[300])
+	}
+	if items[299].Error != nil || !items[299].Accept {
+		t.Fatalf("neighbour of ghost = %+v", items[299])
+	}
+	want := []int{wire.MaxAssessBatch, wire.MaxAssessBatch, 600 - 2*wire.MaxAssessBatch}
+	if len(chunks) != len(want) {
+		t.Fatalf("chunks = %v, want %v", chunks, want)
+	}
+	for i := range want {
+		if chunks[i] != want[i] {
+			t.Fatalf("chunks = %v, want %v", chunks, want)
+		}
+	}
+}
+
+func TestAssessBatchEmpty(t *testing.T) {
+	var chunks []int
+	addr := batchEchoServer(t, &chunks)
+	cl, err := Dial(addr, WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	if _, err := cl.AssessBatch(nil, 0.5); err == nil {
+		t.Fatal("empty batch must fail client-side")
+	}
+	if len(chunks) != 0 {
+		t.Fatalf("empty batch reached the server: %v", chunks)
+	}
+}
+
+func TestAssessBatchItemCountMismatch(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		r := bufio.NewReader(conn)
+		env, err := wire.Read(r)
+		if err != nil {
+			return
+		}
+		// One item short: the client must refuse to misalign the rest.
+		resp := wire.AssessBatchResponse{Items: []wire.AssessBatchItem{{Server: "a"}}}
+		out, _ := wire.Encode(wire.TypeAssessBR, env.ID, resp)
+		_ = wire.Write(conn, out)
+	})
+	c, err := Dial(addr, WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	_, err = c.AssessBatch([]feedback.EntityID{"a", "b"}, 0.5)
+	if err == nil || !strings.Contains(err.Error(), "items") {
+		t.Fatalf("mismatched item count error = %v", err)
 	}
 }

@@ -1,0 +1,198 @@
+package repserver
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"honestplayer/internal/assesscache"
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/service"
+	"honestplayer/internal/store"
+	"honestplayer/internal/wire"
+)
+
+// handleAssessBatch serves TypeAssessB: the shard-grouped, pool-parallel form
+// of handleAssess. Per-server failures (unknown server, assessment error)
+// land in their item's error slot; only request-level problems — malformed
+// payload, empty or oversized batch, expired context — fail the envelope.
+func (s *Server) handleAssessBatch(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+	var req wire.AssessBatchRequest
+	if err := wire.DecodePayload(env, &req); err != nil {
+		return wire.Envelope{}, service.Errorf(wire.CodeBadRequest, "%v", err)
+	}
+	resp, err := s.assessBatch(ctx, req)
+	if err != nil {
+		return wire.Envelope{}, err
+	}
+	return wire.Encode(wire.TypeAssessBR, env.ID, resp)
+}
+
+// AssessBatch runs one batch assessment in process, exactly as a TypeAssessB
+// request would be served minus the wire decode and socket I/O — the batch
+// counterpart of Assess, for embedders and benchmark harnesses.
+func (s *Server) AssessBatch(ctx context.Context, req wire.AssessBatchRequest) (wire.AssessBatchResponse, error) {
+	return s.assessBatch(ctx, req)
+}
+
+// shardGroup is the unit of batch fan-out: the request positions of all
+// items living on one store shard. Grouping is what lets the pool serve a
+// whole shard's items under a single read-lock acquisition.
+type shardGroup struct {
+	shard   int
+	pos     []int               // positions into the request's Servers
+	servers []feedback.EntityID // aligned with pos
+}
+
+// assessBatch serves one TypeAssessB request. Items are grouped by store
+// shard and the groups fanned out across a bounded worker pool
+// (Config.BatchWorkers, default GOMAXPROCS); each group holds its shard's
+// read lock once while the items with a live incremental accumulator are
+// served in place, and runs cache probes and two-phase recomputes for the
+// rest after the lock is released. Every item follows the same serving order
+// as the single-assess path — accumulator, then version-stamped cache, then
+// recompute — so verdicts are bit-identical to N sequential assess calls.
+//
+// Items[i] always answers Servers[i]; len(Items) == len(Servers).
+func (s *Server) assessBatch(ctx context.Context, req wire.AssessBatchRequest) (wire.AssessBatchResponse, error) {
+	n := len(req.Servers)
+	if n == 0 {
+		return wire.AssessBatchResponse{}, service.Errorf(wire.CodeBadRequest, "empty batch")
+	}
+	if n > wire.MaxAssessBatch {
+		return wire.AssessBatchResponse{}, service.Errorf(wire.CodeBadRequest,
+			"batch of %d servers exceeds max %d", n, wire.MaxAssessBatch)
+	}
+	if err := ctx.Err(); err != nil {
+		return wire.AssessBatchResponse{}, err
+	}
+	items := make([]wire.AssessBatchItem, n)
+	byShard := make(map[int]*shardGroup)
+	groups := make([]*shardGroup, 0, s.cfg.Store.NumShards())
+	for i, srv := range req.Servers {
+		items[i].Server = srv
+		if srv == "" {
+			items[i].Error = &wire.ErrorResponse{Code: wire.CodeBadRequest, Message: "missing server"}
+			continue
+		}
+		idx := s.cfg.Store.ShardIndex(srv)
+		g := byShard[idx]
+		if g == nil {
+			g = &shardGroup{shard: idx}
+			byShard[idx] = g
+			groups = append(groups, g)
+		}
+		g.pos = append(g.pos, i)
+		g.servers = append(g.servers, srv)
+	}
+
+	workers := s.cfg.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		for _, g := range groups {
+			s.assessGroup(ctx, req.Threshold, g, items)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(groups) {
+						return
+					}
+					s.assessGroup(ctx, req.Threshold, groups[i], items)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// A batch cut short by deadline or shutdown fails whole: a half-filled
+	// response would be indistinguishable from per-item failures.
+	if err := ctx.Err(); err != nil {
+		return wire.AssessBatchResponse{}, err
+	}
+	s.nBatchItems.Add(uint64(n))
+	return wire.AssessBatchResponse{Items: items}, nil
+}
+
+// assessGroup serves one shard group in two passes. Pass one holds the shard
+// read lock once for the whole group: items with a live incremental
+// accumulator are answered in place (each read is O(windows) and the loop
+// takes no further locks and allocates nothing per item), everything else
+// just captures its snapshot and version. Pass two runs the cache probes and
+// two-phase recomputes for the captured items after the lock is released, so
+// batch fallbacks never stall the shard's writers.
+func (s *Server) assessGroup(ctx context.Context, threshold float64, g *shardGroup, items []wire.AssessBatchItem) {
+	type fallback struct {
+		pos     int
+		snap    *feedback.History
+		version uint64
+	}
+	var falls []fallback
+	var served uint64
+	s.cfg.Store.ViewShard(g.shard, g.servers, func(i int, acc store.Accumulator, snap *feedback.History, version uint64) {
+		pos := g.pos[i]
+		if s.cfg.Incremental {
+			if sa, ok := acc.(*core.ServerAccumulator); ok {
+				item := &items[pos]
+				accept, a, err := sa.Accept(threshold)
+				if err != nil {
+					item.Error = &wire.ErrorResponse{Code: wire.CodeAssessmentFailed, Message: err.Error()}
+					return
+				}
+				item.AssessResponse = wire.AssessResponse{Assessment: a, Accept: accept, Incremental: true}
+				served++
+				return
+			}
+		}
+		falls = append(falls, fallback{pos: pos, snap: snap, version: version})
+	})
+	s.nIncremental.Add(served)
+
+	for _, f := range falls {
+		item := &items[f.pos]
+		if ctx.Err() != nil {
+			// The request-level check in assessBatch reports the expiry; no
+			// point starting more recomputes for a response nobody will see.
+			return
+		}
+		if f.snap == nil || f.snap.Len() == 0 {
+			item.Error = &wire.ErrorResponse{
+				Code:    wire.CodeUnknownServer,
+				Message: fmt.Sprintf("no records for %q", item.Server),
+			}
+			continue
+		}
+		if s.cfg.Incremental {
+			s.nFallback.Add(1)
+		}
+		if s.cache != nil {
+			if res, ok := s.cache.Get(item.Server, f.version, threshold); ok {
+				item.AssessResponse = wire.AssessResponse{Assessment: res.Assessment, Accept: res.Accept, Cached: true}
+				continue
+			}
+		}
+		accept, a, err := s.cfg.Assessor.Accept(f.snap, threshold)
+		if err != nil {
+			item.Error = &wire.ErrorResponse{Code: wire.CodeAssessmentFailed, Message: err.Error()}
+			continue
+		}
+		if s.cache != nil {
+			s.cache.Put(item.Server, f.version, threshold, assesscache.Result{Assessment: a, Accept: accept})
+		}
+		item.AssessResponse = wire.AssessResponse{Assessment: a, Accept: accept}
+	}
+}

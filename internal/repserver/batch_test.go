@@ -1,0 +1,404 @@
+package repserver
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/trust"
+	"honestplayer/internal/wire"
+)
+
+// TestAssessBatchMatchesSequential is the batch path's differential
+// guarantee under concurrent writes: with the store state frozen, an
+// assess.batch response must DeepEqual the N sequential single-assess
+// responses, item for item, including per-item errors and the Cached /
+// Incremental flags. Writers run between comparisons behind a world lock —
+// each write holds it shared, each comparison holds it exclusively — so the
+// comparison sees one consistent state while the workload still interleaves
+// writes with batches exactly as a live server would.
+func TestAssessBatchMatchesSequential(t *testing.T) {
+	for _, workers := range []int{0, 1} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			srv, err := New("127.0.0.1:0", Config{
+				Assessor:     testAssessor(t),
+				Incremental:  true,
+				BatchWorkers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = srv.Close() })
+
+			servers := make([]feedback.EntityID, 0, 12)
+			for i := 0; i < 10; i++ {
+				servers = append(servers, feedback.EntityID(fmt.Sprintf("srv-%02d", i)))
+			}
+			servers = append(servers, "ghost-a", "ghost-b")
+
+			// world freezes the store for comparisons: writers hold it shared
+			// per write, the comparator exclusively per round.
+			var world sync.RWMutex
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					client := feedback.EntityID(fmt.Sprintf("writer-%d", w))
+					for k := 0; ; k++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						world.RLock()
+						f := rec(servers[k%10], client, k%7 != 0, int64(10000*(w+1)+k))
+						if _, err := srv.cfg.Recorder.Add(f); err != nil {
+							t.Errorf("add: %v", err)
+						}
+						world.RUnlock()
+					}
+				}(w)
+			}
+
+			ctx := context.Background()
+			req := wire.AssessBatchRequest{Servers: servers, Threshold: 0.7}
+			for round := 0; round < 20; round++ {
+				world.Lock()
+				got, err := srv.assessBatch(ctx, req)
+				if err != nil {
+					world.Unlock()
+					t.Fatalf("round %d: batch: %v", round, err)
+				}
+				if len(got.Items) != len(servers) {
+					world.Unlock()
+					t.Fatalf("round %d: %d items for %d servers", round, len(got.Items), len(servers))
+				}
+				for i, item := range got.Items {
+					if item.Server != servers[i] {
+						world.Unlock()
+						t.Fatalf("round %d: item %d answers %q, want %q", round, i, item.Server, servers[i])
+					}
+					single, serr := srv.assess(ctx, wire.AssessRequest{Server: servers[i], Threshold: 0.7})
+					if serr != nil {
+						var proto *wire.ErrorResponse
+						if !errors.As(serr, &proto) {
+							world.Unlock()
+							t.Fatalf("round %d: single assess %q: unexpected error type %v", round, servers[i], serr)
+						}
+						if !reflect.DeepEqual(item.Error, proto) {
+							world.Unlock()
+							t.Fatalf("round %d: item %q error = %+v, single path = %+v", round, servers[i], item.Error, proto)
+						}
+						continue
+					}
+					if item.Error != nil {
+						world.Unlock()
+						t.Fatalf("round %d: item %q failed (%+v) but single path served %+v", round, servers[i], item.Error, single)
+					}
+					if !reflect.DeepEqual(item.AssessResponse, single) {
+						world.Unlock()
+						t.Fatalf("round %d: item %q mismatch:\nbatch:  %+v\nsingle: %+v", round, servers[i], item.AssessResponse, single)
+					}
+				}
+				world.Unlock()
+			}
+			close(stop)
+			wg.Wait()
+
+			if st := srv.Stats(); st.BatchItems != uint64(20*len(servers)) {
+				t.Fatalf("BatchItems = %d, want %d", st.BatchItems, 20*len(servers))
+			}
+		})
+	}
+}
+
+// TestAssessBatchNeverStale hammers the version-stamped assessment cache
+// with concurrent assess.batch reads and feedback writes, and proves no
+// batch item ever reflects a history older than what was fully written when
+// the batch started. The assessor is trust-only (Average), so a response's
+// trust value t over a server seeded with A positives and fed only negatives
+// pins the history length the verdict was computed from at n = A/t; that n
+// must fall between the writes completed before the batch and the writes
+// started after it. A stale cached verdict lands below the lower bound. Run
+// under -race this also checks the locking of the whole batch read path.
+func TestAssessBatchNeverStale(t *testing.T) {
+	tp, err := core.NewTwoPhase(nil, trust.Average{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New("127.0.0.1:0", Config{Assessor: tp, AssessCacheSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	const seedPositives = 64
+	servers := []feedback.EntityID{"st-0", "st-1", "st-2", "st-3"}
+	for _, s := range servers {
+		for i := 0; i < seedPositives; i++ {
+			if _, err := srv.cfg.Recorder.Add(rec(s, "seed", true, int64(i)+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Per-server write progress: started is bumped before the store accepts
+	// the record, done after. Negative-only writes keep trust = A/n exact.
+	started := make([]atomic.Int64, len(servers))
+	done := make([]atomic.Int64, len(servers))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := feedback.EntityID(fmt.Sprintf("neg-%d", w))
+			for k := 0; ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				si := k % len(servers)
+				started[si].Add(1)
+				if _, err := srv.cfg.Recorder.Add(rec(servers[si], client, false, int64(100000*(w+1)+k))); err != nil {
+					t.Errorf("add: %v", err)
+				}
+				done[si].Add(1)
+			}
+		}(w)
+	}
+
+	ctx := context.Background()
+	req := wire.AssessBatchRequest{Servers: servers, Threshold: 0.01}
+	for round := 0; round < 200; round++ {
+		doneBefore := make([]int64, len(servers))
+		for i := range servers {
+			doneBefore[i] = done[i].Load()
+		}
+		resp, err := srv.assessBatch(ctx, req)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i, item := range resp.Items {
+			startedAfter := started[i].Load()
+			if item.Error != nil {
+				t.Fatalf("round %d: item %q failed: %+v", round, servers[i], item.Error)
+			}
+			tr := item.Assessment.Trust
+			if tr <= 0 || tr > 1 {
+				t.Fatalf("round %d: item %q trust = %v", round, servers[i], tr)
+			}
+			n := int64(math.Round(seedPositives / tr))
+			lo := seedPositives + doneBefore[i]
+			hi := seedPositives + startedAfter
+			if n < lo || n > hi {
+				t.Fatalf("round %d: item %q served a verdict over %d records, want within [%d, %d] — stale cache entry",
+					round, servers[i], n, lo, hi)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestAssessBatchFlags pins the Cached / Incremental wire flags across every
+// serving path, batch and single: accumulator serves mark Incremental,
+// cache hits mark Cached, fallback recomputes mark neither, and a write
+// invalidates the cache entry for exactly the written server.
+func TestAssessBatchFlags(t *testing.T) {
+	ctx := context.Background()
+	seed := func(t *testing.T, srv *Server, s feedback.EntityID) {
+		t.Helper()
+		for i := 0; i < 60; i++ {
+			if _, err := srv.cfg.Recorder.Add(rec(s, feedback.EntityID(rune('a'+i%4)), true, int64(i)+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	batchFlags := func(t *testing.T, srv *Server, servers []feedback.EntityID) []wire.AssessResponse {
+		t.Helper()
+		resp, err := srv.assessBatch(ctx, wire.AssessBatchRequest{Servers: servers, Threshold: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]wire.AssessResponse, len(resp.Items))
+		for i, item := range resp.Items {
+			if item.Error != nil {
+				t.Fatalf("item %q: %+v", item.Server, item.Error)
+			}
+			out[i] = item.AssessResponse
+		}
+		return out
+	}
+
+	t.Run("incremental", func(t *testing.T) {
+		srv, err := New("127.0.0.1:0", Config{Assessor: testAssessor(t), Incremental: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		seed(t, srv, "a")
+		seed(t, srv, "b")
+		for _, got := range batchFlags(t, srv, []feedback.EntityID{"a", "b"}) {
+			if !got.Incremental || got.Cached {
+				t.Fatalf("accumulator-served batch item flags = incremental:%v cached:%v", got.Incremental, got.Cached)
+			}
+		}
+		single, err := srv.assess(ctx, wire.AssessRequest{Server: "a", Threshold: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !single.Incremental || single.Cached {
+			t.Fatalf("accumulator-served single flags = incremental:%v cached:%v", single.Incremental, single.Cached)
+		}
+	})
+
+	t.Run("cache", func(t *testing.T) {
+		srv, err := New("127.0.0.1:0", Config{Assessor: testAssessor(t), AssessCacheSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		seed(t, srv, "a")
+		seed(t, srv, "b")
+
+		// First serve of "a" is a single-path recompute that populates the
+		// cache; "b" has never been assessed.
+		single, err := srv.assess(ctx, wire.AssessRequest{Server: "a", Threshold: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Cached || single.Incremental {
+			t.Fatalf("first single serve flags = %+v", single)
+		}
+
+		got := batchFlags(t, srv, []feedback.EntityID{"a", "b"})
+		if !got[0].Cached || got[0].Incremental {
+			t.Fatalf("cache-hit batch item flags = %+v", got[0])
+		}
+		if got[1].Cached || got[1].Incremental {
+			t.Fatalf("fallback batch item flags = %+v", got[1])
+		}
+
+		// The batch recompute of "b" must itself populate the cache...
+		got = batchFlags(t, srv, []feedback.EntityID{"a", "b"})
+		if !got[0].Cached || !got[1].Cached {
+			t.Fatalf("second batch flags = %+v", got)
+		}
+		// ...and a write to "a" invalidates exactly "a".
+		if _, err := srv.cfg.Recorder.Add(rec("a", "z", false, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		got = batchFlags(t, srv, []feedback.EntityID{"a", "b"})
+		if got[0].Cached {
+			t.Fatal("batch served a stale cache entry after a write")
+		}
+		if !got[1].Cached {
+			t.Fatalf("unwritten server lost its cache entry: %+v", got[1])
+		}
+		single, err = srv.assess(ctx, wire.AssessRequest{Server: "a", Threshold: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !single.Cached {
+			t.Fatal("single serve after batch recompute should hit the cache")
+		}
+	})
+}
+
+// TestAssessBatchValidation covers the request-level rejections and the
+// per-item bad-request slot for an empty server ID.
+func TestAssessBatchValidation(t *testing.T) {
+	srv := startServer(t)
+	ctx := context.Background()
+
+	if _, err := srv.assessBatch(ctx, wire.AssessBatchRequest{Threshold: 0.5}); err == nil {
+		t.Fatal("empty batch must fail")
+	}
+	big := make([]feedback.EntityID, wire.MaxAssessBatch+1)
+	for i := range big {
+		big[i] = feedback.EntityID(fmt.Sprintf("s%d", i))
+	}
+	_, err := srv.assessBatch(ctx, wire.AssessBatchRequest{Servers: big, Threshold: 0.5})
+	var proto *wire.ErrorResponse
+	if !errors.As(err, &proto) || proto.Code != wire.CodeBadRequest {
+		t.Fatalf("oversized batch error = %v", err)
+	}
+
+	if _, err := srv.cfg.Recorder.Add(rec("known", "c", true, 1)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.assessBatch(ctx, wire.AssessBatchRequest{
+		Servers: []feedback.EntityID{"known", "", "ghost"}, Threshold: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Items[0].Error != nil {
+		t.Fatalf("known server failed: %+v", resp.Items[0].Error)
+	}
+	if e := resp.Items[1].Error; e == nil || e.Code != wire.CodeBadRequest {
+		t.Fatalf("empty server item error = %+v", e)
+	}
+	if e := resp.Items[2].Error; e == nil || e.Code != wire.CodeUnknownServer ||
+		!strings.Contains(e.Message, `"ghost"`) {
+		t.Fatalf("unknown server item error = %+v", e)
+	}
+}
+
+// TestAssessBatchOverWire drives the registered handler through a raw TCP
+// connection: the response envelope must echo the request id as
+// assess.batch.resp with items aligned to the request order.
+func TestAssessBatchOverWire(t *testing.T) {
+	srv := startServer(t)
+	for i := 0; i < 30; i++ {
+		if _, err := srv.cfg.Recorder.Add(rec("wired", "c", true, int64(i)+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = nc.Close() })
+
+	env, err := wire.Encode(wire.TypeAssessB, 42, wire.AssessBatchRequest{
+		Servers: []feedback.EntityID{"wired", "ghost"}, Threshold: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Write(nc, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.Read(bufio.NewReader(nc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != wire.TypeAssessBR || got.ID != 42 {
+		t.Fatalf("envelope = type %s id %d", got.Type, got.ID)
+	}
+	var resp wire.AssessBatchResponse
+	if err := wire.DecodePayload(got, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 2 || resp.Items[0].Server != "wired" || resp.Items[1].Server != "ghost" {
+		t.Fatalf("items = %+v", resp.Items)
+	}
+	if resp.Items[0].Error != nil || resp.Items[1].Error == nil {
+		t.Fatalf("per-item outcomes = %+v", resp.Items)
+	}
+}

@@ -71,6 +71,12 @@ type Config struct {
 	// tester and trust function have incremental forms (all built-ins do);
 	// New fails otherwise.
 	Incremental bool
+	// BatchWorkers bounds the worker pool one TypeAssessB request fans its
+	// shard groups out over; zero means runtime.GOMAXPROCS(0). One worker
+	// serialises the batch (useful for deterministic profiling); the items
+	// of a single shard are always served by one worker under one shard
+	// read-lock acquisition regardless of the pool size.
+	BatchWorkers int
 	// RequestTimeout bounds each request's handler; a request exceeding it
 	// gets a deadline_exceeded error frame and the connection stays open.
 	// Zero means no per-request deadline.
@@ -98,6 +104,11 @@ type Stats struct {
 	// Incremental carries the incremental assessment engine's counters;
 	// Enabled is false and the rest zero when the engine is off.
 	Incremental IncrementalStats `json:"incremental"`
+	// BatchItems counts the individual servers assessed via assess.batch
+	// requests (per-request counts live in PerType). Items served from an
+	// accumulator or the cache also count towards the Incremental / Cache
+	// stats, same as single assess requests.
+	BatchItems uint64 `json:"batch_items"`
 }
 
 // IncrementalStats exposes the incremental assessment engine's counters.
@@ -160,6 +171,7 @@ type Server struct {
 	nErrors      atomic.Uint64
 	nIncremental atomic.Uint64
 	nFallback    atomic.Uint64
+	nBatchItems  atomic.Uint64
 }
 
 // New creates a server listening on addr (e.g. "127.0.0.1:0").
@@ -230,6 +242,7 @@ func (s *Server) buildPipeline() service.Handler {
 	reg.Register(wire.TypeBatch, s.handleBatch)
 	reg.Register(wire.TypeHistory, s.handleHistory)
 	reg.Register(wire.TypeAssess, s.handleAssess)
+	reg.Register(wire.TypeAssessB, s.handleAssessBatch)
 
 	dispatch := func(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
 		h, ok := reg.Lookup(env.Type)
@@ -259,6 +272,7 @@ func (s *Server) Stats() Stats {
 		Requests:    s.nRequests.Load(),
 		Errors:      s.nErrors.Load(),
 		PerType:     s.metrics.Snapshot(),
+		BatchItems:  s.nBatchItems.Load(),
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()

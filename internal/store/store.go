@@ -144,9 +144,16 @@ func (s *Store) NumShards() int { return len(s.shards) }
 
 // shardOf maps a server ID to its shard.
 func (s *Store) shardOf(server feedback.EntityID) *shard {
+	return &s.shards[s.ShardIndex(server)]
+}
+
+// ShardIndex returns the index (< NumShards) of the shard holding server's
+// records. Batch readers group servers by shard index so all items of one
+// shard can be served under a single lock acquisition (see ViewShard).
+func (s *Store) ShardIndex(server feedback.EntityID) int {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(server))
-	return &s.shards[h.Sum64()%uint64(len(s.shards))]
+	return int(h.Sum64() % uint64(len(s.shards)))
 }
 
 // Add inserts a feedback record. It returns false when an identical record
@@ -335,6 +342,37 @@ func (s *Store) ViewAccumulator(server feedback.EntityID, view func(acc Accumula
 	}
 	view(e.acc, e.version)
 	return true
+}
+
+// ViewShard serves a group of servers that all live on shard idx under a
+// single read-lock acquisition: view is invoked once per server, in order,
+// with the position i into servers, the server's accumulator (nil when none
+// is installed), its memoized history snapshot, and its version. Unknown
+// servers get (nil, nil, 0). It panics if any server maps to a different
+// shard — silent misrouting would report known servers as unknown.
+//
+// The same contracts as ViewAccumulator and Snapshot apply: accumulators
+// are read-only inside view, snapshots are shared immutable views, and view
+// must not call back into the store. Because the whole group holds the
+// shard read lock, writes to this shard wait for the slowest item; callers
+// should keep per-item work O(windows) (accumulator reads) and defer
+// anything heavier until after ViewShard returns, using the captured
+// snapshot + version instead.
+func (s *Store) ViewShard(idx int, servers []feedback.EntityID, view func(i int, acc Accumulator, snap *feedback.History, version uint64)) {
+	sh := &s.shards[idx]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for i, srv := range servers {
+		if s.ShardIndex(srv) != idx {
+			panic(fmt.Sprintf("store: ViewShard(%d) got server %q of shard %d", idx, srv, s.ShardIndex(srv)))
+		}
+		e := sh.byServ[srv]
+		if e == nil {
+			view(i, nil, nil, 0)
+			continue
+		}
+		view(i, e.acc, e.snapshot(), e.version)
+	}
 }
 
 // AccumulatorsTracked returns the number of servers carrying a live

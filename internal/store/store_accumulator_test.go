@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -271,4 +272,103 @@ func TestConcurrentAddAndAssess(t *testing.T) {
 			t.Fatalf("%s: final assessment mismatch:\nincremental: %+v\nbatch:       %+v", srv, got, want)
 		}
 	}
+}
+
+// shardMates returns distinct server IDs that all hash to one shard of s,
+// plus the shard index — the grouping a batch assessor relies on.
+func shardMates(s *Store, n int) (ids []feedback.EntityID, idx int) {
+	idx = s.ShardIndex("srv-0")
+	for i := 0; len(ids) < n; i++ {
+		id := feedback.EntityID(fmt.Sprintf("srv-%d", i))
+		if s.ShardIndex(id) == idx {
+			ids = append(ids, id)
+		}
+	}
+	return ids, idx
+}
+
+// TestShardIndexMatchesPlacement checks ShardIndex agrees with where Add
+// actually puts records: a group view over the computed shard must see every
+// server written to it.
+func TestShardIndexMatchesPlacement(t *testing.T) {
+	s := NewSharded(8)
+	for i := 0; i < 50; i++ {
+		id := feedback.EntityID(fmt.Sprintf("server-%d", i))
+		if idx := s.ShardIndex(id); idx < 0 || idx >= s.NumShards() {
+			t.Fatalf("ShardIndex(%q) = %d out of range", id, idx)
+		}
+		if _, err := s.Add(accFeedback(id, "c", i, true)); err != nil {
+			t.Fatal(err)
+		}
+		seen := false
+		s.ViewShard(s.ShardIndex(id), []feedback.EntityID{id}, func(_ int, _ Accumulator, snap *feedback.History, version uint64) {
+			seen = snap != nil && snap.Len() == 1 && version == 1
+		})
+		if !seen {
+			t.Fatalf("ViewShard(%d) did not observe %q", s.ShardIndex(id), id)
+		}
+	}
+}
+
+// TestViewShardGroup drives the batch read path: several servers of one
+// shard viewed under a single lock acquisition must report exactly what the
+// per-server Snapshot/ViewAccumulator reads report, with unknown servers as
+// (nil, nil, 0) in their own slots.
+func TestViewShardGroup(t *testing.T) {
+	s := New()
+	s.SetAccumulatorFactory(func(server feedback.EntityID) Accumulator {
+		return &recordingAcc{server: server}
+	})
+	mates, idx := shardMates(s, 3)
+	known := mates[:2]
+	for i, id := range known {
+		for j := 0; j <= i; j++ { // distinct history lengths per server
+			if _, err := s.Add(accFeedback(id, "c", 10*i+j, true)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	group := []feedback.EntityID{known[0], mates[2], known[1]} // middle one unknown
+	calls := 0
+	s.ViewShard(idx, group, func(i int, acc Accumulator, snap *feedback.History, version uint64) {
+		calls++
+		id := group[i]
+		if id == mates[2] {
+			if acc != nil || snap != nil || version != 0 {
+				t.Fatalf("unknown server slot = (%v, %v, %d)", acc, snap, version)
+			}
+			return
+		}
+		wantSnap, wantVersion := s.Snapshot(id)
+		if version != wantVersion || snap.Len() != wantSnap.Len() {
+			t.Fatalf("%s: got (len %d, v%d), want (len %d, v%d)",
+				id, snap.Len(), version, wantSnap.Len(), wantVersion)
+		}
+		ra, ok := acc.(*recordingAcc)
+		if !ok || ra.server != id || len(ra.recs) != snap.Len() {
+			t.Fatalf("%s: accumulator = %+v", id, acc)
+		}
+	})
+	if calls != len(group) {
+		t.Fatalf("view called %d times, want %d", calls, len(group))
+	}
+}
+
+// TestViewShardWrongShardPanics: misrouting a server to the wrong shard
+// group must fail loudly, not silently report it unknown.
+func TestViewShardWrongShardPanics(t *testing.T) {
+	s := NewSharded(4)
+	var stray feedback.EntityID
+	for i := 0; ; i++ {
+		stray = feedback.EntityID(fmt.Sprintf("srv-%d", i))
+		if s.ShardIndex(stray) != 0 {
+			break
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ViewShard must panic on a misrouted server")
+		}
+	}()
+	s.ViewShard(0, []feedback.EntityID{stray}, func(int, Accumulator, *feedback.History, uint64) {})
 }

@@ -29,6 +29,13 @@ const Version = 1
 // themselves to stay under it.
 const MaxFrame = 4 << 20
 
+// MaxAssessBatch caps the servers in one assess.batch request. The server
+// rejects larger requests with bad_request; clients chunk transparently
+// (repclient.AssessBatch splits and reassembles in order). The cap bounds
+// the response frame — each item carries a full assessment — and the work
+// one request can pin on the batch worker pool.
+const MaxAssessBatch = 256
+
 // MsgType discriminates envelope payloads.
 type MsgType string
 
@@ -44,6 +51,8 @@ const (
 	TypeHistoryR MsgType = "history.resp"
 	TypeAssess   MsgType = "assess"
 	TypeAssessR  MsgType = "assess.resp"
+	TypeAssessB  MsgType = "assess.batch"
+	TypeAssessBR MsgType = "assess.batch.resp"
 	TypeDigest   MsgType = "gossip.digest"
 	TypeDelta    MsgType = "gossip.delta"
 	TypeSummary  MsgType = "gossip.summary"
@@ -171,6 +180,33 @@ type AssessResponse struct {
 	Incremental bool `json:"incremental,omitempty"`
 }
 
+// AssessBatchRequest asks the server to assess many candidate servers in
+// one frame — the EigenTrust-style "rank my candidates" read path. At most
+// MaxAssessBatch servers per request; one threshold applies to every item.
+type AssessBatchRequest struct {
+	Servers   []feedback.EntityID `json:"servers"`
+	Threshold float64             `json:"threshold"`
+}
+
+// AssessBatchItem is one server's outcome within a batch response. Exactly
+// one of the two shapes is populated: on success Error is nil and the
+// embedded AssessResponse carries the assessment (with the same Cached /
+// Incremental semantics as a single assess response); on failure Error
+// holds the per-item error — an unknown server fails its own slot, never
+// the batch.
+type AssessBatchItem struct {
+	Server feedback.EntityID `json:"server"`
+	AssessResponse
+	Error *ErrorResponse `json:"error,omitempty"`
+}
+
+// AssessBatchResponse answers an assess.batch request. Items align with the
+// request: Items[i] is the outcome for Servers[i], always with
+// len(Items) == len(Servers).
+type AssessBatchResponse struct {
+	Items []AssessBatchItem `json:"items"`
+}
+
 // ServerSum is the per-server record-set checksum exchanged in gossip
 // summaries.
 type ServerSum struct {
@@ -241,17 +277,43 @@ func DecodePayload(env Envelope, out any) error {
 	return nil
 }
 
-// Write frames and writes one envelope.
+// envelopeHead is an Envelope without its payload; Write marshals it
+// separately so the payload bytes can be spliced in without a second
+// serialisation pass.
+type envelopeHead struct {
+	V    int     `json:"v"`
+	Type MsgType `json:"type"`
+	ID   uint64  `json:"id"`
+}
+
+// Write frames and writes one envelope. The payload is spliced into the
+// frame verbatim rather than re-serialised — on large responses the second
+// json.Marshal pass used to dominate the write path. Payload must therefore
+// be valid JSON without raw newlines, which both Encode (json.Marshal
+// output) and Read (newline-delimited frames) guarantee.
 func Write(w io.Writer, env Envelope) error {
-	raw, err := json.Marshal(env)
+	head, err := json.Marshal(envelopeHead{V: env.V, Type: env.Type, ID: env.ID})
 	if err != nil {
 		return fmt.Errorf("marshal envelope: %w", err)
 	}
-	if len(raw)+1 > MaxFrame {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(raw))
+	size := len(head) + 1
+	if len(env.Payload) > 0 {
+		size += len(`,"payload":`) + len(env.Payload)
 	}
-	raw = append(raw, '\n')
-	if _, err := w.Write(raw); err != nil {
+	if size > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size-1)
+	}
+	buf := make([]byte, 0, size)
+	if len(env.Payload) > 0 {
+		buf = append(buf, head[:len(head)-1]...)
+		buf = append(buf, `,"payload":`...)
+		buf = append(buf, env.Payload...)
+		buf = append(buf, '}')
+	} else {
+		buf = append(buf, head...)
+	}
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
 		return fmt.Errorf("write frame: %w", err)
 	}
 	return nil
@@ -260,11 +322,25 @@ func Write(w io.Writer, env Envelope) error {
 // Read reads one envelope from a buffered reader, enforcing the frame
 // limit and protocol version.
 func Read(r *bufio.Reader) (Envelope, error) {
-	var env Envelope
 	line, err := readLine(r)
 	if err != nil {
-		return env, err
+		return Envelope{}, err
 	}
+	return Parse(line)
+}
+
+// ReadRaw reads one raw frame (without its '\n' terminator), enforcing only
+// the frame limit. Callers that know the expected payload type can decode
+// the frame in a single pass and fall back to Parse for anything unusual,
+// skipping the intermediate RawMessage copy that Read performs.
+func ReadRaw(r *bufio.Reader) ([]byte, error) {
+	return readLine(r)
+}
+
+// Parse decodes one raw frame into an envelope, enforcing the protocol
+// version.
+func Parse(line []byte) (Envelope, error) {
+	var env Envelope
 	if err := json.Unmarshal(line, &env); err != nil {
 		return env, fmt.Errorf("%w: %v", ErrBadMessage, err)
 	}

@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"errors"
 	"io"
 	"strings"
@@ -152,6 +153,97 @@ func TestReadAcrossBufferBoundary(t *testing.T) {
 	}
 }
 
+func TestAssessBatchRoundTrip(t *testing.T) {
+	req := AssessBatchRequest{
+		Servers:   []feedback.EntityID{"s1", "s2", "ghost"},
+		Threshold: 0.85,
+	}
+	env, err := Encode(TypeAssessB, 9, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeAssessB || got.ID != 9 {
+		t.Fatalf("envelope = %+v", got)
+	}
+	var decoded AssessBatchRequest
+	if err := DecodePayload(got, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Servers) != 3 || decoded.Servers[2] != "ghost" || decoded.Threshold != 0.85 {
+		t.Fatalf("payload = %+v", decoded)
+	}
+}
+
+func TestAssessBatchResponsePerItemError(t *testing.T) {
+	// A mixed response: one served item (with flags), one failed slot. The
+	// per-item error must survive the round trip without disturbing its
+	// siblings, and a successful item must not grow an error field.
+	resp := AssessBatchResponse{Items: []AssessBatchItem{
+		{Server: "s1", AssessResponse: AssessResponse{Accept: true, Incremental: true}},
+		{Server: "ghost", Error: &ErrorResponse{Code: CodeUnknownServer, Message: `no records for "ghost"`}},
+	}}
+	env, err := Encode(TypeAssessBR, 4, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded AssessBatchResponse
+	if err := DecodePayload(got, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Items) != 2 {
+		t.Fatalf("items = %d", len(decoded.Items))
+	}
+	ok, bad := decoded.Items[0], decoded.Items[1]
+	if ok.Error != nil || !ok.Accept || !ok.Incremental || ok.Cached {
+		t.Fatalf("served item = %+v", ok)
+	}
+	if bad.Error == nil || bad.Error.Code != CodeUnknownServer || bad.Accept {
+		t.Fatalf("failed item = %+v", bad)
+	}
+	if !strings.Contains(string(env.Payload), `"error"`) {
+		t.Fatal("error slot missing from encoded payload")
+	}
+	if strings.Count(string(env.Payload), `"error"`) != 1 {
+		t.Fatalf("error field must be omitted on served items: %s", env.Payload)
+	}
+}
+
+func TestMaxAssessBatchFitsFrame(t *testing.T) {
+	// A max-size request with plausible IDs must stay far under MaxFrame —
+	// the chunking client relies on the cap keeping frames legal.
+	servers := make([]feedback.EntityID, MaxAssessBatch)
+	for i := range servers {
+		servers[i] = feedback.EntityID(strings.Repeat("s", 60) + string(rune('a'+i%26)))
+	}
+	env, err := Encode(TypeAssessB, 1, AssessBatchRequest{Servers: servers, Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= MaxFrame/4 {
+		t.Fatalf("max batch request is %d bytes, uncomfortably close to MaxFrame", buf.Len())
+	}
+}
+
 func manyRecords(t *testing.T, n int) []feedback.Feedback {
 	t.Helper()
 	recs := make([]feedback.Feedback, n)
@@ -161,4 +253,62 @@ func manyRecords(t *testing.T, n int) []feedback.Feedback {
 		}
 	}
 	return recs
+}
+
+// TestWriteMatchesEnvelopeMarshal pins the hand-spliced frame layout to the
+// plain json.Marshal encoding of Envelope: Write avoids the second marshal
+// pass but must stay byte-identical on the wire.
+func TestWriteMatchesEnvelopeMarshal(t *testing.T) {
+	envs := []Envelope{
+		{V: Version, Type: TypePong, ID: 3},
+		{V: Version, Type: TypeAssessR, ID: 9, Payload: []byte(`{"accept":true,"assessment":{"trust":0.97}}`)},
+	}
+	withPayload, err := Encode(TypeHistory, 12, HistoryRequest{Server: "s<&>", Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs = append(envs, withPayload)
+	for _, env := range envs {
+		want, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, env); err != nil {
+			t.Fatal(err)
+		}
+		if got := buf.String(); got != string(want)+"\n" {
+			t.Errorf("frame mismatch:\n spliced: %q\n marshal: %q", got, string(want)+"\n")
+		}
+	}
+}
+
+// TestReadRawParse covers the split read path used by typed single-pass
+// decoders: ReadRaw hands out the frame, Parse validates the envelope.
+func TestReadRawParse(t *testing.T) {
+	env, err := Encode(TypePing, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	line, err := ReadRaw(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypePing || got.ID != 4 {
+		t.Fatalf("parsed envelope = %+v", got)
+	}
+	if _, err := Parse([]byte(`{"v":99,"type":"ping","id":1}`)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	if _, err := Parse([]byte(`not json`)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("malformed: %v", err)
+	}
 }
