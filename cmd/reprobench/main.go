@@ -41,6 +41,8 @@ func run(args []string, out *os.File) error {
 		incr   = fs.Bool("incrbench", false, "benchmark the incremental assessment engine against the cache-invalidated recompute path and emit a JSON report")
 		batch  = fs.Bool("batchbench", false, "benchmark one assess.batch round-trip against N sequential assess round-trips and emit a JSON report")
 		minSp  = fs.Float64("batch-min-speedup", 0, "with -batchbench: fail unless every size reaches this speedup with matching assessments (0 disables the gate)")
+		wireb  = fs.Bool("wirebench", false, "benchmark the pipelined binary v2 transport against the JSON lock-step transport on the same assess workload and emit a JSON report")
+		wireSp = fs.Float64("wire-min-speedup", 0, "with -wirebench: fail unless every size reaches this speedup with matching assessments (0 disables the gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +53,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *batch {
 		return runBatchBench(out, *quick, *minSp)
+	}
+	if *wireb {
+		return runWireBench(out, *quick, *wireSp)
 	}
 
 	ids, err := selectFigures(*fig)

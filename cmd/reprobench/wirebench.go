@@ -1,0 +1,288 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/repclient"
+	"honestplayer/internal/repserver"
+	"honestplayer/internal/trust"
+)
+
+// The wire-protocol benchmark compares the two transports a client can run
+// the same assess workload over:
+//
+//   - json: the v1 protocol — newline-delimited JSON frames, one lock-step
+//     connection, each request paying a full round trip before the next
+//     starts (byte-for-byte the pre-v2 client).
+//   - v2: the binary protocol — length-prefixed frames with compact binary
+//     payloads, one pipelined connection shared by concurrent workers, up to
+//     a window of requests in flight with responses demultiplexed by id.
+//
+// Both transports drive the identical workload against the same server
+// build: assess each of N seeded servers R times per pass. The server runs
+// the incremental engine with the assessment cache off and the trust-only
+// two-phase assessor, so every request reads live accumulator state and the
+// per-request cost is dominated by the wire — exactly the regime the v2
+// transport exists for. The store is frozen during timed passes, which also
+// lets the differential check compare per-server responses across
+// transports on identical state. The median of three timed passes is
+// reported per transport, mirroring -incrbench and -batchbench.
+
+// wireBenchSize is one workload scale of the comparison.
+type wireBenchSize struct {
+	Servers int // distinct servers assessed per sweep
+	History int // seeded records per server
+	Rounds  int // assessments of every server per pass
+	Warmup  int // unmeasured sweeps per transport
+}
+
+// wireSizeResult is the per-size outcome. The ns figures are per request
+// (one assess round trip).
+type wireSizeResult struct {
+	Servers          int     `json:"servers"`
+	History          int     `json:"history"`
+	Requests         int     `json:"requests_per_pass"`
+	JSONNsPerReq     float64 `json:"json_lockstep_ns_per_req"`
+	V2NsPerReq       float64 `json:"v2_mux_ns_per_req"`
+	Speedup          float64 `json:"speedup"`
+	AssessmentsMatch bool    `json:"assessments_match"`
+}
+
+// wireBenchReport is the JSON document the -wirebench mode emits.
+type wireBenchReport struct {
+	Description string           `json:"description"`
+	Command     string           `json:"command"`
+	Environment map[string]any   `json:"environment"`
+	Config      map[string]any   `json:"config"`
+	Sizes       []wireSizeResult `json:"sizes"`
+	Acceptance  string           `json:"acceptance"`
+}
+
+// wireWorkers is how many goroutines share the v2 connection. Throughput
+// rises with in-flight depth (each flush round trip amortises over the
+// requests in flight), so it sits near — but below — the client's window,
+// leaving headroom so no worker ever blocks on a slot.
+const wireWorkers = 48
+
+// wireMeasure runs both transports at one scale against a shared server and
+// returns the per-request medians plus the cross-transport differential.
+func wireMeasure(size wireBenchSize) (wireSizeResult, error) {
+	res := wireSizeResult{
+		Servers:  size.Servers,
+		History:  size.History,
+		Requests: size.Servers * size.Rounds,
+	}
+	assessor, err := core.NewTwoPhase(nil, trust.Average{})
+	if err != nil {
+		return res, err
+	}
+	srv, err := repserver.New("127.0.0.1:0", repserver.Config{
+		Assessor:    assessor,
+		Incremental: true,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer srv.Close()
+	servers := make([]feedback.EntityID, size.Servers)
+	for i := range servers {
+		servers[i] = feedback.EntityID(fmt.Sprintf("srv-%03d", i))
+		if _, err := srv.Seed(incrHistory(servers[i], size.History)); err != nil {
+			return res, err
+		}
+	}
+	srv.Start()
+
+	jsonClient, err := repclient.Dial(srv.Addr(),
+		repclient.WithProtocol(repclient.ProtoJSON), repclient.WithTimeout(30*time.Second))
+	if err != nil {
+		return res, err
+	}
+	defer func() { _ = jsonClient.Close() }()
+	v2Client, err := repclient.Dial(srv.Addr(),
+		repclient.WithProtocol(repclient.ProtoV2), repclient.WithTimeout(30*time.Second))
+	if err != nil {
+		return res, err
+	}
+	defer func() { _ = v2Client.Close() }()
+	if got := v2Client.Protocol(); got != "v2" {
+		return res, fmt.Errorf("v2 client negotiated %q", got)
+	}
+
+	// One sweep = assess every server Rounds times. The JSON transport runs
+	// it lock-step; the v2 transport fans the same request list out over
+	// workers sharing the one pipelined connection.
+	jsonSweep := func() (time.Duration, error) {
+		start := time.Now()
+		for r := 0; r < size.Rounds; r++ {
+			for _, sv := range servers {
+				if _, err := jsonClient.Assess(sv, 0.9); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return time.Since(start), nil
+	}
+	v2Sweep := func() (time.Duration, error) {
+		jobs := make(chan feedback.EntityID, wireWorkers)
+		errs := make(chan error, wireWorkers)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < wireWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for sv := range jobs {
+					if _, err := v2Client.Assess(sv, 0.9); err != nil {
+						select {
+						case errs <- err:
+						default:
+						}
+						return
+					}
+				}
+			}()
+		}
+		for r := 0; r < size.Rounds; r++ {
+			for _, sv := range servers {
+				jobs <- sv
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errs:
+			return 0, err
+		default:
+		}
+		return elapsed, nil
+	}
+
+	// Fresh state once, then freeze it for the whole measurement so both
+	// transports assess identical histories.
+	next := int64(1 << 30)
+	for _, sv := range servers {
+		next++
+		if _, err := srv.Store().Add(feedback.Feedback{
+			Time:   time.Unix(next, 0).UTC(),
+			Server: sv,
+			Client: feedback.EntityID(fmt.Sprintf("c%d", int(next)%25)),
+			Rating: feedback.Positive,
+		}); err != nil {
+			return res, err
+		}
+	}
+	for i := 0; i < size.Warmup; i++ {
+		if _, err := jsonSweep(); err != nil {
+			return res, err
+		}
+		if _, err := v2Sweep(); err != nil {
+			return res, err
+		}
+	}
+	const passes = 3
+	reqs := float64(size.Servers * size.Rounds)
+	jsonNs := make([]float64, 0, passes)
+	v2Ns := make([]float64, 0, passes)
+	for p := 0; p < passes; p++ {
+		j, err := jsonSweep()
+		if err != nil {
+			return res, err
+		}
+		v, err := v2Sweep()
+		if err != nil {
+			return res, err
+		}
+		jsonNs = append(jsonNs, float64(j.Nanoseconds())/reqs)
+		v2Ns = append(v2Ns, float64(v.Nanoseconds())/reqs)
+	}
+	sort.Float64s(jsonNs)
+	sort.Float64s(v2Ns)
+	res.JSONNsPerReq = jsonNs[passes/2]
+	res.V2NsPerReq = v2Ns[passes/2]
+	res.Speedup = float64(int(res.JSONNsPerReq/res.V2NsPerReq*100)) / 100
+
+	// Differential check: on the frozen store, every server's assessment
+	// must decode identically over both transports — the binary codec and
+	// the JSON codec carry the same protocol.
+	res.AssessmentsMatch = true
+	for _, sv := range servers {
+		jr, err := jsonClient.Assess(sv, 0.9)
+		if err != nil {
+			return res, err
+		}
+		vr, err := v2Client.Assess(sv, 0.9)
+		if err != nil {
+			return res, err
+		}
+		if !reflect.DeepEqual(jr, vr) {
+			res.AssessmentsMatch = false
+		}
+	}
+	return res, nil
+}
+
+// runWireBench executes the full json-vs-v2 comparison, writes the JSON
+// report, and (when minSpeedup > 0) fails unless every size reaches the
+// gate with matching assessments.
+func runWireBench(out io.Writer, quick bool, minSpeedup float64) error {
+	sizes := []wireBenchSize{
+		{Servers: 32, History: 1000, Rounds: 120, Warmup: 2},
+		{Servers: 64, History: 10000, Rounds: 60, Warmup: 2},
+	}
+	if quick {
+		sizes = []wireBenchSize{{Servers: 16, History: 500, Rounds: 6, Warmup: 1}}
+	}
+	report := wireBenchReport{
+		Description: "Per-request latency of the same assess workload over the v1 JSON lock-step transport vs the binary v2 pipelined transport. Both clients drive one shared server (incremental engine on, assessment cache off, trust-only assessor) over real TCP; the v2 client fans the request list out over workers sharing one multiplexed connection. The store is frozen during timed passes and the median of three passes is reported; the differential check decodes every server's assessment over both transports on identical state.",
+		Command:     "go run ./cmd/reprobench -wirebench > BENCH_wire.json",
+		Environment: map[string]any{
+			"go":   runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+			"date": time.Now().UTC().Format("2006-01-02"),
+		},
+		Config: map[string]any{
+			"trust":           "average",
+			"tester":          "off (trust-only two-phase)",
+			"incremental":     true,
+			"assess_cache":    0,
+			"v2_workers":      wireWorkers,
+			"v2_window":       repclient.DefaultWindow,
+			"passes":          3,
+			"clients_per_srv": 25,
+		},
+		Acceptance: "v2 mux speedup must be >= 5 with matching assessments at every size (full workload)",
+	}
+	for _, size := range sizes {
+		r, err := wireMeasure(size)
+		if err != nil {
+			return fmt.Errorf("servers=%d history=%d: %w", size.Servers, size.History, err)
+		}
+		report.Sizes = append(report.Sizes, r)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	if minSpeedup > 0 {
+		for _, r := range report.Sizes {
+			if !r.AssessmentsMatch {
+				return fmt.Errorf("differential check failed at servers=%d: transports disagree", r.Servers)
+			}
+			if r.Speedup < minSpeedup {
+				return fmt.Errorf("speedup %.2f at servers=%d below gate %.2f", r.Speedup, r.Servers, minSpeedup)
+			}
+		}
+	}
+	return nil
+}

@@ -42,7 +42,12 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("trustctl", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7700", "reputation server address")
 	timeout := fs.Duration("timeout", 5*time.Second, "request timeout (bounds dial and each request)")
+	proto := fs.String("proto", "auto", "wire protocol: auto (try v2, fall back to JSON) | json | v2 (fail unless the server speaks v2)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	protocol, err := parseProto(*proto)
+	if err != nil {
 		return err
 	}
 	rest := fs.Args()
@@ -58,7 +63,7 @@ func run(args []string, out io.Writer) error {
 	// methods (the dial timeout rides along via WithTimeout).
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	client, err := repclient.Dial(*addr, repclient.WithTimeout(*timeout))
+	client, err := repclient.Dial(*addr, repclient.WithTimeout(*timeout), repclient.WithProtocol(protocol))
 	if err != nil {
 		return err
 	}
@@ -81,6 +86,20 @@ func run(args []string, out io.Writer) error {
 		return assessBatch(ctx, client, rest[1:], out)
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
+	}
+}
+
+// parseProto maps the -proto flag onto the client's protocol selection.
+func parseProto(s string) (repclient.Proto, error) {
+	switch s {
+	case "auto":
+		return repclient.ProtoAuto, nil
+	case "json":
+		return repclient.ProtoJSON, nil
+	case "v2":
+		return repclient.ProtoV2, nil
+	default:
+		return 0, fmt.Errorf("unknown -proto %q (want auto, json, or v2)", s)
 	}
 }
 

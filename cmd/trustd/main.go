@@ -70,6 +70,7 @@ func run(ctx context.Context, args []string) error {
 		incremental  = fs.Bool("incremental", false, "serve assessments from per-server incremental accumulators (O(windows) per assess, bit-identical to a full recompute; replayed ledgers are folded in at startup)")
 		batchWorkers = fs.Int("batch-workers", 0, "worker pool size for assess.batch shard fan-out (0 = GOMAXPROCS)")
 		arenaCap     = fs.Int("arena-cap", 0, "per-server incremental PMF-arena cap in entries per generation (0 = default 32768, ~6 MiB worst case per server at window size 10)")
+		wireV2       = fs.Bool("wire-v2", true, "accept the pipelined binary v2 framing alongside JSON on the same listener (false restores the JSON-only pre-v2 server)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,7 +100,7 @@ func run(ctx context.Context, args []string) error {
 	serverCfg := repserver.Config{
 		Assessor: assessor, Store: st, Logger: logger, AssessCacheSize: *cacheSize,
 		RequestTimeout: *reqTimeout, DrainTimeout: *drain, SlowLogThreshold: *slowLog,
-		Incremental: *incremental, BatchWorkers: *batchWorkers,
+		Incremental: *incremental, BatchWorkers: *batchWorkers, DisableV2: !*wireV2,
 	}
 	if *ledgerPath != "" {
 		ps, err := ledger.OpenStoreShardedContext(ctx, *ledgerPath, *shards)

@@ -1,0 +1,14 @@
+// Package compat holds the cross-version wire-compatibility matrix: every
+// client protocol selection (json, auto, v2) exercised against every server
+// wire configuration (v2-enabled, JSON-only), each cell running the full
+// request surface end to end over real TCP and checking verdict fidelity
+// against an in-process reference assessment.
+//
+// The matrix is what lets the protocol evolve: the json×v2 cell proves a
+// pre-v2 JSON client interoperates with a v2 server unmodified, and the
+// auto×json cell proves a v2-capable client degrades cleanly against a
+// server that predates the binary framing. CI runs every cell on every
+// change (the compat job shards the matrix through the COMPAT_CLIENT and
+// COMPAT_SERVER environment variables); `go test ./internal/compat` runs
+// the whole matrix locally.
+package compat

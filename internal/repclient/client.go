@@ -10,6 +10,15 @@
 // be read as the answer to the next request) and the client transparently
 // redials on the next call; if the redial fails the error matches
 // ErrConnBroken.
+//
+// By default the client negotiates the binary v2 protocol at dial time and
+// falls back to JSON when the server predates it (ProtoAuto). On a v2
+// connection concurrent callers share one pipelined connection: up to
+// WithWindow requests ride in flight at once and responses are paired with
+// callers by envelope id, so one slow request does not stall the others and
+// a cancelled request simply abandons its id instead of poisoning the
+// stream. WithProtocol(ProtoJSON) restores the exact pre-v2 lock-step
+// behaviour.
 package repclient
 
 import (
@@ -36,20 +45,43 @@ var ErrClosed = errors.New("repclient: client closed")
 // transport failure and could not be re-established.
 var ErrConnBroken = errors.New("repclient: connection broken")
 
-// Client is a synchronous reputation-server client. It is safe for
-// concurrent use; requests are serialised over one connection.
+// Proto selects the wire protocol a client speaks.
+type Proto int
+
+const (
+	// ProtoAuto attempts the v2 handshake and falls back to JSON when the
+	// server does not speak v2. The fallback is sticky: once a server
+	// answers in JSON, redials skip the handshake.
+	ProtoAuto Proto = iota
+	// ProtoJSON speaks the v1 JSON protocol only — byte-for-byte the
+	// pre-v2 client, lock-step over one connection.
+	ProtoJSON
+	// ProtoV2 requires the binary v2 protocol; dialing a JSON-only server
+	// fails with an error matching wire.ErrNotV2.
+	ProtoV2
+)
+
+// Client is a reputation-server client, safe for concurrent use. On a JSON
+// connection requests are serialised lock-step over one connection; on a
+// negotiated v2 connection they are pipelined through a shared multiplexer
+// (see the package comment).
 type Client struct {
 	addr    string
 	timeout time.Duration
+	proto   Proto
+	window  int
 
 	mu     sync.Mutex
 	conn   net.Conn
 	reader *bufio.Reader
+	mux    *mux // non-nil iff the current connection negotiated v2
 	nextID uint64
 	closed bool
-	// broken marks the connection poisoned: a request died mid-round-trip,
-	// so a late response may still be in flight and the stream cannot be
-	// trusted to pair responses with requests. The next round trip redials.
+	// broken marks a JSON connection poisoned: a request died
+	// mid-round-trip, so a late response may still be in flight and the
+	// stream cannot be trusted to pair responses with requests. The next
+	// round trip redials. (v2 connections track poisoning in mux.err —
+	// see mux.dead — because any of many in-flight callers may poison.)
 	broken bool
 }
 
@@ -61,19 +93,82 @@ func WithTimeout(d time.Duration) Option {
 	return func(c *Client) { c.timeout = d }
 }
 
-// Dial connects to a reputation server.
+// WithProtocol pins the wire protocol instead of auto-negotiating.
+func WithProtocol(p Proto) Option {
+	return func(c *Client) { c.proto = p }
+}
+
+// WithWindow overrides the v2 in-flight window (DefaultWindow when n <= 0;
+// no effect on JSON connections, which are lock-step by construction).
+func WithWindow(n int) Option {
+	return func(c *Client) { c.window = n }
+}
+
+// Dial connects to a reputation server and negotiates the wire protocol
+// according to the configured Proto (ProtoAuto by default).
 func Dial(addr string, opts ...Option) (*Client, error) {
-	c := &Client{addr: addr, timeout: DefaultTimeout}
+	c := &Client{addr: addr, timeout: DefaultTimeout, proto: ProtoAuto, window: DefaultWindow}
 	for _, o := range opts {
 		o(c)
 	}
-	conn, err := net.DialTimeout("tcp", addr, c.timeout)
-	if err != nil {
+	ctx := context.Background()
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	if err := c.connectLocked(ctx); err != nil {
 		return nil, fmt.Errorf("repclient: dial %s: %w", addr, err)
 	}
-	c.conn = conn
-	c.reader = bufio.NewReader(conn)
 	return c, nil
+}
+
+// Protocol reports the wire protocol of the current connection: "v2" or
+// "json".
+func (c *Client) Protocol() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mux != nil {
+		return "v2"
+	}
+	return "json"
+}
+
+// connectLocked dials and negotiates a fresh connection per c.proto,
+// installing either a pipelined v2 mux or a lock-step JSON reader. Called
+// with c.mu held (or from Dial, before the client escapes its goroutine).
+func (c *Client) connectLocked(ctx context.Context) error {
+	d := net.Dialer{Timeout: c.timeout}
+	nc, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	if c.proto != ProtoJSON {
+		reader, nerr := negotiateV2(nc, c.timeout)
+		if nerr == nil {
+			c.conn = nc
+			c.reader = nil
+			c.mux = newMux(nc, reader, c.window)
+			c.broken = false
+			return nil
+		}
+		_ = nc.Close()
+		if c.proto == ProtoV2 || !errors.Is(nerr, wire.ErrNotV2) {
+			return nerr
+		}
+		// ProtoAuto against a JSON-only server: it answered the hello with
+		// its id-0 error frame and closed, so redial and speak JSON. Pin
+		// the choice so redials skip the wasted handshake round trip.
+		c.proto = ProtoJSON
+		if nc, err = d.DialContext(ctx, "tcp", c.addr); err != nil {
+			return err
+		}
+	}
+	c.conn = nc
+	c.reader = bufio.NewReader(nc)
+	c.mux = nil
+	c.broken = false
+	return nil
 }
 
 // Close releases the connection. It is idempotent.
@@ -87,17 +182,13 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// redialLocked replaces a poisoned connection. Called with c.mu held.
+// redialLocked replaces a poisoned connection, re-running protocol
+// negotiation. Called with c.mu held.
 func (c *Client) redialLocked(ctx context.Context) error {
 	_ = c.conn.Close()
-	d := net.Dialer{Timeout: c.timeout}
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
-	if err != nil {
+	if err := c.connectLocked(ctx); err != nil {
 		return fmt.Errorf("%w: redial %s: %v", ErrConnBroken, c.addr, err)
 	}
-	c.conn = conn
-	c.reader = bufio.NewReader(conn)
-	c.broken = false
 	return nil
 }
 
@@ -123,20 +214,29 @@ func (c *Client) deadline(ctx context.Context) time.Time {
 // slow path through wire.Parse for the precise error semantics.
 func roundTrip[T any](c *Client, ctx context.Context, reqType, respType wire.MsgType, payload any, out *T) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return ErrClosed
 	}
 	if err := ctx.Err(); err != nil {
+		c.mu.Unlock()
 		return fmt.Errorf("repclient: %s: %w", reqType, err)
 	}
-	if c.broken {
+	if c.broken || (c.mux != nil && c.mux.dead()) {
 		if err := c.redialLocked(ctx); err != nil {
+			c.mu.Unlock()
 			return err
 		}
 	}
 	c.nextID++
 	id := c.nextID
+	if mx := c.mux; mx != nil {
+		// v2: release the client lock before the round trip so concurrent
+		// callers pipeline their requests onto the shared connection.
+		c.mu.Unlock()
+		return muxRoundTrip(c, mx, ctx, id, reqType, respType, payload, out)
+	}
+	defer c.mu.Unlock()
 	env, err := wire.Encode(reqType, id, payload)
 	if err != nil {
 		return err

@@ -23,7 +23,7 @@ func TestDialFailure(t *testing.T) {
 	if err := ln.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Dial(addr, WithTimeout(time.Second)); err == nil {
+	if _, err := Dial(addr, WithProtocol(ProtoJSON), WithTimeout(time.Second)); err == nil {
 		t.Fatal("dial to closed port must fail")
 	}
 }
@@ -53,7 +53,7 @@ func TestTimeout(t *testing.T) {
 		_, _ = wire.Read(bufio.NewReader(conn))
 		time.Sleep(2 * time.Second)
 	})
-	c, err := Dial(addr, WithTimeout(100*time.Millisecond))
+	c, err := Dial(addr, WithProtocol(ProtoJSON), WithTimeout(100*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestMismatchedResponseID(t *testing.T) {
 		env, _ := wire.Encode(wire.TypePong, 999, nil)
 		_ = wire.Write(conn, env)
 	})
-	c, err := Dial(addr, WithTimeout(time.Second))
+	c, err := Dial(addr, WithProtocol(ProtoJSON), WithTimeout(time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestUnexpectedResponseType(t *testing.T) {
 		resp, _ := wire.Encode(wire.TypeHistoryR, env.ID, wire.HistoryResponse{})
 		_ = wire.Write(conn, resp)
 	})
-	c, err := Dial(addr, WithTimeout(time.Second))
+	c, err := Dial(addr, WithProtocol(ProtoJSON), WithTimeout(time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestRemoteErrorSurfaces(t *testing.T) {
 		resp, _ := wire.Encode(wire.TypeError, env.ID, wire.ErrorResponse{Code: "boom", Message: "x"})
 		_ = wire.Write(conn, resp)
 	})
-	c, err := Dial(addr, WithTimeout(time.Second))
+	c, err := Dial(addr, WithProtocol(ProtoJSON), WithTimeout(time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestRemoteErrorSurfaces(t *testing.T) {
 
 func TestClosedClient(t *testing.T) {
 	addr := fakeServer(t, func(conn net.Conn) {})
-	c, err := Dial(addr)
+	c, err := Dial(addr, WithProtocol(ProtoJSON))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestPoisonedConnectionRedials(t *testing.T) {
 			}
 		}
 	})
-	c, err := Dial(addr, WithTimeout(100*time.Millisecond))
+	c, err := Dial(addr, WithProtocol(ProtoJSON), WithTimeout(100*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestRedialFailureIsErrConnBroken(t *testing.T) {
 		time.Sleep(2 * time.Second)
 		_ = conn.Close()
 	}()
-	c, err := Dial(ln.Addr().String(), WithTimeout(100*time.Millisecond))
+	c, err := Dial(ln.Addr().String(), WithProtocol(ProtoJSON), WithTimeout(100*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func TestMismatchedResponseIDBreaksConn(t *testing.T) {
 			}
 		}
 	})
-	c, err := Dial(addr, WithTimeout(time.Second))
+	c, err := Dial(addr, WithProtocol(ProtoJSON), WithTimeout(time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ func TestUnattributableErrorIsConnectionFatal(t *testing.T) {
 			}
 		}
 	})
-	c, err := Dial(addr, WithTimeout(time.Second))
+	c, err := Dial(addr, WithProtocol(ProtoJSON), WithTimeout(time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestCtxCancellationInterruptsBlockedRead(t *testing.T) {
 		_, _ = wire.Read(bufio.NewReader(conn))
 		time.Sleep(2 * time.Second)
 	})
-	c, err := Dial(addr, WithTimeout(10*time.Second))
+	c, err := Dial(addr, WithProtocol(ProtoJSON), WithTimeout(10*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +375,7 @@ func batchEchoServer(t *testing.T, chunkSizes *[]int) string {
 func TestAssessBatchChunking(t *testing.T) {
 	var chunks []int
 	addr := batchEchoServer(t, &chunks)
-	c, err := Dial(addr, WithTimeout(2*time.Second))
+	c, err := Dial(addr, WithProtocol(ProtoJSON), WithTimeout(2*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,7 +420,7 @@ func TestAssessBatchChunking(t *testing.T) {
 func TestAssessBatchEmpty(t *testing.T) {
 	var chunks []int
 	addr := batchEchoServer(t, &chunks)
-	cl, err := Dial(addr, WithTimeout(time.Second))
+	cl, err := Dial(addr, WithProtocol(ProtoJSON), WithTimeout(time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +445,7 @@ func TestAssessBatchItemCountMismatch(t *testing.T) {
 		out, _ := wire.Encode(wire.TypeAssessBR, env.ID, resp)
 		_ = wire.Write(conn, out)
 	})
-	c, err := Dial(addr, WithTimeout(time.Second))
+	c, err := Dial(addr, WithProtocol(ProtoJSON), WithTimeout(time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,332 @@
+package repclient
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"honestplayer/internal/wire"
+)
+
+// DefaultWindow bounds how many requests a v2 connection keeps in flight.
+// The window caps client-side memory (one pending slot per request) and
+// stops a single caller burst from queueing unbounded work on the server.
+const DefaultWindow = 64
+
+// muxBufSize sizes the per-connection buffered reader and writer on v2
+// connections. Large buffers let a pipelined burst of requests (and the
+// server's burst of responses) move in few syscalls.
+const muxBufSize = 256 << 10
+
+// muxTimers pools the per-request timeout timers (see muxRoundTrip). Timers
+// are always returned stopped and drained (Go 1.22 timer-channel semantics).
+var muxTimers = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return t
+}}
+
+// muxResult carries one demultiplexed response — or the connection's fatal
+// error — to the caller waiting on its id.
+type muxResult struct {
+	env wire.Envelope
+	err error
+}
+
+// mux is one pipelined protocol-v2 connection. Many goroutines send
+// concurrently; a single demux goroutine reads responses and completes
+// callers by envelope id, so responses may resolve in any order relative to
+// the callers' sends. A transport failure — read error, write error, or an
+// unattributable (id 0) server error frame — fails every pending call and
+// permanently poisons the mux; the owning Client redials on the next call.
+type mux struct {
+	nc net.Conn
+
+	// wmu serialises frame writes into bw. Senders never flush inline:
+	// they kick the flusher goroutine instead, so frames written while a
+	// flush syscall is in progress — or while the flusher is merely queued
+	// for CPU — leave in the next flush as one batch. Under concurrent load
+	// this collapses per-request write syscalls into per-burst ones, which
+	// is where most of the lock-step transport's time went.
+	wmu       sync.Mutex
+	bw        *bufio.Writer
+	flushKick chan struct{} // cap 1: a pending kick covers any number of frames
+
+	// slots is the in-flight window: a sender acquires a slot before
+	// registering and releases it when its call completes.
+	slots chan struct{}
+
+	mu      sync.Mutex
+	pending map[uint64]chan muxResult // nil after fail: registration refused
+	err     error                     // first fatal error; non-nil ⇒ poisoned
+	done    chan struct{}             // closed by fail: stops the flusher
+}
+
+// newMux wraps a connection that has completed the v2 handshake and starts
+// its demux goroutine. reader must be the same reader the handshake used
+// (it may have buffered the first response bytes already).
+func newMux(nc net.Conn, reader *bufio.Reader, window int) *mux {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	m := &mux{
+		nc:        nc,
+		bw:        bufio.NewWriterSize(nc, muxBufSize),
+		flushKick: make(chan struct{}, 1),
+		done:      make(chan struct{}),
+		slots:     make(chan struct{}, window),
+		pending:   make(map[uint64]chan muxResult),
+	}
+	go m.demux(reader)
+	go m.flusher()
+	return m
+}
+
+// dead reports whether the mux has been poisoned by a transport failure.
+func (m *mux) dead() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err != nil
+}
+
+// fail poisons the mux: records the first fatal error, completes every
+// pending call with it, refuses future registrations, and closes the
+// connection (which also stops the demux goroutine). Idempotent.
+func (m *mux) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+		close(m.done)
+	} else {
+		err = m.err
+	}
+	pending := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	for _, ch := range pending {
+		ch <- muxResult{err: err} // buffered; never blocks
+	}
+	_ = m.nc.Close()
+}
+
+// acquire takes an in-flight slot, giving up when the context — or the
+// caller's bare timeout timer — expires first.
+func (m *mux) acquire(ctx context.Context, timeoutC <-chan time.Time) error {
+	select {
+	case m.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timeoutC:
+		return context.DeadlineExceeded
+	}
+}
+
+func (m *mux) release() { <-m.slots }
+
+// register reserves a completion channel for a request id. It fails with
+// the poisoning error once the mux is dead.
+func (m *mux) register(id uint64) (chan muxResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return nil, m.err
+	}
+	ch := make(chan muxResult, 1)
+	m.pending[id] = ch
+	return ch, nil
+}
+
+// unregister abandons a pending request (cancelled caller). A response that
+// arrives later finds no channel and is dropped by the demux loop — unlike
+// the lock-step JSON path, a late reply cannot poison a v2 connection
+// because ids, not stream order, pair responses with requests.
+func (m *mux) unregister(id uint64) {
+	m.mu.Lock()
+	delete(m.pending, id)
+	m.mu.Unlock()
+}
+
+// send buffers one frame and kicks the flusher. A write failure poisons
+// the mux (the stream may hold a half-written frame).
+func (m *mux) send(env wire.Envelope) error {
+	m.wmu.Lock()
+	err := wire.WriteV2(m.bw, env)
+	m.wmu.Unlock()
+	if err != nil {
+		m.fail(fmt.Errorf("%w: write request: %v", ErrConnBroken, err))
+		return err
+	}
+	select {
+	case m.flushKick <- struct{}{}:
+	default: // a kick is already pending; it will cover this frame too
+	}
+	return nil
+}
+
+// flusher drains flush kicks, pushing buffered frames to the socket. It is
+// the only goroutine that flushes, so every frame buffered between two of
+// its wake-ups — by any number of senders — leaves in one syscall. It exits
+// when a flush fails or when the mux is poisoned by anyone else.
+func (m *mux) flusher() {
+	for {
+		select {
+		case <-m.flushKick:
+		case <-m.done:
+			return
+		}
+		// Step aside once before flushing: senders already runnable get to
+		// append their frames first, so one syscall carries the whole burst
+		// (a scheduler pass costs far less than the write it saves).
+		runtime.Gosched()
+		m.wmu.Lock()
+		err := m.bw.Flush()
+		m.wmu.Unlock()
+		if err != nil {
+			m.fail(fmt.Errorf("%w: flush request: %v", ErrConnBroken, err))
+			return
+		}
+	}
+}
+
+// demux is the connection's read loop: it reads response frames and routes
+// each to the caller registered under its id. It exits — poisoning the mux —
+// on any read error or on an unattributable (id 0) error frame, which the
+// protocol defines as connection-fatal.
+func (m *mux) demux(reader *bufio.Reader) {
+	for {
+		env, err := wire.ReadV2(reader)
+		if err != nil {
+			m.fail(fmt.Errorf("%w: read response: %v", ErrConnBroken, err))
+			return
+		}
+		if env.Type == wire.TypeError && env.ID == wire.UnattributableID {
+			var e wire.ErrorResponse
+			if derr := wire.DecodePayload(env, &e); derr != nil {
+				m.fail(fmt.Errorf("%w: unattributable server error", ErrConnBroken))
+			} else {
+				m.fail(fmt.Errorf("%w: unattributable server error: %v", ErrConnBroken, &e))
+			}
+			return
+		}
+		m.mu.Lock()
+		ch := m.pending[env.ID]
+		delete(m.pending, env.ID)
+		m.mu.Unlock()
+		if ch != nil {
+			ch <- muxResult{env: env} // buffered; never blocks
+		}
+		// No channel: the caller cancelled and unregistered. Drop the frame.
+	}
+}
+
+// muxRoundTrip sends one request over a v2 connection and waits for its
+// response, with up to window-1 other requests from concurrent callers in
+// flight on the same connection. id was allocated by the Client (ids stay
+// monotonic across the connection, exactly as in lock-step mode).
+func muxRoundTrip[T any](c *Client, m *mux, ctx context.Context, id uint64, reqType, respType wire.MsgType, payload any, out *T) error {
+	// The configured timeout backstops calls whose context carries no
+	// deadline. A pooled bare timer is used instead of context.WithTimeout:
+	// the derived context's wiring costs close to a microsecond per request,
+	// which is real money on a transport whose round trips amortise to a
+	// few microseconds.
+	var timeoutC <-chan time.Time
+	if _, ok := ctx.Deadline(); !ok && c.timeout > 0 {
+		t := muxTimers.Get().(*time.Timer)
+		t.Reset(c.timeout)
+		defer func() {
+			if !t.Stop() {
+				select {
+				case <-t.C:
+				default:
+				}
+			}
+			muxTimers.Put(t)
+		}()
+		timeoutC = t.C
+	}
+	env, err := wire.V2Codec.Encode(reqType, id, payload)
+	if err != nil {
+		return err
+	}
+	if err := m.acquire(ctx, timeoutC); err != nil {
+		return fmt.Errorf("repclient: %s: %w", reqType, err)
+	}
+	defer m.release()
+	ch, err := m.register(id)
+	if err != nil {
+		return c.transportErr(ctx, reqType, err)
+	}
+	if err := m.send(env); err != nil {
+		m.unregister(id)
+		return c.transportErr(ctx, reqType, err)
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return c.transportErr(ctx, reqType, r.err)
+		}
+		return decodeMuxResponse(r.env, respType, out)
+	case <-ctx.Done():
+		// Abandon the request: drop the pending slot so the late response
+		// (if any) is discarded by id, and leave the connection healthy for
+		// the other in-flight calls.
+		m.unregister(id)
+		return fmt.Errorf("repclient: %s: %w", reqType, ctx.Err())
+	case <-timeoutC:
+		m.unregister(id)
+		return fmt.Errorf("repclient: %s: %w", reqType, context.DeadlineExceeded)
+	}
+}
+
+// decodeMuxResponse converts a demultiplexed response envelope into the
+// caller's typed result, with the same semantics as the lock-step path: a
+// TypeError frame becomes a *wire.ErrorResponse error, an unexpected type
+// is an error without poisoning the connection.
+func decodeMuxResponse[T any](env wire.Envelope, respType wire.MsgType, out *T) error {
+	if env.Type == wire.TypeError {
+		var e wire.ErrorResponse
+		if err := wire.DecodePayload(env, &e); err != nil {
+			return err
+		}
+		return &e
+	}
+	if env.Type != respType {
+		return fmt.Errorf("repclient: unexpected response type %s", env.Type)
+	}
+	if out == nil {
+		return nil
+	}
+	return wire.DecodePayload(env, out)
+}
+
+// negotiateV2 runs the client side of the v2 handshake on a fresh
+// connection: send the hello, read the server's ack. On wire.ErrNotV2 the
+// peer is a JSON-only server — it has answered the hello with its id-0 JSON
+// error frame and will close the connection, so the caller must redial to
+// speak JSON. The handshake is bounded by timeout; the deadline is cleared
+// before returning so request deadlines start fresh.
+func negotiateV2(nc net.Conn, timeout time.Duration) (*bufio.Reader, error) {
+	if timeout > 0 {
+		if err := nc.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	}
+	if err := wire.WriteHello(nc); err != nil {
+		return nil, fmt.Errorf("write hello: %w", err)
+	}
+	reader := bufio.NewReaderSize(nc, muxBufSize)
+	if err := wire.ReadHelloAck(reader); err != nil {
+		return nil, err
+	}
+	if err := nc.SetDeadline(time.Time{}); err != nil {
+		return nil, err
+	}
+	return reader, nil
+}

@@ -1,0 +1,446 @@
+package repclient
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"honestplayer/internal/wire"
+)
+
+// fakeV2Server accepts one connection, completes the server side of the v2
+// handshake, and hands the framed connection to handler.
+func fakeV2Server(t *testing.T, handler func(net.Conn, *bufio.Reader)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		reader := bufio.NewReader(conn)
+		if _, err := wire.ReadHello(reader); err != nil {
+			return
+		}
+		if err := wire.WriteHelloAck(conn); err != nil {
+			return
+		}
+		handler(conn, reader)
+	}()
+	return ln.Addr().String()
+}
+
+// TestMuxOutOfOrderCompletion: the server answers two pipelined requests in
+// reverse order; each caller still receives its own response, paired by id.
+func TestMuxOutOfOrderCompletion(t *testing.T) {
+	addr := fakeV2Server(t, func(conn net.Conn, reader *bufio.Reader) {
+		var envs []wire.Envelope
+		for len(envs) < 2 {
+			env, err := wire.ReadV2(reader)
+			if err != nil {
+				return
+			}
+			envs = append(envs, env)
+		}
+		for i := len(envs) - 1; i >= 0; i-- {
+			var resp wire.Envelope
+			var err error
+			switch envs[i].Type {
+			case wire.TypePing:
+				resp, err = wire.V2Codec.Encode(wire.TypePong, envs[i].ID, nil)
+			case wire.TypeHistory:
+				resp, err = wire.V2Codec.Encode(wire.TypeHistoryR, envs[i].ID, wire.HistoryResponse{Total: 7})
+			}
+			if err != nil {
+				return
+			}
+			if err := wire.WriteV2(conn, resp); err != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial(addr, WithProtocol(ProtoV2), WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	var wg sync.WaitGroup
+	var pingErr, histErr error
+	var total int
+	wg.Add(2)
+	go func() { defer wg.Done(); pingErr = c.Ping() }()
+	go func() { defer wg.Done(); _, total, histErr = c.History("srv", 0) }()
+	wg.Wait()
+	if pingErr != nil || histErr != nil {
+		t.Fatalf("ping err = %v, history err = %v", pingErr, histErr)
+	}
+	if total != 7 {
+		t.Fatalf("history total = %d, want 7 (response misrouted)", total)
+	}
+}
+
+// TestMuxPipelinesConcurrentRequests: the server refuses to answer anything
+// until it has read all n requests — only a client that truly keeps n
+// requests in flight on one connection can finish.
+func TestMuxPipelinesConcurrentRequests(t *testing.T) {
+	const n = 8
+	addr := fakeV2Server(t, func(conn net.Conn, reader *bufio.Reader) {
+		var ids []uint64
+		for len(ids) < n {
+			env, err := wire.ReadV2(reader)
+			if err != nil {
+				return
+			}
+			ids = append(ids, env.ID)
+		}
+		for _, id := range ids {
+			resp, err := wire.V2Codec.Encode(wire.TypePong, id, nil)
+			if err != nil {
+				return
+			}
+			if err := wire.WriteV2(conn, resp); err != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial(addr, WithProtocol(ProtoV2), WithWindow(n), WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() { errs <- c.Ping() }()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("pipelined ping %d: %v", i, err)
+		}
+	}
+}
+
+// TestMuxCancelLeavesOthersInFlight: cancelling one request must neither
+// disturb a concurrent request on the same connection nor poison it — its
+// late response is dropped by id and the connection keeps serving.
+func TestMuxCancelLeavesOthersInFlight(t *testing.T) {
+	release := make(chan struct{})
+	addr := fakeV2Server(t, func(conn net.Conn, reader *bufio.Reader) {
+		for {
+			env, err := wire.ReadV2(reader)
+			if err != nil {
+				return
+			}
+			if env.Type == wire.TypeHistory {
+				// The request that will be cancelled: answer only when
+				// released, long after the caller gave up.
+				go func(id uint64) {
+					<-release
+					resp, _ := wire.V2Codec.Encode(wire.TypeHistoryR, id, wire.HistoryResponse{})
+					_ = wire.WriteV2(conn, resp)
+				}(env.ID)
+				continue
+			}
+			resp, err := wire.V2Codec.Encode(wire.TypePong, env.ID, nil)
+			if err != nil {
+				return
+			}
+			if err := wire.WriteV2(conn, resp); err != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial(addr, WithProtocol(ProtoV2), WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	histDone := make(chan error, 1)
+	go func() { _, _, err := c.HistoryCtx(ctx, "srv", 0); histDone <- err }()
+	// Let the history request reach the wire, then abandon it.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	if err := <-histDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled history err = %v, want context.Canceled", err)
+	}
+	// The connection must still serve other requests...
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after cancel: %v", err)
+	}
+	// ...including after the abandoned request's late response arrives.
+	close(release)
+	time.Sleep(50 * time.Millisecond)
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after late response: %v", err)
+	}
+	if got := c.Protocol(); got != "v2" {
+		t.Fatalf("protocol = %q after late response, want v2 (connection was poisoned)", got)
+	}
+}
+
+// TestMuxUnattributableErrorPoisonsAllInFlight: a server error frame with
+// id 0 is connection-fatal — every pending request fails with ErrConnBroken
+// and the client redials on the next call.
+func TestMuxUnattributableErrorPoisonsAllInFlight(t *testing.T) {
+	const n = 4
+	dials := make(chan struct{}, 8)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		first := true
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			dials <- struct{}{}
+			go func(conn net.Conn, poison bool) {
+				defer func() { _ = conn.Close() }()
+				reader := bufio.NewReader(conn)
+				if _, err := wire.ReadHello(reader); err != nil {
+					return
+				}
+				if err := wire.WriteHelloAck(conn); err != nil {
+					return
+				}
+				seen := 0
+				for {
+					env, err := wire.ReadV2(reader)
+					if err != nil {
+						return
+					}
+					seen++
+					if poison && seen == n {
+						// All n requests are in flight: answer with the
+						// unattributable error and hang up.
+						resp, _ := wire.V2Codec.Encode(wire.TypeError, wire.UnattributableID,
+							wire.ErrorResponse{Code: wire.CodeBadRequest, Message: "desync"})
+						_ = wire.WriteV2(conn, resp)
+						return
+					}
+					if !poison {
+						resp, _ := wire.V2Codec.Encode(wire.TypePong, env.ID, nil)
+						if err := wire.WriteV2(conn, resp); err != nil {
+							return
+						}
+					}
+				}
+			}(conn, first)
+			first = false
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String(), WithProtocol(ProtoV2), WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	<-dials
+
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() { errs <- c.Ping() }()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; !errors.Is(err, ErrConnBroken) {
+			t.Fatalf("in-flight ping %d err = %v, want ErrConnBroken", i, err)
+		}
+	}
+	// The next call redials (second accept) and succeeds.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after redial: %v", err)
+	}
+	select {
+	case <-dials:
+	default:
+		t.Fatal("client did not redial after poisoning")
+	}
+}
+
+// TestMuxRedialWithQueuedRequests: when the connection dies under
+// concurrent load, in-flight requests fail but the client recovers — a
+// following burst renegotiates v2 and completes on a fresh connection.
+func TestMuxRedialWithQueuedRequests(t *testing.T) {
+	const n = 6
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		first := true
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn, dropEarly bool) {
+				defer func() { _ = conn.Close() }()
+				reader := bufio.NewReader(conn)
+				if _, err := wire.ReadHello(reader); err != nil {
+					return
+				}
+				if err := wire.WriteHelloAck(conn); err != nil {
+					return
+				}
+				seen := 0
+				for {
+					env, err := wire.ReadV2(reader)
+					if err != nil {
+						return
+					}
+					seen++
+					if dropEarly && seen >= 2 {
+						return // hang up mid-burst with requests queued
+					}
+					resp, _ := wire.V2Codec.Encode(wire.TypePong, env.ID, nil)
+					if err := wire.WriteV2(conn, resp); err != nil {
+						return
+					}
+				}
+			}(conn, first)
+			first = false
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String(), WithProtocol(ProtoV2), WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	// First burst: the server hangs up with requests queued; every caller
+	// must get an error, none may hang.
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = c.Ping() }()
+	}
+	wg.Wait()
+	// Second burst: the client redials and renegotiates; all succeed.
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() { errs <- c.Ping() }()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("post-redial ping %d: %v", i, err)
+		}
+	}
+	if got := c.Protocol(); got != "v2" {
+		t.Fatalf("protocol after redial = %q, want v2", got)
+	}
+}
+
+// TestMuxWindowBoundsInFlight: with a window of 1 the client degrades to
+// lock-step over v2 — each request waits for a slot, and a concurrent burst
+// still completes without deadlocking on the window semaphore.
+func TestMuxWindowBoundsInFlight(t *testing.T) {
+	addr := fakeV2Server(t, func(conn net.Conn, reader *bufio.Reader) {
+		for {
+			env, err := wire.ReadV2(reader)
+			if err != nil {
+				return
+			}
+			resp, _ := wire.V2Codec.Encode(wire.TypePong, env.ID, nil)
+			if err := wire.WriteV2(conn, resp); err != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial(addr, WithProtocol(ProtoV2), WithWindow(1), WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Ping(); err != nil {
+				t.Errorf("ping: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestProtoV2RequiredFailsAgainstJSONServer: with the protocol pinned to v2
+// a JSON-only server is a dial error, not a silent downgrade.
+func TestProtoV2RequiredFailsAgainstJSONServer(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		// A pre-v2 server reads the hello as a garbage JSON line, answers
+		// with the unattributable error frame, and closes.
+		r := bufio.NewReader(conn)
+		if _, err := wire.Read(r); err != nil {
+			env, _ := wire.Encode(wire.TypeError, wire.UnattributableID,
+				wire.ErrorResponse{Code: wire.CodeBadRequest, Message: "bad frame"})
+			_ = wire.Write(conn, env)
+		}
+	})
+	if _, err := Dial(addr, WithProtocol(ProtoV2), WithTimeout(time.Second)); !errors.Is(err, wire.ErrNotV2) {
+		t.Fatalf("dial err = %v, want wire.ErrNotV2", err)
+	}
+}
+
+// TestProtoAutoFallsBackToJSON: against the same pre-v2 server, ProtoAuto
+// discards the failed handshake, redials, and completes requests over JSON.
+func TestProtoAutoFallsBackToJSON(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer func() { _ = conn.Close() }()
+				r := bufio.NewReader(conn)
+				for {
+					env, err := wire.Read(r)
+					if err != nil {
+						resp, _ := wire.Encode(wire.TypeError, wire.UnattributableID,
+							wire.ErrorResponse{Code: wire.CodeBadRequest, Message: "bad frame"})
+						_ = wire.Write(conn, resp)
+						return
+					}
+					resp, _ := wire.Encode(wire.TypePong, env.ID, nil)
+					if err := wire.Write(conn, resp); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	c, err := Dial(ln.Addr().String(), WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if got := c.Protocol(); got != "json" {
+		t.Fatalf("protocol = %q, want json", got)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping over fallback connection: %v", err)
+	}
+}

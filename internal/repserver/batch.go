@@ -28,7 +28,7 @@ func (s *Server) handleAssessBatch(ctx context.Context, env wire.Envelope) (wire
 	if err != nil {
 		return wire.Envelope{}, err
 	}
-	return wire.Encode(wire.TypeAssessBR, env.ID, resp)
+	return service.CodecFrom(ctx).Encode(wire.TypeAssessBR, env.ID, resp)
 }
 
 // AssessBatch runs one batch assessment in process, exactly as a TypeAssessB

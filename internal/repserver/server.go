@@ -88,6 +88,11 @@ type Config struct {
 	// SlowLogThreshold logs any request slower than it via Logger; zero
 	// disables slow-request logging.
 	SlowLogThreshold time.Duration
+	// DisableV2 turns off binary protocol v2 negotiation, making the server
+	// JSON-only — byte-for-byte the pre-v2 behaviour, including treating a
+	// v2 hello as a malformed JSON frame (id-0 error, close). Used by the
+	// CI compat matrix to stand in for an old server.
+	DisableV2 bool
 }
 
 // Stats exposes server counters.
@@ -109,6 +114,9 @@ type Stats struct {
 	// accumulator or the cache also count towards the Incremental / Cache
 	// stats, same as single assess requests.
 	BatchItems uint64 `json:"batch_items"`
+	// V2Connections counts connections that negotiated binary protocol v2
+	// (Connections counts every accepted connection, either framing).
+	V2Connections uint64 `json:"v2_connections"`
 }
 
 // IncrementalStats exposes the incremental assessment engine's counters.
@@ -167,6 +175,7 @@ type Server struct {
 	connWg sync.WaitGroup // per-connection handle loops
 
 	nConns       atomic.Uint64
+	nV2Conns     atomic.Uint64
 	nRequests    atomic.Uint64
 	nErrors      atomic.Uint64
 	nIncremental atomic.Uint64
@@ -268,11 +277,12 @@ func (s *Server) Store() *store.Store { return s.cfg.Store }
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Connections: s.nConns.Load(),
-		Requests:    s.nRequests.Load(),
-		Errors:      s.nErrors.Load(),
-		PerType:     s.metrics.Snapshot(),
-		BatchItems:  s.nBatchItems.Load(),
+		Connections:   s.nConns.Load(),
+		Requests:      s.nRequests.Load(),
+		Errors:        s.nErrors.Load(),
+		PerType:       s.metrics.Snapshot(),
+		BatchItems:    s.nBatchItems.Load(),
+		V2Connections: s.nV2Conns.Load(),
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()
@@ -408,10 +418,16 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// handle serves one connection's request loop. Each request runs through
-// the service pipeline with the server's base context; handler errors
-// become error frames (the connection survives them), write failures end
-// the connection.
+// v2BufSize sizes the per-connection bufio reader and writer on v2
+// connections: large enough that a pipelined burst of frames is absorbed in
+// one syscall each way.
+const v2BufSize = 256 << 10
+
+// handle serves one connection. The first byte selects the framing: 0xB2
+// opens the v2 hello handshake, anything else (a '{' in practice) is the
+// newline-delimited JSON protocol, served exactly as before v2 existed.
+// With Config.DisableV2 the peek is skipped entirely and a v2 hello meets
+// the JSON line reader — the pre-v2 behaviour old servers exhibit.
 func (s *Server) handle(c *conn) {
 	defer func() {
 		_ = c.nc.Close()
@@ -420,6 +436,24 @@ func (s *Server) handle(c *conn) {
 		s.mu.Unlock()
 	}()
 	reader := bufio.NewReader(c.nc)
+	if !s.cfg.DisableV2 {
+		first, err := reader.Peek(1)
+		if err != nil {
+			return // closed before a byte arrived
+		}
+		if first[0] == wire.HelloMagic {
+			s.handleV2(c, reader)
+			return
+		}
+	}
+	s.handleJSON(c, reader)
+}
+
+// handleJSON serves one JSON-framed connection's request loop. Each request
+// runs through the service pipeline with the server's base context; handler
+// errors become error frames (the connection survives them), write failures
+// end the connection.
+func (s *Server) handleJSON(c *conn, reader *bufio.Reader) {
 	for {
 		if c.setBusy(false) {
 			return // draining and idle: stop before reading another request
@@ -466,12 +500,100 @@ func (s *Server) handle(c *conn) {
 	}
 }
 
+// handleV2 completes the hello handshake and serves one binary-framed
+// connection. Requests run through the same pipeline as JSON connections,
+// with the v2 codec threaded through the request context so handlers (and
+// the error-frame path) answer in binary. Responses are written through a
+// large buffered writer that is flushed only when no further request is
+// already buffered — a pipelined burst of N requests costs ~one write
+// syscall, not N.
+//
+// Unlike the JSON loop, the read buffer is reused across frames
+// (wire.ReadV2Into): the envelope's payload aliases it and every handler
+// fully decodes the payload before returning. The one exception is a
+// handler abandoned by the deadline interceptor, which may still be reading
+// the payload on its own goroutine — the loop surrenders the buffer to it
+// and starts a fresh one (see the deadline-error branch below).
+func (s *Server) handleV2(c *conn, reader *bufio.Reader) {
+	if _, err := wire.ReadHello(reader); err != nil {
+		// The magic byte matched but the hello didn't. Answer with the JSON
+		// id-0 error frame — the peer has not completed the v2 handshake, so
+		// JSON is the only framing it can be assumed to parse — and close.
+		s.nErrors.Add(1)
+		_ = wire.Write(c.nc, service.ErrorEnvelope(wire.UnattributableID,
+			service.Errorf(wire.CodeBadRequest, "%v", err)))
+		return
+	}
+	if err := wire.WriteHelloAck(c.nc); err != nil {
+		return
+	}
+	s.nV2Conns.Add(1)
+	connCtx := service.WithCodec(s.baseCtx, wire.V2Codec)
+	bw := bufio.NewWriterSize(c.nc, v2BufSize)
+	var frameBuf []byte
+	for {
+		if c.setBusy(false) {
+			_ = bw.Flush()
+			return // draining and idle: stop before reading another request
+		}
+		// Flush buffered responses before a read that may block: the
+		// client's pipeline stays full only while responses keep flowing.
+		if reader.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				s.nErrors.Add(1)
+				return
+			}
+		}
+		env, buf, err := wire.ReadV2Into(reader, frameBuf)
+		frameBuf = buf
+		if err != nil {
+			// EOF and closed connections are normal terminations; protocol
+			// violations get a best-effort id-0 error frame (connection-fatal
+			// for the client, matching the JSON loop's semantics).
+			if errors.Is(err, wire.ErrBadMessage) || errors.Is(err, wire.ErrBadVersion) ||
+				errors.Is(err, wire.ErrFrameTooLarge) {
+				s.nErrors.Add(1)
+				_ = wire.WriteV2(bw, service.ErrorEnvelopeCodec(wire.V2Codec, wire.UnattributableID,
+					service.Errorf(wire.CodeBadRequest, "%v", err)))
+				_ = bw.Flush()
+			}
+			return
+		}
+		c.mu.Lock()
+		if c.closing {
+			c.mu.Unlock()
+			return
+		}
+		c.busy = true
+		c.mu.Unlock()
+		s.nRequests.Add(1)
+		resp, herr := s.pipeline(connCtx, env)
+		if herr != nil {
+			s.nErrors.Add(1)
+			resp = service.ErrorEnvelopeCodec(wire.V2Codec, env.ID, herr)
+			if errors.Is(herr, context.DeadlineExceeded) || errors.Is(herr, context.Canceled) {
+				// The deadline interceptor abandoned the handler mid-flight;
+				// it may still read env.Payload on its own goroutine. Give
+				// the buffer up instead of overwriting it with the next
+				// frame (the aliasing regression in repserver tests pins
+				// this under -race).
+				frameBuf = nil
+			}
+		}
+		if err := wire.WriteV2(bw, resp); err != nil {
+			s.nErrors.Add(1)
+			s.logf("conn %s: write %s response: %v", c.nc.RemoteAddr(), env.Type, err)
+			return
+		}
+	}
+}
+
 // Per-type handlers. Each takes the request context threaded from the
 // accept loop (bounded by the deadline interceptor) and returns either a
 // response envelope or an error the transport converts to an error frame.
 
 func (s *Server) handlePing(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
-	return wire.Encode(wire.TypePong, env.ID, nil)
+	return service.CodecFrom(ctx).Encode(wire.TypePong, env.ID, nil)
 }
 
 func (s *Server) handleSubmit(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
@@ -486,7 +608,7 @@ func (s *Server) handleSubmit(ctx context.Context, env wire.Envelope) (wire.Enve
 	if err != nil {
 		return wire.Envelope{}, service.Errorf(wire.CodeInvalidFeedback, "%v", err)
 	}
-	return wire.Encode(wire.TypeSubmitR, env.ID, wire.SubmitResponse{Stored: stored})
+	return service.CodecFrom(ctx).Encode(wire.TypeSubmitR, env.ID, wire.SubmitResponse{Stored: stored})
 }
 
 func (s *Server) handleBatch(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
@@ -514,7 +636,7 @@ func (s *Server) handleBatch(ctx context.Context, env wire.Envelope) (wire.Envel
 			resp.Duplicates++
 		}
 	}
-	return wire.Encode(wire.TypeBatchR, env.ID, resp)
+	return service.CodecFrom(ctx).Encode(wire.TypeBatchR, env.ID, resp)
 }
 
 func (s *Server) handleHistory(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
@@ -537,7 +659,7 @@ func (s *Server) handleHistory(ctx context.Context, env wire.Envelope) (wire.Env
 	if len(recs) > limit {
 		recs = recs[len(recs)-limit:]
 	}
-	return wire.Encode(wire.TypeHistoryR, env.ID, wire.HistoryResponse{Records: recs, Total: total})
+	return service.CodecFrom(ctx).Encode(wire.TypeHistoryR, env.ID, wire.HistoryResponse{Records: recs, Total: total})
 }
 
 func (s *Server) handleAssess(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
@@ -549,7 +671,7 @@ func (s *Server) handleAssess(ctx context.Context, env wire.Envelope) (wire.Enve
 	if err != nil {
 		return wire.Envelope{}, err
 	}
-	return wire.Encode(wire.TypeAssessR, env.ID, resp)
+	return service.CodecFrom(ctx).Encode(wire.TypeAssessR, env.ID, resp)
 }
 
 // Assess runs one assessment in process, exactly as a TypeAssess request

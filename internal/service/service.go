@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"honestplayer/internal/wire"
@@ -82,11 +83,39 @@ func Errorf(code, format string, args ...any) error {
 	return &wire.ErrorResponse{Code: code, Message: fmt.Sprintf(format, args...)}
 }
 
-// ErrorEnvelope converts a handler error into a TypeError envelope for the
-// given request id. Protocol errors (*wire.ErrorResponse) keep their code;
+// codecKey carries the connection's negotiated payload codec through the
+// request context.
+type codecKey struct{}
+
+// WithCodec returns a context carrying the negotiated wire codec. The
+// transport sets it once per connection, before dispatching into the
+// interceptor chain; the chain threads the context — and with it the codec —
+// into every handler.
+func WithCodec(ctx context.Context, c wire.Codec) context.Context {
+	return context.WithValue(ctx, codecKey{}, c)
+}
+
+// CodecFrom returns the negotiated codec from the request context,
+// defaulting to wire.JSONCodec when none was negotiated (v1 connections,
+// in-process callers, tests).
+func CodecFrom(ctx context.Context) wire.Codec {
+	if c, ok := ctx.Value(codecKey{}).(wire.Codec); ok {
+		return c
+	}
+	return wire.JSONCodec
+}
+
+// ErrorEnvelope converts a handler error into a JSON TypeError envelope for
+// the given request id — ErrorEnvelopeCodec with the v1 codec.
+func ErrorEnvelope(id uint64, err error) wire.Envelope {
+	return ErrorEnvelopeCodec(wire.JSONCodec, id, err)
+}
+
+// ErrorEnvelopeCodec converts a handler error into a TypeError envelope in
+// the given codec. Protocol errors (*wire.ErrorResponse) keep their code;
 // context expiry maps to wire.CodeDeadlineExceeded / wire.CodeCanceled;
 // everything else is wire.CodeInternal.
-func ErrorEnvelope(id uint64, err error) wire.Envelope {
+func ErrorEnvelopeCodec(c wire.Codec, id uint64, err error) wire.Envelope {
 	resp := wire.ErrorResponse{Code: wire.CodeInternal, Message: err.Error()}
 	var proto *wire.ErrorResponse
 	switch {
@@ -97,11 +126,11 @@ func ErrorEnvelope(id uint64, err error) wire.Envelope {
 	case errors.Is(err, context.Canceled):
 		resp.Code = wire.CodeCanceled
 	}
-	env, encErr := wire.Encode(wire.TypeError, id, resp)
+	env, encErr := c.Encode(wire.TypeError, id, resp)
 	if encErr != nil {
-		// An ErrorResponse always marshals; this is unreachable, but never
+		// An ErrorResponse always encodes; this is unreachable, but never
 		// return a zero envelope from an error path.
-		env, _ = wire.Encode(wire.TypeError, id, wire.ErrorResponse{Code: wire.CodeInternal, Message: "encode error response"})
+		env, _ = c.Encode(wire.TypeError, id, wire.ErrorResponse{Code: wire.CodeInternal, Message: "encode error response"})
 	}
 	return env
 }
@@ -145,43 +174,115 @@ func Recover(logf func(format string, args ...any)) Interceptor {
 	}
 }
 
+// deadlineResult is what a handler run on a deadline worker reports back.
+type deadlineResult struct {
+	env wire.Envelope
+	err error
+}
+
+// deadlineJob is one handler invocation shipped to a deadline worker. done
+// is per-job and buffered so an abandoned job's completion never blocks the
+// worker (the interceptor has long since returned ctx.Err()).
+type deadlineJob struct {
+	ctx  context.Context
+	env  wire.Envelope
+	next Handler
+	done chan deadlineResult
+}
+
+// deadlineWorkers pools idle handler-worker goroutines. Spawning a fresh
+// goroutine per request makes every deep handler call chain regrow a cold
+// 2KB stack — the runtime's stack-copy machinery then dominates cheap
+// requests (it profiled at ~5µs/request on the pipelined v2 transport,
+// where no round-trip latency hides it). A pooled worker keeps its grown
+// stack warm across requests. The pool never blocks: a full pool lets the
+// worker exit, an empty pool spawns a new one.
+var deadlineWorkers = make(chan chan deadlineJob, 64)
+
+func runDeadlineWorker(jobs chan deadlineJob) {
+	for job := range jobs {
+		func() {
+			// recover() only catches panics on its own goroutine, so an
+			// outer Recover interceptor cannot see a panic raised here.
+			// Convert it to a *panicError result instead; Recover treats
+			// that error exactly like a direct panic.
+			defer func() {
+				if r := recover(); r != nil {
+					job.done <- deadlineResult{wire.Envelope{}, &panicError{value: r}}
+				}
+			}()
+			env, err := job.next(job.ctx, job.env)
+			job.done <- deadlineResult{env, err}
+		}()
+		select {
+		case deadlineWorkers <- jobs:
+		default:
+			return // pool full: let this worker die
+		}
+	}
+}
+
+// deadlineTimers pools the per-request timeout timers. Deriving a timer
+// context per request (context.WithTimeout) costs close to a microsecond in
+// allocation and runtime-timer churn; a pooled bare timer enforces the same
+// bound in the interceptor's select. Timers are always returned to the pool
+// stopped and drained (Go 1.22 timer-channel semantics).
+var deadlineTimers = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return t
+}}
+
 // Deadline returns an interceptor that bounds each request to d (no bound
 // when d <= 0) and enforces context cancellation even against a handler
-// that never returns: the handler runs on its own goroutine and the
-// interceptor abandons it when the context expires first, returning
-// ctx.Err(). The abandoned goroutine finishes in the background; its result
-// is discarded through a buffered channel so it never blocks.
+// that never returns: the handler runs on a pooled worker goroutine and the
+// interceptor abandons it when the bound expires first, returning
+// context.DeadlineExceeded (or ctx.Err() on parent cancellation). The
+// handler's context is derived cancellable — not with a deadline — so an
+// abandoned handler still observes cancellation and can stop cooperatively;
+// the bound itself lives in a pooled timer, off the context. The abandoned
+// worker finishes in the background — its result is discarded through the
+// job's buffered channel, and only then does the worker take another job —
+// so an abandoned handler can never be interleaved with a later request.
 func Deadline(d time.Duration) Interceptor {
 	return func(next Handler) Handler {
 		return func(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+			var timeoutC <-chan time.Time
 			if d > 0 {
 				var cancel context.CancelFunc
-				ctx, cancel = context.WithTimeout(ctx, d)
+				ctx, cancel = context.WithCancel(ctx)
 				defer cancel()
-			}
-			type result struct {
-				env wire.Envelope
-				err error
-			}
-			done := make(chan result, 1)
-			go func() {
-				// recover() only catches panics on its own goroutine, so an
-				// outer Recover interceptor cannot see a panic raised here.
-				// Convert it to a *panicError result instead; Recover treats
-				// that error exactly like a direct panic.
+				t := deadlineTimers.Get().(*time.Timer)
+				t.Reset(d)
 				defer func() {
-					if r := recover(); r != nil {
-						done <- result{wire.Envelope{}, &panicError{value: r}}
+					if !t.Stop() {
+						select {
+						case <-t.C:
+						default:
+						}
 					}
+					deadlineTimers.Put(t)
 				}()
-				env, err := next(ctx, env)
-				done <- result{env, err}
-			}()
+				timeoutC = t.C
+			}
+			var jobs chan deadlineJob
+			select {
+			case jobs = <-deadlineWorkers:
+			default:
+				jobs = make(chan deadlineJob, 1)
+				go runDeadlineWorker(jobs)
+			}
+			done := make(chan deadlineResult, 1)
+			jobs <- deadlineJob{ctx: ctx, env: env, next: next, done: done}
 			select {
 			case r := <-done:
 				return r.env, r.err
 			case <-ctx.Done():
 				return wire.Envelope{}, ctx.Err()
+			case <-timeoutC:
+				return wire.Envelope{}, context.DeadlineExceeded
 			}
 		}
 	}

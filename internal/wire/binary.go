@@ -1,0 +1,569 @@
+// Binary payload codecs for protocol v2 frames.
+//
+// The hot request/response payloads — submit, submit.batch, history, assess,
+// assess.batch, and error frames — have hand-rolled binary encodings seeded
+// from the internal/feedback compact record codec (big-endian fixed-width
+// scalars, uvarint counts, length-prefixed strings). Message types without a
+// binary codec ride v2 frames with JSON payload bytes and the
+// flagJSONPayload bit set, so every type can cross a v2 connection.
+//
+// Encodings are strict on decode: trailing bytes, oversized counts, and
+// truncated fields all fail with ErrBadMessage — the decoder never trusts a
+// count further than the bytes backing it.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"honestplayer/internal/behavior"
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+)
+
+// appendBinaryPayload appends t's binary encoding of payload to buf. The
+// second return reports whether the (type, payload) pair has a binary codec;
+// callers fall back to JSON payload bytes when it does not.
+func appendBinaryPayload(buf []byte, payload any) ([]byte, bool, error) {
+	switch p := payload.(type) {
+	case SubmitRequest:
+		b, err := feedback.AppendBinary(buf, p.Feedback)
+		return b, true, err
+	case *SubmitRequest:
+		b, err := feedback.AppendBinary(buf, p.Feedback)
+		return b, true, err
+	case SubmitResponse:
+		return appendBool(buf, p.Stored), true, nil
+	case *SubmitResponse:
+		return appendBool(buf, p.Stored), true, nil
+	case BatchRequest:
+		b, err := appendRecords(buf, p.Records)
+		return b, true, err
+	case *BatchRequest:
+		b, err := appendRecords(buf, p.Records)
+		return b, true, err
+	case BatchResponse:
+		return appendBatchResponse(buf, p), true, nil
+	case *BatchResponse:
+		return appendBatchResponse(buf, *p), true, nil
+	case HistoryRequest:
+		return appendHistoryRequest(buf, p), true, nil
+	case *HistoryRequest:
+		return appendHistoryRequest(buf, *p), true, nil
+	case HistoryResponse:
+		b, err := appendHistoryResponse(buf, p)
+		return b, true, err
+	case *HistoryResponse:
+		b, err := appendHistoryResponse(buf, *p)
+		return b, true, err
+	case AssessRequest:
+		return appendAssessRequest(buf, p), true, nil
+	case *AssessRequest:
+		return appendAssessRequest(buf, *p), true, nil
+	case AssessResponse:
+		return appendAssessResponse(buf, p), true, nil
+	case *AssessResponse:
+		return appendAssessResponse(buf, *p), true, nil
+	case AssessBatchRequest:
+		return appendAssessBatchRequest(buf, p), true, nil
+	case *AssessBatchRequest:
+		return appendAssessBatchRequest(buf, *p), true, nil
+	case AssessBatchResponse:
+		return appendAssessBatchResponse(buf, p), true, nil
+	case *AssessBatchResponse:
+		return appendAssessBatchResponse(buf, *p), true, nil
+	case ErrorResponse:
+		return appendErrorResponse(buf, p), true, nil
+	case *ErrorResponse:
+		return appendErrorResponse(buf, *p), true, nil
+	}
+	return buf, false, nil
+}
+
+// decodeBinaryPayload decodes a binary payload into out, which must be a
+// pointer to the payload struct matching the frame type. The whole buffer
+// must be consumed; anything else is a protocol violation.
+func decodeBinaryPayload(t MsgType, buf []byte, out any) error {
+	r := &breader{buf: buf}
+	var err error
+	switch o := out.(type) {
+	case *SubmitRequest:
+		o.Feedback, err = r.record()
+	case *SubmitResponse:
+		o.Stored, err = r.bool()
+	case *BatchRequest:
+		o.Records, err = r.records()
+	case *BatchResponse:
+		err = r.batchResponse(o)
+	case *HistoryRequest:
+		err = r.historyRequest(o)
+	case *HistoryResponse:
+		err = r.historyResponse(o)
+	case *AssessRequest:
+		err = r.assessRequest(o)
+	case *AssessResponse:
+		err = r.assessResponse(o)
+	case *AssessBatchRequest:
+		err = r.assessBatchRequest(o)
+	case *AssessBatchResponse:
+		err = r.assessBatchResponse(o)
+	case *ErrorResponse:
+		err = r.errorResponse(o)
+	default:
+		return fmt.Errorf("%w: no binary codec for %T (%s payload)", ErrBadMessage, out, t)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %s payload: %v", ErrBadMessage, t, err)
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("%w: %s payload: %d trailing bytes", ErrBadMessage, t, len(r.buf))
+	}
+	return nil
+}
+
+// Append helpers.
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendFloat(buf []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+func appendRecords(buf []byte, recs []feedback.Feedback) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	var err error
+	for i, rec := range recs {
+		if buf, err = feedback.AppendBinary(buf, rec); err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	return buf, nil
+}
+
+func appendBatchResponse(buf []byte, p BatchResponse) []byte {
+	buf = binary.AppendUvarint(buf, uint64(p.Stored))
+	buf = binary.AppendUvarint(buf, uint64(p.Duplicates))
+	buf = binary.AppendUvarint(buf, uint64(len(p.Rejected)))
+	for _, rej := range p.Rejected {
+		buf = binary.AppendUvarint(buf, uint64(rej.Index))
+		buf = appendString(buf, rej.Reason)
+	}
+	return buf
+}
+
+func appendHistoryRequest(buf []byte, p HistoryRequest) []byte {
+	buf = appendString(buf, string(p.Server))
+	limit := p.Limit
+	if limit < 0 {
+		limit = 0
+	}
+	return binary.AppendUvarint(buf, uint64(limit))
+}
+
+func appendHistoryResponse(buf []byte, p HistoryResponse) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(p.Total))
+	return appendRecords(buf, p.Records)
+}
+
+func appendAssessRequest(buf []byte, p AssessRequest) []byte {
+	buf = appendString(buf, string(p.Server))
+	return appendFloat(buf, p.Threshold)
+}
+
+// Assessment / AssessResponse flag bits.
+const (
+	assessFlagAccept      byte = 1 << 0
+	assessFlagCached      byte = 1 << 1
+	assessFlagIncremental byte = 1 << 2
+
+	asmtFlagSuspicious   byte = 1 << 0
+	asmtFlagShortHistory byte = 1 << 1
+	asmtFlagVerdict      byte = 1 << 2
+	asmtFlagHonest       byte = 1 << 3
+)
+
+func appendAssessment(buf []byte, a core.Assessment) []byte {
+	var flags byte
+	if a.Suspicious {
+		flags |= asmtFlagSuspicious
+	}
+	if a.ShortHistory {
+		flags |= asmtFlagShortHistory
+	}
+	hasVerdict := a.Verdict.Honest || len(a.Verdict.Suffixes) > 0
+	if hasVerdict {
+		flags |= asmtFlagVerdict
+		if a.Verdict.Honest {
+			flags |= asmtFlagHonest
+		}
+	}
+	buf = append(buf, flags)
+	buf = appendString(buf, string(a.Server))
+	buf = appendFloat(buf, a.Trust)
+	buf = appendFloat(buf, a.TrustLow)
+	buf = appendFloat(buf, a.TrustHigh)
+	buf = appendString(buf, a.Tester)
+	buf = appendString(buf, a.TrustFunc)
+	if hasVerdict {
+		buf = binary.AppendUvarint(buf, uint64(len(a.Verdict.Suffixes)))
+		for _, s := range a.Verdict.Suffixes {
+			buf = binary.AppendUvarint(buf, uint64(s.Transactions))
+			buf = binary.AppendUvarint(buf, uint64(s.Windows))
+			buf = appendFloat(buf, s.PHat)
+			buf = appendFloat(buf, s.Distance)
+			buf = appendFloat(buf, s.Threshold)
+			buf = appendBool(buf, s.Pass)
+		}
+	}
+	return buf
+}
+
+func appendAssessResponse(buf []byte, p AssessResponse) []byte {
+	var flags byte
+	if p.Accept {
+		flags |= assessFlagAccept
+	}
+	if p.Cached {
+		flags |= assessFlagCached
+	}
+	if p.Incremental {
+		flags |= assessFlagIncremental
+	}
+	buf = append(buf, flags)
+	return appendAssessment(buf, p.Assessment)
+}
+
+func appendAssessBatchRequest(buf []byte, p AssessBatchRequest) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(p.Servers)))
+	for _, s := range p.Servers {
+		buf = appendString(buf, string(s))
+	}
+	return appendFloat(buf, p.Threshold)
+}
+
+func appendAssessBatchResponse(buf []byte, p AssessBatchResponse) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(p.Items)))
+	for _, item := range p.Items {
+		buf = appendString(buf, string(item.Server))
+		if item.Error != nil {
+			buf = append(buf, 1)
+			buf = appendErrorResponse(buf, *item.Error)
+		} else {
+			buf = append(buf, 0)
+			buf = appendAssessResponse(buf, item.AssessResponse)
+		}
+	}
+	return buf
+}
+
+func appendErrorResponse(buf []byte, p ErrorResponse) []byte {
+	buf = appendString(buf, p.Code)
+	return appendString(buf, p.Message)
+}
+
+// breader is a strict cursor over a binary payload: every read checks the
+// remaining length, and uvarint-borne counts are sanity-checked against the
+// bytes left so a corrupt frame can never force a large allocation.
+type breader struct {
+	buf []byte
+}
+
+func (r *breader) bool() (bool, error) {
+	if len(r.buf) < 1 {
+		return false, fmt.Errorf("short bool")
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	if b > 1 {
+		return false, fmt.Errorf("bool byte %d", b)
+	}
+	return b == 1, nil
+}
+
+func (r *breader) byte() (byte, error) {
+	if len(r.buf) < 1 {
+		return 0, fmt.Errorf("short byte")
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b, nil
+}
+
+func (r *breader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("bad uvarint")
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+// count reads a collection count and rejects any value that could not be
+// backed by the remaining bytes (each element occupies at least one byte).
+func (r *breader) count() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.buf)) {
+		return 0, fmt.Errorf("count %d exceeds %d remaining bytes", v, len(r.buf))
+	}
+	return int(v), nil
+}
+
+func (r *breader) int() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("int %d out of range", v)
+	}
+	return int(v), nil
+}
+
+func (r *breader) float() (float64, error) {
+	if len(r.buf) < 8 {
+		return 0, fmt.Errorf("short float")
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.buf))
+	r.buf = r.buf[8:]
+	return v, nil
+}
+
+func (r *breader) string() (string, error) {
+	n, err := r.count()
+	if err != nil {
+		return "", err
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s, nil
+}
+
+func (r *breader) record() (feedback.Feedback, error) {
+	f, rest, err := feedback.DecodeBinary(r.buf)
+	if err != nil {
+		return f, err
+	}
+	r.buf = rest
+	return f, nil
+}
+
+func (r *breader) records() ([]feedback.Feedback, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	recs := make([]feedback.Feedback, n)
+	for i := range recs {
+		if recs[i], err = r.record(); err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	return recs, nil
+}
+
+func (r *breader) batchResponse(o *BatchResponse) error {
+	var err error
+	if o.Stored, err = r.int(); err != nil {
+		return err
+	}
+	if o.Duplicates, err = r.int(); err != nil {
+		return err
+	}
+	n, err := r.count()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		var rej BatchReject
+		if rej.Index, err = r.int(); err != nil {
+			return err
+		}
+		if rej.Reason, err = r.string(); err != nil {
+			return err
+		}
+		o.Rejected = append(o.Rejected, rej)
+	}
+	return nil
+}
+
+func (r *breader) historyRequest(o *HistoryRequest) error {
+	s, err := r.string()
+	if err != nil {
+		return err
+	}
+	o.Server = feedback.EntityID(s)
+	o.Limit, err = r.int()
+	return err
+}
+
+func (r *breader) historyResponse(o *HistoryResponse) error {
+	var err error
+	if o.Total, err = r.int(); err != nil {
+		return err
+	}
+	o.Records, err = r.records()
+	return err
+}
+
+func (r *breader) assessRequest(o *AssessRequest) error {
+	s, err := r.string()
+	if err != nil {
+		return err
+	}
+	o.Server = feedback.EntityID(s)
+	o.Threshold, err = r.float()
+	return err
+}
+
+func (r *breader) assessment(o *core.Assessment) error {
+	flags, err := r.byte()
+	if err != nil {
+		return err
+	}
+	o.Suspicious = flags&asmtFlagSuspicious != 0
+	o.ShortHistory = flags&asmtFlagShortHistory != 0
+	s, err := r.string()
+	if err != nil {
+		return err
+	}
+	o.Server = feedback.EntityID(s)
+	if o.Trust, err = r.float(); err != nil {
+		return err
+	}
+	if o.TrustLow, err = r.float(); err != nil {
+		return err
+	}
+	if o.TrustHigh, err = r.float(); err != nil {
+		return err
+	}
+	if o.Tester, err = r.string(); err != nil {
+		return err
+	}
+	if o.TrustFunc, err = r.string(); err != nil {
+		return err
+	}
+	if flags&asmtFlagVerdict == 0 {
+		o.Verdict = behavior.Verdict{}
+		return nil
+	}
+	o.Verdict.Honest = flags&asmtFlagHonest != 0
+	n, err := r.count()
+	if err != nil {
+		return err
+	}
+	o.Verdict.Suffixes = nil
+	for i := 0; i < n; i++ {
+		var sr behavior.SuffixResult
+		if sr.Transactions, err = r.int(); err != nil {
+			return err
+		}
+		if sr.Windows, err = r.int(); err != nil {
+			return err
+		}
+		if sr.PHat, err = r.float(); err != nil {
+			return err
+		}
+		if sr.Distance, err = r.float(); err != nil {
+			return err
+		}
+		if sr.Threshold, err = r.float(); err != nil {
+			return err
+		}
+		if sr.Pass, err = r.bool(); err != nil {
+			return err
+		}
+		o.Verdict.Suffixes = append(o.Verdict.Suffixes, sr)
+	}
+	return nil
+}
+
+func (r *breader) assessResponse(o *AssessResponse) error {
+	flags, err := r.byte()
+	if err != nil {
+		return err
+	}
+	o.Accept = flags&assessFlagAccept != 0
+	o.Cached = flags&assessFlagCached != 0
+	o.Incremental = flags&assessFlagIncremental != 0
+	return r.assessment(&o.Assessment)
+}
+
+func (r *breader) assessBatchRequest(o *AssessBatchRequest) error {
+	n, err := r.count()
+	if err != nil {
+		return err
+	}
+	o.Servers = make([]feedback.EntityID, n)
+	for i := range o.Servers {
+		s, err := r.string()
+		if err != nil {
+			return err
+		}
+		o.Servers[i] = feedback.EntityID(s)
+	}
+	o.Threshold, err = r.float()
+	return err
+}
+
+func (r *breader) assessBatchResponse(o *AssessBatchResponse) error {
+	n, err := r.count()
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	o.Items = make([]AssessBatchItem, n)
+	for i := range o.Items {
+		item := &o.Items[i]
+		s, err := r.string()
+		if err != nil {
+			return err
+		}
+		item.Server = feedback.EntityID(s)
+		kind, err := r.byte()
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case 0:
+			if err := r.assessResponse(&item.AssessResponse); err != nil {
+				return err
+			}
+		case 1:
+			item.Error = new(ErrorResponse)
+			if err := r.errorResponse(item.Error); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("item %d: kind byte %d", i, kind)
+		}
+	}
+	return nil
+}
+
+func (r *breader) errorResponse(o *ErrorResponse) error {
+	var err error
+	if o.Code, err = r.string(); err != nil {
+		return err
+	}
+	o.Message, err = r.string()
+	return err
+}

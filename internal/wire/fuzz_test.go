@@ -3,7 +3,11 @@ package wire
 import (
 	"bufio"
 	"bytes"
+	"errors"
+	"io"
 	"testing"
+
+	"honestplayer/internal/feedback"
 )
 
 // FuzzRead ensures the frame reader never panics and respects the frame
@@ -22,6 +26,134 @@ func FuzzRead(f *testing.F) {
 		}
 		if got.V != Version || got.Type == "" {
 			t.Fatalf("accepted invalid envelope: %+v", got)
+		}
+	})
+}
+
+// fuzzPayloadDest returns a fresh decode destination for a frame type, nil
+// for types whose payload has no binary codec.
+func fuzzPayloadDest(t MsgType) any {
+	switch t {
+	case TypeSubmit:
+		return new(SubmitRequest)
+	case TypeSubmitR:
+		return new(SubmitResponse)
+	case TypeBatch:
+		return new(BatchRequest)
+	case TypeBatchR:
+		return new(BatchResponse)
+	case TypeHistory:
+		return new(HistoryRequest)
+	case TypeHistoryR:
+		return new(HistoryResponse)
+	case TypeAssess:
+		return new(AssessRequest)
+	case TypeAssessR:
+		return new(AssessResponse)
+	case TypeAssessB:
+		return new(AssessBatchRequest)
+	case TypeAssessBR:
+		return new(AssessBatchResponse)
+	case TypeError:
+		return new(ErrorResponse)
+	}
+	return nil
+}
+
+// FuzzReadV2 ensures the binary frame reader and the per-type payload
+// decoders never panic, never allocate past the frame limit, and re-encode
+// decodable payloads losslessly.
+func FuzzReadV2(f *testing.F) {
+	addFrame := func(t MsgType, id uint64, payload any) {
+		env, err := V2Codec.Encode(t, id, payload)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteV2(&buf, env); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	addFrame(TypePing, 1, nil)
+	addFrame(TypeAssess, 7, AssessRequest{Server: "srv-a", Threshold: 0.9})
+	addFrame(TypeAssessR, 7, AssessResponse{Assessment: testAssessment(), Accept: true})
+	addFrame(TypeBatch, 3, BatchRequest{Records: []feedback.Feedback{testRecord(1), testRecord(2)}})
+	addFrame(TypeError, 0, ErrorResponse{Code: CodeBadRequest, Message: "bad"})
+	f.Add([]byte{0, 0, 0, 10, 1, 0, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte("\xff\xff\xff\xff"))
+	f.Add([]byte("{\"v\":1,\"type\":\"ping\",\"id\":1}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := ReadV2(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if env.V != VersionV2 || env.Type == "" {
+			t.Fatalf("accepted invalid v2 envelope: %+v", env)
+		}
+		if !env.Binary {
+			return // JSON-flagged payloads are covered by FuzzRead's decoder
+		}
+		dest := fuzzPayloadDest(env.Type)
+		if dest == nil {
+			return
+		}
+		if err := DecodePayload(env, dest); err != nil {
+			return
+		}
+		// Whatever decoded must survive a re-encode/decode round trip
+		// without error — the codec may not accept values it cannot carry.
+		reenc, err := V2Codec.Encode(env.Type, env.ID, dest)
+		if err != nil {
+			t.Fatalf("re-encode of decoded %s payload failed: %v", env.Type, err)
+		}
+		if reenc.Binary {
+			dest2 := fuzzPayloadDest(env.Type)
+			if err := DecodePayload(reenc, dest2); err != nil {
+				t.Fatalf("re-decode of %s payload failed: %v", env.Type, err)
+			}
+		}
+	})
+}
+
+// FuzzNegotiate drives the server-side first-byte dispatch — the same
+// peek-then-branch the repserver accept path performs — over arbitrary
+// connection openings. Invariants: no panic, JSON openings never reach the
+// v2 path, and a well-formed hello always negotiates.
+func FuzzNegotiate(f *testing.F) {
+	var hello bytes.Buffer
+	_ = WriteHello(&hello)
+	f.Add(hello.Bytes())
+	f.Add([]byte(`{"v":1,"type":"ping","id":1}` + "\n"))
+	f.Add([]byte{HelloMagic})
+	f.Add([]byte("\xb2W2\x01\n"))
+	f.Add([]byte("\xb2XY\x02\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		first, err := r.Peek(1)
+		if err != nil {
+			return
+		}
+		if first[0] != HelloMagic {
+			// JSON path: the line reader must handle whatever follows.
+			_, _ = Read(r)
+			return
+		}
+		ver, err := ReadHello(r)
+		if err != nil {
+			if len(data) >= 5 && bytes.Equal(data[:3], helloPrefix[:]) &&
+				data[3] >= VersionV2 && data[4] == '\n' {
+				t.Fatalf("well-formed hello rejected: %v", err)
+			}
+			return
+		}
+		if ver < VersionV2 {
+			t.Fatalf("negotiated unsupported version %d", ver)
+		}
+		// After a good hello the connection carries v2 frames.
+		if _, err := ReadV2(r); err != nil && errors.Is(err, io.ErrUnexpectedEOF) {
+			return
 		}
 	})
 }

@@ -1,0 +1,344 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"honestplayer/internal/behavior"
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+)
+
+func testRecord(i int) feedback.Feedback {
+	r := feedback.Positive
+	if i%3 == 0 {
+		r = feedback.Negative
+	}
+	return feedback.Feedback{
+		Time:   time.Unix(int64(1000+i), int64(i)*1000).UTC(),
+		Server: "srv-a",
+		Client: feedback.EntityID("client-" + strings.Repeat("x", i%4)),
+		Rating: r,
+	}
+}
+
+func testAssessment() core.Assessment {
+	return core.Assessment{
+		Server:    "srv-a",
+		Trust:     0.9375,
+		TrustLow:  0.81,
+		TrustHigh: 0.97,
+		Tester:    "multi",
+		TrustFunc: "average",
+		Verdict: behavior.Verdict{
+			Honest: true,
+			Suffixes: []behavior.SuffixResult{
+				{Transactions: 40, Windows: 4, PHat: 0.95, Distance: 0.12, Threshold: 0.2, Pass: true},
+				{Transactions: 20, Windows: 2, PHat: 0.9, Distance: 0.3, Threshold: 0.2, Pass: false},
+			},
+		},
+	}
+}
+
+// v2Payloads is every payload with a binary codec, exercised by the
+// round-trip and cross-codec tests below.
+func v2Payloads() map[MsgType]any {
+	return map[MsgType]any{
+		TypeSubmit:  SubmitRequest{Feedback: testRecord(1)},
+		TypeSubmitR: SubmitResponse{Stored: true},
+		TypeBatch:   BatchRequest{Records: []feedback.Feedback{testRecord(1), testRecord(2), testRecord(3)}},
+		TypeBatchR: BatchResponse{Stored: 2, Duplicates: 1, Rejected: []BatchReject{
+			{Index: 3, Reason: "zero time"}, {Index: 5, Reason: "missing server"},
+		}},
+		TypeHistory:  HistoryRequest{Server: "srv-a", Limit: 25},
+		TypeHistoryR: HistoryResponse{Records: []feedback.Feedback{testRecord(4), testRecord(5)}, Total: 99},
+		TypeAssess:   AssessRequest{Server: "srv-a", Threshold: 0.875},
+		TypeAssessR:  AssessResponse{Assessment: testAssessment(), Accept: true, Incremental: true},
+		TypeAssessB:  AssessBatchRequest{Servers: []feedback.EntityID{"a", "b", "c"}, Threshold: 0.9},
+		TypeAssessBR: AssessBatchResponse{Items: []AssessBatchItem{
+			{Server: "a", AssessResponse: AssessResponse{Assessment: testAssessment(), Accept: true}},
+			{Server: "b", Error: &ErrorResponse{Code: CodeUnknownServer, Message: `no records for "b"`}},
+		}},
+		TypeError: ErrorResponse{Code: CodeBadRequest, Message: "boom"},
+	}
+}
+
+// newPayload returns a zero destination of the same concrete type as p.
+func newPayload(p any) any {
+	return reflect.New(reflect.TypeOf(p)).Interface()
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Bytes()[0] == '{' {
+		t.Fatal("hello must not start like a JSON frame")
+	}
+	ver, err := ReadHello(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != VersionV2 {
+		t.Fatalf("offered version %d, want %d", ver, VersionV2)
+	}
+	buf.Reset()
+	if err := WriteHelloAck(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadHelloAck(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadHelloRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"", "\xb2", "\xb2W2", "\xb2W2\x02X", "\xb2XX\x02\n", "{\"v\":1}\n"} {
+		if _, err := ReadHello(strings.NewReader(in)); err == nil {
+			t.Fatalf("ReadHello(%q) accepted", in)
+		}
+	}
+	// Version below v2 is a version error, not a parse error.
+	if _, err := ReadHello(strings.NewReader("\xb2W2\x01\n")); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("old version: got %v, want ErrBadVersion", err)
+	}
+	// Future versions are accepted and reported.
+	ver, err := ReadHello(strings.NewReader("\xb2W2\x07\n"))
+	if err != nil || ver != 7 {
+		t.Fatalf("future version: got %d, %v", ver, err)
+	}
+}
+
+func TestReadHelloAckDetectsJSONFallback(t *testing.T) {
+	err := ReadHelloAck(strings.NewReader(`{"v":1,"type":"error","id":0,"payload":{}}` + "\n"))
+	if !errors.Is(err, ErrNotV2) {
+		t.Fatalf("got %v, want ErrNotV2", err)
+	}
+}
+
+func TestV2FrameRoundTrip(t *testing.T) {
+	for typ, payload := range v2Payloads() {
+		env, err := V2Codec.Encode(typ, 42, payload)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", typ, err)
+		}
+		if !env.Binary {
+			t.Fatalf("%s: expected binary payload", typ)
+		}
+		var buf bytes.Buffer
+		if err := WriteV2(&buf, env); err != nil {
+			t.Fatalf("%s: write: %v", typ, err)
+		}
+		got, err := ReadV2(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("%s: read: %v", typ, err)
+		}
+		if got.Type != typ || got.ID != 42 || !got.Binary {
+			t.Fatalf("%s: frame header %+v", typ, got)
+		}
+		out := newPayload(payload)
+		if err := DecodePayload(got, out); err != nil {
+			t.Fatalf("%s: decode: %v", typ, err)
+		}
+		if got := reflect.ValueOf(out).Elem().Interface(); !reflect.DeepEqual(got, payload) {
+			t.Fatalf("%s: round trip:\n got %+v\nwant %+v", typ, got, payload)
+		}
+	}
+}
+
+// TestV2JSONPayloadFallback covers types without a binary codec: they cross
+// a v2 connection as JSON payload bytes with the flag bit set.
+func TestV2JSONPayloadFallback(t *testing.T) {
+	msg := SummaryMsg{Node: "n1", Servers: map[string]ServerSum{"s": {Count: 3, XOR: 7}}}
+	env, err := V2Codec.Encode(TypeSummary, 9, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Binary {
+		t.Fatal("gossip summary should fall back to JSON payload")
+	}
+	var buf bytes.Buffer
+	if err := WriteV2(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadV2(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Binary {
+		t.Fatal("JSON flag lost in framing")
+	}
+	var out SummaryMsg
+	if err := DecodePayload(got, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, msg) {
+		t.Fatalf("got %+v, want %+v", out, msg)
+	}
+}
+
+// TestV2EmptyPayload pins the ping/pong shape: ten body bytes, nil payload.
+func TestV2EmptyPayload(t *testing.T) {
+	env, err := V2Codec.Encode(TypePing, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteV2(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != v2HeaderLen {
+		t.Fatalf("ping frame is %d bytes, want %d", buf.Len(), v2HeaderLen)
+	}
+	got, err := ReadV2(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload != nil || got.Type != TypePing || got.ID != 1 {
+		t.Fatalf("frame %+v", got)
+	}
+}
+
+// TestCrossCodecFidelity proves equal verdict fidelity between the two
+// encodings: the same payload decodes identically whether it crossed the
+// wire as JSON or as v2 binary.
+func TestCrossCodecFidelity(t *testing.T) {
+	for typ, payload := range v2Payloads() {
+		jenv, err := JSONCodec.Encode(typ, 1, payload)
+		if err != nil {
+			t.Fatalf("%s: json encode: %v", typ, err)
+		}
+		benv, err := V2Codec.Encode(typ, 1, payload)
+		if err != nil {
+			t.Fatalf("%s: v2 encode: %v", typ, err)
+		}
+		fromJSON, fromBin := newPayload(payload), newPayload(payload)
+		if err := DecodePayload(jenv, fromJSON); err != nil {
+			t.Fatalf("%s: json decode: %v", typ, err)
+		}
+		if err := DecodePayload(benv, fromBin); err != nil {
+			t.Fatalf("%s: binary decode: %v", typ, err)
+		}
+		// Compare the time fields by instant, everything else structurally:
+		// both decoders normalise times to UTC, so DeepEqual holds for the
+		// payloads above (all timestamps are constructed in UTC).
+		if !reflect.DeepEqual(fromJSON, fromBin) {
+			t.Fatalf("%s: codecs disagree:\n json %+v\n  v2  %+v", typ, fromJSON, fromBin)
+		}
+	}
+}
+
+func TestV2FrameLimit(t *testing.T) {
+	big := Envelope{V: VersionV2, Type: TypeSubmit, ID: 1, Binary: true, Payload: make([]byte, MaxFrame)}
+	if err := WriteV2(io.Discard, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("write: got %v, want ErrFrameTooLarge", err)
+	}
+	// A forged oversized length prefix must be rejected before any payload
+	// allocation or read.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadV2(bufio.NewReader(&buf)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("read: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestV2RejectsUndersizedBody(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 5}) // body shorter than type+flags+id
+	buf.Write(make([]byte, 16))
+	if _, err := ReadV2(bufio.NewReader(&buf)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("got %v, want ErrBadMessage", err)
+	}
+}
+
+func TestBinaryDecodeStrictness(t *testing.T) {
+	env, err := V2Codec.Encode(TypeAssess, 1, AssessRequest{Server: "s", Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trailing garbage after a complete payload is a protocol violation.
+	withTrailing := append(append([]byte(nil), env.Payload...), 0xFF)
+	var req AssessRequest
+	if err := decodeBinaryPayload(TypeAssess, withTrailing, &req); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Every truncation of a valid payload must fail, never panic.
+	for cut := 0; cut < len(env.Payload); cut++ {
+		var req AssessRequest
+		if err := decodeBinaryPayload(TypeAssess, env.Payload[:cut], &req); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// A count that promises more elements than the remaining bytes could
+	// hold must be rejected without allocating for it.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0x0f} // uvarint ~4e9
+	var batch BatchRequest
+	if err := decodeBinaryPayload(TypeBatch, huge, &batch); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+}
+
+// TestReadV2IntoReuse is the pooled-buffer aliasing regression test: a
+// payload decoded from a reused read buffer must stay intact after the
+// buffer is overwritten by the next frame. DecodePayload must copy
+// everything it keeps (strings, records) out of the frame buffer.
+func TestReadV2IntoReuse(t *testing.T) {
+	var stream bytes.Buffer
+	first, _ := V2Codec.Encode(TypeAssess, 1, AssessRequest{Server: "server-alpha", Threshold: 0.25})
+	second, _ := V2Codec.Encode(TypeAssess, 2, AssessRequest{Server: "server-beta!", Threshold: 0.75})
+	if err := WriteV2(&stream, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteV2(&stream, second); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&stream)
+	env1, buf, err := ReadV2Into(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req1 AssessRequest
+	if err := DecodePayload(env1, &req1); err != nil {
+		t.Fatal(err)
+	}
+	// Same buffer, second frame: this overwrites env1's payload bytes.
+	env2, _, err := ReadV2Into(r, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req2 AssessRequest
+	if err := DecodePayload(env2, &req2); err != nil {
+		t.Fatal(err)
+	}
+	if req1.Server != "server-alpha" || req1.Threshold != 0.25 {
+		t.Fatalf("first decode corrupted by buffer reuse: %+v", req1)
+	}
+	if req2.Server != "server-beta!" || req2.Threshold != 0.75 {
+		t.Fatalf("second decode wrong: %+v", req2)
+	}
+}
+
+// TestWriteRejectsBinaryEnvelope pins the cross-framing guard: a v2 binary
+// payload must never be spliced into a JSON frame.
+func TestWriteRejectsBinaryEnvelope(t *testing.T) {
+	env, err := V2Codec.Encode(TypeSubmitR, 1, SubmitResponse{Stored: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(io.Discard, env); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("got %v, want ErrBadMessage", err)
+	}
+}
+
+func TestWriteV2RejectsUnknownType(t *testing.T) {
+	err := WriteV2(io.Discard, Envelope{V: VersionV2, Type: "nonsense", ID: 1})
+	if err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}

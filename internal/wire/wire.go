@@ -106,7 +106,64 @@ type Envelope struct {
 	Type    MsgType         `json:"type"`
 	ID      uint64          `json:"id"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+	// Binary marks Payload as the v2 binary payload encoding rather than
+	// JSON. It is a framing attribute, not part of the JSON envelope: only
+	// v2 connections produce or accept binary payloads, and a binary
+	// envelope must never be written with the JSON framing.
+	Binary bool `json:"-"`
 }
+
+// Codec is one payload encoding of the wire protocol: it builds envelopes
+// whose payloads the matching framing can carry. The negotiated codec is
+// threaded through the service layer's context so handlers answer in the
+// encoding the connection speaks (service.WithCodec / service.CodecFrom).
+type Codec interface {
+	// Encode marshals a payload into an envelope in this codec's encoding.
+	Encode(t MsgType, id uint64, payload any) (Envelope, error)
+	// Name identifies the codec ("json", "v2").
+	Name() string
+}
+
+// JSONCodec encodes payloads as JSON — the protocol v1 encoding, and the
+// default when no codec was negotiated.
+var JSONCodec Codec = jsonCodec{}
+
+// V2Codec encodes payloads with the per-type binary codecs, falling back to
+// JSON payload bytes (flagged in the v2 frame header) for types without one.
+var V2Codec Codec = v2Codec{}
+
+type jsonCodec struct{}
+
+func (jsonCodec) Encode(t MsgType, id uint64, payload any) (Envelope, error) {
+	return Encode(t, id, payload)
+}
+
+func (jsonCodec) Name() string { return "json" }
+
+type v2Codec struct{}
+
+func (v2Codec) Encode(t MsgType, id uint64, payload any) (Envelope, error) {
+	env := Envelope{V: VersionV2, Type: t, ID: id}
+	if payload == nil {
+		return env, nil
+	}
+	// A binary-encode failure is not fatal: the binary form refuses values
+	// the protocol must still carry (e.g. invalid feedback, which the server
+	// — not the client codec — rejects with a typed error). Such payloads
+	// ride as JSON, exactly as on a v1 connection.
+	if buf, ok, err := appendBinaryPayload(nil, payload); ok && err == nil {
+		env.Payload, env.Binary = buf, true
+		return env, nil
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return env, fmt.Errorf("encode %s: %w", t, err)
+	}
+	env.Payload = raw
+	return env, nil
+}
+
+func (v2Codec) Name() string { return "v2" }
 
 // SubmitRequest submits one feedback record.
 type SubmitRequest struct {
@@ -269,8 +326,13 @@ func Encode(t MsgType, id uint64, payload any) (Envelope, error) {
 	return env, nil
 }
 
-// DecodePayload unmarshals an envelope's payload into out.
+// DecodePayload unmarshals an envelope's payload into out, dispatching on
+// the payload encoding: JSON for v1 envelopes and JSON-flagged v2 frames,
+// the per-type binary codec for binary v2 payloads.
 func DecodePayload(env Envelope, out any) error {
+	if env.Binary {
+		return decodeBinaryPayload(env.Type, env.Payload, out)
+	}
 	if err := json.Unmarshal(env.Payload, out); err != nil {
 		return fmt.Errorf("%w: %s payload: %v", ErrBadMessage, env.Type, err)
 	}
@@ -292,6 +354,11 @@ type envelopeHead struct {
 // be valid JSON without raw newlines, which both Encode (json.Marshal
 // output) and Read (newline-delimited frames) guarantee.
 func Write(w io.Writer, env Envelope) error {
+	if env.Binary {
+		// A binary payload spliced into a JSON frame would produce garbage;
+		// this is always a codec/framing mix-up in the caller.
+		return fmt.Errorf("%w: binary payload on JSON framing", ErrBadMessage)
+	}
 	head, err := json.Marshal(envelopeHead{V: env.V, Type: env.Type, ID: env.ID})
 	if err != nil {
 		return fmt.Errorf("marshal envelope: %w", err)
