@@ -1,0 +1,312 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	"honestplayer/internal/behavior"
+	"honestplayer/internal/cluster"
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/repclient"
+	"honestplayer/internal/repserver"
+	"honestplayer/internal/stats"
+	"honestplayer/internal/trust"
+	"honestplayer/internal/wire"
+)
+
+// The cluster benchmark measures what partitioned ownership costs on the
+// read path: the same assess, answered two ways on one 3-node cluster
+// (replica factor 2) over real TCP:
+//
+//   - local: the request enters through a node in the server's replica set
+//     and is served from local state, exactly like a single-node assess.
+//   - forwarded: the request enters through the one node NOT holding the
+//     server; it asks the owner for its full assessment and the other
+//     replica for an O(1) state digest concurrently, verifies the digests
+//     agree, and answers with the digest-verified merged view (a real
+//     weight-merge of full per-node views only happens on divergence).
+//
+// Every node runs the full two-phase assessor (multi tester, recompute path,
+// assessment cache off) over 10k-record histories, so a request costs what a
+// production assess costs — the regime the ≤2x forwarding-overhead
+// acceptance is stated for. Histories are seeded through one node's client,
+// which exercises write routing and synchronous replication; the store is
+// then frozen so both paths assess identical state. Medians of three passes
+// are reported, and the differential check requires the forwarded verdict
+// (routing markers stripped) to equal the local one for every server.
+
+// clusterBenchSize is one workload scale of the comparison.
+type clusterBenchSize struct {
+	Servers int // distinct servers assessed per pass
+	History int // seeded records per server
+	Rounds  int // assessments of every server per pass, per path
+	Warmup  int // unmeasured sweeps per path
+}
+
+// clusterSizeResult is the per-size outcome. The ns figures are per assess
+// round trip.
+type clusterSizeResult struct {
+	Servers          int     `json:"servers"`
+	History          int     `json:"history"`
+	Requests         int     `json:"requests_per_pass"`
+	LocalNsPerReq    float64 `json:"local_ns_per_req"`
+	ForwardNsPerReq  float64 `json:"forwarded_ns_per_req"`
+	Overhead         float64 `json:"forwarding_overhead"`
+	AssessmentsMatch bool    `json:"assessments_match"`
+}
+
+// clusterBenchReport is the JSON document the -clusterbench mode emits.
+type clusterBenchReport struct {
+	Description string              `json:"description"`
+	Command     string              `json:"command"`
+	Environment map[string]any      `json:"environment"`
+	Config      map[string]any      `json:"config"`
+	Sizes       []clusterSizeResult `json:"sizes"`
+	Acceptance  string              `json:"acceptance"`
+}
+
+// clusterNodes is the benchmark topology: the smallest cluster where some
+// node is outside every 2-replica set, so the forwarded path always crosses
+// the wire.
+const clusterNodes = 3
+
+// clusterAssessor builds one node's assessor; every node uses the same seed
+// so replicas assess identical histories identically.
+func clusterAssessor(seed uint64) (*core.TwoPhase, *stats.Calibrator, error) {
+	cal := stats.NewCalibrator(stats.CalibrationConfig{Seed: seed, Replicates: 200}, 0)
+	tester, err := behavior.NewMulti(behavior.Config{Calibrator: cal})
+	if err != nil {
+		return nil, nil, err
+	}
+	tp, err := core.NewTwoPhase(tester, trust.Average{})
+	return tp, cal, err
+}
+
+// stripClusterMarkers clears the fields that legitimately differ between a
+// locally served response and a forwarded/merged one, leaving the verdict.
+func stripClusterMarkers(r wire.AssessResponse) wire.AssessResponse {
+	r.Merged = false
+	r.MergedFrom = nil
+	r.Cached = false
+	r.Incremental = false
+	return r
+}
+
+// clusterMeasure runs both paths at one scale on a fresh 3-node cluster.
+func clusterMeasure(size clusterBenchSize) (clusterSizeResult, error) {
+	res := clusterSizeResult{
+		Servers:  size.Servers,
+		History:  size.History,
+		Requests: size.Servers * size.Rounds,
+	}
+
+	// Boot the cluster: 3 servers, each with its own identically seeded
+	// assessor, wired over a shared membership.
+	servers := make([]*repserver.Server, clusterNodes)
+	members := make([]cluster.Node, clusterNodes)
+	cals := make([]*stats.Calibrator, clusterNodes)
+	for i := range servers {
+		tp, cal, err := clusterAssessor(1)
+		if err != nil {
+			return res, err
+		}
+		cals[i] = cal
+		srv, err := repserver.New("127.0.0.1:0", repserver.Config{Assessor: tp})
+		if err != nil {
+			return res, err
+		}
+		defer srv.Close()
+		servers[i] = srv
+		members[i] = cluster.Node{ID: fmt.Sprintf("n%d", i+1), Addr: srv.Addr()}
+	}
+	views := make([]*cluster.Cluster, clusterNodes)
+	for i, srv := range servers {
+		cl, err := cluster.New(cluster.Config{
+			Self: members[i].ID, Nodes: members, Replicas: 2, DialTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			return res, err
+		}
+		defer cl.Close()
+		views[i] = cl
+		srv.SetCluster(cl)
+		srv.Start()
+	}
+	clients := make([]*repclient.Client, clusterNodes)
+	for i, srv := range servers {
+		c, err := repclient.Dial(srv.Addr(), repclient.WithTimeout(30*time.Second))
+		if err != nil {
+			return res, err
+		}
+		defer func() { _ = c.Close() }()
+		clients[i] = c
+	}
+
+	// Seed through node 1's client so the records route to their owners and
+	// replicate — the cluster write path, not a local backdoor.
+	ids := make([]feedback.EntityID, size.Servers)
+	for i := range ids {
+		ids[i] = feedback.EntityID(fmt.Sprintf("cbench-srv-%03d", i))
+		recs := incrHistory(ids[i], size.History)
+		for start := 0; start < len(recs); start += 5000 {
+			end := min(start+5000, len(recs))
+			report, err := clients[0].SubmitBatchReport(recs[start:end])
+			if err != nil {
+				return res, err
+			}
+			if len(report.Rejected) > 0 {
+				return res, fmt.Errorf("seeding %s: %d records rejected (first: %s)",
+					ids[i], len(report.Rejected), report.Rejected[0].Reason)
+			}
+		}
+	}
+
+	// Pair each server with its serving doors: a replica-set member (local
+	// path) and the one node outside the set (forwarded path).
+	nodeIdx := map[string]int{"n1": 0, "n2": 1, "n3": 2}
+	localClient := make([]*repclient.Client, size.Servers)
+	remoteClient := make([]*repclient.Client, size.Servers)
+	for i, id := range ids {
+		set := views[0].ReplicaSet(id)
+		inSet := map[string]bool{}
+		for _, n := range set {
+			inSet[n] = true
+		}
+		localClient[i] = clients[nodeIdx[set[0]]]
+		for n, idx := range nodeIdx {
+			if !inSet[n] {
+				remoteClient[i] = clients[idx]
+			}
+		}
+	}
+
+	// Prewarm every node's calibration grid so the shared Monte-Carlo cost
+	// stays out of both timed paths.
+	maxWindows := size.History / behavior.DefaultWindowSize
+	for _, cal := range cals {
+		if err := incrPrewarm(cal, maxWindows); err != nil {
+			return res, err
+		}
+	}
+
+	sweep := func(pick []*repclient.Client) (time.Duration, error) {
+		start := time.Now()
+		for r := 0; r < size.Rounds; r++ {
+			for i, id := range ids {
+				if _, err := pick[i].Assess(id, 0.9); err != nil {
+					return 0, fmt.Errorf("assess %s: %w", id, err)
+				}
+			}
+		}
+		return time.Since(start), nil
+	}
+	for w := 0; w < size.Warmup; w++ {
+		if _, err := sweep(localClient); err != nil {
+			return res, err
+		}
+		if _, err := sweep(remoteClient); err != nil {
+			return res, err
+		}
+	}
+	const passes = 3
+	reqs := float64(size.Servers * size.Rounds)
+	localNs := make([]float64, 0, passes)
+	fwdNs := make([]float64, 0, passes)
+	for p := 0; p < passes; p++ {
+		l, err := sweep(localClient)
+		if err != nil {
+			return res, err
+		}
+		f, err := sweep(remoteClient)
+		if err != nil {
+			return res, err
+		}
+		localNs = append(localNs, float64(l.Nanoseconds())/reqs)
+		fwdNs = append(fwdNs, float64(f.Nanoseconds())/reqs)
+	}
+	sort.Float64s(localNs)
+	sort.Float64s(fwdNs)
+	res.LocalNsPerReq = localNs[passes/2]
+	res.ForwardNsPerReq = fwdNs[passes/2]
+	res.Overhead = float64(int(res.ForwardNsPerReq/res.LocalNsPerReq*100)) / 100
+
+	// Differential: the forwarded verdict equals the local one, server by
+	// server, on the frozen stores.
+	res.AssessmentsMatch = true
+	for i, id := range ids {
+		lr, err := localClient[i].Assess(id, 0.9)
+		if err != nil {
+			return res, err
+		}
+		fr, err := remoteClient[i].Assess(id, 0.9)
+		if err != nil {
+			return res, err
+		}
+		if !fr.Merged {
+			return res, fmt.Errorf("assess %s via non-member produced no merge marker", id)
+		}
+		if !reflect.DeepEqual(stripClusterMarkers(lr), stripClusterMarkers(fr)) {
+			res.AssessmentsMatch = false
+		}
+	}
+	return res, nil
+}
+
+// runClusterBench executes the local-vs-forwarded comparison, writes the
+// JSON report, and enforces the gates: a verdict mismatch always fails, and
+// (when maxOverhead > 0) so does a forwarding overhead above it.
+func runClusterBench(out io.Writer, quick bool, maxOverhead float64) error {
+	sizes := []clusterBenchSize{
+		{Servers: 6, History: 1000, Rounds: 10, Warmup: 1},
+		{Servers: 6, History: 10000, Rounds: 5, Warmup: 1},
+	}
+	if quick {
+		sizes = []clusterBenchSize{{Servers: 4, History: 400, Rounds: 3, Warmup: 1}}
+	}
+	report := clusterBenchReport{
+		Description: "Per-request latency of the same assess on a 3-node cluster (replica factor 2) served two ways: through a replica-set member (local state) vs through the one node outside the set (a full assessment from the owner plus O(1) state digests from the rest of the replica set, digest-verified and merged). Every node runs the full two-phase assessor (multi tester, recompute path, cache off) over real TCP; histories are seeded through one node's client so writes route and replicate through the cluster, then frozen. Medians of three passes; the differential check requires the forwarded verdict (routing markers stripped) to equal the local one for every server.",
+		Command:     "go run ./cmd/reprobench -clusterbench > BENCH_cluster.json",
+		Environment: map[string]any{
+			"go":   runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+			"date": time.Now().UTC().Format("2006-01-02"),
+		},
+		Config: map[string]any{
+			"nodes":           clusterNodes,
+			"replicas":        2,
+			"trust":           "average",
+			"tester":          "multi",
+			"incremental":     false,
+			"assess_cache":    0,
+			"passes":          3,
+			"clients_per_srv": 25,
+		},
+		Acceptance: "forwarded assess verdicts must match local ones at every size, with forwarding overhead <= 2x local at 10k history (full workload)",
+	}
+	for _, size := range sizes {
+		r, err := clusterMeasure(size)
+		if err != nil {
+			return fmt.Errorf("servers=%d history=%d: %w", size.Servers, size.History, err)
+		}
+		report.Sizes = append(report.Sizes, r)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	for _, r := range report.Sizes {
+		if !r.AssessmentsMatch {
+			return fmt.Errorf("differential check failed at history=%d: forwarded verdicts diverge from local", r.History)
+		}
+		if maxOverhead > 0 && r.Overhead > maxOverhead {
+			return fmt.Errorf("forwarding overhead %.2fx at history=%d above gate %.2fx", r.Overhead, r.History, maxOverhead)
+		}
+	}
+	return nil
+}

@@ -8,6 +8,7 @@
 //	reprobench -fig all -csv out/  # also write out/fig3.csv …
 //	reprobench -incrbench          # incremental engine vs recompute (JSON)
 //	reprobench -batchbench         # assess.batch vs N single assess (JSON)
+//	reprobench -clusterbench       # forwarded+merged vs local assess (JSON)
 package main
 
 import (
@@ -43,6 +44,8 @@ func run(args []string, out *os.File) error {
 		minSp  = fs.Float64("batch-min-speedup", 0, "with -batchbench: fail unless every size reaches this speedup with matching assessments (0 disables the gate)")
 		wireb  = fs.Bool("wirebench", false, "benchmark the pipelined binary v2 transport against the JSON lock-step transport on the same assess workload and emit a JSON report")
 		wireSp = fs.Float64("wire-min-speedup", 0, "with -wirebench: fail unless every size reaches this speedup with matching assessments (0 disables the gate)")
+		clb    = fs.Bool("clusterbench", false, "benchmark a forwarded+merged assess against a local one on a 3-node cluster and emit a JSON report; mismatching verdicts always fail")
+		clOv   = fs.Float64("cluster-max-overhead", 0, "with -clusterbench: fail if the forwarding overhead ratio exceeds this at any size (0 disables the gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +59,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *wireb {
 		return runWireBench(out, *quick, *wireSp)
+	}
+	if *clb {
+		return runClusterBench(out, *quick, *clOv)
 	}
 
 	ids, err := selectFigures(*fig)

@@ -9,6 +9,11 @@
 //	trustctl -addr 127.0.0.1:7700 assess-batch -threshold 0.9 s1 s2 s3
 //	trustctl assess-batch -threshold 0.9 < servers.txt   # IDs from stdin
 //	trustctl local-assess -file history.jsonl -scheme multi -trust average
+//	trustctl -addr host1:7700,host2:7700,host3:7700 assess -server s1
+//	trustctl -addr host1:7700 cluster-status
+//
+// A comma-separated -addr probes every address at dial time and talks to the
+// fastest responder, failing over to the others if it goes down.
 package main
 
 import (
@@ -40,7 +45,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("trustctl", flag.ContinueOnError)
-	addr := fs.String("addr", "127.0.0.1:7700", "reputation server address")
+	addr := fs.String("addr", "127.0.0.1:7700", "reputation server address (comma-separated list probes all and prefers the fastest)")
 	timeout := fs.Duration("timeout", 5*time.Second, "request timeout (bounds dial and each request)")
 	proto := fs.String("proto", "auto", "wire protocol: auto (try v2, fall back to JSON) | json | v2 (fail unless the server speaks v2)")
 	if err := fs.Parse(args); err != nil {
@@ -52,7 +57,7 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command: ping | submit | history | assess | assess-batch | local-assess")
+		return fmt.Errorf("missing command: ping | submit | history | assess | assess-batch | cluster-status | local-assess")
 	}
 	// local-assess needs no server connection.
 	if rest[0] == "local-assess" {
@@ -63,7 +68,8 @@ func run(args []string, out io.Writer) error {
 	// methods (the dial timeout rides along via WithTimeout).
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	client, err := repclient.Dial(*addr, repclient.WithTimeout(*timeout), repclient.WithProtocol(protocol))
+	addrs := strings.Split(*addr, ",")
+	client, err := repclient.DialCluster(addrs, repclient.WithTimeout(*timeout), repclient.WithProtocol(protocol))
 	if err != nil {
 		return err
 	}
@@ -84,6 +90,8 @@ func run(args []string, out io.Writer) error {
 		return assess(ctx, client, rest[1:], out)
 	case "assess-batch":
 		return assessBatch(ctx, client, rest[1:], out)
+	case "cluster-status":
+		return clusterStatus(ctx, client, out)
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
@@ -221,6 +229,20 @@ func assessBatch(ctx context.Context, client *repclient.Client, args []string, o
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(items)
+}
+
+// clusterStatus prints the contacted node's view of its cluster: membership
+// with addresses and measured RTTs, replica factor, and how many server IDs
+// the node currently owns. Against a single-node (unclustered) trustd the
+// response reports enabled=false.
+func clusterStatus(ctx context.Context, client *repclient.Client, out io.Writer) error {
+	resp, err := client.ClusterStatusCtx(ctx)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resp)
 }
 
 // localAssess runs the two-phase assessment offline over a JSON-lines

@@ -8,12 +8,19 @@
 // serves GET /metricz: per-type request counts, error counts, and latency
 // quantiles as JSON.
 //
+// With -node-id the node joins a static cluster: -peers is then the full
+// membership as id=addr[~gossipaddr] pairs, server ownership is partitioned
+// over a consistent-hash ring, non-owners forward requests to owners, and
+// gossip (if enabled) is scoped to ring neighbours and owned servers.
+//
 // Usage:
 //
 //	trustd -addr 127.0.0.1:7700 -scheme multi -trust average
 //	trustd -addr :7700 -gossip :7701 -peers host2:7701,host3:7701
 //	trustd -addr :7700 -request-timeout 2s -drain-timeout 10s -metrics-addr 127.0.0.1:7780
 //	trustd -addr :7700 -incremental        # O(windows) assessments under writes
+//	trustd -addr :7700 -node-id a -replicas 2 \
+//	    -peers a=host1:7700~host1:7701,b=host2:7700~host2:7701,c=host3:7700~host3:7701
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"time"
 
 	"honestplayer/internal/behavior"
+	"honestplayer/internal/cluster"
 	"honestplayer/internal/core"
 	"honestplayer/internal/gossip"
 	"honestplayer/internal/ledger"
@@ -56,7 +64,9 @@ func run(ctx context.Context, args []string) error {
 		lambda       = fs.Float64("lambda", 0.5, "lambda for the weighted trust function")
 		window       = fs.Int("window", 10, "transaction window size m")
 		gossipAddr   = fs.String("gossip", "", "gossip listen address (empty disables gossip)")
-		peersArg     = fs.String("peers", "", "comma-separated gossip peer addresses")
+		peersArg     = fs.String("peers", "", "comma-separated gossip peer addresses; with -node-id, the full cluster membership as id=addr[~gossipaddr] pairs")
+		nodeID       = fs.String("node-id", "", "this node's ID in a static cluster (empty = single-node mode; requires -peers membership including this ID)")
+		replicas     = fs.Int("replicas", cluster.DefaultReplicas, "replica count per server ID when clustered (owner + R-1 ring successors)")
 		interval     = fs.Duration("interval", time.Second, "gossip round interval")
 		name         = fs.String("name", "node", "node name used in gossip digests")
 		ledgerPath   = fs.String("ledger", "", "append-only ledger file for durable feedback storage (empty = in-memory only)")
@@ -121,9 +131,36 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+
+	var cl *cluster.Cluster
+	if *nodeID != "" {
+		nodes, err := cluster.ParseNodes(*peersArg)
+		if err != nil {
+			closeErr := srv.Close()
+			if closeErr != nil {
+				logger.Printf("close server: %v", closeErr)
+			}
+			return fmt.Errorf("-peers: %w", err)
+		}
+		cl, err = cluster.New(cluster.Config{
+			Self: *nodeID, Nodes: nodes, Replicas: *replicas, Logger: logger,
+		})
+		if err != nil {
+			closeErr := srv.Close()
+			if closeErr != nil {
+				logger.Printf("close server: %v", closeErr)
+			}
+			return err
+		}
+		srv.SetCluster(cl)
+	}
+
 	srv.Start()
 	logger.Printf("reputation server (%s) listening on %s (request timeout %s, drain %s)",
 		assessor.Name(), srv.Addr(), *reqTimeout, *drain)
+	if cl != nil {
+		logger.Printf("cluster node %q of %d (replicas %d)", cl.Self(), cl.Size(), cl.Replicas())
+	}
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
@@ -148,12 +185,22 @@ func run(ctx context.Context, args []string) error {
 	var node *gossip.Node
 	if *gossipAddr != "" {
 		var peers []string
-		if *peersArg != "" {
+		gcfg := gossip.Config{
+			Name: *name, Store: st, Interval: *interval, Seed: *seed, Logger: logger,
+		}
+		if cl != nil {
+			// Clustered: anti-entropy runs against ring neighbours only and
+			// repairs only the servers this node's replica set covers.
+			peers = cl.GossipPeers()
+			gcfg.Owned = cl.Owns
+			if gcfg.Name == "node" {
+				gcfg.Name = cl.Self()
+			}
+		} else if *peersArg != "" {
 			peers = strings.Split(*peersArg, ",")
 		}
-		node, err = gossip.New(*gossipAddr, gossip.Config{
-			Name: *name, Store: st, Peers: peers, Interval: *interval, Seed: *seed, Logger: logger,
-		})
+		gcfg.Peers = peers
+		node, err = gossip.New(*gossipAddr, gcfg)
 		if err != nil {
 			closeErr := srv.Close()
 			if closeErr != nil {
@@ -177,6 +224,11 @@ func run(ctx context.Context, args []string) error {
 	if node != nil {
 		if err := node.Close(); err != nil {
 			logger.Printf("close gossip: %v", err)
+		}
+	}
+	if cl != nil {
+		if err := cl.Close(); err != nil {
+			logger.Printf("close cluster: %v", err)
 		}
 	}
 	err = srv.Close()

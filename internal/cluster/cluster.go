@@ -1,0 +1,431 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/repclient"
+	"honestplayer/internal/service"
+	"honestplayer/internal/wire"
+)
+
+// Node is one cluster member: its stable ID and the address its serving
+// listener binds. Gossip optionally names a separate gossip listener
+// address; empty means the node does not gossip.
+type Node struct {
+	ID     string
+	Addr   string
+	Gossip string
+}
+
+// Config configures a node's view of its cluster. The same Nodes list (any
+// order) must be given to every member — membership is static; rolling a
+// new list through the cluster is a restart, not a protocol.
+type Config struct {
+	// Self is the local node's ID; it must appear in Nodes.
+	Self string
+	// Nodes is the full cluster membership, including the local node.
+	Nodes []Node
+	// Replicas is how many nodes hold each server's history (owner
+	// included). Clamped to [1, len(Nodes)]; 0 means DefaultReplicas.
+	Replicas int
+	// VNodes is the virtual nodes per member (DefaultVNodes when 0).
+	VNodes int
+	// DialTimeout bounds dialing a peer and each forwarded round trip.
+	// Zero means DefaultDialTimeout.
+	DialTimeout time.Duration
+	// Logger receives peer-failure logs; nil discards them.
+	Logger *log.Logger
+}
+
+// DefaultReplicas is the replication factor when none is configured: the
+// owner plus one replica, the minimum that makes a single node failure
+// non-fatal for reads.
+const DefaultReplicas = 2
+
+// DefaultDialTimeout bounds peer dials and forwarded calls when the
+// configuration does not.
+const DefaultDialTimeout = 5 * time.Second
+
+// Cluster is one node's runtime view of the cluster: the ring, lazily
+// dialed peer connections, and the routing counters. Safe for concurrent
+// use; a nil *Cluster behaves as "not clustered" for the Enabled check.
+type Cluster struct {
+	self     Node
+	nodes    map[string]Node // by ID
+	ring     *Ring
+	replicas int
+	vnodes   int
+	timeout  time.Duration
+	logger   *log.Logger
+
+	mu    sync.Mutex
+	conns map[string]*repclient.Client
+	rtts  map[string]time.Duration
+
+	forwarded      atomic.Uint64
+	forwardErrors  atomic.Uint64
+	mergedAssess   atomic.Uint64
+	digestMismatch atomic.Uint64
+}
+
+// New validates the membership and builds the node's cluster view. No
+// connections are opened: peers are dialed on first use so a cluster can
+// boot in any node order.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty membership")
+	}
+	nodes := make(map[string]Node, len(cfg.Nodes))
+	ids := make([]string, 0, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		if n.ID == "" || n.Addr == "" {
+			return nil, fmt.Errorf("cluster: node needs id and addr (got id=%q addr=%q)", n.ID, n.Addr)
+		}
+		if _, dup := nodes[n.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", n.ID)
+		}
+		nodes[n.ID] = n
+		ids = append(ids, n.ID)
+	}
+	self, ok := nodes[cfg.Self]
+	if !ok {
+		return nil, fmt.Errorf("cluster: self %q not in membership %v", cfg.Self, ids)
+	}
+	vnodes := cfg.VNodes
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	ring, err := NewRing(ids, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	if replicas > len(ids) {
+		replicas = len(ids)
+	}
+	timeout := cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	return &Cluster{
+		self:     self,
+		nodes:    nodes,
+		ring:     ring,
+		replicas: replicas,
+		vnodes:   vnodes,
+		timeout:  timeout,
+		logger:   cfg.Logger,
+		conns:    make(map[string]*repclient.Client),
+		rtts:     make(map[string]time.Duration),
+	}, nil
+}
+
+// Self returns the local node's ID.
+func (c *Cluster) Self() string { return c.self.ID }
+
+// Replicas returns the effective replication factor.
+func (c *Cluster) Replicas() int { return c.replicas }
+
+// Size returns the membership size.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Nodes returns the membership sorted by ID.
+func (c *Cluster) Nodes() []Node {
+	out := make([]Node, 0, len(c.nodes))
+	for _, id := range c.ring.Nodes() {
+		out = append(out, c.nodes[id])
+	}
+	return out
+}
+
+// Owner returns the node ID owning server.
+func (c *Cluster) Owner(server feedback.EntityID) string {
+	return c.ring.Owner(string(server))
+}
+
+// ReplicaSet returns the node IDs responsible for server, owner first.
+func (c *Cluster) ReplicaSet(server feedback.EntityID) []string {
+	return c.ring.Replicas(string(server), c.replicas)
+}
+
+// IsOwner reports whether the local node owns server.
+func (c *Cluster) IsOwner(server feedback.EntityID) bool {
+	return c.Owner(server) == c.self.ID
+}
+
+// Owns reports whether the local node is in server's replica set — i.e.
+// whether local state for server should exist at all. It is the predicate
+// behind store scoping, accumulator materialization, and gossip filtering.
+func (c *Cluster) Owns(server feedback.EntityID) bool {
+	for _, id := range c.ReplicaSet(server) {
+		if id == c.self.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// GossipPeers returns the gossip addresses of the local node's ring
+// successors — the members sharing replica sets with it, which is where
+// anti-entropy repairs converge. Members without a gossip listener are
+// skipped.
+func (c *Cluster) GossipPeers() []string {
+	var out []string
+	for _, id := range c.ring.Successors(c.self.ID, 0) {
+		if g := c.nodes[id].Gossip; g != "" {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Peer returns a (cached) client connection to the given node, dialing and
+// RTT-probing it on first use. The returned client is shared: callers must
+// not Close it.
+func (c *Cluster) Peer(node string) (*repclient.Client, error) {
+	if node == c.self.ID {
+		return nil, fmt.Errorf("cluster: %s dialing itself", node)
+	}
+	n, ok := c.nodes[node]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown node %q", node)
+	}
+	c.mu.Lock()
+	cl := c.conns[node]
+	c.mu.Unlock()
+	if cl != nil {
+		return cl, nil
+	}
+	start := time.Now()
+	cl, err := repclient.Dial(n.Addr, repclient.WithTimeout(c.timeout))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s (%s): %w", node, n.Addr, err)
+	}
+	if err := cl.Ping(); err != nil {
+		_ = cl.Close()
+		return nil, fmt.Errorf("cluster: ping %s (%s): %w", node, n.Addr, err)
+	}
+	rtt := time.Since(start)
+	c.mu.Lock()
+	if existing := c.conns[node]; existing != nil {
+		// Lost a dial race; keep the established connection.
+		c.mu.Unlock()
+		_ = cl.Close()
+		return existing, nil
+	}
+	c.conns[node] = cl
+	c.rtts[node] = rtt
+	c.mu.Unlock()
+	return cl, nil
+}
+
+// Close releases all peer connections.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, cl := range c.conns {
+		_ = cl.Close()
+		delete(c.conns, id)
+	}
+	return nil
+}
+
+// callCtx bounds one forwarded call when the inbound request carried no
+// deadline of its own.
+func (c *Cluster) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.timeout)
+}
+
+// ForwardAssess asks node for its local view of server; with digestOnly it
+// asks only for the node's O(1) state digest (no assessment computed).
+// Transport failures count as forward errors; a typed *wire.ErrorResponse
+// (e.g. the peer holds no records) is returned to the caller to relay and
+// does not.
+func (c *Cluster) ForwardAssess(ctx context.Context, node string, server feedback.EntityID, threshold float64, digestOnly bool) (wire.NodeAssessment, error) {
+	cl, err := c.Peer(node)
+	if err != nil {
+		c.forwardErrors.Add(1)
+		return wire.NodeAssessment{}, err
+	}
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
+	c.forwarded.Add(1)
+	resp, err := cl.ForwardAssessCtx(ctx, c.self.ID, server, threshold, digestOnly)
+	c.noteErr(node, err)
+	return resp, err
+}
+
+// ForwardSubmit hands one record to node.
+func (c *Cluster) ForwardSubmit(ctx context.Context, node string, f feedback.Feedback, replica bool) (bool, error) {
+	cl, err := c.Peer(node)
+	if err != nil {
+		c.forwardErrors.Add(1)
+		return false, err
+	}
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
+	c.forwarded.Add(1)
+	stored, err := cl.ForwardSubmitCtx(ctx, c.self.ID, f, replica)
+	c.noteErr(node, err)
+	return stored, err
+}
+
+// ForwardBatch hands records to node in one frame.
+func (c *Cluster) ForwardBatch(ctx context.Context, node string, recs []feedback.Feedback, replica bool) (wire.BatchResponse, error) {
+	cl, err := c.Peer(node)
+	if err != nil {
+		c.forwardErrors.Add(1)
+		return wire.BatchResponse{}, err
+	}
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
+	c.forwarded.Add(1)
+	resp, err := cl.ForwardBatchCtx(ctx, c.self.ID, recs, replica)
+	c.noteErr(node, err)
+	return resp, err
+}
+
+// ForwardAssessBatch asks node to assess servers from local state.
+func (c *Cluster) ForwardAssessBatch(ctx context.Context, node string, servers []feedback.EntityID, threshold float64) ([]wire.AssessBatchItem, error) {
+	cl, err := c.Peer(node)
+	if err != nil {
+		c.forwardErrors.Add(1)
+		return nil, err
+	}
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
+	c.forwarded.Add(1)
+	items, err := cl.ForwardAssessBatchCtx(ctx, c.self.ID, servers, threshold)
+	c.noteErr(node, err)
+	return items, err
+}
+
+// noteErr classifies a forwarded call's outcome: transport failures bump
+// ForwardErrors and are logged; typed per-request errors relayed from the
+// peer are the caller's business.
+func (c *Cluster) noteErr(node string, err error) {
+	if err == nil {
+		return
+	}
+	var typed *wire.ErrorResponse
+	if isTyped := asErrorResponse(err, &typed); isTyped {
+		return
+	}
+	c.forwardErrors.Add(1)
+	if c.logger != nil {
+		c.logger.Printf("cluster: forward to %s failed: %v", node, err)
+	}
+}
+
+// asErrorResponse reports whether err is (or wraps) a typed wire error.
+func asErrorResponse(err error, out **wire.ErrorResponse) bool {
+	for err != nil {
+		if e, ok := err.(*wire.ErrorResponse); ok {
+			*out = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// CountMerge records one weight-merged assessment.
+func (c *Cluster) CountMerge() { c.mergedAssess.Add(1) }
+
+// CountDigestMismatch records one forwarded read whose replica digests
+// disagreed (a replica missed a write), forcing a full weight-merge.
+func (c *Cluster) CountDigestMismatch() { c.digestMismatch.Add(1) }
+
+// Stats snapshots the routing counters for /metricz.
+func (c *Cluster) Stats() service.ClusterStats {
+	s := service.ClusterStats{
+		Enabled:        true,
+		Node:           c.self.ID,
+		Replicas:       c.replicas,
+		Forwarded:      c.forwarded.Load(),
+		ForwardErrors:  c.forwardErrors.Load(),
+		MergedAssess:   c.mergedAssess.Load(),
+		DigestMismatch: c.digestMismatch.Load(),
+	}
+	c.mu.Lock()
+	if len(c.rtts) > 0 {
+		s.PeerRTTMs = make(map[string]float64, len(c.rtts))
+		for id, d := range c.rtts {
+			s.PeerRTTMs[id] = float64(d) / 1e6
+		}
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// Status describes the cluster for the cluster.info RPC.
+func (c *Cluster) Status(ownedServers int) wire.ClusterStatusResponse {
+	resp := wire.ClusterStatusResponse{
+		Enabled:  true,
+		Node:     c.self.ID,
+		Replicas: c.replicas,
+		VNodes:   c.vnodes,
+		Owned:    ownedServers,
+	}
+	c.mu.Lock()
+	rtts := make(map[string]time.Duration, len(c.rtts))
+	for id, d := range c.rtts {
+		rtts[id] = d
+	}
+	c.mu.Unlock()
+	for _, n := range c.Nodes() {
+		p := wire.ClusterPeer{ID: n.ID, Addr: n.Addr, Self: n.ID == c.self.ID}
+		if d, ok := rtts[n.ID]; ok {
+			p.RTTMs = float64(d) / 1e6
+		}
+		resp.Peers = append(resp.Peers, p)
+	}
+	return resp
+}
+
+// ParseNodes parses a `-peers` membership spec: comma-separated
+// `id=addr` or `id=addr~gossipaddr` entries, e.g.
+//
+//	n1=10.0.0.1:7700~10.0.0.1:7800,n2=10.0.0.2:7700,n3=10.0.0.3:7700
+func ParseNodes(spec string) ([]Node, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cluster: empty membership spec")
+	}
+	var out []Node
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: bad membership entry %q (want id=addr[~gossipaddr])", part)
+		}
+		n := Node{ID: id}
+		n.Addr, n.Gossip, _ = strings.Cut(addr, "~")
+		if n.Addr == "" {
+			return nil, fmt.Errorf("cluster: bad membership entry %q (empty addr)", part)
+		}
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

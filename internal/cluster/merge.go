@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"honestplayer/internal/wire"
+)
+
+// Merge combines per-node assessments of one server into the cluster-wide
+// answer.
+//
+// In the common case — replication has converged and every node assessed
+// the same history — all parts are identical and the merge returns the
+// most complete node's response verbatim (plus the Merged/MergedFrom
+// markers), so a verdict obtained through any node is DeepEqual to the
+// owner's own verdict.
+//
+// When views diverge (replication lag, a peer that missed writes), the
+// merge is weighted by how much history each node actually saw:
+//
+//   - trust values (Trust, TrustLow, TrustHigh) are averaged with each
+//     node's local record count as its weight, so a replica that saw 10k
+//     records outvotes one that saw 10;
+//   - the behaviour test stays conservative: the merged view is Suspicious
+//     if ANY contributing node's behaviour test flagged the server. A
+//     manipulation pattern visible in one partition of the history must not
+//     be averaged away by peers that hold only the clean part — this is
+//     what keeps the paper's suspicion semantics meaningful under
+//     partitioned ownership;
+//   - the verdict detail (suffix table) and bookkeeping fields are taken
+//     from the most complete view, preferring a suspicious one so the
+//     reported verdict always explains a suspicious merge;
+//   - Accept is recomputed from the merged values with the caller's
+//     threshold, mirroring core.TwoPhase.Accept.
+//
+// Parts must be non-empty; parts that hold no records (Records == 0)
+// contribute nothing to the weighted values but are listed in MergedFrom.
+func Merge(threshold float64, parts []wire.NodeAssessment) (wire.AssessResponse, error) {
+	if len(parts) == 0 {
+		return wire.AssessResponse{}, fmt.Errorf("cluster: merge of zero assessments")
+	}
+	// Deterministic merge order: most records first, node ID as tiebreak, so
+	// every node computes the identical merged response from the same parts.
+	sorted := append([]wire.NodeAssessment(nil), parts...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Records != sorted[j].Records {
+			return sorted[i].Records > sorted[j].Records
+		}
+		return sorted[i].Node < sorted[j].Node
+	})
+	from := make([]string, len(sorted))
+	for i, p := range sorted {
+		from[i] = p.Node
+	}
+
+	identical := true
+	for i := 1; i < len(sorted) && identical; i++ {
+		identical = sorted[i].Accept == sorted[0].Accept &&
+			reflect.DeepEqual(sorted[i].Assessment, sorted[0].Assessment)
+	}
+	if identical {
+		out := sorted[0].AssessResponse
+		out.Merged = true
+		out.MergedFrom = from
+		return out, nil
+	}
+
+	// Divergent views: weight by local history length.
+	base := sorted[0]
+	var (
+		wSum, trust, low, high float64
+		suspicious             bool
+	)
+	for _, p := range sorted {
+		if p.Assessment.Suspicious {
+			suspicious = true
+			// Prefer a suspicious view as the verdict carrier so the suffix
+			// table in the answer shows the failing behaviour test.
+			if !base.Assessment.Suspicious {
+				base = p
+			}
+		}
+		if p.Records <= 0 {
+			continue
+		}
+		w := float64(p.Records)
+		wSum += w
+		trust += w * p.Assessment.Trust
+		low += w * p.Assessment.TrustLow
+		high += w * p.Assessment.TrustHigh
+	}
+	out := base.AssessResponse
+	if wSum > 0 {
+		out.Assessment.Trust = trust / wSum
+		out.Assessment.TrustLow = low / wSum
+		out.Assessment.TrustHigh = high / wSum
+	}
+	out.Assessment.Suspicious = suspicious
+	out.Accept = !suspicious && out.Assessment.Trust >= threshold
+	out.Merged = true
+	out.MergedFrom = from
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testKeys returns a deterministic set of server-ID-shaped keys.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("server-%04d", i)
+	}
+	return keys
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty node id accepted")
+	}
+}
+
+// TestRingDeterminism: rings built from the same membership in any order
+// route every key identically — the property that lets each node forward
+// without coordination.
+func TestRingDeterminism(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r1, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []string{"n4", "n2", "n5", "n1", "n3"}
+	r2, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(2000) {
+		if o1, o2 := r1.Owner(k), r2.Owner(k); o1 != o2 {
+			t.Fatalf("owner of %q differs across build orders: %q vs %q", k, o1, o2)
+		}
+		rs1, rs2 := r1.Replicas(k, 3), r2.Replicas(k, 3)
+		if len(rs1) != len(rs2) {
+			t.Fatalf("replica sets of %q differ in size: %v vs %v", k, rs1, rs2)
+		}
+		for i := range rs1 {
+			if rs1[i] != rs2[i] {
+				t.Fatalf("replica sets of %q differ: %v vs %v", k, rs1, rs2)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding (or removing) one member only remaps the
+// keys adjacent to its points — roughly K/N of them — and every remapped key
+// moves to (or from) exactly that member.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := testKeys(5000)
+	before, err := NewRing([]string{"n1", "n2", "n3", "n4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"n1", "n2", "n3", "n4", "n5"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keys {
+		o1, o2 := before.Owner(k), after.Owner(k)
+		if o1 == o2 {
+			continue
+		}
+		moved++
+		if o2 != "n5" {
+			t.Fatalf("key %q moved %q -> %q on join of n5; only moves onto the joining node are minimal", k, o1, o2)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the joining node")
+	}
+	// Expect ~1/5 of keys to move; accept a generous band around it so the
+	// test pins the property, not the hash function.
+	frac := float64(moved) / float64(len(keys))
+	if frac > 0.35 {
+		t.Fatalf("join of 1 node in 5 moved %.1f%% of keys; want about 20%%", 100*frac)
+	}
+
+	// Leave is the mirror image: keys move only off the leaving node.
+	for _, k := range keys {
+		o1, o2 := after.Owner(k), before.Owner(k)
+		if o1 == o2 {
+			continue
+		}
+		if o1 != "n5" {
+			t.Fatalf("key %q moved %q -> %q on leave of n5; it was not on the leaving node", k, o1, o2)
+		}
+	}
+}
+
+// TestRingReplicaPlacement: replica sets are distinct nodes, owner first,
+// clamped to the membership size.
+func TestRingReplicaPlacement(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinctSets := make(map[string]struct{})
+	for _, k := range testKeys(500) {
+		rs := r.Replicas(k, 3)
+		if len(rs) != 3 {
+			t.Fatalf("Replicas(%q, 3) = %v; want 3 nodes", k, rs)
+		}
+		if rs[0] != r.Owner(k) {
+			t.Fatalf("Replicas(%q)[0] = %q; want owner %q", k, rs[0], r.Owner(k))
+		}
+		seen := make(map[string]struct{})
+		for _, id := range rs {
+			if _, dup := seen[id]; dup {
+				t.Fatalf("Replicas(%q) = %v contains a duplicate", k, rs)
+			}
+			seen[id] = struct{}{}
+		}
+		distinctSets[fmt.Sprint(rs)] = struct{}{}
+	}
+	// Replica sets follow each key's ring position, so different keys owned
+	// by different points produce different successor chains.
+	if len(distinctSets) < 5 {
+		t.Fatalf("only %d distinct replica sets over 500 keys; placement looks degenerate", len(distinctSets))
+	}
+
+	// Asking for more replicas than members returns everyone.
+	all := r.Replicas("some-key", 99)
+	if len(all) != len(nodes) {
+		t.Fatalf("Replicas(n>size) = %v; want all %d nodes", all, len(nodes))
+	}
+}
+
+// TestRingLoadBalance: vnodes keep per-node ownership within a sane band.
+func TestRingLoadBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d-%d", i, rng.Int63()))]++
+	}
+	want := n / len(nodes)
+	for _, id := range nodes {
+		c := counts[id]
+		if c < want/3 || c > want*3 {
+			t.Fatalf("node %s owns %d of %d keys (fair share %d); distribution too skewed", id, c, n, want)
+		}
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ := r.Successors("n1", 0)
+	if len(succ) == 0 {
+		t.Fatal("no successors for n1")
+	}
+	prev := ""
+	for _, id := range succ {
+		if id == "n1" {
+			t.Fatalf("successors of n1 include n1: %v", succ)
+		}
+		if id <= prev {
+			t.Fatalf("successors not sorted: %v", succ)
+		}
+		prev = id
+	}
+	if capped := r.Successors("n1", 1); len(capped) != 1 {
+		t.Fatalf("Successors(max=1) = %v; want 1 entry", capped)
+	}
+	if unknown := r.Successors("nope", 0); unknown != nil {
+		t.Fatalf("Successors of unknown node = %v; want nil", unknown)
+	}
+}
+
+// TestRingSingleNode: the 1-node ring owns everything — the degenerate case
+// the cluster routing relies on to collapse to pure local serving.
+func TestRingSingleNode(t *testing.T) {
+	r, err := NewRing([]string{"solo"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(100) {
+		if r.Owner(k) != "solo" {
+			t.Fatalf("single-node ring does not own %q", k)
+		}
+		if rs := r.Replicas(k, 3); len(rs) != 1 || rs[0] != "solo" {
+			t.Fatalf("single-node Replicas(%q) = %v", k, rs)
+		}
+	}
+	if succ := r.Successors("solo", 0); len(succ) != 0 {
+		t.Fatalf("single-node ring has successors: %v", succ)
+	}
+}

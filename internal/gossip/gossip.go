@@ -51,6 +51,13 @@ type Config struct {
 	Logger *log.Logger
 	// DialTimeout bounds connecting to a peer; zero means 2s.
 	DialTimeout time.Duration
+	// Owned optionally scopes anti-entropy to the servers the local node is
+	// responsible for (a clustered node passes its replica-set predicate).
+	// The node then only advertises owned servers in its summaries and only
+	// pulls records for owned servers, so partitioned ownership is preserved
+	// under gossip repair. Nil means unscoped: every record converges to
+	// every node (the pre-cluster behaviour).
+	Owned func(feedback.EntityID) bool
 }
 
 // Node is a gossiping feedback store. Create with New, start the
@@ -191,6 +198,9 @@ func (n *Node) summary() map[string]wire.ServerSum {
 	sums := n.cfg.Store.Checksums()
 	m := make(map[string]wire.ServerSum, len(sums))
 	for srv, cs := range sums {
+		if n.cfg.Owned != nil && !n.cfg.Owned(srv) {
+			continue
+		}
 		m[string(srv)] = wire.ServerSum{Count: cs.Count, XOR: cs.XOR}
 	}
 	// Writes that landed while we walked the store make the summary fresher
@@ -368,6 +378,18 @@ func (n *Node) RoundOnceCtx(ctx context.Context) error {
 	var sr wire.SummaryResp
 	if err := wire.DecodePayload(resp, &sr); err != nil {
 		return err
+	}
+	if n.cfg.Owned != nil {
+		// The peer reports every server whose record set differs from our
+		// (owned-only) summary — including servers we are not responsible
+		// for. Pull only our own.
+		kept := sr.Stale[:0]
+		for _, srv := range sr.Stale {
+			if n.cfg.Owned(feedback.EntityID(srv)) {
+				kept = append(kept, srv)
+			}
+		}
+		sr.Stale = kept
 	}
 	if len(sr.Stale) == 0 {
 		n.inSync.Add(1)

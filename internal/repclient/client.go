@@ -70,6 +70,12 @@ type Client struct {
 	timeout time.Duration
 	proto   Proto
 	window  int
+	// addrs and rtts are set by DialCluster: the full candidate address
+	// list and the probed round trip per address. Redials then walk the
+	// candidates in failover order instead of retrying one address (see
+	// probe.go). Guarded by mu after the client escapes DialCluster.
+	addrs []string
+	rtts  map[string]time.Duration
 
 	mu     sync.Mutex
 	conn   net.Conn
@@ -183,10 +189,11 @@ func (c *Client) Close() error {
 }
 
 // redialLocked replaces a poisoned connection, re-running protocol
-// negotiation. Called with c.mu held.
+// negotiation — across every configured address, in failover order, for a
+// cluster client. Called with c.mu held.
 func (c *Client) redialLocked(ctx context.Context) error {
 	_ = c.conn.Close()
-	if err := c.connectLocked(ctx); err != nil {
+	if err := c.connectAnyLocked(ctx); err != nil {
 		return fmt.Errorf("%w: redial %s: %v", ErrConnBroken, c.addr, err)
 	}
 	return nil

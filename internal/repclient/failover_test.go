@@ -1,0 +1,202 @@
+package repclient
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"honestplayer/internal/wire"
+)
+
+// fakeNode is a minimal v2-speaking server for failover tests: it accepts
+// any number of connections, answers ping (after pingDelay, which shapes the
+// RTT the probing dial measures) and history (with its fixed total, which
+// identifies the node that served a call). killOnHistory makes it close the
+// connection instead of answering the next history request — the
+// mid-pipeline crash the client must fail over from.
+type fakeNode struct {
+	ln        net.Listener
+	total     int
+	pingDelay time.Duration
+
+	mu            sync.Mutex
+	conns         []net.Conn
+	killOnHistory bool
+}
+
+func newFakeNode(t *testing.T, total int, pingDelay time.Duration) *fakeNode {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &fakeNode{ln: ln, total: total, pingDelay: pingDelay}
+	t.Cleanup(n.kill)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n.mu.Lock()
+			n.conns = append(n.conns, conn)
+			n.mu.Unlock()
+			go n.serve(conn)
+		}
+	}()
+	return n
+}
+
+func (n *fakeNode) addr() string { return n.ln.Addr().String() }
+
+// kill closes the listener and every live connection: in-flight requests
+// break, and redials are refused.
+func (n *fakeNode) kill() {
+	_ = n.ln.Close()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, c := range n.conns {
+		_ = c.Close()
+	}
+	n.conns = nil
+}
+
+func (n *fakeNode) setKillOnHistory(v bool) {
+	n.mu.Lock()
+	n.killOnHistory = v
+	n.mu.Unlock()
+}
+
+func (n *fakeNode) serve(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	reader := bufio.NewReader(conn)
+	if _, err := wire.ReadHello(reader); err != nil {
+		return
+	}
+	if err := wire.WriteHelloAck(conn); err != nil {
+		return
+	}
+	for {
+		env, err := wire.ReadV2(reader)
+		if err != nil {
+			return
+		}
+		var resp wire.Envelope
+		switch env.Type {
+		case wire.TypePing:
+			time.Sleep(n.pingDelay)
+			resp, err = wire.V2Codec.Encode(wire.TypePong, env.ID, nil)
+		case wire.TypeHistory:
+			n.mu.Lock()
+			die := n.killOnHistory
+			n.mu.Unlock()
+			if die {
+				return // close mid-request: the caller's frame never gets an answer
+			}
+			resp, err = wire.V2Codec.Encode(wire.TypeHistoryR, env.ID, wire.HistoryResponse{Total: n.total})
+		default:
+			return
+		}
+		if err != nil {
+			return
+		}
+		if err := wire.WriteV2(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// TestDialClusterPrefersFastest: the probing dial measures every address and
+// talks to the quickest responder.
+func TestDialClusterPrefersFastest(t *testing.T) {
+	fast := newFakeNode(t, 1, 0)
+	slow := newFakeNode(t, 2, 80*time.Millisecond)
+
+	c, err := DialCluster([]string{slow.addr(), fast.addr()},
+		WithProtocol(ProtoV2), WithTimeout(3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if c.Addr() != fast.addr() {
+		t.Fatalf("preferred %s; want fastest node %s", c.Addr(), fast.addr())
+	}
+	rtts := c.RTTs()
+	if len(rtts) != 2 {
+		t.Fatalf("RTTs() = %v; want both addresses probed", rtts)
+	}
+	if rtts[fast.addr()] >= rtts[slow.addr()] {
+		t.Fatalf("RTTs() = %v; fast node not measured faster", rtts)
+	}
+	if _, total, err := c.History("s", 0); err != nil || total != 1 {
+		t.Fatalf("history = %d, %v; want served by fast node (total 1)", total, err)
+	}
+}
+
+// TestClusterFailover is the killed-node drill: the preferred node dies with
+// a request in flight. That request surfaces ErrConnBroken — once — and
+// every subsequent call transparently lands on the surviving replica.
+func TestClusterFailover(t *testing.T) {
+	preferred := newFakeNode(t, 1, 0)
+	survivor := newFakeNode(t, 2, 60*time.Millisecond)
+
+	c, err := DialCluster([]string{preferred.addr(), survivor.addr()},
+		WithProtocol(ProtoV2), WithTimeout(3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if c.Addr() != preferred.addr() {
+		t.Fatalf("preferred %s; want %s", c.Addr(), preferred.addr())
+	}
+
+	// Kill the preferred node mid-pipeline: it drops the connection on the
+	// in-flight history call and refuses redials from then on.
+	preferred.setKillOnHistory(true)
+	if _, _, err := c.History("s", 0); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("in-flight call on killed node: err = %v; want ErrConnBroken", err)
+	}
+	preferred.kill()
+
+	// The very next call redials in failover order — dead preferred first,
+	// then the survivor by RTT — and succeeds without the caller doing
+	// anything.
+	_, total, err := c.History("s", 0)
+	if err != nil {
+		t.Fatalf("call after failover: %v", err)
+	}
+	if total != 2 {
+		t.Fatalf("post-failover history total = %d; want 2 (the survivor)", total)
+	}
+	if c.Addr() != survivor.addr() {
+		t.Fatalf("client still reports %s after failover; want %s", c.Addr(), survivor.addr())
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after failover: %v", err)
+	}
+}
+
+// TestDialClusterAllDown: every address refusing connections fails the dial
+// with a useful error instead of a zero client.
+func TestDialClusterAllDown(t *testing.T) {
+	dead := newFakeNode(t, 0, 0)
+	dead.kill()
+	if _, err := DialCluster([]string{dead.addr()}, WithTimeout(time.Second)); err == nil {
+		t.Fatal("DialCluster against a dead node succeeded")
+	}
+	dead2 := newFakeNode(t, 0, 0)
+	dead2.kill()
+	if _, err := DialCluster([]string{dead.addr(), dead2.addr()}, WithTimeout(time.Second)); err == nil {
+		t.Fatal("DialCluster against two dead nodes succeeded")
+	}
+}
+
+// TestDialClusterEmpty rejects a dial with no addresses.
+func TestDialClusterEmpty(t *testing.T) {
+	if _, err := DialCluster(nil); err == nil {
+		t.Fatal("DialCluster(nil) succeeded")
+	}
+}

@@ -1,0 +1,70 @@
+package repclient
+
+import (
+	"context"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/wire"
+)
+
+// Node-to-node forwarding calls. These are the cluster's internal RPC
+// surface (wire types fwd.* and cluster.info): trustd nodes use them to
+// route requests to the owner of a server's history, and trustctl uses
+// ClusterStatusCtx for `cluster-status`. They share the client's normal
+// transport — pipelining, poisoning, redial — so a node-to-node link gets
+// the same failure semantics as a client link.
+
+// ForwardAssessCtx asks the peer for its local assessment of server,
+// together with the local state digest backing it (record count, version,
+// content XOR — the merge weight and agreement check). With digestOnly the
+// peer skips the assessment and answers the digest alone, an O(1) call.
+func (c *Client) ForwardAssessCtx(ctx context.Context, node string, server feedback.EntityID, threshold float64, digestOnly bool) (wire.NodeAssessment, error) {
+	var resp wire.NodeAssessment
+	req := wire.FwdAssessRequest{Node: node, Server: server, Threshold: threshold, DigestOnly: digestOnly}
+	err := roundTrip(c, ctx, wire.TypeFwdAssess, wire.TypeFwdAssessR, req, &resp)
+	return resp, err
+}
+
+// ForwardSubmitCtx hands one feedback record to the peer. Replica marks a
+// replication write (stored without further fan-out).
+func (c *Client) ForwardSubmitCtx(ctx context.Context, node string, f feedback.Feedback, replica bool) (bool, error) {
+	var resp wire.SubmitResponse
+	req := wire.FwdSubmitRequest{Node: node, Feedback: f, Replica: replica}
+	if err := roundTrip(c, ctx, wire.TypeFwdSubmit, wire.TypeFwdSubmitR, req, &resp); err != nil {
+		return false, err
+	}
+	return resp.Stored, nil
+}
+
+// ForwardBatchCtx hands a slice of records to the peer in one frame, with
+// the same per-record report as a client batch submit.
+func (c *Client) ForwardBatchCtx(ctx context.Context, node string, recs []feedback.Feedback, replica bool) (wire.BatchResponse, error) {
+	var resp wire.BatchResponse
+	req := wire.FwdBatchRequest{Node: node, Records: recs, Replica: replica}
+	err := roundTrip(c, ctx, wire.TypeFwdBatch, wire.TypeFwdBatchR, req, &resp)
+	return resp, err
+}
+
+// ForwardAssessBatchCtx asks the peer to assess servers from its local
+// state; Items[i] answers servers[i].
+func (c *Client) ForwardAssessBatchCtx(ctx context.Context, node string, servers []feedback.EntityID, threshold float64) ([]wire.AssessBatchItem, error) {
+	var resp wire.FwdAssessBatchResponse
+	req := wire.FwdAssessBatchRequest{Node: node, Servers: servers, Threshold: threshold}
+	if err := roundTrip(c, ctx, wire.TypeFwdAssessB, wire.TypeFwdAssessBR, req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Items, nil
+}
+
+// ClusterStatusCtx fetches the peer's view of its cluster. Single-node
+// servers answer Enabled=false.
+func (c *Client) ClusterStatusCtx(ctx context.Context) (wire.ClusterStatusResponse, error) {
+	var resp wire.ClusterStatusResponse
+	err := roundTrip(c, ctx, wire.TypeClusterInfo, wire.TypeClusterInfoR, wire.ClusterStatusRequest{}, &resp)
+	return resp, err
+}
+
+// ClusterStatus is ClusterStatusCtx with the client's configured timeout.
+func (c *Client) ClusterStatus() (wire.ClusterStatusResponse, error) {
+	return c.ClusterStatusCtx(context.Background())
+}

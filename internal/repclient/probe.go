@@ -1,0 +1,163 @@
+package repclient
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Probe-based multi-node dialing. DialCluster measures the round trip to
+// every node at dial time (a full dial + protocol negotiation + ping, the
+// same work a real request pays), keeps the connection to the fastest node,
+// and remembers the others ranked by RTT as failover targets. When the
+// preferred connection breaks, the existing poisoned-connection machinery
+// redials — but through the ranked list instead of a single address, so
+// callers transparently land on the nearest surviving node.
+
+// probeResult is one node's measured dial outcome.
+type probeResult struct {
+	addr   string
+	client *Client
+	rtt    time.Duration
+	err    error
+}
+
+// DialCluster connects to the fastest-responding of several equivalent
+// nodes. Every address is probed concurrently (dial, negotiate, ping,
+// measuring the full round trip); the fastest successful connection is kept
+// and the rest closed. Dialing fails only when every node is unreachable.
+// The returned client fails over across the surviving addresses on redial.
+func DialCluster(addrs []string, opts ...Option) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("repclient: no addresses")
+	}
+	if len(addrs) == 1 {
+		return Dial(addrs[0], opts...)
+	}
+	results := make([]probeResult, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			results[i] = probe(addr, opts)
+		}(i, addr)
+	}
+	wg.Wait()
+
+	best := -1
+	for i, r := range results {
+		if r.err != nil {
+			continue
+		}
+		if best < 0 || r.rtt < results[best].rtt {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("repclient: all %d nodes unreachable (first: %w)", len(addrs), results[0].err)
+	}
+	c := results[best].client
+	c.mu.Lock()
+	c.addrs = append([]string(nil), addrs...)
+	c.rtts = make(map[string]time.Duration, len(addrs))
+	for _, r := range results {
+		if r.err == nil {
+			c.rtts[r.addr] = r.rtt
+		}
+		if r.client != nil && r.client != c {
+			// Close loser connections outside their own lock; they never
+			// escaped this function, so nothing else can be using them.
+			_ = r.client.conn.Close()
+			r.client.closed = true
+		}
+	}
+	c.mu.Unlock()
+	return c, nil
+}
+
+// probe dials one address and measures the full round trip including
+// protocol negotiation and a ping — the realistic cost of a first request.
+func probe(addr string, opts []Option) probeResult {
+	start := time.Now()
+	c, err := Dial(addr, opts...)
+	if err != nil {
+		return probeResult{addr: addr, err: err}
+	}
+	if err := c.Ping(); err != nil {
+		_ = c.Close()
+		return probeResult{addr: addr, err: err}
+	}
+	return probeResult{addr: addr, client: c, rtt: time.Since(start)}
+}
+
+// Addr reports the address of the node the client currently talks to.
+func (c *Client) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr
+}
+
+// RTTs reports the last measured round trip per probed address (only
+// addresses that answered a probe appear). Nil for single-address clients.
+func (c *Client) RTTs() map[string]time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rtts == nil {
+		return nil
+	}
+	out := make(map[string]time.Duration, len(c.rtts))
+	for a, d := range c.rtts {
+		out[a] = d
+	}
+	return out
+}
+
+// failoverOrderLocked returns the addresses to try on a redial: the current
+// address first (a transient blip should not migrate the client), then the
+// rest by ascending probed RTT, unprobed addresses last. Called with c.mu
+// held.
+func (c *Client) failoverOrderLocked() []string {
+	order := make([]string, 0, len(c.addrs))
+	order = append(order, c.addr)
+	rest := make([]string, 0, len(c.addrs))
+	for _, a := range c.addrs {
+		if a != c.addr {
+			rest = append(rest, a)
+		}
+	}
+	sort.SliceStable(rest, func(i, j int) bool {
+		ri, iok := c.rtts[rest[i]]
+		rj, jok := c.rtts[rest[j]]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		default:
+			return false
+		}
+	})
+	return append(order, rest...)
+}
+
+// connectAnyLocked establishes a connection to any configured address in
+// failover order. On success c.addr is the connected address. Called with
+// c.mu held.
+func (c *Client) connectAnyLocked(ctx context.Context) error {
+	if len(c.addrs) <= 1 {
+		return c.connectLocked(ctx)
+	}
+	var firstErr error
+	for _, addr := range c.failoverOrderLocked() {
+		c.addr = addr
+		if err := c.connectLocked(ctx); err == nil {
+			return nil
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -24,6 +24,13 @@ func (s *Server) handleAssessBatch(ctx context.Context, env wire.Envelope) (wire
 	if err := wire.DecodePayload(env, &req); err != nil {
 		return wire.Envelope{}, service.Errorf(wire.CodeBadRequest, "%v", err)
 	}
+	if cl := s.clusterRef.Load(); cl != nil && cl.Size() > 1 {
+		resp, err := s.clusterAssessBatch(ctx, cl, req)
+		if err != nil {
+			return wire.Envelope{}, err
+		}
+		return service.CodecFrom(ctx).Encode(wire.TypeAssessBR, env.ID, resp)
+	}
 	resp, err := s.assessBatch(ctx, req)
 	if err != nil {
 		return wire.Envelope{}, err

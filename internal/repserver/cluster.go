@@ -1,0 +1,480 @@
+// Cluster routing: the server-side half of partitioned ownership.
+//
+// Client-facing handlers route by the consistent-hash ring (attach via
+// SetCluster): writes go to the server's owner and replicate to its replica
+// set, reads are served from local state when the node holds it and
+// fanned out + weight-merged when it does not. The fwd.* handlers below are
+// the node-to-node surface those routes land on — each one answers strictly
+// from local state, so a forwarded call can never be forwarded again and
+// routing loops are structurally impossible.
+package repserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"honestplayer/internal/cluster"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/service"
+	"honestplayer/internal/wire"
+)
+
+// forwardedErr converts a forwarded call's failure into the error the
+// client should see: a typed error relayed from the peer keeps its code
+// (unknown_server stays unknown_server), a transport failure becomes
+// unavailable.
+func forwardedErr(err error) error {
+	var typed *wire.ErrorResponse
+	if errors.As(err, &typed) {
+		return typed
+	}
+	return service.Errorf(wire.CodeUnavailable, "%v", err)
+}
+
+// nodeID names the local node in forwarded responses; empty on a
+// non-clustered server.
+func (s *Server) nodeID() string {
+	if cl := s.clusterRef.Load(); cl != nil {
+		return cl.Self()
+	}
+	return ""
+}
+
+// replicate pushes freshly stored records to the other members of each
+// record's replica set, grouped so each peer gets one frame. It is called
+// on the owner's write path only (the Replica flag stops the receivers from
+// fanning out again) and is synchronous — when a submit returns, the
+// replica set has converged — but best-effort: an unreachable replica is
+// logged and counted, not surfaced, because the owner's copy is already
+// durable and anti-entropy gossip repairs the replica later.
+func (s *Server) replicate(ctx context.Context, recs []feedback.Feedback) {
+	cl := s.clusterRef.Load()
+	if cl == nil || cl.Size() <= 1 || cl.Replicas() <= 1 || len(recs) == 0 {
+		return
+	}
+	byPeer := make(map[string][]feedback.Feedback)
+	for _, rec := range recs {
+		// Replica sets are per record, not per owner: two servers with the
+		// same owner can have different successor nodes on the ring.
+		for _, id := range cl.ReplicaSet(rec.Server) {
+			if id != cl.Self() {
+				byPeer[id] = append(byPeer[id], rec)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for id, group := range byPeer {
+		wg.Add(1)
+		go func(id string, group []feedback.Feedback) {
+			defer wg.Done()
+			if _, err := cl.ForwardBatch(ctx, id, group, true); err != nil {
+				s.logf("cluster: replicate %d records to %s: %v", len(group), id, err)
+			}
+		}(id, group)
+	}
+	wg.Wait()
+}
+
+// acceptedRecords filters out the records a batch apply rejected, so
+// replication only carries records the owner actually holds.
+func acceptedRecords(recs []feedback.Feedback, rejected []wire.BatchReject) []feedback.Feedback {
+	if len(rejected) == 0 {
+		return recs
+	}
+	drop := make(map[int]struct{}, len(rejected))
+	for _, r := range rejected {
+		drop[r.Index] = struct{}{}
+	}
+	out := make([]feedback.Feedback, 0, len(recs)-len(rejected))
+	for i, rec := range recs {
+		if _, bad := drop[i]; !bad {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// batchGroup is one owner's slice of a batch request, with the original
+// request positions for remapping the per-record report.
+type batchGroup struct {
+	recs []feedback.Feedback
+	idx  []int
+}
+
+// clusterBatch serves a submit.batch on a clustered node: records are split
+// by owner, the local group applied (and replicated) in place, the remote
+// groups forwarded to their owners concurrently. Per-record rejections are
+// remapped to request positions; an unreachable owner rejects its whole
+// group with an unavailable reason, preserving the batch invariant
+// Stored + Duplicates + len(Rejected) == len(Records).
+func (s *Server) clusterBatch(ctx context.Context, cl *cluster.Cluster, req wire.BatchRequest) (wire.BatchResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.BatchResponse{}, err
+	}
+	var local batchGroup
+	remote := make(map[string]*batchGroup)
+	for i, rec := range req.Records {
+		owner := cl.Owner(rec.Server)
+		if owner == cl.Self() {
+			local.recs = append(local.recs, rec)
+			local.idx = append(local.idx, i)
+			continue
+		}
+		g := remote[owner]
+		if g == nil {
+			g = &batchGroup{}
+			remote[owner] = g
+		}
+		g.recs = append(g.recs, rec)
+		g.idx = append(g.idx, i)
+	}
+
+	type result struct {
+		g    *batchGroup
+		resp wire.BatchResponse
+		err  error
+	}
+	results := make([]result, 0, len(remote)+1)
+	resCh := make(chan result, len(remote))
+	for owner, g := range remote {
+		go func(owner string, g *batchGroup) {
+			resp, err := cl.ForwardBatch(ctx, owner, g.recs, false)
+			resCh <- result{g: g, resp: resp, err: err}
+		}(owner, g)
+	}
+	if len(local.recs) > 0 {
+		resp, err := s.applyBatch(ctx, local.recs)
+		if err != nil {
+			// Only context expiry aborts applyBatch; drain the fan-out before
+			// reporting it.
+			for range remote {
+				<-resCh
+			}
+			return wire.BatchResponse{}, err
+		}
+		s.replicate(ctx, acceptedRecords(local.recs, resp.Rejected))
+		results = append(results, result{g: &local, resp: resp})
+	}
+	for range remote {
+		results = append(results, <-resCh)
+	}
+
+	var out wire.BatchResponse
+	for _, r := range results {
+		if r.err != nil {
+			// The whole group failed to reach its owner: report every record
+			// as rejected so the response still accounts for each one.
+			reason := fmt.Sprintf("%s: %v", wire.CodeUnavailable, r.err)
+			var typed *wire.ErrorResponse
+			if errors.As(r.err, &typed) {
+				reason = typed.Error()
+			}
+			for _, pos := range r.g.idx {
+				out.Rejected = append(out.Rejected, wire.BatchReject{Index: pos, Reason: reason})
+			}
+			continue
+		}
+		out.Stored += r.resp.Stored
+		out.Duplicates += r.resp.Duplicates
+		for _, rej := range r.resp.Rejected {
+			out.Rejected = append(out.Rejected, wire.BatchReject{Index: r.g.idx[rej.Index], Reason: rej.Reason})
+		}
+	}
+	sortRejected(out.Rejected)
+	return out, nil
+}
+
+// sortRejected restores request order in a merged rejection report.
+func sortRejected(rejected []wire.BatchReject) {
+	for i := 1; i < len(rejected); i++ {
+		for j := i; j > 0 && rejected[j-1].Index > rejected[j].Index; j-- {
+			rejected[j-1], rejected[j] = rejected[j], rejected[j-1]
+		}
+	}
+}
+
+// clusterAssess answers an assess for a server whose state lives elsewhere.
+// The owner is asked for its full assessment while every other member of
+// the replica set is asked for an O(1) state digest (record count + content
+// XOR), all concurrently. Replication is synchronous, so the digests almost
+// always match the owner's view and the owner's assessment — verified
+// against the whole set — is the merged answer without paying a full
+// recomputation per replica. A disagreeing digest (a replica that missed a
+// write) escalates: the diverged replicas are asked for full assessments
+// and the views weight-merged (cluster.Merge), which is the only case where
+// merging can change the answer. When the owner is unreachable or declines,
+// the remaining replicas are asked for full assessments instead; any
+// reachable replica suffices, and only when the whole set is down does the
+// request fail with unavailable.
+func (s *Server) clusterAssess(ctx context.Context, cl *cluster.Cluster, req wire.AssessRequest) (wire.AssessResponse, error) {
+	set := cl.ReplicaSet(req.Server)
+	parts := make([]wire.NodeAssessment, len(set))
+	errs := make([]error, len(set))
+	var wg sync.WaitGroup
+	for i, id := range set {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			parts[i], errs[i] = cl.ForwardAssess(ctx, id, req.Server, req.Threshold, i > 0)
+		}(i, id)
+	}
+	wg.Wait()
+
+	if errs[0] == nil {
+		owner := parts[0]
+		agreed := []string{owner.Node}
+		var diverged []int
+		for i := 1; i < len(set); i++ {
+			if errs[i] != nil {
+				// Unreachable replica: the owner's view stands for it. Gossip
+				// anti-entropy repairs the replica; reads do not wait for it.
+				continue
+			}
+			if parts[i].Records == owner.Records && parts[i].XOR == owner.XOR {
+				agreed = append(agreed, parts[i].Node)
+				continue
+			}
+			diverged = append(diverged, i)
+		}
+		if len(diverged) == 0 {
+			resp := owner.AssessResponse
+			resp.Merged = true
+			resp.MergedFrom = agreed
+			return resp, nil
+		}
+		cl.CountDigestMismatch()
+		full := fetchFull(ctx, cl, req, set, diverged)
+		merged, err := cluster.Merge(req.Threshold, append([]wire.NodeAssessment{owner}, full...))
+		if err != nil {
+			return wire.AssessResponse{}, service.Errorf(wire.CodeInternal, "%v", err)
+		}
+		if len(full) > 0 {
+			cl.CountMerge()
+		}
+		return merged, nil
+	}
+
+	// The owner is down or declined. Re-ask the rest of the set for full
+	// assessments (the first round only fetched their digests) and merge
+	// the survivors.
+	rest := make([]int, 0, len(set)-1)
+	for i := 1; i < len(set); i++ {
+		rest = append(rest, i)
+	}
+	live := fetchFull(ctx, cl, req, set, rest)
+	if len(live) == 0 {
+		var typed *wire.ErrorResponse
+		if errors.As(errs[0], &typed) {
+			// Every replica failed the same way the owner did — relay its
+			// typed error (unknown_server for a server nobody has seen).
+			return wire.AssessResponse{}, typed
+		}
+		return wire.AssessResponse{}, service.Errorf(wire.CodeUnavailable,
+			"all %d replicas of %q unreachable: %v", len(set), req.Server, errs[0])
+	}
+	merged, err := cluster.Merge(req.Threshold, live)
+	if err != nil {
+		return wire.AssessResponse{}, service.Errorf(wire.CodeInternal, "%v", err)
+	}
+	if len(live) > 1 {
+		cl.CountMerge()
+	}
+	return merged, nil
+}
+
+// fetchFull asks the set members at the given indices for full assessments
+// concurrently and returns the successful parts.
+func fetchFull(ctx context.Context, cl *cluster.Cluster, req wire.AssessRequest, set []string, idx []int) []wire.NodeAssessment {
+	if len(idx) == 0 {
+		return nil
+	}
+	parts := make([]wire.NodeAssessment, len(idx))
+	errs := make([]error, len(idx))
+	var wg sync.WaitGroup
+	for j, i := range idx {
+		wg.Add(1)
+		go func(j, i int) {
+			defer wg.Done()
+			parts[j], errs[j] = cl.ForwardAssess(ctx, set[i], req.Server, req.Threshold, false)
+		}(j, i)
+	}
+	wg.Wait()
+	live := parts[:0]
+	for j := range parts {
+		if errs[j] == nil {
+			live = append(live, parts[j])
+		}
+	}
+	return live
+}
+
+// clusterAssessBatch serves an assess.batch on a clustered node: servers
+// split by routing — locally held ones through the normal shard-grouped
+// pool, the rest forwarded to their owners concurrently — and the items
+// remapped to request order. An unreachable owner fails only its own items
+// (unavailable), matching the batch's per-item error contract.
+func (s *Server) clusterAssessBatch(ctx context.Context, cl *cluster.Cluster, req wire.AssessBatchRequest) (wire.AssessBatchResponse, error) {
+	n := len(req.Servers)
+	if n == 0 {
+		return wire.AssessBatchResponse{}, service.Errorf(wire.CodeBadRequest, "empty batch")
+	}
+	if n > wire.MaxAssessBatch {
+		return wire.AssessBatchResponse{}, service.Errorf(wire.CodeBadRequest,
+			"batch of %d servers exceeds max %d", n, wire.MaxAssessBatch)
+	}
+	if err := ctx.Err(); err != nil {
+		return wire.AssessBatchResponse{}, err
+	}
+
+	type assessGroup struct {
+		servers []feedback.EntityID
+		idx     []int
+	}
+	var local assessGroup
+	remote := make(map[string]*assessGroup)
+	for i, srv := range req.Servers {
+		// Local state wins (owner or replica); empty IDs go through the
+		// local path for its standard missing-server item error.
+		if srv == "" || cl.Owns(srv) {
+			local.servers = append(local.servers, srv)
+			local.idx = append(local.idx, i)
+			continue
+		}
+		owner := cl.Owner(srv)
+		g := remote[owner]
+		if g == nil {
+			g = &assessGroup{}
+			remote[owner] = g
+		}
+		g.servers = append(g.servers, srv)
+		g.idx = append(g.idx, i)
+	}
+
+	items := make([]wire.AssessBatchItem, n)
+	type result struct {
+		g     *assessGroup
+		items []wire.AssessBatchItem
+		err   error
+	}
+	resCh := make(chan result, len(remote))
+	for owner, g := range remote {
+		go func(owner string, g *assessGroup) {
+			got, err := cl.ForwardAssessBatch(ctx, owner, g.servers, req.Threshold)
+			if err == nil && len(got) != len(g.servers) {
+				err = fmt.Errorf("owner %s returned %d items for %d servers", owner, len(got), len(g.servers))
+			}
+			resCh <- result{g: g, items: got, err: err}
+		}(owner, g)
+	}
+	if len(local.servers) > 0 {
+		resp, err := s.assessBatch(ctx, wire.AssessBatchRequest{Servers: local.servers, Threshold: req.Threshold})
+		if err != nil {
+			for range remote {
+				<-resCh
+			}
+			return wire.AssessBatchResponse{}, err
+		}
+		for i, item := range resp.Items {
+			items[local.idx[i]] = item
+		}
+	}
+	for range remote {
+		r := <-resCh
+		if r.err != nil {
+			e := &wire.ErrorResponse{Code: wire.CodeUnavailable, Message: r.err.Error()}
+			var typed *wire.ErrorResponse
+			if errors.As(r.err, &typed) {
+				e = typed
+			}
+			for i, pos := range r.g.idx {
+				items[pos] = wire.AssessBatchItem{Server: r.g.servers[i], Error: e}
+			}
+			continue
+		}
+		for i, item := range r.items {
+			items[r.g.idx[i]] = item
+		}
+	}
+	s.nBatchItems.Add(uint64(len(remote)))
+	return wire.AssessBatchResponse{Items: items}, nil
+}
+
+// Node-to-node handlers. Every fwd.* request is answered from local state
+// only.
+
+func (s *Server) handleFwdAssess(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+	var req wire.FwdAssessRequest
+	if err := wire.DecodePayload(env, &req); err != nil {
+		return wire.Envelope{}, service.Errorf(wire.CodeBadRequest, "%v", err)
+	}
+	_, version := s.cfg.Store.Snapshot(req.Server)
+	sum := s.cfg.Store.ServerChecksum(req.Server)
+	na := wire.NodeAssessment{Node: s.nodeID(), Records: sum.Count, Version: version, XOR: sum.XOR}
+	if !req.DigestOnly {
+		resp, err := s.assess(ctx, wire.AssessRequest{Server: req.Server, Threshold: req.Threshold})
+		if err != nil {
+			return wire.Envelope{}, err
+		}
+		na.AssessResponse = resp
+	}
+	return service.CodecFrom(ctx).Encode(wire.TypeFwdAssessR, env.ID, na)
+}
+
+func (s *Server) handleFwdSubmit(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+	var req wire.FwdSubmitRequest
+	if err := wire.DecodePayload(env, &req); err != nil {
+		return wire.Envelope{}, service.Errorf(wire.CodeBadRequest, "%v", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return wire.Envelope{}, err
+	}
+	stored, err := s.cfg.Recorder.Add(req.Feedback)
+	if err != nil {
+		return wire.Envelope{}, service.Errorf(wire.CodeInvalidFeedback, "%v", err)
+	}
+	if stored && !req.Replica {
+		// We are the owner of a forwarded write: fan it out to the replica
+		// set. Replica writes stop here by construction.
+		s.replicate(ctx, []feedback.Feedback{req.Feedback})
+	}
+	return service.CodecFrom(ctx).Encode(wire.TypeFwdSubmitR, env.ID, wire.SubmitResponse{Stored: stored})
+}
+
+func (s *Server) handleFwdBatch(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+	var req wire.FwdBatchRequest
+	if err := wire.DecodePayload(env, &req); err != nil {
+		return wire.Envelope{}, service.Errorf(wire.CodeBadRequest, "%v", err)
+	}
+	resp, err := s.applyBatch(ctx, req.Records)
+	if err != nil {
+		return wire.Envelope{}, err
+	}
+	if !req.Replica {
+		s.replicate(ctx, acceptedRecords(req.Records, resp.Rejected))
+	}
+	return service.CodecFrom(ctx).Encode(wire.TypeFwdBatchR, env.ID, resp)
+}
+
+func (s *Server) handleFwdAssessBatch(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+	var req wire.FwdAssessBatchRequest
+	if err := wire.DecodePayload(env, &req); err != nil {
+		return wire.Envelope{}, service.Errorf(wire.CodeBadRequest, "%v", err)
+	}
+	resp, err := s.assessBatch(ctx, wire.AssessBatchRequest{Servers: req.Servers, Threshold: req.Threshold})
+	if err != nil {
+		return wire.Envelope{}, err
+	}
+	out := wire.FwdAssessBatchResponse{Node: s.nodeID(), Items: resp.Items}
+	return service.CodecFrom(ctx).Encode(wire.TypeFwdAssessBR, env.ID, out)
+}
+
+func (s *Server) handleClusterInfo(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+	owned := len(s.cfg.Store.Servers())
+	resp := wire.ClusterStatusResponse{Owned: owned}
+	if cl := s.clusterRef.Load(); cl != nil {
+		resp = cl.Status(owned)
+	}
+	return service.CodecFrom(ctx).Encode(wire.TypeClusterInfoR, env.ID, resp)
+}

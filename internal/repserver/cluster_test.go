@@ -1,0 +1,360 @@
+package repserver
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"honestplayer/internal/cluster"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/wire"
+)
+
+// startCluster starts n servers on ephemeral ports and wires them into one
+// cluster (IDs "n1".."nN", replica factor r). Returns the servers in ID
+// order; each has its cluster view attached before it starts serving.
+func startCluster(t *testing.T, n, r int, cfg func() Config) []*Server {
+	t.Helper()
+	servers := make([]*Server, n)
+	members := make([]cluster.Node, n)
+	for i := range servers {
+		srv, err := New("127.0.0.1:0", cfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		members[i] = cluster.Node{ID: fmt.Sprintf("n%d", i+1), Addr: srv.Addr()}
+	}
+	for i, srv := range servers {
+		cl, err := cluster.New(cluster.Config{
+			Self: members[i].ID, Nodes: members, Replicas: r, DialTimeout: 3 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.SetCluster(cl)
+		srv.Start()
+		t.Cleanup(func() {
+			_ = cl.Close()
+			_ = srv.Close()
+		})
+	}
+	return servers
+}
+
+// stripRouting clears the fields that legitimately differ between a local
+// answer and a forwarded/merged one: the merge markers and the serving-path
+// markers (cache hit, incremental accumulator). What remains — the
+// assessment values and the accept verdict — must be identical no matter
+// which node answered.
+func stripRouting(r wire.AssessResponse) wire.AssessResponse {
+	r.Merged = false
+	r.MergedFrom = nil
+	r.Cached = false
+	r.Incremental = false
+	return r
+}
+
+// TestClusterE2E: a 3-node cluster with replica factor 2. All traffic enters
+// through node 1; ownership is partitioned, replicas converge synchronously,
+// and a verdict obtained through ANY node equals the owner's own verdict.
+// The incremental variant additionally exercises accumulator scoping: nodes
+// only materialize accumulators for servers in their replica set.
+func TestClusterE2E(t *testing.T) {
+	t.Run("recompute", func(t *testing.T) {
+		testClusterE2E(t, func() Config { return Config{Assessor: testAssessor(t)} })
+	})
+	t.Run("incremental", func(t *testing.T) {
+		testClusterE2E(t, func() Config { return Config{Assessor: testAssessor(t), Incremental: true} })
+	})
+}
+
+func testClusterE2E(t *testing.T, cfg func() Config) {
+	servers := startCluster(t, 3, 2, cfg)
+	entry := dial(t, servers[0])
+	cl0 := servers[0].Cluster()
+
+	// 9 servers with distinct histories, all submitted through node 1.
+	var recs []feedback.Feedback
+	var ids []feedback.EntityID
+	for i := 0; i < 9; i++ {
+		id := feedback.EntityID(fmt.Sprintf("e2e-server-%02d", i))
+		ids = append(ids, id)
+		for j := 0; j < 30; j++ {
+			good := j%(i+2) != 0 // different good/bad mix per server
+			recs = append(recs, rec(id, feedback.EntityID(fmt.Sprintf("client-%d", j)), good, int64(1000*i+j)))
+		}
+	}
+	report, err := entry.SubmitBatchReport(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Stored != len(recs) || len(report.Rejected) != 0 {
+		t.Fatalf("batch through node 1: stored %d of %d, rejected %v", report.Stored, len(recs), report.Rejected)
+	}
+
+	// Placement: exactly the replica set holds each server's records.
+	owners := make(map[string]bool)
+	for _, id := range ids {
+		set := cl0.ReplicaSet(id)
+		owners[set[0]] = true
+		if len(set) != 2 {
+			t.Fatalf("replica set of %q = %v; want 2 nodes", id, set)
+		}
+		inSet := map[string]bool{set[0]: true, set[1]: true}
+		for i, srv := range servers {
+			nodeID := fmt.Sprintf("n%d", i+1)
+			h, _ := srv.Store().Snapshot(id)
+			if inSet[nodeID] && h.Len() != 30 {
+				t.Fatalf("node %s holds %d records of %q; replica set %v expects 30", nodeID, h.Len(), id, set)
+			}
+			if !inSet[nodeID] && h.Len() != 0 {
+				t.Fatalf("node %s holds %d records of %q but is not in replica set %v", nodeID, h.Len(), id, set)
+			}
+		}
+	}
+	if len(owners) < 2 {
+		t.Fatalf("all 9 servers landed on %d owner(s); partitioning looks broken", len(owners))
+	}
+
+	// The tentpole acceptance: assess every server through every node; the
+	// verdict must match the owner's, whichever door the request came in.
+	for _, id := range ids {
+		var want wire.AssessResponse
+		for i, srv := range servers {
+			c := dial(t, srv)
+			got, err := c.Assess(id, 0.6)
+			if err != nil {
+				t.Fatalf("assess %q via node %d: %v", id, i+1, err)
+			}
+			got = stripRouting(got)
+			if i == 0 {
+				want = got
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("assess %q via node %d diverges:\n got %+v\nwant %+v", id, i+1, got, want)
+			}
+		}
+	}
+
+	// Batch assessment through one node answers exactly like the single
+	// calls, including servers the entry node does not hold.
+	items, err := entry.AssessBatch(ids, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range items {
+		if item.Error != nil {
+			t.Fatalf("batch item %q: %v", ids[i], item.Error)
+		}
+		single, err := entry.Assess(ids[i], 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := stripRouting(item.AssessResponse), stripRouting(single); !reflect.DeepEqual(got, want) {
+			t.Fatalf("batch item %q diverges from single assess:\n got %+v\nwant %+v", ids[i], got, want)
+		}
+	}
+
+	// Duplicate detection works across doors: a record submitted through
+	// node 1 is a duplicate when resubmitted through node 3.
+	other := dial(t, servers[2])
+	stored, err := other.Submit(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored {
+		t.Fatal("record stored twice when resubmitted through another node")
+	}
+
+	// The routing counters moved: node 1 forwarded writes and merged reads.
+	st := servers[0].Stats()
+	if !st.Cluster.Enabled || st.Cluster.Node != "n1" {
+		t.Fatalf("cluster stats not populated: %+v", st.Cluster)
+	}
+	if st.Cluster.Forwarded == 0 {
+		t.Fatal("node 1 forwarded nothing despite remote-owned submissions")
+	}
+	if st.Cluster.ForwardErrors != 0 {
+		t.Fatalf("forward errors on a healthy cluster: %d", st.Cluster.ForwardErrors)
+	}
+}
+
+// TestClusterUnknownServerRelayed: an assess for a server nobody has seen
+// fails with the same typed unknown_server error a single node produces,
+// even when the answer comes from forwarded replicas.
+func TestClusterUnknownServerRelayed(t *testing.T) {
+	servers := startCluster(t, 3, 2, func() Config { return Config{Assessor: testAssessor(t)} })
+	for i, srv := range servers {
+		c := dial(t, srv)
+		_, err := c.Assess("never-seen", 0.9)
+		var typed *wire.ErrorResponse
+		if !errors.As(err, &typed) || typed.Code != wire.CodeUnknownServer {
+			t.Fatalf("assess unknown via node %d: got %v; want typed %s", i+1, err, wire.CodeUnknownServer)
+		}
+	}
+}
+
+// TestClusterStatusRPC: cluster.info reports membership from a clustered
+// node and enabled=false from a plain one.
+func TestClusterStatusRPC(t *testing.T) {
+	servers := startCluster(t, 3, 2, func() Config { return Config{Assessor: testAssessor(t)} })
+	c := dial(t, servers[1])
+	status, err := c.ClusterStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !status.Enabled || status.Node != "n2" || status.Replicas != 2 || len(status.Peers) != 3 {
+		t.Fatalf("cluster status = %+v", status)
+	}
+
+	plain := startServer(t)
+	pc := dial(t, plain)
+	status, err = pc.ClusterStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Enabled {
+		t.Fatalf("plain server reports enabled cluster: %+v", status)
+	}
+}
+
+// TestSingleNodeClusterDifferential: a 1-node "cluster" must be
+// bit-identical to a plain server — same stores, same wire responses, no
+// merge markers — because every key's replica set collapses to the node
+// itself and routing never leaves the local path.
+func TestSingleNodeClusterDifferential(t *testing.T) {
+	plain := startServer(t)
+	clustered := startCluster(t, 1, 1, func() Config { return Config{Assessor: testAssessor(t)} })[0]
+
+	var recs []feedback.Feedback
+	var ids []feedback.EntityID
+	for i := 0; i < 5; i++ {
+		id := feedback.EntityID(fmt.Sprintf("diff-server-%d", i))
+		ids = append(ids, id)
+		for j := 0; j < 25; j++ {
+			recs = append(recs, rec(id, feedback.EntityID(fmt.Sprintf("c%d", j)), j%3 != 0, int64(100*i+j)))
+		}
+	}
+
+	pc, cc := dial(t, plain), dial(t, clustered)
+	pStored, pDup, err := pc.SubmitBatch(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cStored, cDup, err := cc.SubmitBatch(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pStored != cStored || pDup != cDup {
+		t.Fatalf("batch outcome differs: plain %d/%d, clustered %d/%d", pStored, pDup, cStored, cDup)
+	}
+
+	// Assess twice per server so cache-hit responses are compared too; the
+	// raw responses (flags included) must match exactly.
+	for round := 0; round < 2; round++ {
+		for _, id := range ids {
+			pr, err := pc.Assess(id, 0.7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cr, err := cc.Assess(id, 0.7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(pr, cr) {
+				t.Fatalf("round %d: single-node cluster diverges from plain server for %q:\nplain     %+v\nclustered %+v", round, id, pr, cr)
+			}
+			if cr.Merged {
+				t.Fatalf("single-node cluster produced a merged assessment for %q", id)
+			}
+		}
+	}
+}
+
+// TestClusterDigestVerifiedReads: a forwarded read costs one full
+// assessment (the owner's) plus O(1) state digests from the rest of the
+// replica set. While the set agrees, the owner's verdict — verified against
+// every digest — is the merged answer and no mismatch is counted. Once a
+// replica diverges (here: a record only it holds, as if the owner's
+// replication push had been lost before gossip repair), the forwarder
+// detects the digest mismatch, fetches the diverged view in full, and
+// weight-merges it with the owner's.
+func TestClusterDigestVerifiedReads(t *testing.T) {
+	servers := startCluster(t, 3, 2, func() Config { return Config{Assessor: testAssessor(t)} })
+	byID := make(map[string]*Server, len(servers))
+	for i, srv := range servers {
+		byID[fmt.Sprintf("n%d", i+1)] = srv
+	}
+
+	id := feedback.EntityID("digest-server")
+	var recs []feedback.Feedback
+	for j := 0; j < 30; j++ {
+		recs = append(recs, rec(id, feedback.EntityID(fmt.Sprintf("c%d", j)), j%4 != 0, int64(j)))
+	}
+	entry := dial(t, servers[0])
+	if _, _, err := entry.SubmitBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	set := servers[0].Cluster().ReplicaSet(id)
+	var outside *Server
+	for i, srv := range servers {
+		if nid := fmt.Sprintf("n%d", i+1); nid != set[0] && nid != set[1] {
+			outside = srv
+		}
+	}
+	oc := dial(t, outside)
+
+	got, err := oc.Assess(id, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Merged || len(got.MergedFrom) != 2 {
+		t.Fatalf("in-sync forwarded assess: Merged=%v MergedFrom=%v; want the verified set of 2", got.Merged, got.MergedFrom)
+	}
+	if st := outside.Cluster().Stats(); st.DigestMismatch != 0 {
+		t.Fatalf("digest mismatch counted on in-sync replicas: %+v", st)
+	}
+
+	if ok, err := byID[set[1]].Store().Add(rec(id, "straggler", false, 999)); err != nil || !ok {
+		t.Fatalf("inject divergent record: ok=%v err=%v", ok, err)
+	}
+
+	got2, err := oc.Assess(id, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Merged || len(got2.MergedFrom) != 2 {
+		t.Fatalf("diverged forwarded assess: Merged=%v MergedFrom=%v; want a full merge of 2", got2.Merged, got2.MergedFrom)
+	}
+	st := outside.Cluster().Stats()
+	if st.DigestMismatch == 0 || st.MergedAssess == 0 {
+		t.Fatalf("divergence not detected: %+v", st)
+	}
+
+	// The forwarded verdict equals weight-merging the two local views by
+	// hand, so the escalation path really is cluster.Merge over full parts.
+	var parts []wire.NodeAssessment
+	for _, nid := range set {
+		srv := byID[nid]
+		local, err := dial(t, srv).Assess(id, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := srv.Store().ServerChecksum(id)
+		parts = append(parts, wire.NodeAssessment{
+			Node: nid, Records: sum.Count, XOR: sum.XOR, AssessResponse: stripRouting(local),
+		})
+	}
+	want, err := cluster.Merge(0.6, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stripRouting(got2), stripRouting(want); !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged verdict diverges from hand merge:\n got %+v\nwant %+v", got, want)
+	}
+}

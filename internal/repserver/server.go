@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"honestplayer/internal/assesscache"
+	"honestplayer/internal/cluster"
 	"honestplayer/internal/core"
 	"honestplayer/internal/feedback"
 	"honestplayer/internal/service"
@@ -117,6 +118,10 @@ type Stats struct {
 	// V2Connections counts connections that negotiated binary protocol v2
 	// (Connections counts every accepted connection, either framing).
 	V2Connections uint64 `json:"v2_connections"`
+	// Cluster carries the cluster-routing counters (forwarded calls, merge
+	// counts, per-peer RTTs); Enabled is false and the rest zero on a
+	// non-clustered node.
+	Cluster service.ClusterStats `json:"cluster"`
 }
 
 // IncrementalStats exposes the incremental assessment engine's counters.
@@ -174,6 +179,13 @@ type Server struct {
 	wg     sync.WaitGroup // Serve/Start goroutines
 	connWg sync.WaitGroup // per-connection handle loops
 
+	// clusterRef is the node's cluster view, attached after construction via
+	// SetCluster (the membership is known before listeners bind, but tests
+	// with ephemeral ports learn peer addresses only after every node is
+	// up). Nil means single-node: every routing branch collapses to the
+	// local path.
+	clusterRef atomic.Pointer[cluster.Cluster]
+
 	nConns       atomic.Uint64
 	nV2Conns     atomic.Uint64
 	nRequests    atomic.Uint64
@@ -223,6 +235,12 @@ func New(addr string, cfg Config) (*Server, error) {
 	if cfg.Incremental {
 		assessor := cfg.Assessor
 		cfg.Store.SetAccumulatorFactory(func(server feedback.EntityID) store.Accumulator {
+			// On a clustered node, accumulators only materialize for servers
+			// in the local replica set — assessment state for servers this
+			// node would forward anyway is wasted memory.
+			if cl := srv.clusterRef.Load(); cl != nil && !cl.Owns(server) {
+				return nil
+			}
 			sa, err := assessor.NewServerAccumulator(server)
 			if err != nil {
 				// SupportsIncremental was verified above; per-server minting
@@ -235,6 +253,24 @@ func New(addr string, cfg Config) (*Server, error) {
 	srv.pipeline = srv.buildPipeline()
 	return srv, nil
 }
+
+// SetCluster attaches (or, with nil, detaches) the node's cluster view.
+// Call it before serving traffic: requests observe the attachment
+// atomically, but ownership of records accepted before it cannot be
+// re-routed retroactively. Attaching drops accumulators for servers outside
+// the local replica set.
+func (s *Server) SetCluster(cl *cluster.Cluster) {
+	s.clusterRef.Store(cl)
+	if s.cfg.Incremental && cl != nil {
+		s.cfg.Store.RetainAccumulators(func(server feedback.EntityID) bool {
+			return cl.Owns(server)
+		})
+	}
+}
+
+// Cluster returns the attached cluster view, or nil on a single-node
+// server.
+func (s *Server) Cluster() *cluster.Cluster { return s.clusterRef.Load() }
 
 // buildPipeline registers the per-type handlers and wraps dispatch in the
 // interceptor chain. Order, outermost first: panic recovery (nothing above
@@ -252,6 +288,11 @@ func (s *Server) buildPipeline() service.Handler {
 	reg.Register(wire.TypeHistory, s.handleHistory)
 	reg.Register(wire.TypeAssess, s.handleAssess)
 	reg.Register(wire.TypeAssessB, s.handleAssessBatch)
+	reg.Register(wire.TypeFwdAssess, s.handleFwdAssess)
+	reg.Register(wire.TypeFwdSubmit, s.handleFwdSubmit)
+	reg.Register(wire.TypeFwdBatch, s.handleFwdBatch)
+	reg.Register(wire.TypeFwdAssessB, s.handleFwdAssessBatch)
+	reg.Register(wire.TypeClusterInfo, s.handleClusterInfo)
 
 	dispatch := func(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
 		h, ok := reg.Lookup(env.Type)
@@ -292,6 +333,9 @@ func (s *Server) Stats() Stats {
 		ServersTracked: s.cfg.Store.AccumulatorsTracked(),
 		Served:         s.nIncremental.Load(),
 		Fallbacks:      s.nFallback.Load(),
+	}
+	if cl := s.clusterRef.Load(); cl != nil {
+		st.Cluster = cl.Stats()
 	}
 	return st
 }
@@ -604,9 +648,22 @@ func (s *Server) handleSubmit(ctx context.Context, env wire.Envelope) (wire.Enve
 	if err := ctx.Err(); err != nil {
 		return wire.Envelope{}, err
 	}
+	if cl := s.clusterRef.Load(); cl != nil && !cl.IsOwner(req.Feedback.Server) {
+		// Not the owner: the owner applies the write (and replicates it); we
+		// relay its answer. Validation happens there too, so a bad record
+		// comes back as the same typed invalid_feedback error.
+		stored, err := cl.ForwardSubmit(ctx, cl.Owner(req.Feedback.Server), req.Feedback, false)
+		if err != nil {
+			return wire.Envelope{}, forwardedErr(err)
+		}
+		return service.CodecFrom(ctx).Encode(wire.TypeSubmitR, env.ID, wire.SubmitResponse{Stored: stored})
+	}
 	stored, err := s.cfg.Recorder.Add(req.Feedback)
 	if err != nil {
 		return wire.Envelope{}, service.Errorf(wire.CodeInvalidFeedback, "%v", err)
+	}
+	if stored {
+		s.replicate(ctx, []feedback.Feedback{req.Feedback})
 	}
 	return service.CodecFrom(ctx).Encode(wire.TypeSubmitR, env.ID, wire.SubmitResponse{Stored: stored})
 }
@@ -616,12 +673,29 @@ func (s *Server) handleBatch(ctx context.Context, env wire.Envelope) (wire.Envel
 	if err := wire.DecodePayload(env, &req); err != nil {
 		return wire.Envelope{}, service.Errorf(wire.CodeBadRequest, "%v", err)
 	}
+	if cl := s.clusterRef.Load(); cl != nil && cl.Size() > 1 {
+		resp, err := s.clusterBatch(ctx, cl, req)
+		if err != nil {
+			return wire.Envelope{}, err
+		}
+		return service.CodecFrom(ctx).Encode(wire.TypeBatchR, env.ID, resp)
+	}
+	resp, err := s.applyBatch(ctx, req.Records)
+	if err != nil {
+		return wire.Envelope{}, err
+	}
+	return service.CodecFrom(ctx).Encode(wire.TypeBatchR, env.ID, resp)
+}
+
+// applyBatch stores records locally with the per-record report semantics of
+// a batch submit: bad records are reported, not fatal.
+func (s *Server) applyBatch(ctx context.Context, recs []feedback.Feedback) (wire.BatchResponse, error) {
 	var resp wire.BatchResponse
-	for i, rec := range req.Records {
+	for i, rec := range recs {
 		// A cancelled request must stop writing, but records already stored
 		// stay stored — the client learns how far it got from the error.
 		if err := ctx.Err(); err != nil {
-			return wire.Envelope{}, err
+			return resp, err
 		}
 		stored, err := s.cfg.Recorder.Add(rec)
 		if err != nil {
@@ -636,7 +710,7 @@ func (s *Server) handleBatch(ctx context.Context, env wire.Envelope) (wire.Envel
 			resp.Duplicates++
 		}
 	}
-	return service.CodecFrom(ctx).Encode(wire.TypeBatchR, env.ID, resp)
+	return resp, nil
 }
 
 func (s *Server) handleHistory(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
@@ -666,6 +740,15 @@ func (s *Server) handleAssess(ctx context.Context, env wire.Envelope) (wire.Enve
 	var req wire.AssessRequest
 	if err := wire.DecodePayload(env, &req); err != nil {
 		return wire.Envelope{}, service.Errorf(wire.CodeBadRequest, "%v", err)
+	}
+	if cl := s.clusterRef.Load(); cl != nil && req.Server != "" && !cl.Owns(req.Server) {
+		// The local node holds no state for this server: fan out to its
+		// replica set and weight-merge the per-node views.
+		resp, err := s.clusterAssess(ctx, cl, req)
+		if err != nil {
+			return wire.Envelope{}, err
+		}
+		return service.CodecFrom(ctx).Encode(wire.TypeAssessR, env.ID, resp)
 	}
 	resp, err := s.assess(ctx, req)
 	if err != nil {

@@ -190,18 +190,27 @@ func (s *Store) Add(f feedback.Feedback) (bool, error) {
 		switch {
 		case e.acc == nil:
 			// Factory installed after this server gained records (or the
-			// server is new): mint and catch up on the whole history.
-			e.acc = (*fp)(f.Server)
-			s.accTracked.Add(1)
-			replayAccumulator(e.acc, e.hist)
+			// server is new): mint and catch up on the whole history. The
+			// factory may decline (nil) — e.g. a cluster node refusing to
+			// materialize accumulators for servers it does not own.
+			if acc := (*fp)(f.Server); acc != nil {
+				e.acc = acc
+				s.accTracked.Add(1)
+				replayAccumulator(e.acc, e.hist)
+			}
 		case inOrder:
 			e.acc.Append(f)
 		default:
 			// Out-of-order insert: accumulators are strictly append-only, so
 			// rebuild by replaying the re-ordered history — the insert above
 			// already paid O(n) on this path.
-			e.acc = (*fp)(f.Server)
-			replayAccumulator(e.acc, e.hist)
+			if acc := (*fp)(f.Server); acc != nil {
+				e.acc = acc
+				replayAccumulator(e.acc, e.hist)
+			} else {
+				e.acc = nil
+				s.accTracked.Add(-1)
+			}
 		}
 	}
 	e.snap.Store(nil)
@@ -310,9 +319,31 @@ func (s *Store) SetAccumulatorFactory(f AccumulatorFactory) {
 		sh.mu.Lock()
 		for srv, e := range sh.byServ {
 			if e.acc == nil {
-				e.acc = f(srv)
-				s.accTracked.Add(1)
-				replayAccumulator(e.acc, e.hist)
+				if acc := f(srv); acc != nil {
+					e.acc = acc
+					s.accTracked.Add(1)
+					replayAccumulator(e.acc, e.hist)
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// RetainAccumulators drops the accumulators of every server for which keep
+// returns false. A cluster node calls it when its ownership view attaches
+// (or changes) so accumulator memory is only spent on servers the node
+// owns or replicates; dropped servers keep their records and fall back to
+// the batch assessment path, re-minting an accumulator on their next write
+// only if the installed factory then accepts them.
+func (s *Store) RetainAccumulators(keep func(feedback.EntityID) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for srv, e := range sh.byServ {
+			if e.acc != nil && !keep(srv) {
+				e.acc = nil
+				s.accTracked.Add(-1)
 			}
 		}
 		sh.mu.Unlock()
@@ -459,6 +490,22 @@ func (s *Store) Checksums() map[feedback.EntityID]Checksum {
 		sh.mu.RUnlock()
 	}
 	return out
+}
+
+// ServerChecksum returns one server's checksum in O(1): the record count
+// and XOR of all content hashes, maintained incrementally on write. The
+// zero Checksum means the server is unknown. Cluster nodes exchange it as a
+// replica-agreement digest: equal checksums mean (up to hash collisions)
+// equal record sets.
+func (s *Store) ServerChecksum(server feedback.EntityID) Checksum {
+	sh := s.shardOf(server)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e := sh.byServ[server]
+	if e == nil {
+		return Checksum{}
+	}
+	return Checksum{Count: e.hist.Len(), XOR: e.xor}
 }
 
 // ServerHashes returns the content hashes of one server's records, sorted.

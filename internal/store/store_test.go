@@ -395,3 +395,48 @@ func TestStoreShardCountInvariance(t *testing.T) {
 		}
 	}
 }
+
+func TestServerChecksum(t *testing.T) {
+	s := New()
+	if got := s.ServerChecksum("nobody"); got != (Checksum{}) {
+		t.Fatalf("unknown server checksum = %+v; want zero", got)
+	}
+	recs := []feedback.Feedback{
+		rec("a", "c1", true, 10),
+		rec("a", "c2", false, 20),
+		rec("a", "c3", true, 30),
+	}
+	for _, f := range recs {
+		if _, err := s.Add(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.ServerChecksum("a")
+	var wantXOR uint64
+	for _, f := range recs {
+		wantXOR ^= uint64(HashOf(f))
+	}
+	if got.Count != 3 || got.XOR != wantXOR {
+		t.Fatalf("checksum = %+v; want count 3 xor %d", got, wantXOR)
+	}
+	// A duplicate changes nothing; the checksum is order-independent, so a
+	// second store fed the same records in reverse agrees.
+	if _, err := s.Add(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if again := s.ServerChecksum("a"); again != got {
+		t.Fatalf("checksum moved on duplicate: %+v != %+v", again, got)
+	}
+	s2 := New()
+	for i := len(recs) - 1; i >= 0; i-- {
+		if _, err := s2.Add(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if other := s2.ServerChecksum("a"); other != got {
+		t.Fatalf("checksum order-dependent: %+v != %+v", other, got)
+	}
+	if per := s.Checksums()["a"]; per != got {
+		t.Fatalf("Checksums()[a] = %+v; ServerChecksum = %+v", per, got)
+	}
+}

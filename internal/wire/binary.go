@@ -77,6 +77,34 @@ func appendBinaryPayload(buf []byte, payload any) ([]byte, bool, error) {
 		return appendErrorResponse(buf, p), true, nil
 	case *ErrorResponse:
 		return appendErrorResponse(buf, *p), true, nil
+	case FwdAssessRequest:
+		return appendFwdAssessRequest(buf, p), true, nil
+	case *FwdAssessRequest:
+		return appendFwdAssessRequest(buf, *p), true, nil
+	case NodeAssessment:
+		return appendNodeAssessment(buf, p), true, nil
+	case *NodeAssessment:
+		return appendNodeAssessment(buf, *p), true, nil
+	case FwdSubmitRequest:
+		b, err := appendFwdSubmitRequest(buf, p)
+		return b, true, err
+	case *FwdSubmitRequest:
+		b, err := appendFwdSubmitRequest(buf, *p)
+		return b, true, err
+	case FwdBatchRequest:
+		b, err := appendFwdBatchRequest(buf, p)
+		return b, true, err
+	case *FwdBatchRequest:
+		b, err := appendFwdBatchRequest(buf, *p)
+		return b, true, err
+	case FwdAssessBatchRequest:
+		return appendFwdAssessBatchRequest(buf, p), true, nil
+	case *FwdAssessBatchRequest:
+		return appendFwdAssessBatchRequest(buf, *p), true, nil
+	case FwdAssessBatchResponse:
+		return appendFwdAssessBatchResponse(buf, p), true, nil
+	case *FwdAssessBatchResponse:
+		return appendFwdAssessBatchResponse(buf, *p), true, nil
 	}
 	return buf, false, nil
 }
@@ -110,6 +138,18 @@ func decodeBinaryPayload(t MsgType, buf []byte, out any) error {
 		err = r.assessBatchResponse(o)
 	case *ErrorResponse:
 		err = r.errorResponse(o)
+	case *FwdAssessRequest:
+		err = r.fwdAssessRequest(o)
+	case *NodeAssessment:
+		err = r.nodeAssessment(o)
+	case *FwdSubmitRequest:
+		err = r.fwdSubmitRequest(o)
+	case *FwdBatchRequest:
+		err = r.fwdBatchRequest(o)
+	case *FwdAssessBatchRequest:
+		err = r.fwdAssessBatchRequest(o)
+	case *FwdAssessBatchResponse:
+		err = r.fwdAssessBatchResponse(o)
 	default:
 		return fmt.Errorf("%w: no binary codec for %T (%s payload)", ErrBadMessage, out, t)
 	}
@@ -186,6 +226,7 @@ const (
 	assessFlagAccept      byte = 1 << 0
 	assessFlagCached      byte = 1 << 1
 	assessFlagIncremental byte = 1 << 2
+	assessFlagMerged      byte = 1 << 3
 
 	asmtFlagSuspicious   byte = 1 << 0
 	asmtFlagShortHistory byte = 1 << 1
@@ -240,8 +281,18 @@ func appendAssessResponse(buf []byte, p AssessResponse) []byte {
 	if p.Incremental {
 		flags |= assessFlagIncremental
 	}
+	if p.Merged {
+		flags |= assessFlagMerged
+	}
 	buf = append(buf, flags)
-	return appendAssessment(buf, p.Assessment)
+	buf = appendAssessment(buf, p.Assessment)
+	if p.Merged {
+		buf = binary.AppendUvarint(buf, uint64(len(p.MergedFrom)))
+		for _, n := range p.MergedFrom {
+			buf = appendString(buf, n)
+		}
+	}
+	return buf
 }
 
 func appendAssessBatchRequest(buf []byte, p AssessBatchRequest) []byte {
@@ -270,6 +321,58 @@ func appendAssessBatchResponse(buf []byte, p AssessBatchResponse) []byte {
 func appendErrorResponse(buf []byte, p ErrorResponse) []byte {
 	buf = appendString(buf, p.Code)
 	return appendString(buf, p.Message)
+}
+
+// Forwarded-call payloads (cluster node-to-node frames). The assess pair
+// matters most: a NodeAssessment carries the full per-suffix verdict table —
+// thousands of entries at long histories — and forwarding it as JSON would
+// put an encode+decode of that table on every cross-node read.
+
+func appendFwdAssessRequest(buf []byte, p FwdAssessRequest) []byte {
+	buf = appendString(buf, p.Node)
+	buf = appendString(buf, string(p.Server))
+	buf = appendFloat(buf, p.Threshold)
+	return appendBool(buf, p.DigestOnly)
+}
+
+func appendNodeAssessment(buf []byte, p NodeAssessment) []byte {
+	buf = appendString(buf, p.Node)
+	records := p.Records
+	if records < 0 {
+		records = 0
+	}
+	buf = binary.AppendUvarint(buf, uint64(records))
+	buf = binary.AppendUvarint(buf, p.Version)
+	buf = binary.AppendUvarint(buf, p.XOR)
+	return appendAssessResponse(buf, p.AssessResponse)
+}
+
+func appendFwdSubmitRequest(buf []byte, p FwdSubmitRequest) ([]byte, error) {
+	buf = appendString(buf, p.Node)
+	buf, err := feedback.AppendBinary(buf, p.Feedback)
+	if err != nil {
+		return nil, err
+	}
+	return appendBool(buf, p.Replica), nil
+}
+
+func appendFwdBatchRequest(buf []byte, p FwdBatchRequest) ([]byte, error) {
+	buf = appendString(buf, p.Node)
+	buf, err := appendRecords(buf, p.Records)
+	if err != nil {
+		return nil, err
+	}
+	return appendBool(buf, p.Replica), nil
+}
+
+func appendFwdAssessBatchRequest(buf []byte, p FwdAssessBatchRequest) []byte {
+	buf = appendString(buf, p.Node)
+	return appendAssessBatchRequest(buf, AssessBatchRequest{Servers: p.Servers, Threshold: p.Threshold})
+}
+
+func appendFwdAssessBatchResponse(buf []byte, p FwdAssessBatchResponse) []byte {
+	buf = appendString(buf, p.Node)
+	return appendAssessBatchResponse(buf, AssessBatchResponse{Items: p.Items})
 }
 
 // breader is a strict cursor over a binary payload: every read checks the
@@ -502,7 +605,25 @@ func (r *breader) assessResponse(o *AssessResponse) error {
 	o.Accept = flags&assessFlagAccept != 0
 	o.Cached = flags&assessFlagCached != 0
 	o.Incremental = flags&assessFlagIncremental != 0
-	return r.assessment(&o.Assessment)
+	o.Merged = flags&assessFlagMerged != 0
+	if err := r.assessment(&o.Assessment); err != nil {
+		return err
+	}
+	if !o.Merged {
+		return nil
+	}
+	n, err := r.count()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		s, err := r.string()
+		if err != nil {
+			return err
+		}
+		o.MergedFrom = append(o.MergedFrom, s)
+	}
+	return nil
 }
 
 func (r *breader) assessBatchRequest(o *AssessBatchRequest) error {
@@ -566,4 +687,88 @@ func (r *breader) errorResponse(o *ErrorResponse) error {
 	}
 	o.Message, err = r.string()
 	return err
+}
+
+func (r *breader) fwdAssessRequest(o *FwdAssessRequest) error {
+	var err error
+	if o.Node, err = r.string(); err != nil {
+		return err
+	}
+	s, err := r.string()
+	if err != nil {
+		return err
+	}
+	o.Server = feedback.EntityID(s)
+	if o.Threshold, err = r.float(); err != nil {
+		return err
+	}
+	o.DigestOnly, err = r.bool()
+	return err
+}
+
+func (r *breader) nodeAssessment(o *NodeAssessment) error {
+	var err error
+	if o.Node, err = r.string(); err != nil {
+		return err
+	}
+	if o.Records, err = r.int(); err != nil {
+		return err
+	}
+	if o.Version, err = r.uvarint(); err != nil {
+		return err
+	}
+	if o.XOR, err = r.uvarint(); err != nil {
+		return err
+	}
+	return r.assessResponse(&o.AssessResponse)
+}
+
+func (r *breader) fwdSubmitRequest(o *FwdSubmitRequest) error {
+	var err error
+	if o.Node, err = r.string(); err != nil {
+		return err
+	}
+	if o.Feedback, err = r.record(); err != nil {
+		return err
+	}
+	o.Replica, err = r.bool()
+	return err
+}
+
+func (r *breader) fwdBatchRequest(o *FwdBatchRequest) error {
+	var err error
+	if o.Node, err = r.string(); err != nil {
+		return err
+	}
+	if o.Records, err = r.records(); err != nil {
+		return err
+	}
+	o.Replica, err = r.bool()
+	return err
+}
+
+func (r *breader) fwdAssessBatchRequest(o *FwdAssessBatchRequest) error {
+	var err error
+	if o.Node, err = r.string(); err != nil {
+		return err
+	}
+	var inner AssessBatchRequest
+	if err := r.assessBatchRequest(&inner); err != nil {
+		return err
+	}
+	o.Servers, o.Threshold = inner.Servers, inner.Threshold
+	return nil
+}
+
+func (r *breader) fwdAssessBatchResponse(o *FwdAssessBatchResponse) error {
+	var err error
+	if o.Node, err = r.string(); err != nil {
+		return err
+	}
+	var inner AssessBatchResponse
+	if err := r.assessBatchResponse(&inner); err != nil {
+		return err
+	}
+	o.Items = inner.Items
+	return nil
 }

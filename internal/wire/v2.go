@@ -85,6 +85,19 @@ var v2Codes = map[MsgType]byte{
 	TypeSummary:  15,
 	TypeSummaryR: 16,
 	TypeError:    17,
+	// Cluster forwarding. The fwd.* payloads have binary codecs (their
+	// responses carry full verdict tables, far too hot for JSON); the
+	// cluster.info pair is cold and rides as JSON via flagJSONPayload.
+	TypeFwdAssess:    18,
+	TypeFwdAssessR:   19,
+	TypeFwdSubmit:    20,
+	TypeFwdSubmitR:   21,
+	TypeFwdBatch:     22,
+	TypeFwdBatchR:    23,
+	TypeFwdAssessB:   24,
+	TypeFwdAssessBR:  25,
+	TypeClusterInfo:  26,
+	TypeClusterInfoR: 27,
 }
 
 var v2Types = func() map[byte]MsgType {

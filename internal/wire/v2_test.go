@@ -65,7 +65,22 @@ func v2Payloads() map[MsgType]any {
 			{Server: "a", AssessResponse: AssessResponse{Assessment: testAssessment(), Accept: true}},
 			{Server: "b", Error: &ErrorResponse{Code: CodeUnknownServer, Message: `no records for "b"`}},
 		}},
-		TypeError: ErrorResponse{Code: CodeBadRequest, Message: "boom"},
+		TypeError:     ErrorResponse{Code: CodeBadRequest, Message: "boom"},
+		TypeFwdAssess: FwdAssessRequest{Node: "n2", Server: "srv-a", Threshold: 0.875, DigestOnly: true},
+		TypeFwdAssessR: NodeAssessment{Node: "n1", Records: 4200, Version: 77, XOR: 0xdeadbeefcafe, AssessResponse: AssessResponse{
+			Assessment: testAssessment(), Accept: true, Incremental: true,
+		}},
+		TypeFwdSubmit:  FwdSubmitRequest{Node: "n3", Feedback: testRecord(2), Replica: true},
+		TypeFwdSubmitR: SubmitResponse{Stored: true},
+		TypeFwdBatch:   FwdBatchRequest{Node: "n2", Records: []feedback.Feedback{testRecord(1), testRecord(2)}},
+		TypeFwdBatchR:  BatchResponse{Stored: 2},
+		TypeFwdAssessB: FwdAssessBatchRequest{Node: "n1", Servers: []feedback.EntityID{"a", "b"}, Threshold: 0.9},
+		TypeFwdAssessBR: FwdAssessBatchResponse{Node: "n3", Items: []AssessBatchItem{
+			{Server: "a", AssessResponse: AssessResponse{
+				Assessment: testAssessment(), Accept: true, Merged: true, MergedFrom: []string{"n1", "n3"},
+			}},
+			{Server: "b", Error: &ErrorResponse{Code: CodeUnavailable, Message: "owner down"}},
+		}},
 	}
 }
 

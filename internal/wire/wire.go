@@ -60,6 +60,23 @@ const (
 	TypeError    MsgType = "error"
 )
 
+// Node-to-node message types for cluster forwarding. A forwarded call is
+// always answered from the receiving node's local state — never forwarded
+// again — which makes routing loops structurally impossible even under a
+// membership misconfiguration. See docs/CLUSTER.md.
+const (
+	TypeFwdAssess    MsgType = "fwd.assess"
+	TypeFwdAssessR   MsgType = "fwd.assess.resp"
+	TypeFwdSubmit    MsgType = "fwd.submit"
+	TypeFwdSubmitR   MsgType = "fwd.submit.resp"
+	TypeFwdBatch     MsgType = "fwd.submit.batch"
+	TypeFwdBatchR    MsgType = "fwd.submit.batch.resp"
+	TypeFwdAssessB   MsgType = "fwd.assess.batch"
+	TypeFwdAssessBR  MsgType = "fwd.assess.batch.resp"
+	TypeClusterInfo  MsgType = "cluster.info"
+	TypeClusterInfoR MsgType = "cluster.info.resp"
+)
+
 // Error codes carried by ErrorResponse frames. Servers use these; clients
 // match on them (string-compare or errors.As on *ErrorResponse).
 const (
@@ -81,6 +98,10 @@ const (
 	CodeCanceled = "canceled"
 	// CodeInternal reports an unexpected server-side failure.
 	CodeInternal = "internal"
+	// CodeUnavailable reports that a cluster peer needed to answer the
+	// request could not be reached. The request may succeed on retry once
+	// the peer recovers; the connection that reported it stays usable.
+	CodeUnavailable = "unavailable"
 )
 
 // UnattributableID is the envelope id used in error frames that cannot be
@@ -235,6 +256,15 @@ type AssessResponse struct {
 	// per-server assessment engine instead of a batch recompute. The result
 	// is identical either way; the flag exists for observability.
 	Incremental bool `json:"incremental,omitempty"`
+	// Merged reports that the assessment was weight-merged from more than
+	// one cluster node's local view (the replica set disagreed, or the
+	// answering node fanned the request out). Single-node deployments and
+	// owner-local answers never set it.
+	Merged bool `json:"merged,omitempty"`
+	// MergedFrom lists the node IDs whose views contributed to a merged
+	// assessment, in merge order (most complete view first). Empty unless
+	// Merged is set.
+	MergedFrom []string `json:"merged_from,omitempty"`
 }
 
 // AssessBatchRequest asks the server to assess many candidate servers in
