@@ -1,0 +1,357 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/ledger"
+	"honestplayer/internal/store"
+	"honestplayer/internal/trust"
+)
+
+// The boot benchmark compares the two recovery strategies for the same
+// feedback history:
+//
+//   - replay: a legacy single-file JSON-lines ledger (the pre-segmentation
+//     format) is opened cold, which migrates it in place and replays every
+//     record through the store.
+//   - snapshot: a segmented ledger whose history (minus a 1% tail) is
+//     covered by a snapshot; boot decodes the snapshot, seeds the store
+//     shard by shard, and replays only the tail segments.
+//
+// Both paths are run with and without the incremental assessment engine.
+// With it, the snapshot carries serialized accumulator state, so a
+// snapshot boot must restore running assessments without re-feeding the
+// snapshotted history — the differential check below proves the resulting
+// store (record counts, versions, checksums, incremental assessments) is
+// bit-identical either way.
+
+// bootBenchSize is one history size of the comparison.
+type bootBenchSize struct {
+	Records int // total records in the history
+	Tail    int // records appended after the snapshot
+}
+
+// bootSizeResult is the per-(size, mode) outcome.
+type bootSizeResult struct {
+	Records          int     `json:"records"`
+	TailRecords      int     `json:"tail_records"`
+	Incremental      bool    `json:"incremental"`
+	ReplayBootMs     float64 `json:"replay_boot_ms"`
+	SnapshotBootMs   float64 `json:"snapshot_boot_ms"`
+	Speedup          float64 `json:"speedup"`
+	SnapshotBootMode string  `json:"snapshot_boot_mode"`
+	StateMatch       bool    `json:"state_match"`
+}
+
+// bootBenchReport is the JSON document the -bootbench mode emits.
+type bootBenchReport struct {
+	Description string           `json:"description"`
+	Command     string           `json:"command"`
+	Environment map[string]any   `json:"environment"`
+	Config      map[string]any   `json:"config"`
+	Sizes       []bootSizeResult `json:"sizes"`
+	Acceptance  string           `json:"acceptance"`
+}
+
+// bootRecord is the i-th record of the deterministic workload: 64 servers,
+// 37 clients, one negative in twenty, strictly increasing timestamps so
+// every record is content-unique.
+func bootRecord(i int) feedback.Feedback {
+	r := feedback.Positive
+	if i%20 == 19 {
+		r = feedback.Negative
+	}
+	return feedback.Feedback{
+		Time:   time.Unix(int64(i), 0).UTC(),
+		Server: feedback.EntityID(fmt.Sprintf("s%03d", i%64)),
+		Client: feedback.EntityID(fmt.Sprintf("c%02d", i%37)),
+		Rating: r,
+	}
+}
+
+// bootOptions builds the PersistentStore options for one mode. With the
+// incremental engine on, the options carry the same accumulator closures
+// trustd wires: mint from the assessor, serialize into snapshots, restore
+// on boot.
+func bootOptions(incremental bool) (ledger.Options, *core.TwoPhase, error) {
+	opts := ledger.Options{Shards: 4, SegmentBytes: 8 << 20}
+	if !incremental {
+		return opts, nil, nil
+	}
+	tp, err := core.NewTwoPhase(nil, trust.Average{})
+	if err != nil {
+		return opts, nil, err
+	}
+	opts.AccumulatorFactory = func(server feedback.EntityID) store.Accumulator {
+		acc, err := tp.NewServerAccumulator(server)
+		if err != nil {
+			return nil
+		}
+		return acc
+	}
+	opts.EncodeAccumulator = func(acc store.Accumulator) ([]byte, bool) {
+		sa, ok := acc.(*core.ServerAccumulator)
+		if !ok {
+			return nil, false
+		}
+		return sa.AppendState(nil)
+	}
+	opts.RestoreAccumulator = func(server feedback.EntityID, state []byte) (store.Accumulator, int, error) {
+		sa, n, err := tp.RestoreServerAccumulator(server, state)
+		if err != nil {
+			return nil, 0, err
+		}
+		return sa, n, nil
+	}
+	return opts, tp, nil
+}
+
+// writeLegacyLedger writes the pre-segmentation format: one JSON object per
+// line, no checksums, no segments.
+func writeLegacyLedger(path string, n int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	for i := 0; i < n; i++ {
+		line, err := json.Marshal(bootRecord(i))
+		if err != nil {
+			f.Close()
+			return err
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// buildSnapshotLedger builds a segmented ledger with a snapshot covering
+// all but the last size.Tail records.
+func buildSnapshotLedger(path string, size bootBenchSize, incremental bool) error {
+	opts, _, err := bootOptions(incremental)
+	if err != nil {
+		return err
+	}
+	ps, err := ledger.OpenStoreOptions(context.Background(), path, opts)
+	if err != nil {
+		return err
+	}
+	defer ps.Close()
+	covered := size.Records - size.Tail
+	for i := 0; i < covered; i++ {
+		if _, err := ps.Add(bootRecord(i)); err != nil {
+			return err
+		}
+	}
+	if _, err := ps.Snapshot(); err != nil {
+		return err
+	}
+	for i := covered; i < size.Records; i++ {
+		if _, err := ps.Add(bootRecord(i)); err != nil {
+			return err
+		}
+	}
+	return ps.Close()
+}
+
+// bootFingerprint captures everything that defines the booted store's
+// logical state without retaining the records themselves: per-server record
+// count, version, content checksum, and (incremental mode) the restored
+// accumulator's assessment.
+func bootFingerprint(ps *ledger.PersistentStore, incremental bool) (map[string]any, error) {
+	st := ps.Store()
+	fp := map[string]any{"len": st.Len()}
+	servers := st.Servers()
+	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
+	for _, srv := range servers {
+		key := string(srv)
+		fp[key+"/records"] = st.ServerLen(srv)
+		fp[key+"/version"] = st.Version(srv)
+		fp[key+"/checksum"] = st.ServerChecksum(srv)
+		if incremental {
+			var assessErr error
+			ok := st.ViewAccumulator(srv, func(acc store.Accumulator, version uint64) {
+				sa, isSA := acc.(*core.ServerAccumulator)
+				if !isSA {
+					assessErr = fmt.Errorf("server %q: unexpected accumulator type", srv)
+					return
+				}
+				a, err := sa.Assess()
+				if err != nil {
+					assessErr = fmt.Errorf("assess %q: %w", srv, err)
+					return
+				}
+				fp[key+"/assessment"] = a
+				fp[key+"/accversion"] = version
+			})
+			if assessErr != nil {
+				return nil, assessErr
+			}
+			if !ok {
+				return nil, fmt.Errorf("server %q has no accumulator after boot", srv)
+			}
+		}
+	}
+	return fp, nil
+}
+
+// bootOnce opens the ledger at path once, returning the boot latency in
+// milliseconds plus (when wantState is set) the fingerprint and boot mode.
+func bootOnce(path string, incremental, wantState bool) (float64, map[string]any, string, error) {
+	opts, _, err := bootOptions(incremental)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	// Collect the previous boot's store before starting the clock, so each
+	// timed open pays for its own allocations only — without this, a timed
+	// boot absorbs the GC debt of whichever (much larger) boot ran before it.
+	runtime.GC()
+	start := time.Now()
+	ps, err := ledger.OpenStoreOptions(context.Background(), path, opts)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	ms := float64(time.Since(start).Nanoseconds()) / 1e6
+	var fp map[string]any
+	var mode string
+	if wantState {
+		if fp, err = bootFingerprint(ps, incremental); err != nil {
+			ps.Close()
+			return 0, nil, "", err
+		}
+		mode = ps.Stats().BootMode
+	}
+	if err := ps.Close(); err != nil {
+		return 0, nil, "", err
+	}
+	return ms, fp, mode, nil
+}
+
+// timeBoots measures both boot paths with their cold opens interleaved —
+// replay, snapshot, replay, snapshot, … — so slow drift on a shared
+// machine (frequency scaling, noisy neighbours) hits both paths equally.
+// Each path reports its best pass: scheduling noise only ever adds time.
+func timeBoots(legacy, snapDir string, incremental bool) (replayMs, snapMs float64, replayFP, snapFP map[string]any, snapMode string, err error) {
+	const passes = 3
+	replayMs, snapMs = math.MaxFloat64, math.MaxFloat64
+	for p := 0; p < passes; p++ {
+		last := p == passes-1
+		ms, fp, _, err := bootOnce(legacy, incremental, last)
+		if err != nil {
+			return 0, 0, nil, nil, "", fmt.Errorf("replay boot: %w", err)
+		}
+		replayMs = math.Min(replayMs, ms)
+		if last {
+			replayFP = fp
+		}
+		ms, fp, mode, err := bootOnce(snapDir, incremental, last)
+		if err != nil {
+			return 0, 0, nil, nil, "", fmt.Errorf("snapshot boot: %w", err)
+		}
+		snapMs = math.Min(snapMs, ms)
+		if last {
+			snapFP, snapMode = fp, mode
+		}
+	}
+	return replayMs, snapMs, replayFP, snapFP, snapMode, nil
+}
+
+// runBootBench executes the replay-vs-snapshot boot comparison and writes
+// the JSON report. A fingerprint mismatch between the two boot paths always
+// fails; minSpeedup > 0 additionally gates every size on snapshot boots
+// reaching that speedup from a real snapshot (not a replay fallback).
+func runBootBench(out io.Writer, quick bool, minSpeedup float64) error {
+	sizes := []bootBenchSize{
+		{Records: 100000, Tail: 1000},
+		{Records: 1000000, Tail: 10000},
+	}
+	if quick {
+		sizes = []bootBenchSize{{Records: 20000, Tail: 200}}
+	}
+	report := bootBenchReport{
+		Description: "Cold-boot latency of a snapshot+tail-replay open of the segmented ledger vs a full JSON replay of the same history from the legacy single-file format, with and without the incremental assessment engine. Each path reports the best of three interleaved cold opens; the differential check proves both boots yield an identical store (record counts, versions, content checksums, and restored incremental assessments).",
+		Command:     "go run ./cmd/reprobench -bootbench",
+		Environment: map[string]any{
+			"go":   runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+			"date": time.Now().UTC().Format("2006-01-02"),
+		},
+		Config: map[string]any{
+			"servers":        64,
+			"clients":        37,
+			"good_ratio":     "19/20",
+			"shards":         4,
+			"segment_bytes":  8 << 20,
+			"tail_fraction":  "1%",
+			"passes_per_dir": 3,
+			"trust":          "average",
+		},
+		Acceptance: "speedup at records=1000000 must be >= 10 with state_match true and snapshot_boot_mode \"snapshot\"",
+	}
+	work, err := os.MkdirTemp("", "bootbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	for _, size := range sizes {
+		for _, incremental := range []bool{false, true} {
+			tag := fmt.Sprintf("n%d-incr%v", size.Records, incremental)
+			legacy := filepath.Join(work, tag+"-legacy")
+			if err := writeLegacyLedger(legacy, size.Records); err != nil {
+				return fmt.Errorf("%s: build legacy ledger: %w", tag, err)
+			}
+			snapDir := filepath.Join(work, tag+"-snap")
+			if err := buildSnapshotLedger(snapDir, size, incremental); err != nil {
+				return fmt.Errorf("%s: build snapshot ledger: %w", tag, err)
+			}
+			replayMs, snapMs, replayFP, snapFP, snapMode, err := timeBoots(legacy, snapDir, incremental)
+			if err != nil {
+				return fmt.Errorf("%s: %w", tag, err)
+			}
+			res := bootSizeResult{
+				Records:          size.Records,
+				TailRecords:      size.Tail,
+				Incremental:      incremental,
+				ReplayBootMs:     float64(int(replayMs*100)) / 100,
+				SnapshotBootMs:   float64(int(snapMs*100)) / 100,
+				Speedup:          float64(int(replayMs/snapMs*100)) / 100,
+				SnapshotBootMode: snapMode,
+				StateMatch:       reflect.DeepEqual(replayFP, snapFP),
+			}
+			report.Sizes = append(report.Sizes, res)
+			if !res.StateMatch {
+				return fmt.Errorf("%s: snapshot boot diverges from full replay", tag)
+			}
+			if minSpeedup > 0 {
+				if res.SnapshotBootMode != "snapshot" {
+					return fmt.Errorf("%s: boot fell back to %q instead of using the snapshot", tag, res.SnapshotBootMode)
+				}
+				if res.Speedup < minSpeedup {
+					return fmt.Errorf("%s: speedup %.2f below gate %.2f", tag, res.Speedup, minSpeedup)
+				}
+			}
+			os.RemoveAll(legacy)
+			os.RemoveAll(snapDir)
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

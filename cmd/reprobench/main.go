@@ -9,6 +9,7 @@
 //	reprobench -incrbench          # incremental engine vs recompute (JSON)
 //	reprobench -batchbench         # assess.batch vs N single assess (JSON)
 //	reprobench -clusterbench       # forwarded+merged vs local assess (JSON)
+//	reprobench -bootbench          # snapshot+tail boot vs full JSON replay (JSON)
 package main
 
 import (
@@ -46,6 +47,8 @@ func run(args []string, out *os.File) error {
 		wireSp = fs.Float64("wire-min-speedup", 0, "with -wirebench: fail unless every size reaches this speedup with matching assessments (0 disables the gate)")
 		clb    = fs.Bool("clusterbench", false, "benchmark a forwarded+merged assess against a local one on a 3-node cluster and emit a JSON report; mismatching verdicts always fail")
 		clOv   = fs.Float64("cluster-max-overhead", 0, "with -clusterbench: fail if the forwarding overhead ratio exceeds this at any size (0 disables the gate)")
+		bootb  = fs.Bool("bootbench", false, "benchmark a snapshot+tail-replay boot against a full JSON replay of the same history and emit a JSON report; diverging store state always fails")
+		bootSp = fs.Float64("boot-min-speedup", 0, "with -bootbench: fail unless every size boots from a real snapshot at this speedup or better (0 disables the gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +65,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *clb {
 		return runClusterBench(out, *quick, *clOv)
+	}
+	if *bootb {
+		return runBootBench(out, *quick, *bootSp)
 	}
 
 	ids, err := selectFigures(*fig)

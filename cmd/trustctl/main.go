@@ -9,6 +9,7 @@
 //	trustctl -addr 127.0.0.1:7700 assess-batch -threshold 0.9 s1 s2 s3
 //	trustctl assess-batch -threshold 0.9 < servers.txt   # IDs from stdin
 //	trustctl local-assess -file history.jsonl -scheme multi -trust average
+//	trustctl ledger-info -path /var/lib/trustd/ledger   # offline checksum audit
 //	trustctl -addr host1:7700,host2:7700,host3:7700 assess -server s1
 //	trustctl -addr host1:7700 cluster-status
 //
@@ -30,6 +31,7 @@ import (
 	"honestplayer/internal/behavior"
 	"honestplayer/internal/core"
 	"honestplayer/internal/feedback"
+	"honestplayer/internal/ledger"
 	"honestplayer/internal/repclient"
 	"honestplayer/internal/stats"
 	"honestplayer/internal/store"
@@ -57,11 +59,14 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command: ping | submit | history | assess | assess-batch | cluster-status | local-assess")
+		return fmt.Errorf("missing command: ping | submit | history | assess | assess-batch | cluster-status | local-assess | ledger-info")
 	}
-	// local-assess needs no server connection.
+	// local-assess and ledger-info need no server connection.
 	if rest[0] == "local-assess" {
 		return localAssess(rest[1:], out)
+	}
+	if rest[0] == "ledger-info" {
+		return ledgerInfo(rest[1:], out)
 	}
 
 	// The flag bounds the whole command through the context-taking client
@@ -342,6 +347,91 @@ func localAssess(args []string, out io.Writer) error {
 		Assessment core.Assessment `json:"assessment"`
 	}{accept, a}); err != nil {
 		return err
+	}
+	return nil
+}
+
+// ledgerInfo inspects a ledger directory (or a legacy single-file ledger)
+// offline: segment layout, sealed/active sizes, record counts, snapshot
+// sequence, and full checksum verification of every segment and snapshot.
+func ledgerInfo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ledger-info", flag.ContinueOnError)
+	var (
+		path    = fs.String("path", "", "ledger directory (or legacy single-file ledger)")
+		asJSON  = fs.Bool("json", false, "emit the full report as JSON")
+		verbose = fs.Bool("v", false, "list every segment and snapshot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("ledger-info: missing -path")
+	}
+	info, err := ledger.Inspect(*path)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(info)
+	}
+
+	if info.Legacy {
+		fmt.Fprintf(out, "%s: legacy single-file ledger (migrates on next open)\n", info.Path)
+	} else {
+		fmt.Fprintf(out, "%s: segmented ledger\n", info.Path)
+	}
+	var sealed int
+	var sealedBytes, activeBytes int64
+	for _, seg := range info.Segments {
+		if seg.Sealed {
+			sealed++
+			sealedBytes += seg.Size
+		} else {
+			activeBytes += seg.Size
+		}
+	}
+	fmt.Fprintf(out, "  segments: %d (%d sealed, %d bytes sealed, %d bytes unsealed)\n",
+		len(info.Segments), sealed, sealedBytes, activeBytes)
+	fmt.Fprintf(out, "  records: %d verified\n", info.Records)
+	if info.TruncatedBytes > 0 {
+		fmt.Fprintf(out, "  CORRUPTION: %d bytes fail verification (next open truncates to the intact prefix)\n",
+			info.TruncatedBytes)
+	} else {
+		fmt.Fprintln(out, "  checksums: all segments verify")
+	}
+	if n := len(info.Snapshots); n > 0 {
+		latest := info.Snapshots[n-1]
+		status := "valid"
+		if !latest.Valid {
+			status = "INVALID: " + latest.Error
+		}
+		fmt.Fprintf(out, "  snapshots: %d (latest seq %d: %s, %d servers, %d records, covers segments < %d)\n",
+			n, latest.Seq, status, latest.Servers, latest.Records, latest.CoveredSegment)
+	} else if !info.Legacy {
+		fmt.Fprintln(out, "  snapshots: none (next boot replays the whole ledger)")
+	}
+	if *verbose {
+		for _, seg := range info.Segments {
+			state := "active"
+			if seg.Sealed {
+				state = "sealed"
+			}
+			fmt.Fprintf(out, "    segment %06d: %s %s, %d bytes, %d records", seg.Index, seg.Kind, state, seg.Size, seg.Records)
+			if seg.Truncated > 0 {
+				fmt.Fprintf(out, ", %d bytes CORRUPT", seg.Truncated)
+			}
+			fmt.Fprintln(out)
+		}
+		for _, sn := range info.Snapshots {
+			if sn.Valid {
+				fmt.Fprintf(out, "    snapshot %d: valid, %d bytes, %d servers, %d records, %d accumulators\n",
+					sn.Seq, sn.Size, sn.Servers, sn.Records, sn.Accumulators)
+			} else {
+				fmt.Fprintf(out, "    snapshot %d: INVALID (%s)\n", sn.Seq, sn.Error)
+			}
+		}
 	}
 	return nil
 }

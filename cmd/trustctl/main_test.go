@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +12,7 @@ import (
 	"honestplayer/internal/behavior"
 	"honestplayer/internal/core"
 	"honestplayer/internal/feedback"
+	"honestplayer/internal/ledger"
 	"honestplayer/internal/repserver"
 	"honestplayer/internal/stats"
 	"honestplayer/internal/trust"
@@ -218,5 +221,56 @@ func TestAssessBatch(t *testing.T) {
 	stdin = strings.NewReader("")
 	if err := run([]string{"-addr", addr, "assess-batch"}, &strings.Builder{}); err == nil {
 		t.Error("assess-batch with no servers must fail")
+	}
+}
+
+func TestLedgerInfo(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "led")
+	ps, err := ledger.OpenStoreOptions(context.Background(), dir, ledger.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1700000000, 0).UTC()
+	for i := 0; i < 20; i++ {
+		f := feedback.Feedback{
+			Server: "s1", Client: feedback.EntityID([]byte{'c', byte('a' + i%3)}),
+			Rating: feedback.Positive, Time: base.Add(time.Duration(i) * time.Second),
+		}
+		if ok, err := ps.Add(f); !ok || err != nil {
+			t.Fatalf("add: %v %v", ok, err)
+		}
+	}
+	if _, err := ps.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"ledger-info", "-path", dir, "-v"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"segmented ledger", "records: 20 verified", "all segments verify", "snapshots: 1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"ledger-info", "-path", dir, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var info ledger.Info
+	if err := json.Unmarshal([]byte(out.String()), &info); err != nil {
+		t.Fatalf("json output: %v", err)
+	}
+	if info.Records != 20 || len(info.Snapshots) != 1 || !info.Snapshots[0].Valid {
+		t.Fatalf("json info: %+v", info)
+	}
+
+	if err := run([]string{"ledger-info"}, &out); err == nil {
+		t.Fatal("missing -path must fail")
 	}
 }

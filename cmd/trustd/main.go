@@ -40,6 +40,7 @@ import (
 	"honestplayer/internal/behavior"
 	"honestplayer/internal/cluster"
 	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
 	"honestplayer/internal/gossip"
 	"honestplayer/internal/ledger"
 	"honestplayer/internal/repserver"
@@ -69,7 +70,10 @@ func run(ctx context.Context, args []string) error {
 		replicas     = fs.Int("replicas", cluster.DefaultReplicas, "replica count per server ID when clustered (owner + R-1 ring successors)")
 		interval     = fs.Duration("interval", time.Second, "gossip round interval")
 		name         = fs.String("name", "node", "node name used in gossip digests")
-		ledgerPath   = fs.String("ledger", "", "append-only ledger file for durable feedback storage (empty = in-memory only)")
+		ledgerPath   = fs.String("ledger", "", "segmented ledger directory for durable feedback storage (a legacy single-file ledger migrates in place; empty = in-memory only)")
+		segmentBytes = fs.Int64("segment-bytes", ledger.DefaultSegmentBytes, "ledger segment roll-over threshold in bytes")
+		snapEvery    = fs.Uint64("snapshot-every", 0, "write a store snapshot after this many durable appends, bounding boot-time replay (0 disables)")
+		snapOnStop   = fs.Bool("snapshot-on-shutdown", false, "write a final snapshot during graceful shutdown")
 		seed         = fs.Uint64("seed", 1, "seed for threshold calibration")
 		shards       = fs.Int("shards", store.DefaultShards, "feedback store shard count (writes to different servers never contend)")
 		cacheSize    = fs.Int("assess-cache", 4096, "assessment cache entries (0 disables caching)")
@@ -112,12 +116,48 @@ func run(ctx context.Context, args []string) error {
 		RequestTimeout: *reqTimeout, DrainTimeout: *drain, SlowLogThreshold: *slowLog,
 		Incremental: *incremental, BatchWorkers: *batchWorkers, DisableV2: !*wireV2,
 	}
+	var ps *ledger.PersistentStore
 	if *ledgerPath != "" {
-		ps, err := ledger.OpenStoreShardedContext(ctx, *ledgerPath, *shards)
+		opts := ledger.Options{
+			Shards:        *shards,
+			SegmentBytes:  *segmentBytes,
+			SnapshotEvery: *snapEvery,
+			Logf:          logger.Printf,
+		}
+		if *incremental && assessor.SupportsIncrementalState() {
+			// Snapshots then carry serialized accumulator state, so a booting
+			// node resumes incremental assessment without re-feeding the
+			// snapshotted history.
+			opts.AccumulatorFactory = func(server feedback.EntityID) store.Accumulator {
+				sa, err := assessor.NewServerAccumulator(server)
+				if err != nil {
+					return nil
+				}
+				return sa
+			}
+			opts.EncodeAccumulator = func(acc store.Accumulator) ([]byte, bool) {
+				sa, ok := acc.(*core.ServerAccumulator)
+				if !ok {
+					return nil, false
+				}
+				return sa.AppendState(nil)
+			}
+			opts.RestoreAccumulator = func(server feedback.EntityID, state []byte) (store.Accumulator, int, error) {
+				return assessor.RestoreServerAccumulator(server, state)
+			}
+		}
+		ps, err = ledger.OpenStoreOptions(ctx, *ledgerPath, opts)
 		if err != nil {
 			return err
 		}
 		defer func() {
+			if *snapOnStop {
+				if seq, err := ps.Snapshot(); err != nil {
+					logger.Printf("shutdown snapshot: %v", err)
+				} else {
+					logger.Printf("shutdown snapshot %d written", seq)
+				}
+			}
 			if err := ps.Close(); err != nil {
 				logger.Printf("close ledger: %v", err)
 			}
@@ -125,7 +165,13 @@ func run(ctx context.Context, args []string) error {
 		st = ps.Store()
 		serverCfg.Store = st
 		serverCfg.Recorder = ps
-		logger.Printf("ledger %s replayed %d records", *ledgerPath, st.Len())
+		lst := ps.Stats()
+		logger.Printf("ledger %s: %d records in store (boot mode %s, %d segments)",
+			*ledgerPath, st.Len(), lst.BootMode, lst.Segments)
+		if lst.Truncations > 0 {
+			logger.Printf("ledger %s: CORRUPTION repaired at boot: %d segment(s) truncated, %d bytes discarded (longest verified prefix kept)",
+				*ledgerPath, lst.Truncations, lst.TruncatedBytes)
+		}
 	}
 	srv, err := repserver.New(*addr, serverCfg)
 	if err != nil {
@@ -169,7 +215,15 @@ func run(ctx context.Context, args []string) error {
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
-			if err := enc.Encode(srv.Stats()); err != nil {
+			body := struct {
+				repserver.Stats
+				Ledger *ledger.Stats `json:"ledger,omitempty"`
+			}{Stats: srv.Stats()}
+			if ps != nil {
+				lst := ps.Stats()
+				body.Ledger = &lst
+			}
+			if err := enc.Encode(body); err != nil {
 				logger.Printf("metricz encode: %v", err)
 			}
 		})

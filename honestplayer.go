@@ -37,6 +37,7 @@
 package honestplayer
 
 import (
+	"context"
 	"time"
 
 	"honestplayer/internal/attack"
@@ -377,6 +378,16 @@ func OpenLedger(path string) (*Ledger, []Feedback, error) { return ledger.Open(p
 
 // OpenPersistentStore opens a ledger-backed feedback store.
 func OpenPersistentStore(path string) (*PersistentStore, error) { return ledger.OpenStore(path) }
+
+// LedgerOptions configures a persistent store open: shard count, segment
+// roll-over size, snapshot cadence, and incremental-accumulator capture.
+type LedgerOptions = ledger.Options
+
+// OpenPersistentStoreOptions opens a ledger-backed feedback store with
+// explicit persistence options (segmented ledger, snapshot-on-boot).
+func OpenPersistentStoreOptions(ctx context.Context, path string, opts LedgerOptions) (*PersistentStore, error) {
+	return ledger.OpenStoreOptions(ctx, path, opts)
+}
 
 // NewServer creates a reputation server listening on addr.
 func NewServer(addr string, cfg ServerConfig) (*Server, error) { return repserver.New(addr, cfg) }

@@ -1,0 +1,303 @@
+package behavior
+
+// Incremental-state serialization for the assessment accumulator: the
+// history-dependent counters — phase window histograms, stride checkpoints,
+// the good-count prefix ring, and the per-issuer series of the collusion
+// modes — freeze into a compact varint blob and restore exactly. The memo
+// structures (the PMF arena, threshold grids, collusion Binomial memo) are
+// pure caches over those counters and are deliberately NOT serialized: a
+// restored accumulator rebuilds them lazily, and because every cached value
+// is a pure function of its key the verdicts are unaffected.
+//
+// A node snapshot persists one blob per server so a rebooting -incremental
+// node resumes assessment state directly instead of re-feeding millions of
+// historical records through Append.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"honestplayer/internal/feedback"
+)
+
+// ErrBadState reports an accumulator state blob that does not decode, or
+// that was produced under a different tester configuration.
+var ErrBadState = errors.New("behavior: bad accumulator state")
+
+// accStateVersion tags the blob layout; bump on incompatible change.
+const accStateVersion = 1
+
+// AppendState appends the accumulator's serialized essential state to buf.
+// The caller must ensure Append is not running concurrently (the store's
+// shard write lock provides this); concurrent Tests are safe because Test
+// never mutates the serialized fields.
+func (a *Accumulator) AppendState(buf []byte) []byte {
+	buf = append(buf, accStateVersion, byte(a.mode))
+	buf = binary.AppendUvarint(buf, uint64(a.cfg.WindowSize))
+	buf = binary.AppendUvarint(buf, uint64(a.cfg.Stride))
+	buf = binary.AppendUvarint(buf, uint64(a.cfg.MinWindows))
+	buf = binary.AppendUvarint(buf, uint64(a.n))
+	buf = binary.AppendUvarint(buf, uint64(a.goodTotal))
+	if a.clients != nil {
+		return a.appendClientState(buf)
+	}
+	return a.appendPhaseState(buf)
+}
+
+func (a *Accumulator) appendPhaseState(buf []byte) []byte {
+	for _, v := range a.prefRing {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	for i := range a.phases {
+		ph := &a.phases[i]
+		buf = binary.AppendUvarint(buf, uint64(ph.windows))
+		buf = binary.AppendUvarint(buf, uint64(ph.sum))
+		for _, c := range ph.counts {
+			buf = binary.AppendUvarint(buf, uint64(c))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(ph.checkpoints)))
+		for _, cp := range ph.checkpoints {
+			buf = binary.AppendUvarint(buf, uint64(cp.sum))
+			for _, c := range cp.counts {
+				buf = binary.AppendUvarint(buf, uint64(c))
+			}
+		}
+	}
+	return buf
+}
+
+func (a *Accumulator) appendClientState(buf []byte) []byte {
+	// Deterministic order so equal states encode byte-identically.
+	ids := make([]feedback.EntityID, 0, len(a.clients))
+	for id := range a.clients {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		cs := a.clients[id]
+		buf = binary.AppendUvarint(buf, uint64(len(id)))
+		buf = append(buf, id...)
+		buf = binary.AppendUvarint(buf, uint64(len(cs.idx)))
+		prev := 0
+		for _, v := range cs.idx {
+			buf = binary.AppendUvarint(buf, uint64(v-prev))
+			prev = v
+		}
+		// The good prefix steps by 0 or 1 per record: a bitset reproduces it.
+		var cur byte
+		for i := 1; i < len(cs.good); i++ {
+			if cs.good[i] > cs.good[i-1] {
+				cur |= 1 << ((i - 1) % 8)
+			}
+			if (i-1)%8 == 7 {
+				buf = append(buf, cur)
+				cur = 0
+			}
+		}
+		if len(cs.idx)%8 != 0 {
+			buf = append(buf, cur)
+		}
+	}
+	return buf
+}
+
+// RestoreState replaces the accumulator's state with the blob's. The
+// accumulator must be freshly minted by NewAccumulatorFor from a tester
+// with the same configuration (window size, stride, minimum windows, mode)
+// that produced the blob; mismatches are detected and rejected.
+func (a *Accumulator) RestoreState(data []byte) error {
+	if a.n != 0 {
+		return fmt.Errorf("%w: restore into a non-empty accumulator (%d records)", ErrBadState, a.n)
+	}
+	if len(data) < 2 {
+		return fmt.Errorf("%w: short header", ErrBadState)
+	}
+	if data[0] != accStateVersion {
+		return fmt.Errorf("%w: state version %d, want %d", ErrBadState, data[0], accStateVersion)
+	}
+	if accMode(data[1]) != a.mode {
+		return fmt.Errorf("%w: state mode %d, accumulator mode %d", ErrBadState, data[1], a.mode)
+	}
+	data = data[2:]
+	var fields [5]uint64
+	var err error
+	for i := range fields {
+		if fields[i], data, err = readUvarint(data); err != nil {
+			return err
+		}
+	}
+	if int(fields[0]) != a.cfg.WindowSize || int(fields[1]) != a.cfg.Stride || int(fields[2]) != a.cfg.MinWindows {
+		return fmt.Errorf("%w: state for m=%d stride=%d minWindows=%d, accumulator has m=%d stride=%d minWindows=%d",
+			ErrBadState, fields[0], fields[1], fields[2], a.cfg.WindowSize, a.cfg.Stride, a.cfg.MinWindows)
+	}
+	n, goodTotal := int(fields[3]), int(fields[4])
+	if goodTotal > n {
+		return fmt.Errorf("%w: good %d > n %d", ErrBadState, goodTotal, n)
+	}
+	if a.clients != nil {
+		if err := a.restoreClientState(data, n); err != nil {
+			return err
+		}
+	} else {
+		if err := a.restorePhaseState(data, n); err != nil {
+			return err
+		}
+	}
+	a.n, a.goodTotal = n, goodTotal
+	return nil
+}
+
+func (a *Accumulator) restorePhaseState(data []byte, n int) error {
+	m := a.cfg.WindowSize
+	prefRing := make([]int, m+1)
+	var err error
+	var v uint64
+	for i := range prefRing {
+		if v, data, err = readUvarint(data); err != nil {
+			return err
+		}
+		prefRing[i] = int(v)
+	}
+	phases := make([]accPhase, m)
+	totalWindows := 0
+	for i := range phases {
+		ph := &phases[i]
+		if v, data, err = readUvarint(data); err != nil {
+			return err
+		}
+		ph.windows = int(v)
+		totalWindows += ph.windows
+		if v, data, err = readUvarint(data); err != nil {
+			return err
+		}
+		ph.sum = int64(v)
+		ph.counts = make([]int64, m+1)
+		var sum int64
+		for j := range ph.counts {
+			if v, data, err = readUvarint(data); err != nil {
+				return err
+			}
+			ph.counts[j] = int64(v)
+			sum += int64(v)
+		}
+		if sum != int64(ph.windows) {
+			return fmt.Errorf("%w: phase %d counts sum %d, windows %d", ErrBadState, i, sum, ph.windows)
+		}
+		if v, data, err = readUvarint(data); err != nil {
+			return err
+		}
+		numCP := int(v)
+		ws := a.cfg.Stride / m
+		if wantCP := (ph.windows + ws - 1) / ws; numCP != wantCP && !(ph.windows == 0 && numCP == 0) {
+			return fmt.Errorf("%w: phase %d has %d checkpoints, want %d", ErrBadState, i, numCP, wantCP)
+		}
+		ph.checkpoints = make([]checkpoint, numCP)
+		for c := range ph.checkpoints {
+			cp := &ph.checkpoints[c]
+			if v, data, err = readUvarint(data); err != nil {
+				return err
+			}
+			cp.sum = int64(v)
+			cp.counts = make([]int32, m+1)
+			for j := range cp.counts {
+				if v, data, err = readUvarint(data); err != nil {
+					return err
+				}
+				cp.counts[j] = int32(v)
+			}
+		}
+	}
+	// Every append past the first m-1 records completes exactly one window.
+	if n >= m && totalWindows != n-m+1 {
+		return fmt.Errorf("%w: %d windows across phases, want %d for n=%d", ErrBadState, totalWindows, n-m+1, n)
+	}
+	if n < m && totalWindows != 0 {
+		return fmt.Errorf("%w: %d windows for n=%d < m=%d", ErrBadState, totalWindows, n, m)
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadState, len(data))
+	}
+	a.prefRing = prefRing
+	a.phases = phases
+	return nil
+}
+
+func (a *Accumulator) restoreClientState(data []byte, n int) error {
+	var err error
+	var v uint64
+	if v, data, err = readUvarint(data); err != nil {
+		return err
+	}
+	numClients := int(v)
+	clients := make(map[feedback.EntityID]*clientSeries, numClients)
+	total := 0
+	for c := 0; c < numClients; c++ {
+		if v, data, err = readUvarint(data); err != nil {
+			return err
+		}
+		idLen := int(v)
+		if idLen <= 0 || idLen > len(data) {
+			return fmt.Errorf("%w: client id length %d", ErrBadState, idLen)
+		}
+		id := feedback.EntityID(data[:idLen])
+		data = data[idLen:]
+		if _, dup := clients[id]; dup {
+			return fmt.Errorf("%w: duplicate client %q", ErrBadState, id)
+		}
+		if v, data, err = readUvarint(data); err != nil {
+			return err
+		}
+		cnt := int(v)
+		if cnt <= 0 || cnt > n-total {
+			return fmt.Errorf("%w: client %q has %d records of %d remaining", ErrBadState, id, cnt, n-total)
+		}
+		total += cnt
+		cs := &clientSeries{idx: make([]int, cnt), good: make([]int, cnt+1)}
+		prev := -1
+		for i := 0; i < cnt; i++ {
+			if v, data, err = readUvarint(data); err != nil {
+				return err
+			}
+			idx := prev + int(v)
+			if i == 0 {
+				idx = int(v)
+			}
+			if idx <= prev || idx >= n {
+				return fmt.Errorf("%w: client %q index %d out of order or range", ErrBadState, id, idx)
+			}
+			cs.idx[i] = idx
+			prev = idx
+		}
+		nBytes := (cnt + 7) / 8
+		if len(data) < nBytes {
+			return fmt.Errorf("%w: short good bitset for %q", ErrBadState, id)
+		}
+		for i := 0; i < cnt; i++ {
+			cs.good[i+1] = cs.good[i]
+			if data[i/8]&(1<<(i%8)) != 0 {
+				cs.good[i+1]++
+			}
+		}
+		data = data[nBytes:]
+		clients[id] = cs
+	}
+	if total != n {
+		return fmt.Errorf("%w: client series cover %d records, want %d", ErrBadState, total, n)
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadState, len(data))
+	}
+	a.clients = clients
+	return nil
+}
+
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: short uvarint", ErrBadState)
+	}
+	return v, buf[n:], nil
+}

@@ -1,0 +1,126 @@
+package behavior_test
+
+// Round-trip tests for accumulator state serialization: a restored
+// accumulator must be observationally identical to the original — same
+// Test() verdicts and errors, bit for bit, immediately after restore and as
+// both keep consuming feedback.
+
+import (
+	"reflect"
+	"testing"
+
+	"honestplayer/internal/attack"
+	"honestplayer/internal/behavior"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/stats"
+)
+
+// stateHistories picks two histories that exercise both the phase modes
+// (mixed outcomes across window alignments) and the collusion modes
+// (multiple issuers with different record counts).
+func stateHistories(t *testing.T) map[string]*feedback.History {
+	t.Helper()
+	out := make(map[string]*feedback.History)
+	h, err := attack.GenPeriodic("srv-periodic", 90, 15, 0.5, stats.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["periodic"] = h
+	h, err = attack.PrepareByColluders("srv-colluded", 80, 0.9,
+		[]feedback.EntityID{"col-a", "col-b", "col-c"}, stats.NewRNG(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["colluders"] = h
+	return out
+}
+
+func TestAccumulatorStateRoundTrip(t *testing.T) {
+	cfg := behavior.Config{WindowSize: 5, MinWindows: 2, Stride: 10,
+		FamilywiseCorrection: true, Calibrator: fastCalibrator(31)}
+	for testerName, tester := range diffTesters(t, cfg) {
+		for histName, h := range stateHistories(t) {
+			t.Run(testerName+"/"+histName, func(t *testing.T) {
+				for cut := 0; cut <= h.Len(); cut += 7 {
+					orig, ok := behavior.NewAccumulatorFor(tester)
+					if !ok {
+						t.Fatal("NewAccumulatorFor failed")
+					}
+					for i := 0; i < cut; i++ {
+						orig.Append(h.At(i))
+					}
+					blob := orig.AppendState(nil)
+					restored, _ := behavior.NewAccumulatorFor(tester)
+					if err := restored.RestoreState(blob); err != nil {
+						t.Fatalf("cut %d: RestoreState: %v", cut, err)
+					}
+					requireSameTest(t, cut, orig, restored)
+					// The restored state must re-encode byte-identically:
+					// serialization is canonical.
+					if blob2 := restored.AppendState(nil); !reflect.DeepEqual(blob, blob2) {
+						t.Fatalf("cut %d: re-encoded state differs", cut)
+					}
+					for i := cut; i < h.Len(); i++ {
+						orig.Append(h.At(i))
+						restored.Append(h.At(i))
+					}
+					requireSameTest(t, h.Len(), orig, restored)
+				}
+			})
+		}
+	}
+}
+
+func requireSameTest(t *testing.T, n int, a, b *behavior.Accumulator) {
+	t.Helper()
+	if a.Len() != b.Len() || a.GoodCount() != b.GoodCount() {
+		t.Fatalf("n=%d: counts differ: (%d,%d) vs (%d,%d)",
+			n, a.Len(), a.GoodCount(), b.Len(), b.GoodCount())
+	}
+	av, aerr := a.Test()
+	bv, berr := b.Test()
+	requireSameOutcome(t, "restored", n, bv, berr, av, aerr)
+}
+
+// TestAccumulatorStateRejects checks config/mode mismatches and corruption.
+func TestAccumulatorStateRejects(t *testing.T) {
+	cfg := behavior.Config{WindowSize: 5, MinWindows: 2, Stride: 10, Calibrator: fastCalibrator(32)}
+	testers := diffTesters(t, cfg)
+	h := stateHistories(t)["periodic"]
+	orig, _ := behavior.NewAccumulatorFor(testers["multi"])
+	for i := 0; i < h.Len(); i++ {
+		orig.Append(h.At(i))
+	}
+	blob := orig.AppendState(nil)
+
+	// Mode mismatch.
+	wrong, _ := behavior.NewAccumulatorFor(testers["collusion"])
+	if err := wrong.RestoreState(blob); err == nil {
+		t.Fatal("mode mismatch accepted")
+	}
+	// Config mismatch.
+	cfg2 := cfg
+	cfg2.WindowSize = 2
+	otherTesters := diffTesters(t, cfg2)
+	wrongCfg, _ := behavior.NewAccumulatorFor(otherTesters["multi"])
+	if err := wrongCfg.RestoreState(blob); err == nil {
+		t.Fatal("config mismatch accepted")
+	}
+	// Non-empty target.
+	busy, _ := behavior.NewAccumulatorFor(testers["multi"])
+	busy.Append(h.At(0))
+	if err := busy.RestoreState(blob); err == nil {
+		t.Fatal("restore into non-empty accumulator accepted")
+	}
+	// Truncations must never panic and never half-apply: a failed restore
+	// leaves the accumulator usable and empty.
+	for cut := 0; cut < len(blob); cut++ {
+		fresh, _ := behavior.NewAccumulatorFor(testers["multi"])
+		if err := fresh.RestoreState(blob[:cut]); err == nil {
+			t.Fatalf("truncated blob (%d of %d bytes) accepted", cut, len(blob))
+		}
+		if fresh.Len() != 0 {
+			t.Fatalf("failed restore mutated accumulator (n=%d)", fresh.Len())
+		}
+	}
+}

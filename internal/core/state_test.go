@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"honestplayer/internal/behavior"
+	"honestplayer/internal/stats"
+	"honestplayer/internal/trust"
+)
+
+// TestServerAccumulatorStateRoundTrip freezes the incremental state at
+// several prefix lengths, restores through a fresh assessor with the same
+// configuration, and checks the restored accumulator assesses bit-identically
+// now and after both consume the rest of the history.
+func TestServerAccumulatorStateRoundTrip(t *testing.T) {
+	cal := stats.NewCalibrator(stats.CalibrationConfig{Replicates: 120, Seed: 7}, 0)
+	cfg := behavior.Config{WindowSize: 5, MinWindows: 2, Stride: 10, Calibrator: cal}
+	multi, err := behavior.NewMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := behavior.NewCollusionMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := trust.NewWeighted(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testers := map[string]behavior.Tester{"multi": multi, "collusion-multi": coll, "none": nil}
+	funcs := map[string]trust.Func{"average": trust.Average{}, "weighted": weighted}
+	full := genHistory(t, "srv-state", 70, 0.85, 4, stats.NewRNG(41))
+
+	for testerName, tester := range testers {
+		for fnName, fn := range funcs {
+			label := testerName + "+" + fnName
+			tp, err := NewTwoPhase(tester, fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tp.SupportsIncrementalState() {
+				t.Fatalf("%s: SupportsIncrementalState = false", label)
+			}
+			for cut := 0; cut <= full.Len(); cut += 17 {
+				sa, err := tp.NewServerAccumulator(full.Server())
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < cut; i++ {
+					sa.Append(full.At(i))
+				}
+				blob, ok := sa.AppendState(nil)
+				if !ok {
+					t.Fatalf("%s: AppendState not supported", label)
+				}
+				// Restore through a separately-built assessor, as a rebooting
+				// node would.
+				tp2, err := NewTwoPhase(tester, fn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				restored, n, err := tp2.RestoreServerAccumulator(full.Server(), blob)
+				if err != nil {
+					t.Fatalf("%s cut %d: restore: %v", label, cut, err)
+				}
+				if n != cut {
+					t.Fatalf("%s cut %d: restored n = %d", label, cut, n)
+				}
+				gotA, gotErr := restored.Assess()
+				wantA, wantErr := sa.Assess()
+				requireSameAssessment(t, label+"/restored", cut, gotA, gotErr, wantA, wantErr)
+				for i := cut; i < full.Len(); i++ {
+					sa.Append(full.At(i))
+					restored.Append(full.At(i))
+				}
+				gotA, gotErr = restored.Assess()
+				wantA, wantErr = sa.Assess()
+				requireSameAssessment(t, label+"/caught-up", full.Len(), gotA, gotErr, wantA, wantErr)
+			}
+		}
+	}
+}
+
+// TestRestoreServerAccumulatorRejectsMismatch checks that blobs restore only
+// into assessors with matching component names.
+func TestRestoreServerAccumulatorRejectsMismatch(t *testing.T) {
+	cal := stats.NewCalibrator(stats.CalibrationConfig{Replicates: 120, Seed: 8}, 0)
+	multi, err := behavior.NewMulti(behavior.Config{WindowSize: 5, MinWindows: 2, Stride: 10, Calibrator: cal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := NewTwoPhase(multi, trust.Average{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := tp.NewServerAccumulator("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := genHistory(t, "srv", 40, 0.8, 3, stats.NewRNG(42))
+	for i := 0; i < full.Len(); i++ {
+		sa.Append(full.At(i))
+	}
+	blob, _ := sa.AppendState(nil)
+
+	weighted, err := trust.NewWeighted(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongFn, err := NewTwoPhase(multi, weighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wrongFn.RestoreServerAccumulator("srv", blob); err == nil ||
+		!strings.Contains(err.Error(), "trust function") {
+		t.Fatalf("trust-function mismatch not rejected: %v", err)
+	}
+	noTester, err := NewTwoPhase(nil, trust.Average{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := noTester.RestoreServerAccumulator("srv", blob); err == nil ||
+		!strings.Contains(err.Error(), "tester") {
+		t.Fatalf("tester mismatch not rejected: %v", err)
+	}
+	// Truncations never panic and never restore silently.
+	for cut := 0; cut < len(blob); cut++ {
+		if _, _, err := tp.RestoreServerAccumulator("srv", blob[:cut]); err == nil {
+			t.Fatalf("truncated blob (%d of %d bytes) accepted", cut, len(blob))
+		}
+	}
+}

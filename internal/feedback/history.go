@@ -3,6 +3,7 @@ package feedback
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 )
@@ -46,6 +47,38 @@ func (h *History) Len() int { return len(h.recs) }
 // At returns the i-th record (0 = oldest). It panics on out-of-range i,
 // matching slice semantics.
 func (h *History) At(i int) Feedback { return h.recs[i] }
+
+// NewHistoryFromRecords builds a history over recs in one pass, validating
+// every record and its server. The history takes ownership of recs — the
+// caller must not modify the slice afterwards. Bulk loaders (snapshot
+// seeding) use this to avoid re-copying records one Append at a time.
+func NewHistoryFromRecords(server EntityID, recs []Feedback) (*History, error) {
+	h := &History{server: server, recs: recs, goodPrefix: make([]int, len(recs)+1)}
+	for i, f := range recs {
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		if f.Server != server {
+			return nil, fmt.Errorf("record %d: %w: history %q, feedback %q", i, ErrServerMismatch, server, f.Server)
+		}
+		good := 0
+		if f.Good() {
+			good = 1
+		}
+		h.goodPrefix[i+1] = h.goodPrefix[i] + good
+	}
+	return h, nil
+}
+
+// Grow pre-allocates capacity for n additional records, so bulk loaders
+// (snapshot seeding, replay) don't pay incremental reallocation.
+func (h *History) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	h.recs = slices.Grow(h.recs, n)
+	h.goodPrefix = slices.Grow(h.goodPrefix, n)
+}
 
 // Append validates f and adds it as the newest record.
 func (h *History) Append(f Feedback) error {

@@ -1,6 +1,8 @@
 package ledger
 
 import (
+	"context"
+	"fmt"
 	"path/filepath"
 	"testing"
 	"time"
@@ -57,6 +59,55 @@ func BenchmarkReplay(b *testing.B) {
 			b.Fatalf("replayed %d", len(recs))
 		}
 		if err := l2.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotBoot measures a full snapshot+tail open of a 200k-record
+// ledger with the incremental engine on — the boot path the checked-in
+// BENCH_boot.json exercises at 100k/1M records.
+func BenchmarkSnapshotBoot(b *testing.B) {
+	dir := filepath.Join(b.TempDir(), "led")
+	opts, _ := incrementalOptions(b, 4, 8<<20, 0)
+	ps, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		r := feedback.Positive
+		if i%20 == 19 {
+			r = feedback.Negative
+		}
+		f := feedback.Feedback{
+			Time:   time.Unix(int64(i), 0).UTC(),
+			Server: feedback.EntityID(fmt.Sprintf("s%03d", i%64)),
+			Client: feedback.EntityID(fmt.Sprintf("c%02d", i%37)),
+			Rating: r,
+		}
+		if _, err := ps.Add(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := ps.Snapshot(); err != nil {
+		b.Fatal(err)
+	}
+	if err := ps.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts, _ := incrementalOptions(b, 4, 8<<20, 0)
+		ps, err := OpenStoreOptions(context.Background(), dir, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ps.Stats().BootMode != "snapshot" {
+			b.Fatal("not a snapshot boot")
+		}
+		if err := ps.Close(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,6 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"honestplayer/internal/feedback"
 )
 
 // FuzzOpenReplay ensures replay never panics or errors on arbitrary file
@@ -28,6 +31,115 @@ func FuzzOpenReplay(f *testing.F) {
 		}
 		if err := l.Close(); err != nil {
 			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzSegmentReplay feeds arbitrary bytes through the binary segment
+// scanner, both directly and as a segment file booted through Open. The
+// contract: corruption degrades to a shorter intact record prefix — it
+// never panics, never errors, and never yields an invalid record.
+func FuzzSegmentReplay(f *testing.F) {
+	// Seed with a well-formed two-record segment, its sealed variant, and
+	// torn/garbled mutants.
+	seed := append([]byte(nil), segMagic[:]...)
+	var chain uint32
+	var err error
+	for i := 0; i < 2; i++ {
+		seed, chain, err = appendRecord(seed, feedback.Feedback{
+			Server: "s", Client: "c", Rating: feedback.Positive,
+			Time: time.Unix(int64(i+1), 0).UTC(),
+		}, chain)
+		if err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(seed)
+	f.Add(appendFooter(append([]byte(nil), seed...), 2, uint64(len(seed)-len(segMagic)), chain))
+	f.Add(seed[:len(seed)-3])
+	f.Add([]byte{})
+	f.Add(segMagic[:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var emitted uint64
+		sc, err := scanSegment(data, func(r feedback.Feedback) error {
+			if verr := r.Validate(); verr != nil {
+				t.Fatalf("scan emitted invalid record: %v", verr)
+			}
+			emitted++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("scan errored without an emit error: %v", err)
+		}
+		if emitted != sc.records {
+			t.Fatalf("emitted %d but scan reports %d", emitted, sc.records)
+		}
+		if sc.intact+sc.truncated != sc.size {
+			t.Fatalf("intact %d + truncated %d != size %d", sc.intact, sc.truncated, sc.size)
+		}
+		// The same bytes as a segment file must boot, replaying exactly the
+		// intact prefix.
+		dir := filepath.Join(t.TempDir(), "led")
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, recs, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open on arbitrary segment: %v", err)
+		}
+		if uint64(len(recs)) != sc.records {
+			t.Fatalf("Open replayed %d, scan found %d", len(recs), sc.records)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzSnapshotLoad feeds arbitrary bytes through the snapshot decoder: any
+// corruption must be rejected with an error — never a panic, never a
+// half-decoded result with invalid records.
+func FuzzSnapshotLoad(f *testing.F) {
+	// A minimal valid snapshot as a seed.
+	dir := f.TempDir()
+	sw, err := beginSnapshot(dir, 1, 1, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	hist := feedback.NewHistory("s")
+	_ = hist.Append(feedback.Feedback{Server: "s", Client: "c", Rating: feedback.Positive, Time: time.Unix(1, 0).UTC()})
+	_ = hist.Append(feedback.Feedback{Server: "s", Client: "d", Rating: feedback.Negative, Time: time.Unix(2, 0).UTC()})
+	if err := sw.server("s", hist, []byte{1, 2, 3}); err != nil {
+		f.Fatal(err)
+	}
+	if err := sw.finish(1); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(filepath.Join(dir, snapshotName(1)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte{})
+	f.Add(snapMagic[:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sd, err := decodeSnapshot(data)
+		if err != nil {
+			return // rejected, as corruption should be
+		}
+		for _, srv := range sd.servers {
+			for _, r := range srv.recs {
+				if verr := r.Validate(); verr != nil {
+					t.Fatalf("accepted snapshot holds invalid record: %v", verr)
+				}
+				if r.Server != srv.id {
+					t.Fatalf("record server %q under section %q", r.Server, srv.id)
+				}
+			}
 		}
 	})
 }

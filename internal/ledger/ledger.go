@@ -1,45 +1,79 @@
-// Package ledger provides durable storage for feedback records: an
-// append-only JSON-lines file that a reputation node replays at startup.
-// Records are the system's ground truth — the paper's whole mechanism rests
-// on transaction histories — so a production node must not lose them on
-// restart.
+// Package ledger provides durable storage for feedback records: a segmented,
+// checksummed append-only log that a reputation node replays at startup,
+// plus periodic store snapshots so a node boots from snapshot + tail instead
+// of a full replay. Records are the system's ground truth — the paper's
+// whole mechanism rests on transaction histories — so a production node must
+// not lose them on restart, and corruption must surface as a detected,
+// truncated prefix rather than silent loss.
 //
-// The format is one wire-compatible JSON record per line. Appends are
-// flushed per record (a reputation record is small and rare relative to
-// fsync cost at these scales); a torn final line — the crash case — is
-// detected and ignored during replay, and the file is truncated back to the
-// last complete record before new appends.
+// On disk a ledger is a directory of size-bounded segment files
+// (ledger.000001, ledger.000002, …) and snapshot files (snapshot.0000000001,
+// …). The active (highest-numbered) segment receives appends, flushed per
+// record; when it exceeds the roll-over threshold it is sealed with a footer
+// carrying its record count and CRC32C chain, and a fresh segment starts.
+// Sealed segments are immutable and independently verifiable, which is what
+// lets boot replay them in parallel. Legacy single-file JSON-lines ledgers
+// (the PR-7 format) migrate in place: the file becomes segment 1 of a new
+// ledger directory, its content byte-for-byte unchanged, and keeps receiving
+// JSON appends until its first roll-over; segments created after that are
+// binary (see segment.go for both layouts).
 package ledger
 
 import (
 	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 
 	"honestplayer/internal/feedback"
-	"honestplayer/internal/store"
 )
 
 // ErrClosed reports use of a closed ledger.
 var ErrClosed = errors.New("ledger: closed")
 
-// Ledger is an append-only feedback log. It is safe for concurrent use.
+// DefaultSegmentBytes is the default roll-over threshold: a segment that
+// grows past this many bytes is sealed and a new one started.
+const DefaultSegmentBytes = 64 << 20
+
+// Ledger is a segmented append-only feedback log. It is safe for concurrent
+// use.
 type Ledger struct {
-	mu     sync.Mutex
-	f      *os.File
-	w      *bufio.Writer
+	mu       sync.Mutex
+	dir      string
+	segBytes int64
+
+	f        *os.File // active segment
+	w        *bufio.Writer
+	segIndex uint64
+	segSize  int64 // bytes written to the active segment (incl. header)
+	segRecs  uint64
+	segKind  segKind
+	chain    uint32 // crc chain over the active segment's records (binary)
+
+	records     uint64 // intact records ledger-wide (replayed + appended)
+	sealedSegs  int
+	sealedBytes int64
+	rolls       uint64
+
+	// Boot-time corruption accounting (see Stats).
+	truncatedSegments int
+	truncatedBytes    int64
+
 	closed bool
+	buf    []byte // append scratch
 }
 
-// Open opens (creating if needed) the ledger at path, replays every intact
-// record, truncates any torn trailing line, and returns the ledger together
-// with the replayed records in file order.
+// Open opens (creating or migrating if needed) the ledger at path, replays
+// every intact record, truncates any torn or corrupt tail, and returns the
+// ledger together with the replayed records in log order.
+//
+// The returned slice materializes the whole log; server boot paths should
+// prefer OpenStoreOptions, which streams the replay into a store instead.
 func Open(path string) (*Ledger, []feedback.Feedback, error) {
 	return OpenContext(context.Background(), path)
 }
@@ -48,109 +82,268 @@ func Open(path string) (*Ledger, []feedback.Feedback, error) {
 // aborts promptly (with ctx's error) when the context is cancelled, e.g. a
 // node told to shut down mid-startup.
 func OpenContext(ctx context.Context, path string) (*Ledger, []feedback.Feedback, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	l, err := openLedger(path, DefaultSegmentBytes)
 	if err != nil {
-		return nil, nil, fmt.Errorf("ledger: open %s: %w", path, err)
+		return nil, nil, err
 	}
-	recs, intact, err := replay(ctx, f)
-	if err != nil {
-		cerr := f.Close()
+	var recs []feedback.Feedback
+	if err := l.replayFrom(ctx, 0, func(batch []feedback.Feedback) error {
+		recs = append(recs, batch...)
+		return nil
+	}); err != nil {
+		cerr := l.Close()
 		if cerr != nil {
 			return nil, nil, errors.Join(err, cerr)
 		}
 		return nil, nil, err
 	}
-	if err := f.Truncate(intact); err != nil {
-		cerr := f.Close()
-		if cerr != nil {
-			return nil, nil, errors.Join(err, cerr)
-		}
-		return nil, nil, fmt.Errorf("ledger: truncate %s: %w", path, err)
-	}
-	if _, err := f.Seek(intact, io.SeekStart); err != nil {
-		cerr := f.Close()
-		if cerr != nil {
-			return nil, nil, errors.Join(err, cerr)
-		}
-		return nil, nil, fmt.Errorf("ledger: seek %s: %w", path, err)
-	}
-	return &Ledger{f: f, w: bufio.NewWriter(f)}, recs, nil
+	return l, recs, nil
 }
 
-// replay reads records until EOF or the first torn/corrupt line, returning
-// the records and the byte offset of the end of the last intact record.
-// Cancellation is checked every replayCheckEvery records so a multi-GB
-// replay stays responsive to shutdown without a per-line ctx cost.
-func replay(ctx context.Context, f *os.File) ([]feedback.Feedback, int64, error) {
-	const replayCheckEvery = 1024
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, 0, fmt.Errorf("ledger: seek: %w", err)
+// openLedger opens the ledger directory at path — migrating a legacy
+// single-file ledger in place if that is what path holds — and prepares the
+// active segment for appends, truncating its torn tail if any. It does not
+// replay sealed segments; replayFrom does.
+func openLedger(path string, segBytes int64) (*Ledger, error) {
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
 	}
-	var (
-		recs   []feedback.Feedback
-		intact int64
-	)
-	r := bufio.NewReader(f)
-	for {
-		if len(recs)%replayCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, 0, fmt.Errorf("ledger: replay: %w", err)
-			}
+	if err := migrateToDir(path); err != nil {
+		return nil, err
+	}
+	l := &Ledger{dir: path, segBytes: segBytes}
+	segs, err := l.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return l, l.createSegment(1)
+	}
+	return l, l.openActive(segs[len(segs)-1])
+}
+
+// migrateToDir turns a legacy single-file ledger into a ledger directory
+// holding that file as segment 1, creating the directory fresh when path
+// does not exist. The migration is crash-resumable: the file is first
+// renamed aside to <path>.migrating, so any interrupted step is completed on
+// the next open. A missing parent directory fails, as creating the original
+// single file would have.
+func migrateToDir(path string) error {
+	aside := path + ".migrating"
+	if fi, err := os.Stat(path); err == nil && !fi.IsDir() {
+		if _, err := os.Stat(aside); err == nil {
+			return fmt.Errorf("ledger: migration of %s already in progress (%s exists)", path, aside)
 		}
-		line, err := r.ReadBytes('\n')
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				// A partial line without '\n' is a torn append: ignore it.
-				return recs, intact, nil
-			}
-			return nil, 0, fmt.Errorf("ledger: read: %w", err)
+		if err := os.Rename(path, aside); err != nil {
+			return fmt.Errorf("ledger: migrate %s: %w", path, err)
 		}
-		trimmed := bytes.TrimSpace(line)
-		if len(trimmed) == 0 {
-			intact += int64(len(line))
-			continue
+	}
+	if err := os.Mkdir(path, 0o755); err != nil && !errors.Is(err, os.ErrExist) {
+		return fmt.Errorf("ledger: open %s: %w", path, err)
+	}
+	if _, err := os.Stat(aside); err == nil {
+		seg1 := filepath.Join(path, segmentName(1))
+		if _, err := os.Stat(seg1); err == nil {
+			// A previous crash left both; the directory already has a segment
+			// 1, so the aside file is stale. Refuse to guess.
+			return fmt.Errorf("ledger: migration of %s conflicts with existing %s", path, seg1)
 		}
-		var rec feedback.Feedback
-		if err := json.Unmarshal(trimmed, &rec); err != nil {
-			// Corrupt interior line: stop replay here; everything after is
-			// suspect and will be truncated.
-			return recs, intact, nil
+		if err := os.Rename(aside, seg1); err != nil {
+			return fmt.Errorf("ledger: migrate %s: %w", path, err)
 		}
-		if err := rec.Validate(); err != nil {
-			return recs, intact, nil
-		}
-		recs = append(recs, rec)
-		intact += int64(len(line))
+		syncDir(path)
+	}
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so renames within it are durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
 	}
 }
 
-// Append durably appends one record.
+// listSegments returns the segment indexes present, sorted ascending.
+func (l *Ledger) listSegments() ([]uint64, error) {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: list %s: %w", l.dir, err)
+	}
+	var out []uint64
+	for _, e := range ents {
+		if idx, ok := parseSegmentName(e.Name()); ok && !e.IsDir() {
+			out = append(out, idx)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func (l *Ledger) segPath(idx uint64) string {
+	return filepath.Join(l.dir, segmentName(idx))
+}
+
+// createSegment creates a fresh binary segment and makes it active.
+func (l *Ledger) createSegment(idx uint64) error {
+	f, err := os.OpenFile(l.segPath(idx), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("ledger: create segment: %w", err)
+	}
+	if _, err := f.Write(segMagic[:]); err != nil {
+		cerr := f.Close()
+		return errors.Join(fmt.Errorf("ledger: segment header: %w", err), cerr)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.segIndex = idx
+	l.segSize = int64(len(segMagic))
+	l.segRecs = 0
+	l.segKind = segBinary
+	l.chain = 0
+	return nil
+}
+
+// openActive prepares the highest-numbered segment for appends: it scans the
+// file structurally (no record emission), truncates anything past the intact
+// prefix, and seeks to the end. A fully-sealed highest segment — the
+// kill-during-roll-over case — is left untouched and a fresh segment is
+// created after it.
+func (l *Ledger) openActive(idx uint64) error {
+	path := l.segPath(idx)
+	data, err := readSegmentFile(path)
+	if err != nil {
+		return err
+	}
+	sc, _ := scanSegment(data, nil) // nil emit: scan never fails
+	if sc.sealed {
+		// Kill-during-roll-over: the segment sealed but its successor never
+		// landed. Leave it for replayFrom to consume and start the next one.
+		return l.createSegment(idx + 1)
+	}
+	if sc.truncated > 0 {
+		l.truncatedSegments++
+		l.truncatedBytes += sc.truncated
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("ledger: open segment %s: %w", path, err)
+	}
+	intact := sc.intact
+	kind := sc.kind
+	if kind == segBinary && intact < int64(len(segMagic)) {
+		// Torn or absent header: rewrite the segment from scratch.
+		if err := f.Truncate(0); err != nil {
+			cerr := f.Close()
+			return errors.Join(fmt.Errorf("ledger: truncate %s: %w", path, err), cerr)
+		}
+		if _, err := f.Write(segMagic[:]); err != nil {
+			cerr := f.Close()
+			return errors.Join(fmt.Errorf("ledger: segment header: %w", err), cerr)
+		}
+		intact = int64(len(segMagic))
+		sc.records, sc.chain = 0, 0
+	} else {
+		if err := f.Truncate(intact); err != nil {
+			cerr := f.Close()
+			return errors.Join(fmt.Errorf("ledger: truncate %s: %w", path, err), cerr)
+		}
+		if _, err := f.Seek(intact, io.SeekStart); err != nil {
+			cerr := f.Close()
+			return errors.Join(fmt.Errorf("ledger: seek %s: %w", path, err), cerr)
+		}
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.segIndex = idx
+	l.segSize = intact
+	l.segRecs = sc.records
+	l.segKind = kind
+	l.chain = sc.chain
+	return nil
+}
+
+// Append durably appends one record, rolling the active segment over when it
+// exceeds the configured threshold.
 func (l *Ledger) Append(rec feedback.Feedback) error {
 	if err := rec.Validate(); err != nil {
 		return err
-	}
-	raw, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("ledger: marshal: %w", err)
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-	if _, err := l.w.Write(raw); err != nil {
-		return fmt.Errorf("ledger: append: %w", err)
+	var err error
+	l.buf = l.buf[:0]
+	if l.segKind == segJSON {
+		l.buf, err = appendJSONLine(l.buf, rec)
+	} else {
+		l.buf, l.chain, err = appendRecord(l.buf, rec, l.chain)
 	}
-	if err := l.w.WriteByte('\n'); err != nil {
+	if err != nil {
+		return fmt.Errorf("ledger: encode: %w", err)
+	}
+	if _, err := l.w.Write(l.buf); err != nil {
 		return fmt.Errorf("ledger: append: %w", err)
 	}
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("ledger: flush: %w", err)
 	}
+	l.segSize += int64(len(l.buf))
+	l.segRecs++
+	l.records++
+	if l.segSize >= l.segBytes {
+		if err := l.rollOverLocked(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// Sync flushes buffered data and fsyncs the file.
+// rollOverLocked seals the active segment — footer, fsync, close — and
+// starts the next one. A legacy JSON segment has no footer slot; it is
+// sealed implicitly by no longer being the highest-numbered segment, which
+// is also what upgrades a migrated ledger to the binary format: every
+// segment after the roll-over is binary. Callers hold l.mu.
+func (l *Ledger) rollOverLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("ledger: roll-over flush: %w", err)
+	}
+	if l.segKind == segBinary {
+		footer := appendFooter(nil, l.segRecs, uint64(l.segSize)-uint64(len(segMagic)), l.chain)
+		if _, err := l.f.Write(footer); err != nil {
+			return fmt.Errorf("ledger: seal segment %d: %w", l.segIndex, err)
+		}
+		l.segSize += int64(len(footer))
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("ledger: seal sync: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("ledger: seal close: %w", err)
+	}
+	l.sealedSegs++
+	l.sealedBytes += l.segSize
+	l.rolls++
+	if err := l.createSegment(l.segIndex + 1); err != nil {
+		return err
+	}
+	syncDir(l.dir)
+	return nil
+}
+
+// appendJSONLine appends the legacy JSON-lines encoding of rec.
+func appendJSONLine(buf []byte, rec feedback.Feedback) ([]byte, error) {
+	raw, err := encodeJSONRecord(rec)
+	if err != nil {
+		return buf, err
+	}
+	buf = append(buf, raw...)
+	return append(buf, '\n'), nil
+}
+
+// Sync flushes buffered data and fsyncs the active segment.
 func (l *Ledger) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -166,7 +359,7 @@ func (l *Ledger) Sync() error {
 	return nil
 }
 
-// Close flushes and closes the file. It is idempotent.
+// Close flushes and closes the active segment. It is idempotent.
 func (l *Ledger) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -180,58 +373,27 @@ func (l *Ledger) Close() error {
 	return errors.Join(ferr, serr, cerr)
 }
 
-// PersistentStore couples an in-memory feedback store with a ledger: every
-// newly stored record is appended to the ledger, and opening replays the
-// ledger into the store.
-type PersistentStore struct {
-	store  *store.Store
-	ledger *Ledger
-}
-
-// OpenStore opens the ledger at path and builds the in-memory store from
-// it.
-func OpenStore(path string) (*PersistentStore, error) {
-	return OpenStoreSharded(path, store.DefaultShards)
-}
-
-// OpenStoreSharded is OpenStore with an explicit shard count for the
-// in-memory store.
-func OpenStoreSharded(path string, shards int) (*PersistentStore, error) {
-	return OpenStoreShardedContext(context.Background(), path, shards)
-}
-
-// OpenStoreShardedContext is OpenStoreSharded with a cancellable replay.
-func OpenStoreShardedContext(ctx context.Context, path string, shards int) (*PersistentStore, error) {
-	l, recs, err := OpenContext(ctx, path)
-	if err != nil {
-		return nil, err
+// sealForSnapshot flushes buffered appends, seals the active segment if it
+// holds any records, and reports the index of the now-empty active segment
+// plus the total intact record count. Aligning the snapshot boundary to a
+// segment boundary means tail replay after a snapshot boot starts exactly
+// at `segIndex` and never re-decodes snapshotted history. The snapshot
+// writer captures this BEFORE scanning store shards: any record accepted
+// afterwards lands in segment >= segIndex, which tail replay covers (the
+// store's content-hash dedup makes the small scan-window overlap harmless).
+func (l *Ledger) sealForSnapshot() (segIndex uint64, records uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, 0, ErrClosed
 	}
-	st := store.NewSharded(shards)
-	if _, err := st.AddAll(recs); err != nil {
-		cerr := l.Close()
-		if cerr != nil {
-			return nil, errors.Join(err, cerr)
+	if err := l.w.Flush(); err != nil {
+		return 0, 0, fmt.Errorf("ledger: flush: %w", err)
+	}
+	if l.segRecs > 0 {
+		if err := l.rollOverLocked(); err != nil {
+			return 0, 0, err
 		}
-		return nil, fmt.Errorf("ledger: replay into store: %w", err)
 	}
-	return &PersistentStore{store: st, ledger: l}, nil
+	return l.segIndex, l.records, nil
 }
-
-// Store returns the in-memory store (for read paths and for wiring into
-// repserver; writes that should be durable must go through Add).
-func (ps *PersistentStore) Store() *store.Store { return ps.store }
-
-// Add stores the record and, when it is new, appends it to the ledger.
-func (ps *PersistentStore) Add(rec feedback.Feedback) (bool, error) {
-	stored, err := ps.store.Add(rec)
-	if err != nil || !stored {
-		return stored, err
-	}
-	if err := ps.ledger.Append(rec); err != nil {
-		return true, fmt.Errorf("stored in memory but not persisted: %w", err)
-	}
-	return true, nil
-}
-
-// Close closes the underlying ledger.
-func (ps *PersistentStore) Close() error { return ps.ledger.Close() }

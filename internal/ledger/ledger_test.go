@@ -1,6 +1,7 @@
 package ledger
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -66,7 +67,19 @@ func TestAppendValidates(t *testing.T) {
 	}
 }
 
-func TestTornTrailingLineRecovery(t *testing.T) {
+// activeSegPath returns the path of the ledger's current active segment.
+// Tests that simulate crashes poke bytes into it directly.
+func activeSegPath(t *testing.T, dir string) string {
+	t.Helper()
+	l := &Ledger{dir: dir}
+	segs, err := l.listSegments()
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s: %v", dir, err)
+	}
+	return l.segPath(segs[len(segs)-1])
+}
+
+func TestTornTrailingRecordRecovery(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ledger.jsonl")
 	l, _, err := Open(path)
 	if err != nil {
@@ -77,12 +90,12 @@ func TestTornTrailingLineRecovery(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Simulate a crash mid-append: write a partial record with no newline.
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	// Simulate a crash mid-append: write a partial binary record.
+	f, err := os.OpenFile(activeSegPath(t, path), os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteString(`{"time":"2020-01-01T0`); err != nil {
+	if _, err := f.Write([]byte{0x20, 0x01, 0x02, 0x03}); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
@@ -112,7 +125,7 @@ func TestTornTrailingLineRecovery(t *testing.T) {
 	}
 }
 
-func TestCorruptInteriorLineStopsReplay(t *testing.T) {
+func TestCorruptInteriorStopsReplay(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ledger.jsonl")
 	l, _, err := Open(path)
 	if err != nil {
@@ -122,11 +135,11 @@ func TestCorruptInteriorLineStopsReplay(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f, err := os.OpenFile(activeSegPath(t, path), os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _ = f.WriteString("GARBAGE LINE\n")
+	_, _ = f.WriteString("GARBAGE BYTES THAT ARE NOT A RECORD\n")
 	_ = f.Close()
 
 	_, got, err := Open(path)
@@ -248,10 +261,25 @@ func TestOpenStoreOnCorruptDir(t *testing.T) {
 	}
 }
 
-func TestOpenOnDirectoryFails(t *testing.T) {
+func TestOpenOnExistingDirectory(t *testing.T) {
+	// A ledger path that is already a directory is a (possibly empty)
+	// segmented ledger, not an error.
 	dir := t.TempDir()
-	if _, _, err := Open(dir); err == nil {
-		t.Fatal("opening a directory as ledger must fail")
+	l, recs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("empty directory replayed %d records", len(recs))
+	}
+	if err := l.Append(rec("a", true, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segmentName(1))); err != nil {
+		t.Fatalf("segment 1 missing: %v", err)
 	}
 }
 
@@ -287,22 +315,25 @@ func TestPersistentStoreInvalidRecord(t *testing.T) {
 	}
 }
 
-func TestLedgerEmptyLinesSkipped(t *testing.T) {
+// legacyLine is one wire-compatible JSON record for building PR-7 format
+// single-file ledgers.
+func legacyLine(t *testing.T, f feedback.Feedback) []byte {
+	t.Helper()
+	raw, err := encodeJSONRecord(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(raw, '\n')
+}
+
+func TestLegacyEmptyLinesSkipped(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "l.jsonl")
-	l, _, err := Open(path)
-	if err != nil {
+	var data []byte
+	data = append(data, legacyLine(t, rec("a", true, 1))...)
+	data = append(data, "\n\n"...)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_ = l.Append(rec("a", true, 1))
-	if err := l.Close(); err != nil {
-		t.Fatal(err)
-	}
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, _ = f.WriteString("\n\n")
-	_ = f.Close()
 	l2, recs, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
@@ -321,5 +352,315 @@ func TestLedgerEmptyLinesSkipped(t *testing.T) {
 	}
 	if len(recs) != 2 {
 		t.Fatalf("after blank lines + append: %d", len(recs))
+	}
+}
+
+// TestLegacyMigration proves a PR-7 single-file JSON ledger opens unchanged:
+// the file becomes segment 1 of a directory with its bytes intact, replays
+// fully, and keeps accepting (JSON) appends until its first roll-over.
+func TestLegacyMigration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.jsonl")
+	var want []byte
+	recs := []feedback.Feedback{rec("a", true, 1), rec("b", false, 2), rec("c", true, 3)}
+	for _, f := range recs {
+		want = append(want, legacyLine(t, f)...)
+	}
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		t.Fatalf("path did not become a ledger directory: %v %v", fi, err)
+	}
+	seg1 := filepath.Join(path, segmentName(1))
+	data, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(want) {
+		t.Fatal("migration altered the legacy file's bytes")
+	}
+
+	// Appends continue in the legacy JSON encoding until roll-over.
+	if err := l.Append(rec("d", true, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:len(want)]) != string(want) {
+		t.Fatal("append rewrote existing legacy bytes")
+	}
+	if data[len(data)-1] != '\n' {
+		t.Fatal("legacy segment append was not a JSON line")
+	}
+
+	_, got, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("after migration + append: replayed %d, want 4", len(got))
+	}
+}
+
+// TestRollOverSealsAndUpgrades drives a ledger past its roll-over threshold
+// and checks segments seal with verifiable footers, replay sees everything
+// in order, and a migrated JSON segment's successor is binary.
+func TestRollOverSealsAndUpgrades(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "roll")
+	l, err := openLedger(path, 512) // tiny threshold to force roll-overs
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.replayFrom(context.Background(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	const total = 100
+	for i := 0; i < total; i++ {
+		if err := l.Append(rec(feedback.EntityID([]byte{'c', byte('a' + i%5)}), i%3 != 0, int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.rolls == 0 {
+		t.Fatal("no roll-over happened at a 512-byte threshold")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := (&Ledger{dir: path}).listSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("only %d segments", len(segs))
+	}
+	for _, idx := range segs[:len(segs)-1] {
+		data, err := os.ReadFile(filepath.Join(path, segmentName(idx)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, _ := scanSegment(data, nil)
+		if !sc.sealed {
+			t.Fatalf("segment %d not sealed", idx)
+		}
+		if sc.truncated != 0 {
+			t.Fatalf("sealed segment %d reports %d truncated bytes", idx, sc.truncated)
+		}
+	}
+
+	_, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != total {
+		t.Fatalf("replayed %d records, want %d", len(got), total)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time.Before(got[i-1].Time) {
+			t.Fatal("replay out of order across segments")
+		}
+	}
+}
+
+// TestMigratedLedgerUpgradesOnRollOver: after a migrated JSON segment rolls
+// over, new segments are binary and the full history still replays.
+func TestMigratedLedgerUpgradesOnRollOver(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "upg.jsonl")
+	var data []byte
+	for i := 0; i < 5; i++ {
+		data = append(data, legacyLine(t, rec("a", true, int64(i+1)))...)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := openLedger(path, 64) // below the existing file size: first append rolls over
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.replayFrom(context.Background(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if l.segKind != segJSON {
+		t.Fatal("migrated active segment should still be JSON")
+	}
+	for i := 5; i < 10; i++ {
+		if err := l.Append(rec("a", true, int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.segKind != segBinary {
+		t.Fatal("post-roll-over segment should be binary")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(got))
+	}
+}
+
+// TestCorruptSealedSegmentTruncatesSuffix: flipping bytes inside a sealed
+// (non-final) segment must degrade the ledger to the longest verified
+// prefix — later segments dropped, corrupted segment truncated and
+// re-adopted as the active tail.
+func TestCorruptSealedSegmentTruncatesSuffix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt")
+	l, err := openLedger(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.replayFrom(context.Background(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := l.Append(rec("a", i%2 == 0, int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := (&Ledger{dir: path}).listSegments()
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("need >=3 segments, got %v (%v)", segs, err)
+	}
+
+	// Count the intact records of segment 2's prefix before corrupting it.
+	victim := filepath.Join(path, segmentName(2))
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg1Data, err := os.ReadFile(filepath.Join(path, segmentName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc1, _ := scanSegment(seg1Data, nil)
+	mid := len(data) / 2
+	data[mid] ^= 0xFF
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scBad, _ := scanSegment(data, nil)
+	if scBad.sealed || scBad.truncated == 0 {
+		t.Fatal("corruption not detected by scan")
+	}
+
+	l2, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sc1.records + scBad.records
+	if uint64(len(got)) != want {
+		t.Fatalf("replayed %d records, want %d (seg1 %d + seg2 intact prefix %d)",
+			len(got), want, sc1.records, scBad.records)
+	}
+	if l2.truncatedSegments == 0 || l2.truncatedBytes == 0 {
+		t.Fatalf("truncation not accounted: %d segments, %d bytes",
+			l2.truncatedSegments, l2.truncatedBytes)
+	}
+	if l2.segIndex != 2 {
+		t.Fatalf("active segment = %d, want re-adopted 2", l2.segIndex)
+	}
+	// Later segments are gone; appends resume on the truncated segment.
+	if _, err := os.Stat(filepath.Join(path, segmentName(3))); !os.IsNotExist(err) {
+		t.Fatalf("segment 3 should have been dropped: %v", err)
+	}
+	if err := l2.Append(rec("a", true, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(got2)) != want+1 {
+		t.Fatalf("after repair+append: %d records, want %d", len(got2), want+1)
+	}
+}
+
+// TestKillDuringRollOver: a sealed highest-numbered segment (the crash
+// window between sealing and creating the successor) must boot cleanly with
+// a fresh segment after it.
+func TestKillDuringRollOver(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "killroll")
+	l, err := openLedger(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.replayFrom(context.Background(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if err := l.Append(rec("a", true, int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := (&Ledger{dir: path}).listSegments()
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("need >=2 segments: %v %v", segs, err)
+	}
+	total := 0
+	for _, idx := range segs {
+		data, err := os.ReadFile(filepath.Join(path, segmentName(idx)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, _ := scanSegment(data, nil)
+		total += int(sc.records)
+	}
+	// Simulate the crash: drop the segments after the first sealed one, so
+	// the highest remaining segment is sealed.
+	sealedData, err := os.ReadFile(filepath.Join(path, segmentName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc1, _ := scanSegment(sealedData, nil)
+	if !sc1.sealed {
+		t.Fatal("segment 1 should be sealed")
+	}
+	for _, idx := range segs[1:] {
+		if err := os.Remove(filepath.Join(path, segmentName(idx))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l2, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(got)) != sc1.records {
+		t.Fatalf("replayed %d, want %d", len(got), sc1.records)
+	}
+	if l2.segIndex != 2 {
+		t.Fatalf("active segment = %d, want fresh 2 after the sealed one", l2.segIndex)
+	}
+	if err := l2.Append(rec("b", true, 999)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,364 @@
+package ledger
+
+// Store snapshots. A snapshot file freezes the replayed state of the store —
+// every server's history plus, when the deployment runs incremental
+// assessment, each server's serialized accumulator state — so a node boots
+// by seeding the store from the snapshot and replaying only the ledger tail
+// (segments >= the snapshot's covered segment) instead of the whole log.
+//
+// File layout (all integers uvarint unless noted):
+//
+//	magic        8 bytes {0xB6, 'H','P','S','N','A','P','1'}
+//	version      uvarint (currently 1)
+//	seq          uvarint — snapshot sequence number
+//	covered      uvarint — tail replay starts at this segment index
+//	records      uvarint — ledger record count at capture (informational)
+//	servers:     repeated until a zero-length id
+//	  id         uvarint length, bytes
+//	  count      uvarint — records for this server
+//	  records    count × (8 bytes big-endian unixnano, 1 byte rating,
+//	             uvarint client length, client bytes); server is implied
+//	  acc        uvarint length, bytes — serialized accumulator state
+//	             (zero length = none; boot re-derives from history)
+//	terminator   uvarint 0
+//	crc32c       4 bytes little-endian, over everything above
+//	"HPSNPEND"   8 bytes
+//
+// Snapshots are written to snapshot.tmp and renamed into place
+// (snapshot.<seq>, zero-padded), so a crash mid-write leaves at worst a
+// stale temp file and never a half-valid snapshot under the real name. Any
+// verification or decode failure makes boot fall back to the next older
+// snapshot, and past those to a full replay — a bad snapshot can cost boot
+// time, never correctness.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"honestplayer/internal/feedback"
+)
+
+// ErrBadSnapshot reports a snapshot file that failed verification.
+var ErrBadSnapshot = errors.New("ledger: bad snapshot")
+
+var snapMagic = [8]byte{0xB6, 'H', 'P', 'S', 'N', 'A', 'P', '1'}
+
+const (
+	snapEnd     = "HPSNPEND"
+	snapVersion = 1
+	snapTmpName = "snapshot.tmp"
+	// snapKeep is how many verified snapshots are retained; older ones are
+	// pruned after each successful write.
+	snapKeep = 2
+)
+
+// snapshotName formats the file name of snapshot sequence seq.
+func snapshotName(seq uint64) string { return fmt.Sprintf("snapshot.%010d", seq) }
+
+// parseSnapshotName extracts the sequence from a snapshot file name.
+func parseSnapshotName(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "snapshot.%d", &seq); err != nil || seq == 0 {
+		return 0, false
+	}
+	if name != snapshotName(seq) {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSnapshots returns the snapshot sequence numbers present in dir,
+// ascending.
+func listSnapshots(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: list %s: %w", dir, err)
+	}
+	var out []uint64
+	for _, e := range ents {
+		if seq, ok := parseSnapshotName(e.Name()); ok && !e.IsDir() {
+			out = append(out, seq)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// snapWriter streams a snapshot to its temp file, maintaining the running
+// checksum, and atomically publishes it on finish.
+type snapWriter struct {
+	dir     string
+	f       *os.File
+	w       *bufio.Writer
+	crc     uint32
+	scratch []byte
+}
+
+// beginSnapshot starts writing a snapshot into dir's temp file.
+func beginSnapshot(dir string, seq, covered, records uint64) (*snapWriter, error) {
+	f, err := os.OpenFile(filepath.Join(dir, snapTmpName), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: snapshot temp: %w", err)
+	}
+	sw := &snapWriter{dir: dir, f: f, w: bufio.NewWriterSize(f, 1<<20)}
+	buf := sw.scratch[:0]
+	buf = append(buf, snapMagic[:]...)
+	buf = binary.AppendUvarint(buf, snapVersion)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, covered)
+	buf = binary.AppendUvarint(buf, records)
+	if err := sw.write(buf); err != nil {
+		sw.abort()
+		return nil, err
+	}
+	return sw, nil
+}
+
+// write appends raw bytes, folding them into the checksum.
+func (sw *snapWriter) write(b []byte) error {
+	if _, err := sw.w.Write(b); err != nil {
+		return fmt.Errorf("ledger: snapshot write: %w", err)
+	}
+	sw.crc = crc32.Update(sw.crc, castagnoli, b)
+	sw.scratch = b[:0]
+	return nil
+}
+
+// server streams one server's section from an immutable history view,
+// record by record — no intermediate slice.
+func (sw *snapWriter) server(id feedback.EntityID, hist *feedback.History, accState []byte) error {
+	if len(id) == 0 {
+		return fmt.Errorf("%w: empty server id", ErrBadSnapshot)
+	}
+	n := hist.Len()
+	buf := sw.scratch[:0]
+	buf = binary.AppendUvarint(buf, uint64(len(id)))
+	buf = append(buf, id...)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	if err := sw.write(buf); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		f := hist.At(i)
+		buf = sw.scratch[:0]
+		buf = binary.BigEndian.AppendUint64(buf, uint64(f.Time.UnixNano()))
+		buf = append(buf, byte(f.Rating))
+		buf = binary.AppendUvarint(buf, uint64(len(f.Client)))
+		buf = append(buf, f.Client...)
+		if err := sw.write(buf); err != nil {
+			return err
+		}
+	}
+	buf = sw.scratch[:0]
+	buf = binary.AppendUvarint(buf, uint64(len(accState)))
+	buf = append(buf, accState...)
+	return sw.write(buf)
+}
+
+// finish writes the terminator and trailer, fsyncs, and renames the temp
+// file to snapshot.<seq>. The rename is the commit point.
+func (sw *snapWriter) finish(seq uint64) error {
+	buf := binary.AppendUvarint(sw.scratch[:0], 0)
+	if err := sw.write(buf); err != nil {
+		sw.abort()
+		return err
+	}
+	trailer := binary.LittleEndian.AppendUint32(nil, sw.crc)
+	trailer = append(trailer, snapEnd...)
+	if _, err := sw.w.Write(trailer); err != nil {
+		sw.abort()
+		return fmt.Errorf("ledger: snapshot trailer: %w", err)
+	}
+	if err := sw.w.Flush(); err != nil {
+		sw.abort()
+		return fmt.Errorf("ledger: snapshot flush: %w", err)
+	}
+	if err := sw.f.Sync(); err != nil {
+		sw.abort()
+		return fmt.Errorf("ledger: snapshot sync: %w", err)
+	}
+	if err := sw.f.Close(); err != nil {
+		return fmt.Errorf("ledger: snapshot close: %w", err)
+	}
+	tmp := filepath.Join(sw.dir, snapTmpName)
+	if err := os.Rename(tmp, filepath.Join(sw.dir, snapshotName(seq))); err != nil {
+		return fmt.Errorf("ledger: snapshot publish: %w", err)
+	}
+	syncDir(sw.dir)
+	return nil
+}
+
+// abort closes and removes the temp file.
+func (sw *snapWriter) abort() {
+	_ = sw.f.Close()
+	_ = os.Remove(filepath.Join(sw.dir, snapTmpName))
+}
+
+// pruneSnapshots removes all but the snapKeep newest snapshot files.
+func pruneSnapshots(dir string) {
+	seqs, err := listSnapshots(dir)
+	if err != nil || len(seqs) <= snapKeep {
+		return
+	}
+	for _, seq := range seqs[:len(seqs)-snapKeep] {
+		_ = os.Remove(filepath.Join(dir, snapshotName(seq)))
+	}
+}
+
+// snapServer is one server's decoded snapshot section.
+type snapServer struct {
+	id       feedback.EntityID
+	recs     []feedback.Feedback
+	accState []byte
+}
+
+// snapshotData is a fully decoded, checksum-verified snapshot.
+type snapshotData struct {
+	seq     uint64
+	covered uint64
+	records uint64
+	servers []snapServer
+}
+
+// loadSnapshot reads and verifies the snapshot at path. Any structural or
+// checksum problem returns an error wrapping ErrBadSnapshot; it never
+// panics on malformed input.
+func loadSnapshot(path string) (*snapshotData, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: read snapshot %s: %w", path, err)
+	}
+	return decodeSnapshot(data)
+}
+
+// decodeSnapshot verifies and decodes a snapshot image.
+func decodeSnapshot(data []byte) (*snapshotData, error) {
+	trailer := 4 + len(snapEnd)
+	if len(data) < len(snapMagic)+trailer {
+		return nil, fmt.Errorf("%w: short file", ErrBadSnapshot)
+	}
+	if string(data[:len(snapMagic)]) != string(snapMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	if string(data[len(data)-len(snapEnd):]) != snapEnd {
+		return nil, fmt.Errorf("%w: missing end marker", ErrBadSnapshot)
+	}
+	body := data[:len(data)-trailer]
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-trailer:])
+	if crc32.Checksum(body, castagnoli) != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
+	}
+	rest := body[len(snapMagic):]
+	version, rest, err := snapUvarint(rest)
+	if err != nil {
+		return nil, err
+	}
+	if version != snapVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, version)
+	}
+	sd := &snapshotData{}
+	if sd.seq, rest, err = snapUvarint(rest); err != nil {
+		return nil, err
+	}
+	if sd.covered, rest, err = snapUvarint(rest); err != nil {
+		return nil, err
+	}
+	if sd.records, rest, err = snapUvarint(rest); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{})
+	// Client IDs repeat heavily across a server's records; interning them
+	// makes decode allocate each distinct ID once instead of per record.
+	clients := make(map[string]feedback.EntityID)
+	for {
+		var idLen uint64
+		if idLen, rest, err = snapUvarint(rest); err != nil {
+			return nil, err
+		}
+		if idLen == 0 {
+			break
+		}
+		if idLen > maxRecordLen || uint64(len(rest)) < idLen {
+			return nil, fmt.Errorf("%w: server id overruns file", ErrBadSnapshot)
+		}
+		srv := snapServer{id: feedback.EntityID(rest[:idLen])}
+		rest = rest[idLen:]
+		if _, dup := seen[string(srv.id)]; dup {
+			return nil, fmt.Errorf("%w: duplicate server %q", ErrBadSnapshot, srv.id)
+		}
+		seen[string(srv.id)] = struct{}{}
+		var count uint64
+		if count, rest, err = snapUvarint(rest); err != nil {
+			return nil, err
+		}
+		// Each record costs at least 10 bytes; cap the preallocation by what
+		// the remaining bytes could actually hold.
+		if count > uint64(len(rest))/10+1 {
+			return nil, fmt.Errorf("%w: record count overruns file", ErrBadSnapshot)
+		}
+		srv.recs = make([]feedback.Feedback, 0, count)
+		for i := uint64(0); i < count; i++ {
+			if len(rest) < 9 {
+				return nil, fmt.Errorf("%w: truncated record", ErrBadSnapshot)
+			}
+			nano := int64(binary.BigEndian.Uint64(rest))
+			rating := feedback.Rating(rest[8])
+			rest = rest[9:]
+			var cLen uint64
+			if cLen, rest, err = snapUvarint(rest); err != nil {
+				return nil, err
+			}
+			if cLen > maxRecordLen || uint64(len(rest)) < cLen {
+				return nil, fmt.Errorf("%w: client id overruns file", ErrBadSnapshot)
+			}
+			client, ok := clients[string(rest[:cLen])]
+			if !ok {
+				client = feedback.EntityID(rest[:cLen])
+				clients[string(client)] = client
+			}
+			f := feedback.Feedback{
+				Server: srv.id,
+				Client: client,
+				Rating: rating,
+				Time:   time.Unix(0, nano).UTC(), // matches feedback.DecodeBinary
+			}
+			rest = rest[cLen:]
+			if err := f.Validate(); err != nil {
+				return nil, fmt.Errorf("%w: invalid record: %v", ErrBadSnapshot, err)
+			}
+			srv.recs = append(srv.recs, f)
+		}
+		var accLen uint64
+		if accLen, rest, err = snapUvarint(rest); err != nil {
+			return nil, err
+		}
+		if uint64(len(rest)) < accLen {
+			return nil, fmt.Errorf("%w: accumulator state overruns file", ErrBadSnapshot)
+		}
+		if accLen > 0 {
+			srv.accState = append([]byte(nil), rest[:accLen]...)
+			rest = rest[accLen:]
+		}
+		sd.servers = append(sd.servers, srv)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(rest))
+	}
+	return sd, nil
+}
+
+// snapUvarint decodes one uvarint, returning the remainder.
+func snapUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, fmt.Errorf("%w: bad varint", ErrBadSnapshot)
+	}
+	return v, b[n:], nil
+}

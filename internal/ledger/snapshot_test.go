@@ -1,0 +1,392 @@
+package ledger
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/store"
+	"honestplayer/internal/trust"
+)
+
+// incrementalOptions wires a real TwoPhase assessor (average trust, no
+// behaviour tester) into Options, exercising the same accumulator
+// encode/restore plumbing trustd -incremental uses.
+func incrementalOptions(t testing.TB, shards int, segBytes int64, every uint64) (Options, *core.TwoPhase) {
+	t.Helper()
+	tp, err := core.NewTwoPhase(nil, trust.Average{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Shards:        shards,
+		SegmentBytes:  segBytes,
+		SnapshotEvery: every,
+		AccumulatorFactory: func(server feedback.EntityID) store.Accumulator {
+			acc, err := tp.NewServerAccumulator(server)
+			if err != nil {
+				return nil
+			}
+			return acc
+		},
+		EncodeAccumulator: func(acc store.Accumulator) ([]byte, bool) {
+			sa, ok := acc.(*core.ServerAccumulator)
+			if !ok {
+				return nil, false
+			}
+			return sa.AppendState(nil)
+		},
+		RestoreAccumulator: func(server feedback.EntityID, state []byte) (store.Accumulator, int, error) {
+			sa, n, err := tp.RestoreServerAccumulator(server, state)
+			if err != nil {
+				return nil, 0, err
+			}
+			return sa, n, nil
+		},
+	}
+	return opts, tp
+}
+
+// workload appends n records across several servers and clients.
+func workload(t *testing.T, ps *PersistentStore, n, offset int) {
+	t.Helper()
+	for i := offset; i < offset+n; i++ {
+		f := feedback.Feedback{
+			Server: feedback.EntityID([]byte{'s', byte('a' + i%7)}),
+			Client: feedback.EntityID([]byte{'c', byte('a' + i%11)}),
+			Rating: feedback.Positive,
+			Time:   rec("x", true, int64(i+1)).Time,
+		}
+		if i%3 == 0 {
+			f.Rating = feedback.Negative
+		}
+		if ok, err := ps.Add(f); !ok || err != nil {
+			t.Fatalf("Add %d: %v %v", i, ok, err)
+		}
+	}
+}
+
+// storeFingerprint captures everything that defines a store's logical state:
+// per-server records, versions, checksums, and (when an assessor is given)
+// the assessment each server's accumulator produces.
+func storeFingerprint(t *testing.T, st *store.Store, tp *core.TwoPhase) map[string]any {
+	t.Helper()
+	fp := map[string]any{}
+	servers := st.Servers()
+	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
+	for _, srv := range servers {
+		key := string(srv)
+		fp[key+"/records"] = st.Records(srv)
+		fp[key+"/version"] = st.Version(srv)
+		fp[key+"/checksum"] = st.ServerChecksum(srv)
+		if tp != nil {
+			ok := st.ViewAccumulator(srv, func(acc store.Accumulator, version uint64) {
+				sa := acc.(*core.ServerAccumulator)
+				a, err := sa.Assess()
+				if err != nil {
+					t.Fatalf("assess %q: %v", srv, err)
+				}
+				fp[key+"/assessment"] = a
+				fp[key+"/accversion"] = version
+			})
+			if !ok {
+				t.Fatalf("server %q has no accumulator", srv)
+			}
+		}
+	}
+	fp["len"] = st.Len()
+	return fp
+}
+
+// TestSnapshotBootMatchesFullReplay: a node booted from snapshot + tail must
+// hold bit-identical store state (records, checksums, versions, incremental
+// assessments) to one that replays the whole ledger.
+func TestSnapshotBootMatchesFullReplay(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "led")
+	opts, tp := incrementalOptions(t, 4, 2048, 0)
+
+	ps, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload(t, ps, 300, 0)
+	if _, err := ps.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	workload(t, ps, 77, 300) // tail past the snapshot
+	want := storeFingerprint(t, ps.Store(), tp)
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot 1: snapshot + tail.
+	snapBoot, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapBoot.Stats().BootMode != "snapshot" {
+		t.Fatalf("boot mode = %q, want snapshot", snapBoot.Stats().BootMode)
+	}
+	got := storeFingerprint(t, snapBoot.Store(), tp)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("snapshot+tail boot diverges from pre-restart state")
+	}
+	if err := snapBoot.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot 2: full replay (snapshots removed).
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range seqs {
+		if err := os.Remove(filepath.Join(dir, snapshotName(seq))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fullBoot, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullBoot.Stats().BootMode != "replay" {
+		t.Fatalf("boot mode = %q, want replay", fullBoot.Stats().BootMode)
+	}
+	got = storeFingerprint(t, fullBoot.Store(), tp)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("full replay diverges from snapshot+tail state")
+	}
+	if err := fullBoot.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillDuringSnapshotFallsBack: a crash mid-snapshot leaves either a temp
+// file or a corrupt snapshot under the real name; boot must fall back (to an
+// older snapshot, then full replay) and still converge to the full-replay
+// state.
+func TestKillDuringSnapshotFallsBack(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "led")
+	opts, tp := incrementalOptions(t, 2, 4096, 0)
+	ps, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload(t, ps, 120, 0)
+	if _, err := ps.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	workload(t, ps, 60, 120)
+	want := storeFingerprint(t, ps.Store(), tp)
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash scenario 1: a half-written temp file. Must be ignored entirely.
+	if err := os.WriteFile(filepath.Join(dir, snapTmpName), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Crash scenario 2: a newer snapshot file that is torn (truncated half
+	// way). Verification must reject it and use the older good snapshot.
+	seqs, err := listSnapshots(dir)
+	if err != nil || len(seqs) == 0 {
+		t.Fatalf("no snapshot: %v %v", seqs, err)
+	}
+	good, err := os.ReadFile(filepath.Join(dir, snapshotName(seqs[0])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := good[:len(good)/2]
+	if err := os.WriteFile(filepath.Join(dir, snapshotName(seqs[0]+1)), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boot, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := boot.Stats()
+	if st.BootMode != "snapshot" || st.BootSnapshot != seqs[0] {
+		t.Fatalf("boot = %q snapshot %d, want older snapshot %d", st.BootMode, st.BootSnapshot, seqs[0])
+	}
+	if got := storeFingerprint(t, boot.Store(), tp); !reflect.DeepEqual(want, got) {
+		t.Fatal("fallback boot diverges from true state")
+	}
+	if err := boot.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the older snapshot too: boot must fall all the way back to a
+	// full replay and still match.
+	if err := os.WriteFile(filepath.Join(dir, snapshotName(seqs[0])), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boot2, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boot2.Stats().BootMode != "replay" {
+		t.Fatalf("boot mode = %q, want replay", boot2.Stats().BootMode)
+	}
+	if got := storeFingerprint(t, boot2.Store(), tp); !reflect.DeepEqual(want, got) {
+		t.Fatal("full-replay fallback diverges from true state")
+	}
+	if err := boot2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillDuringRollOverStoreState: crash between sealing a segment and
+// creating its successor, at the store level: boot replays everything and
+// matches a pre-crash fingerprint.
+func TestKillDuringRollOverStoreState(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "led")
+	opts, tp := incrementalOptions(t, 2, 1024, 0)
+	ps, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload(t, ps, 150, 0)
+	want := storeFingerprint(t, ps.Store(), tp)
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the roll-over crash window: delete the (empty) active segment
+	// so the highest-numbered remaining segment is sealed.
+	l := &Ledger{dir: dir}
+	segs, err := l.listSegments()
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("need >=2 segments: %v %v", segs, err)
+	}
+	last := segs[len(segs)-1]
+	data, err := os.ReadFile(l.segPath(last))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc, _ := scanSegment(data, nil); sc.records > 0 {
+		t.Skip("active segment not empty; crash window needs an empty successor")
+	}
+	if err := os.Remove(l.segPath(last)); err != nil {
+		t.Fatal(err)
+	}
+
+	boot, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := storeFingerprint(t, boot.Store(), tp); !reflect.DeepEqual(want, got) {
+		t.Fatal("post-roll-over-crash boot diverges")
+	}
+	if err := boot.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutomaticSnapshots: SnapshotEvery triggers background snapshots and
+// retention keeps only the newest files.
+func TestAutomaticSnapshots(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "led")
+	opts, _ := incrementalOptions(t, 2, 1<<20, 50)
+	ps, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload(t, ps, 400, 0)
+	if err := ps.Close(); err != nil { // waits for in-flight snapshots
+		t.Fatal(err)
+	}
+	if ps.snapsTaken.Load() == 0 {
+		t.Fatal("no automatic snapshot was taken")
+	}
+	seqs, err := listSnapshots(dir)
+	if err != nil || len(seqs) == 0 {
+		t.Fatalf("no snapshot files: %v %v", seqs, err)
+	}
+	if len(seqs) > snapKeep {
+		t.Fatalf("retention kept %d snapshots, want <= %d", len(seqs), snapKeep)
+	}
+}
+
+// TestSnapshotWithoutAccumulators: stores without incremental accumulators
+// snapshot history only and still boot correctly.
+func TestSnapshotWithoutAccumulators(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "led")
+	ps, err := OpenStoreOptions(context.Background(), dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload(t, ps, 80, 0)
+	if _, err := ps.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	want := storeFingerprint(t, ps.Store(), nil)
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	boot, err := OpenStoreOptions(context.Background(), dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boot.Stats().BootMode != "snapshot" {
+		t.Fatalf("boot mode = %q", boot.Stats().BootMode)
+	}
+	if got := storeFingerprint(t, boot.Store(), nil); !reflect.DeepEqual(want, got) {
+		t.Fatal("plain snapshot boot diverges")
+	}
+	if err := boot.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLedgerInfo: Inspect reports segments, snapshots, and verification
+// results without disturbing the ledger.
+func TestLedgerInfo(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "led")
+	opts, _ := incrementalOptions(t, 2, 1024, 0)
+	ps, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload(t, ps, 120, 0)
+	if _, err := ps.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Segments) < 2 {
+		t.Fatalf("info reports %d segments", len(info.Segments))
+	}
+	if info.Records != 120 {
+		t.Fatalf("info.Records = %d, want 120", info.Records)
+	}
+	if len(info.Snapshots) != 1 || !info.Snapshots[0].Valid {
+		t.Fatalf("snapshot info: %+v", info.Snapshots)
+	}
+	if info.Snapshots[0].Accumulators == 0 {
+		t.Fatal("snapshot carries no accumulator state")
+	}
+	// Legacy single file.
+	legacy := filepath.Join(t.TempDir(), "legacy.jsonl")
+	raw := append(legacyLine(t, rec("a", true, 1)), legacyLine(t, rec("b", true, 2))...)
+	if err := os.WriteFile(legacy, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	linfo, err := Inspect(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !linfo.Legacy || linfo.Records != 2 {
+		t.Fatalf("legacy info: %+v", linfo)
+	}
+}

@@ -1,0 +1,346 @@
+package ledger
+
+// PersistentStore glues the in-memory feedback store to the segmented
+// ledger and the snapshot writer. Writes go store-first, then ledger — so
+// by the time a record is on disk it is queryable, and the snapshot
+// consistency argument in Snapshot holds. Boot prefers the newest verified
+// snapshot (seed the store, replay only the ledger tail) and falls back,
+// snapshot by snapshot, to a full replay; a damaged snapshot can never cost
+// correctness, only boot time.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/store"
+)
+
+// Options configures OpenStoreOptions. The zero value is valid: default
+// shard count and segment size, no automatic snapshots, no accumulators.
+type Options struct {
+	// Shards is the in-memory store's shard count (0 = store.DefaultShards).
+	Shards int
+	// SegmentBytes is the ledger roll-over threshold (0 = DefaultSegmentBytes).
+	SegmentBytes int64
+	// SnapshotEvery triggers a background snapshot after this many durable
+	// appends since the last one (0 disables automatic snapshots; Snapshot
+	// can still be called directly).
+	SnapshotEvery uint64
+	// AccumulatorFactory, when set, is installed on the store so servers get
+	// incremental accumulators (see store.SetAccumulatorFactory).
+	AccumulatorFactory store.AccumulatorFactory
+	// EncodeAccumulator serializes a server's accumulator state into a
+	// snapshot. Returning false means the accumulator doesn't support
+	// serialization; the snapshot then stores history only and boot
+	// re-derives the accumulator by replay.
+	EncodeAccumulator func(acc store.Accumulator) ([]byte, bool)
+	// RestoreAccumulator rebuilds an accumulator from its serialized state,
+	// returning the number of records the state covers. Boot cross-checks
+	// that count against the server's snapshot history and falls back to
+	// replay-derivation on any mismatch or error.
+	RestoreAccumulator func(server feedback.EntityID, state []byte) (store.Accumulator, int, error)
+	// Logf, when set, receives boot and snapshot diagnostics (corrupt
+	// snapshots skipped, truncation repairs, background snapshot failures).
+	Logf func(format string, args ...any)
+}
+
+// PersistentStore is a feedback store backed by the ledger: every newly
+// stored record is appended to the ledger, periodic snapshots bound the
+// replay a future boot pays, and opening restores snapshot + tail.
+type PersistentStore struct {
+	store  *store.Store
+	ledger *Ledger
+	opts   Options
+	logf   func(format string, args ...any)
+
+	snapMu      sync.Mutex // serializes snapshot writes
+	snapping    atomic.Bool
+	lastSnapSeq atomic.Uint64
+	snapsTaken  atomic.Uint64
+	snapsFailed atomic.Uint64
+	sinceSnap   atomic.Uint64
+	wg          sync.WaitGroup
+
+	bootMode     string
+	bootSnapshot uint64
+}
+
+// OpenStore opens the ledger at path and builds the in-memory store from
+// it.
+func OpenStore(path string) (*PersistentStore, error) {
+	return OpenStoreSharded(path, store.DefaultShards)
+}
+
+// OpenStoreSharded is OpenStore with an explicit shard count for the
+// in-memory store.
+func OpenStoreSharded(path string, shards int) (*PersistentStore, error) {
+	return OpenStoreShardedContext(context.Background(), path, shards)
+}
+
+// OpenStoreShardedContext is OpenStoreSharded with a cancellable replay.
+func OpenStoreShardedContext(ctx context.Context, path string, shards int) (*PersistentStore, error) {
+	return OpenStoreOptions(ctx, path, Options{Shards: shards})
+}
+
+// OpenStoreOptions opens the ledger at path and boots the store: it seeds
+// from the newest snapshot that verifies and seeds cleanly, then streams
+// the ledger tail into the store; with no usable snapshot it replays the
+// whole ledger. Replay is streamed in batches, so boot memory is bounded by
+// the store itself plus one segment.
+func OpenStoreOptions(ctx context.Context, path string, opts Options) (*PersistentStore, error) {
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = store.DefaultShards
+	}
+	l, err := openLedger(path, opts.SegmentBytes)
+	if err != nil {
+		return nil, err
+	}
+	ps := &PersistentStore{ledger: l, opts: opts, logf: opts.Logf}
+	if ps.logf == nil {
+		ps.logf = func(string, ...any) {}
+	}
+
+	seqs, err := listSnapshots(l.dir)
+	if err != nil {
+		cerr := l.Close()
+		return nil, errors.Join(err, cerr)
+	}
+	if len(seqs) > 0 {
+		ps.lastSnapSeq.Store(seqs[len(seqs)-1])
+	}
+	var st *store.Store
+	from := uint64(0)
+	for i := len(seqs) - 1; i >= 0 && st == nil; i-- {
+		seq := seqs[i]
+		sd, err := loadSnapshot(filepath.Join(l.dir, snapshotName(seq)))
+		if err != nil {
+			ps.logf("ledger: snapshot %d unusable, trying older: %v", seq, err)
+			continue
+		}
+		if cand, ok := ps.seedFromSnapshot(sd, shards); ok {
+			st = cand
+			from = sd.covered
+			ps.bootMode = "snapshot"
+			ps.bootSnapshot = seq
+		}
+	}
+	if st == nil {
+		st = store.NewSharded(shards)
+		if opts.AccumulatorFactory != nil {
+			st.SetAccumulatorFactory(opts.AccumulatorFactory)
+		}
+		ps.bootMode = "replay"
+	}
+
+	if err := l.replayFrom(ctx, from, func(batch []feedback.Feedback) error {
+		for _, f := range batch {
+			if _, err := st.Add(f); err != nil {
+				return fmt.Errorf("ledger: replay into store: %w", err)
+			}
+		}
+		return nil
+	}); err != nil {
+		cerr := l.Close()
+		return nil, errors.Join(err, cerr)
+	}
+	ps.store = st
+	return ps, nil
+}
+
+// seedFromSnapshot builds a candidate store from a decoded snapshot,
+// restoring accumulator state where possible. Any seeding failure discards
+// the candidate so boot can fall back to an older snapshot or full replay.
+func (ps *PersistentStore) seedFromSnapshot(sd *snapshotData, shards int) (*store.Store, bool) {
+	cand := store.NewSharded(shards)
+	if ps.opts.AccumulatorFactory != nil {
+		cand.SetAccumulatorFactory(ps.opts.AccumulatorFactory)
+	}
+	// Pre-size each shard's dedup index for the records about to land in it;
+	// one reservation per shard, via any server that shard holds.
+	shardTotal := make(map[int]int)
+	shardRep := make(map[int]feedback.EntityID)
+	for _, srv := range sd.servers {
+		idx := cand.ShardIndex(srv.id)
+		shardTotal[idx] += len(srv.recs)
+		shardRep[idx] = srv.id
+	}
+	for idx, n := range shardTotal {
+		cand.ReserveFor(shardRep[idx], n)
+	}
+	for _, srv := range sd.servers {
+		var acc store.Accumulator
+		if len(srv.accState) > 0 && ps.opts.RestoreAccumulator != nil {
+			a, n, err := ps.opts.RestoreAccumulator(srv.id, srv.accState)
+			switch {
+			case err != nil:
+				ps.logf("ledger: snapshot %d: accumulator for %q not restored (re-deriving): %v", sd.seq, srv.id, err)
+			case n != len(srv.recs):
+				ps.logf("ledger: snapshot %d: accumulator for %q covers %d of %d records (re-deriving)", sd.seq, srv.id, n, len(srv.recs))
+			default:
+				acc = a
+			}
+		}
+		if err := cand.SeedServer(srv.id, srv.recs, acc); err != nil {
+			ps.logf("ledger: snapshot %d rejected: %v", sd.seq, err)
+			return nil, false
+		}
+	}
+	return cand, true
+}
+
+// Store returns the in-memory store (for read paths and for wiring into
+// repserver; writes that should be durable must go through Add).
+func (ps *PersistentStore) Store() *store.Store { return ps.store }
+
+// Add stores the record and, when it is new, appends it to the ledger,
+// kicking off a background snapshot when the configured interval is due.
+func (ps *PersistentStore) Add(rec feedback.Feedback) (bool, error) {
+	stored, err := ps.store.Add(rec)
+	if err != nil || !stored {
+		return stored, err
+	}
+	if err := ps.ledger.Append(rec); err != nil {
+		return true, fmt.Errorf("stored in memory but not persisted: %w", err)
+	}
+	if every := ps.opts.SnapshotEvery; every > 0 && ps.sinceSnap.Add(1) >= every {
+		ps.snapshotAsync()
+	}
+	return true, nil
+}
+
+// snapshotAsync starts at most one background snapshot at a time.
+func (ps *PersistentStore) snapshotAsync() {
+	if !ps.snapping.CompareAndSwap(false, true) {
+		return
+	}
+	ps.wg.Add(1)
+	go func() {
+		defer ps.wg.Done()
+		defer ps.snapping.Store(false)
+		if seq, err := ps.Snapshot(); err != nil {
+			ps.logf("ledger: background snapshot failed: %v", err)
+		} else {
+			ps.logf("ledger: snapshot %d written", seq)
+		}
+	}()
+}
+
+// Snapshot writes a snapshot of the current store state and returns its
+// sequence number.
+//
+// Consistency: the ledger seals its active segment and reports the fresh
+// (empty) active index first (flushed, under the ledger lock), then shards
+// are scanned. Add goes store-then-ledger, so every record the captured
+// position covers is already visible to the shard scan; records accepted
+// during the scan land in segments >= the covered segment, which tail
+// replay revisits, and the store's content-hash dedup makes the overlap
+// harmless. Sealing aligns the snapshot to a segment boundary, so a
+// snapshot boot replays only post-snapshot segments instead of re-decoding
+// the covered segment's prefix. Accumulator state is serialized under the
+// shard read lock, so it matches the history captured alongside it exactly.
+func (ps *PersistentStore) Snapshot() (uint64, error) {
+	ps.snapMu.Lock()
+	defer ps.snapMu.Unlock()
+	covered, records, err := ps.ledger.sealForSnapshot()
+	if err != nil {
+		return 0, err
+	}
+	ps.sinceSnap.Store(0)
+	seq := ps.lastSnapSeq.Load() + 1
+	sw, err := beginSnapshot(ps.ledger.dir, seq, covered, records)
+	if err != nil {
+		ps.snapsFailed.Add(1)
+		return 0, err
+	}
+	type section struct {
+		id       feedback.EntityID
+		snap     *feedback.History
+		accState []byte
+	}
+	for idx := 0; idx < ps.store.NumShards(); idx++ {
+		var secs []section
+		ps.store.SnapshotShard(idx, func(srv feedback.EntityID, snap *feedback.History, acc store.Accumulator, version uint64) {
+			sec := section{id: srv, snap: snap}
+			if acc != nil && ps.opts.EncodeAccumulator != nil {
+				if b, ok := ps.opts.EncodeAccumulator(acc); ok {
+					sec.accState = b
+				}
+			}
+			secs = append(secs, sec)
+		})
+		// Stream record encoding outside the shard lock: the snapshot views
+		// are immutable, so writers aren't blocked on file IO.
+		for _, sec := range secs {
+			if err := sw.server(sec.id, sec.snap, sec.accState); err != nil {
+				sw.abort()
+				ps.snapsFailed.Add(1)
+				return 0, err
+			}
+		}
+	}
+	if err := sw.finish(seq); err != nil {
+		ps.snapsFailed.Add(1)
+		return 0, err
+	}
+	ps.lastSnapSeq.Store(seq)
+	ps.snapsTaken.Add(1)
+	pruneSnapshots(ps.ledger.dir)
+	return seq, nil
+}
+
+// Close waits for any in-flight background snapshot, then closes the
+// ledger.
+func (ps *PersistentStore) Close() error {
+	ps.wg.Wait()
+	return ps.ledger.Close()
+}
+
+// Stats reports ledger and snapshot counters for metrics endpoints. For a
+// snapshot boot of a migrated ledger, Records may undercount: legacy JSON
+// segments skipped by the snapshot carry no footer to read a count from.
+type Stats struct {
+	Segments         int    `json:"segments"`
+	ActiveSegment    uint64 `json:"active_segment"`
+	ActiveBytes      int64  `json:"active_bytes"`
+	SealedBytes      int64  `json:"sealed_bytes"`
+	Records          uint64 `json:"records"`
+	RollOvers        uint64 `json:"roll_overs"`
+	Truncations      int    `json:"ledger_truncations"`
+	TruncatedBytes   int64  `json:"truncated_bytes"`
+	SnapshotSeq      uint64 `json:"snapshot_seq"`
+	SnapshotsTaken   uint64 `json:"snapshots_taken"`
+	SnapshotsFailed  uint64 `json:"snapshots_failed"`
+	BootMode         string `json:"boot_mode"`
+	BootSnapshot     uint64 `json:"boot_snapshot,omitempty"`
+	RecordsSinceSnap uint64 `json:"records_since_snapshot"`
+}
+
+// Stats returns a point-in-time snapshot of the persistence counters.
+func (ps *PersistentStore) Stats() Stats {
+	l := ps.ledger
+	l.mu.Lock()
+	s := Stats{
+		Segments:       l.sealedSegs + 1,
+		ActiveSegment:  l.segIndex,
+		ActiveBytes:    l.segSize,
+		SealedBytes:    l.sealedBytes,
+		Records:        l.records,
+		RollOvers:      l.rolls,
+		Truncations:    l.truncatedSegments,
+		TruncatedBytes: l.truncatedBytes,
+	}
+	l.mu.Unlock()
+	s.SnapshotSeq = ps.lastSnapSeq.Load()
+	s.SnapshotsTaken = ps.snapsTaken.Load()
+	s.SnapshotsFailed = ps.snapsFailed.Load()
+	s.BootMode = ps.bootMode
+	s.BootSnapshot = ps.bootSnapshot
+	s.RecordsSinceSnap = ps.sinceSnap.Load()
+	return s
+}

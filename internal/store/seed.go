@@ -1,0 +1,132 @@
+package store
+
+// Bulk seeding and shard iteration for the persistence layer: snapshot boot
+// loads whole per-server histories (plus restored accumulators) in one shot
+// instead of paying Add's per-record lookup/ordering machinery, and the
+// snapshot writer walks shards under their read locks.
+
+import (
+	"fmt"
+	"sort"
+
+	"honestplayer/internal/feedback"
+)
+
+// SeedServer bulk-loads one server's complete history, as restored from a
+// verified snapshot. recs must be sorted by (time, hash) and duplicate-free —
+// the order and uniqueness Add would have produced — and the server must not
+// already hold records; violations are reported as errors so the caller can
+// fall back to a full replay.
+//
+// acc, when non-nil, becomes the server's incremental accumulator: its state
+// must already cover exactly recs. When acc is nil and an accumulator factory
+// is installed, a fresh accumulator is minted and replayed, matching what the
+// equivalent Add sequence would have built.
+func (s *Store) SeedServer(server feedback.EntityID, recs []feedback.Feedback, acc Accumulator) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	sh := s.shardOf(server)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.byServ[server] != nil {
+		return fmt.Errorf("store: seed of %q: server already has records", server)
+	}
+	// Build the history first: validates every record and its server without
+	// touching shard state, and takes ownership of recs instead of re-copying
+	// them one Append at a time.
+	hist, err := feedback.NewHistoryFromRecords(server, recs)
+	if err != nil {
+		return fmt.Errorf("store: seed of %q: %w", server, err)
+	}
+	// Index in one pass, inserting each hash as it checks out (one map probe
+	// per record instead of a check pass plus a commit pass). On any failure,
+	// deleting exactly the hashes this call inserted — each one grew the map,
+	// so none existed before — restores the index; the entry itself is only
+	// committed at the end, so a failed seed leaves the store exactly as it
+	// was.
+	hashes := make([]Hash, len(recs))
+	inserted := 0
+	rollback := func() {
+		for _, h := range hashes[:inserted] {
+			delete(sh.seen, h)
+		}
+	}
+	var xor uint64
+	for i, f := range recs {
+		if i > 0 && !lessRecord(recs[i-1], f) {
+			rollback()
+			return fmt.Errorf("store: seed of %q record %d: out of order", server, i)
+		}
+		h := HashOf(f)
+		before := len(sh.seen)
+		sh.seen[h] = struct{}{}
+		if len(sh.seen) == before {
+			// h was already present — either stored earlier or a duplicate
+			// within this batch; both leave the map unchanged, so rollback
+			// of the genuinely-new hashes is exact either way.
+			rollback()
+			return fmt.Errorf("store: seed of %q record %d: duplicate hash", server, i)
+		}
+		hashes[i] = h
+		inserted++
+		xor ^= uint64(h)
+	}
+	e := &entry{hist: hist}
+	e.version = uint64(len(recs))
+	e.xor = xor
+	if acc != nil {
+		e.acc = acc
+		s.accTracked.Add(1)
+	} else if fp := s.accFactory.Load(); fp != nil {
+		if a := (*fp)(server); a != nil {
+			e.acc = a
+			s.accTracked.Add(1)
+			replayAccumulator(e.acc, e.hist)
+		}
+	}
+	sh.byServ[server] = e
+	s.total.Add(int64(len(recs)))
+	s.global.Add(uint64(len(recs)))
+	return nil
+}
+
+// ReserveFor pre-sizes the dedup index of server's shard for about n more
+// records, so a bulk seed inserts into a right-sized map instead of paying
+// incremental rehashing. Purely a capacity hint — correctness never depends
+// on it being called.
+func (s *Store) ReserveFor(server feedback.EntityID, n int) {
+	if n <= 0 {
+		return
+	}
+	sh := s.shardOf(server)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	grown := make(map[Hash]struct{}, len(sh.seen)+n)
+	for h := range sh.seen {
+		grown[h] = struct{}{}
+	}
+	sh.seen = grown
+}
+
+// SnapshotShard walks every server of shard idx under the shard's read lock,
+// in sorted server order, handing view the server's memoized history snapshot,
+// its accumulator (nil when none), and its version. The usual read contracts
+// apply: the snapshot is a shared immutable view, the accumulator must be
+// treated read-only, and view must not call back into the store. Writes to
+// this shard wait for the walk, so view should only capture (snapshot
+// pointers, serialized accumulator state) and defer heavy encoding work.
+func (s *Store) SnapshotShard(idx int, view func(server feedback.EntityID, snap *feedback.History, acc Accumulator, version uint64)) {
+	sh := &s.shards[idx]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	servers := make([]feedback.EntityID, 0, len(sh.byServ))
+	for srv := range sh.byServ {
+		servers = append(servers, srv)
+	}
+	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
+	for _, srv := range servers {
+		e := sh.byServ[srv]
+		view(srv, e.snapshot(), e.acc, e.version)
+	}
+}

@@ -1,0 +1,169 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"honestplayer/internal/feedback"
+)
+
+func seedRecs(server feedback.EntityID, n int) []feedback.Feedback {
+	base := time.Unix(1700000000, 0)
+	out := make([]feedback.Feedback, n)
+	for i := range out {
+		r := feedback.Negative
+		if i%3 != 0 {
+			r = feedback.Positive
+		}
+		out[i] = feedback.Feedback{
+			Server: server,
+			Client: feedback.EntityID([]byte{'c', byte('a' + i%4)}),
+			Rating: r,
+			Time:   base.Add(time.Duration(i) * time.Second),
+		}
+	}
+	return out
+}
+
+// TestSeedServerMatchesAdd proves a seeded store is indistinguishable from
+// one built through Add: same histories, versions, checksums, dedup state,
+// and accumulator feed.
+func TestSeedServerMatchesAdd(t *testing.T) {
+	recs := seedRecs("srv-seed", 25)
+	added := NewSharded(4)
+	var addFeed []feedback.Feedback
+	added.SetAccumulatorFactory(func(feedback.EntityID) Accumulator {
+		return accFn(func(f feedback.Feedback) { addFeed = append(addFeed, f) })
+	})
+	for _, f := range recs {
+		if ok, err := added.Add(f); !ok || err != nil {
+			t.Fatalf("Add: %v %v", ok, err)
+		}
+	}
+
+	seeded := NewSharded(4)
+	var seedFeed []feedback.Feedback
+	seeded.SetAccumulatorFactory(func(feedback.EntityID) Accumulator {
+		return accFn(func(f feedback.Feedback) { seedFeed = append(seedFeed, f) })
+	})
+	if err := seeded.SeedServer("srv-seed", recs, nil); err != nil {
+		t.Fatalf("SeedServer: %v", err)
+	}
+
+	if !reflect.DeepEqual(added.Records("srv-seed"), seeded.Records("srv-seed")) {
+		t.Fatal("records differ")
+	}
+	if av, sv := added.Version("srv-seed"), seeded.Version("srv-seed"); av != sv {
+		t.Fatalf("versions differ: %d vs %d", av, sv)
+	}
+	if ac, sc := added.ServerChecksum("srv-seed"), seeded.ServerChecksum("srv-seed"); ac != sc {
+		t.Fatalf("checksums differ: %+v vs %+v", ac, sc)
+	}
+	if added.Len() != seeded.Len() || added.GlobalVersion() != seeded.GlobalVersion() {
+		t.Fatal("totals differ")
+	}
+	if !reflect.DeepEqual(addFeed, seedFeed) {
+		t.Fatal("accumulator feeds differ")
+	}
+	// Duplicates of seeded records must be suppressed exactly like Add's.
+	if ok, err := seeded.Add(recs[3]); ok || err != nil {
+		t.Fatalf("duplicate accepted after seed: %v %v", ok, err)
+	}
+}
+
+// TestSeedServerWithAccumulator checks a pre-restored accumulator is adopted
+// without re-feeding and receives only post-seed appends.
+func TestSeedServerWithAccumulator(t *testing.T) {
+	recs := seedRecs("srv-acc", 10)
+	s := NewSharded(2)
+	var feed []feedback.Feedback
+	acc := accFn(func(f feedback.Feedback) { feed = append(feed, f) })
+	if err := s.SeedServer("srv-acc", recs, acc); err != nil {
+		t.Fatal(err)
+	}
+	if len(feed) != 0 {
+		t.Fatalf("restored accumulator was re-fed %d records", len(feed))
+	}
+	if s.AccumulatorsTracked() != 1 {
+		t.Fatalf("tracked = %d", s.AccumulatorsTracked())
+	}
+	next := seedRecs("srv-acc", 11)[10]
+	if ok, err := s.Add(next); !ok || err != nil {
+		t.Fatalf("Add after seed: %v %v", ok, err)
+	}
+	if len(feed) != 1 || !feed[0].Time.Equal(next.Time) {
+		t.Fatalf("accumulator missed the post-seed append: %v", feed)
+	}
+}
+
+// TestSeedServerRejects checks the strict preconditions: out-of-order or
+// duplicate records, wrong server, and double seeding all fail atomically.
+func TestSeedServerRejects(t *testing.T) {
+	recs := seedRecs("srv-rej", 5)
+	s := NewSharded(2)
+
+	swapped := append([]feedback.Feedback(nil), recs...)
+	swapped[1], swapped[2] = swapped[2], swapped[1]
+	if err := s.SeedServer("srv-rej", swapped, nil); err == nil {
+		t.Fatal("out-of-order seed accepted")
+	}
+	if s.Len() != 0 || s.Version("srv-rej") != 0 {
+		t.Fatal("failed seed left state behind")
+	}
+
+	wrong := append([]feedback.Feedback(nil), recs...)
+	wrong[4].Server = "other"
+	if err := s.SeedServer("srv-rej", wrong, nil); err == nil {
+		t.Fatal("wrong-server record accepted")
+	}
+
+	if err := s.SeedServer("srv-rej", recs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SeedServer("srv-rej", recs, nil); err == nil {
+		t.Fatal("double seed accepted")
+	}
+	if s.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(recs))
+	}
+}
+
+// TestSnapshotShard checks the walk covers every server of the shard, in
+// sorted order, with the memoized snapshot and version.
+func TestSnapshotShard(t *testing.T) {
+	s := NewSharded(3)
+	servers := []feedback.EntityID{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for _, srv := range servers {
+		for _, f := range seedRecs(srv, 4) {
+			if ok, err := s.Add(f); !ok || err != nil {
+				t.Fatalf("Add: %v %v", ok, err)
+			}
+		}
+	}
+	got := map[feedback.EntityID]int{}
+	for idx := 0; idx < s.NumShards(); idx++ {
+		var prev feedback.EntityID
+		s.SnapshotShard(idx, func(srv feedback.EntityID, snap *feedback.History, acc Accumulator, version uint64) {
+			if prev != "" && srv <= prev {
+				t.Fatalf("shard %d: unsorted walk: %q after %q", idx, srv, prev)
+			}
+			prev = srv
+			if s.ShardIndex(srv) != idx {
+				t.Fatalf("server %q visited on wrong shard", srv)
+			}
+			if snap.Len() != 4 || version != 4 {
+				t.Fatalf("server %q: len %d version %d", srv, snap.Len(), version)
+			}
+			got[srv] = snap.Len()
+		})
+	}
+	if len(got) != len(servers) {
+		t.Fatalf("walked %d servers, want %d", len(got), len(servers))
+	}
+}
+
+// accFn adapts a function to the Accumulator interface.
+type accFn func(feedback.Feedback)
+
+func (a accFn) Append(f feedback.Feedback) { a(f) }

@@ -186,24 +186,29 @@ func (s *Store) Add(f feedback.Feedback) (bool, error) {
 	} else {
 		e.hist = insertSorted(e.hist, f)
 	}
-	if fp := s.accFactory.Load(); fp != nil {
-		switch {
-		case e.acc == nil:
-			// Factory installed after this server gained records (or the
-			// server is new): mint and catch up on the whole history. The
-			// factory may decline (nil) — e.g. a cluster node refusing to
-			// materialize accumulators for servers it does not own.
+	fp := s.accFactory.Load()
+	switch {
+	case e.acc == nil:
+		// Factory installed after this server gained records (or the
+		// server is new): mint and catch up on the whole history. The
+		// factory may decline (nil) — e.g. a cluster node refusing to
+		// materialize accumulators for servers it does not own.
+		if fp != nil {
 			if acc := (*fp)(f.Server); acc != nil {
 				e.acc = acc
 				s.accTracked.Add(1)
 				replayAccumulator(e.acc, e.hist)
 			}
-		case inOrder:
-			e.acc.Append(f)
-		default:
-			// Out-of-order insert: accumulators are strictly append-only, so
-			// rebuild by replaying the re-ordered history — the insert above
-			// already paid O(n) on this path.
+		}
+	case inOrder:
+		e.acc.Append(f)
+	default:
+		// Out-of-order insert: accumulators are strictly append-only, so
+		// rebuild by replaying the re-ordered history — the insert above
+		// already paid O(n) on this path. Without a factory (a snapshot-
+		// seeded accumulator whose factory was since removed) the
+		// accumulator cannot be rebuilt and is dropped.
+		if fp != nil {
 			if acc := (*fp)(f.Server); acc != nil {
 				e.acc = acc
 				replayAccumulator(e.acc, e.hist)
@@ -211,6 +216,9 @@ func (s *Store) Add(f feedback.Feedback) (bool, error) {
 				e.acc = nil
 				s.accTracked.Add(-1)
 			}
+		} else {
+			e.acc = nil
+			s.accTracked.Add(-1)
 		}
 	}
 	e.snap.Store(nil)
