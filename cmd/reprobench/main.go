@@ -10,6 +10,7 @@
 //	reprobench -batchbench         # assess.batch vs N single assess (JSON)
 //	reprobench -clusterbench       # forwarded+merged vs local assess (JSON)
 //	reprobench -bootbench          # snapshot+tail boot vs full JSON replay (JSON)
+//	reprobench -membench           # bounded-memory lifecycle + fault-in (JSON)
 package main
 
 import (
@@ -49,6 +50,7 @@ func run(args []string, out *os.File) error {
 		clOv   = fs.Float64("cluster-max-overhead", 0, "with -clusterbench: fail if the forwarding overhead ratio exceeds this at any size (0 disables the gate)")
 		bootb  = fs.Bool("bootbench", false, "benchmark a snapshot+tail-replay boot against a full JSON replay of the same history and emit a JSON report; diverging store state always fails")
 		bootSp = fs.Float64("boot-min-speedup", 0, "with -bootbench: fail unless every size boots from a real snapshot at this speedup or better (0 disables the gate)")
+		memb   = fs.Bool("membench", false, "benchmark the resident-state lifecycle: load servers through a memory-budgeted store, fault evicted ones back in through the serving path, and emit a JSON report; exceeding the budget or a diverging verdict always fails")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +70,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *bootb {
 		return runBootBench(out, *quick, *bootSp)
+	}
+	if *memb {
+		return runMemBench(out, *quick)
 	}
 
 	ids, err := selectFigures(*fig)

@@ -1,0 +1,339 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	"honestplayer/internal/core"
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/ledger"
+	"honestplayer/internal/repserver"
+	"honestplayer/internal/store"
+	"honestplayer/internal/trust"
+	"honestplayer/internal/wire"
+)
+
+// The memory benchmark proves the resident-state lifecycle keeps a node's
+// server-state footprint bounded by -mem-budget at a server population whose
+// full-resident footprint is far larger, without changing a single verdict:
+//
+//   - Load: N servers × R records each stream through the budgeted
+//     PersistentStore, with periodic snapshots (as -snapshot-every would
+//     drive); the accounted resident footprint is sampled throughout and its
+//     peak must stay at or under the budget.
+//   - Serve: a sample of servers — almost all evicted by then — is assessed
+//     through the real serving path, so every call measures a fault-in
+//     (snapshot-section read, digest-verified reinstate, assessment).
+//   - Differential: each sampled verdict is compared against a from-scratch
+//     reference assessment over the same records; any mismatch fails the
+//     bench. Run in both serving modes (batch recompute and incremental
+//     accumulators).
+
+// memBenchMode is one serving configuration of the comparison.
+type memBenchMode struct {
+	Incremental       bool    `json:"incremental"`
+	Servers           int     `json:"servers"`
+	RecordsPerServer  int     `json:"records_per_server"`
+	BudgetBytes       int64   `json:"budget_bytes"`
+	FullResidentBytes int64   `json:"full_resident_bytes_est"`
+	BudgetFraction    float64 `json:"budget_fraction_of_full"`
+	PeakAccounted     int64   `json:"peak_accounted_bytes"`
+	PeakHeapBytes     uint64  `json:"peak_heap_bytes"`
+	LoadSeconds       float64 `json:"load_seconds"`
+	Snapshots         uint64  `json:"snapshots"`
+	Resident          int     `json:"resident_after_load"`
+	Evicted           int     `json:"evicted_after_load"`
+	Evictions         uint64  `json:"evictions"`
+	Rebuilds          uint64  `json:"rebuilds"`
+	SampledAssess     int     `json:"sampled_assessments"`
+	FaultInP50Ms      float64 `json:"fault_in_p50_ms"`
+	FaultInP99Ms      float64 `json:"fault_in_p99_ms"`
+	VerdictsMatch     bool    `json:"verdicts_match"`
+}
+
+// memBenchReport is the JSON document the -membench mode emits.
+type memBenchReport struct {
+	Description string         `json:"description"`
+	Command     string         `json:"command"`
+	Environment map[string]any `json:"environment"`
+	Config      map[string]any `json:"config"`
+	Modes       []memBenchMode `json:"modes"`
+	Acceptance  string         `json:"acceptance"`
+}
+
+// memRecord is record j of server s: strictly increasing timestamps keep
+// every record content-unique, and the rating pattern gives servers two
+// quality tiers so sampled verdicts split across accept and reject.
+func memRecord(s, j, recsPer int) feedback.Feedback {
+	r := feedback.Positive
+	if s%7 == 0 {
+		if j%2 == 1 {
+			r = feedback.Negative // bad tier: good ratio 1/2
+		}
+	} else if j%4 == 3 {
+		r = feedback.Negative // good tier: good ratio 3/4
+	}
+	return feedback.Feedback{
+		Time:   time.Unix(int64(s)*int64(recsPer)+int64(j), 0).UTC(),
+		Server: feedback.EntityID(fmt.Sprintf("m%07d", s)),
+		Client: feedback.EntityID(fmt.Sprintf("c%02d", j%11)),
+		Rating: r,
+	}
+}
+
+// memOptions builds the budgeted PersistentStore options for one mode,
+// mirroring trustd's -mem-budget wiring (trust-only incremental closures in
+// incremental mode, so 1M accumulators stay cheap enough to benchmark).
+func memOptions(budget int64, shards int, incremental bool) (ledger.Options, *core.TwoPhase, error) {
+	tp, err := core.NewTwoPhase(nil, trust.Average{})
+	if err != nil {
+		return ledger.Options{}, nil, err
+	}
+	opts := ledger.Options{Shards: shards, SegmentBytes: 64 << 20, MemBudget: budget}
+	if incremental {
+		opts.AccumulatorFactory = func(server feedback.EntityID) store.Accumulator {
+			acc, err := tp.NewServerAccumulator(server)
+			if err != nil {
+				return nil
+			}
+			return acc
+		}
+		opts.EncodeAccumulator = func(acc store.Accumulator) ([]byte, bool) {
+			sa, ok := acc.(*core.ServerAccumulator)
+			if !ok {
+				return nil, false
+			}
+			return sa.AppendState(nil)
+		}
+		opts.RestoreAccumulator = func(server feedback.EntityID, state []byte) (store.Accumulator, int, error) {
+			return tp.RestoreServerAccumulator(server, state)
+		}
+	}
+	return opts, tp, nil
+}
+
+// fullResidentEstimate measures the accounted footprint of a small fully
+// resident population under the same configuration and scales it to n
+// servers. The populations are uniform by construction, so the estimate is
+// the per-server cost times n.
+func fullResidentEstimate(n, recsPer int, incremental bool) (int64, error) {
+	const probe = 256
+	st := store.NewSharded(4)
+	if incremental {
+		tp, err := core.NewTwoPhase(nil, trust.Average{})
+		if err != nil {
+			return 0, err
+		}
+		st.SetAccumulatorFactory(func(server feedback.EntityID) store.Accumulator {
+			acc, err := tp.NewServerAccumulator(server)
+			if err != nil {
+				return nil
+			}
+			return acc
+		})
+	}
+	for s := 0; s < probe; s++ {
+		for j := 0; j < recsPer; j++ {
+			if _, err := st.Add(memRecord(s, j, recsPer)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return st.ResidentBytes() / probe * int64(n), nil
+}
+
+// quantileMs returns the q-quantile of latencies (sorted in place), in ms.
+func quantileMs(lat []time.Duration, q float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	i := int(q * float64(len(lat)-1))
+	return float64(lat[i].Nanoseconds()) / 1e6
+}
+
+// runMemMode executes one serving mode of the benchmark.
+func runMemMode(dir string, servers, recsPer, samples int, budget int64, snapEvery int, incremental bool) (memBenchMode, error) {
+	mode := memBenchMode{
+		Incremental: incremental, Servers: servers, RecordsPerServer: recsPer, BudgetBytes: budget,
+	}
+	est, err := fullResidentEstimate(servers, recsPer, incremental)
+	if err != nil {
+		return mode, err
+	}
+	mode.FullResidentBytes = est
+	mode.BudgetFraction = float64(budget) / float64(est)
+
+	shards := 64
+	opts, tp, err := memOptions(budget, shards, incremental)
+	if err != nil {
+		return mode, err
+	}
+	ps, err := ledger.OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		return mode, err
+	}
+	defer ps.Close()
+	st := ps.Store()
+
+	srv, err := repserver.New("127.0.0.1:0", repserver.Config{
+		Assessor: tp, Store: st, Recorder: ps, Rebuilder: ps, Incremental: incremental,
+	})
+	if err != nil {
+		return mode, err
+	}
+	defer srv.Close()
+
+	// Load phase: snapshots are taken synchronously every snapEvery records
+	// (deterministic stand-in for -snapshot-every), which also bounds the
+	// in-memory tail index. The accounted footprint is sampled per server,
+	// the heap every 100k records.
+	start := time.Now()
+	var peak int64
+	var peakHeap uint64
+	total := 0
+	for s := 0; s < servers; s++ {
+		for j := 0; j < recsPer; j++ {
+			if _, err := ps.Add(memRecord(s, j, recsPer)); err != nil {
+				return mode, fmt.Errorf("load server %d: %w", s, err)
+			}
+			total++
+			if total%snapEvery == 0 {
+				if _, err := ps.Snapshot(); err != nil {
+					return mode, fmt.Errorf("snapshot at %d records: %w", total, err)
+				}
+			}
+			if total%100000 == 0 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peakHeap {
+					peakHeap = ms.HeapAlloc
+				}
+			}
+		}
+		if rb := st.ResidentBytes(); rb > peak {
+			peak = rb
+		}
+	}
+	if _, err := ps.Snapshot(); err != nil {
+		return mode, fmt.Errorf("final snapshot: %w", err)
+	}
+	mode.LoadSeconds = float64(int(time.Since(start).Seconds()*100)) / 100
+	mode.PeakAccounted = peak
+	mode.PeakHeapBytes = peakHeap
+
+	life := st.Lifecycle()
+	lst := ps.Stats()
+	mode.Snapshots = lst.SnapshotsTaken
+	mode.Resident = life.Resident
+	mode.Evicted = life.Evicted
+	mode.Evictions = life.Evictions
+
+	// Serve phase: assess a random sample through the real serving path.
+	// Nearly every sampled server is evicted by now, so each latency is a
+	// fault-in (section read + digest-verified reinstate + assessment); the
+	// differential check recomputes the verdict from the generator's records.
+	const threshold = 0.7
+	rng := rand.New(rand.NewSource(7))
+	lat := make([]time.Duration, 0, samples)
+	match := true
+	for i := 0; i < samples; i++ {
+		s := rng.Intn(servers)
+		id := feedback.EntityID(fmt.Sprintf("m%07d", s))
+		t0 := time.Now()
+		resp, err := srv.Assess(context.Background(), wire.AssessRequest{Server: id, Threshold: threshold})
+		if err != nil {
+			return mode, fmt.Errorf("assess %s: %w", id, err)
+		}
+		lat = append(lat, time.Since(t0))
+
+		ref := feedback.NewHistory(id)
+		for j := 0; j < recsPer; j++ {
+			if err := ref.Append(memRecord(s, j, recsPer)); err != nil {
+				return mode, err
+			}
+		}
+		wantAccept, wantA, err := tp.Accept(ref, threshold)
+		if err != nil {
+			return mode, fmt.Errorf("reference assess %s: %w", id, err)
+		}
+		if resp.Accept != wantAccept || !reflect.DeepEqual(resp.Assessment, wantA) {
+			match = false
+		}
+	}
+	mode.SampledAssess = samples
+	mode.FaultInP50Ms = float64(int(quantileMs(lat, 0.50)*1000)) / 1000
+	mode.FaultInP99Ms = float64(int(quantileMs(lat, 0.99)*1000)) / 1000
+	mode.VerdictsMatch = match
+	mode.Rebuilds = ps.Stats().Rebuilds
+	return mode, nil
+}
+
+// runMemBench executes the bounded-memory lifecycle benchmark in both
+// serving modes and writes the JSON report. Gates (always on): sampled
+// verdicts must match the reference exactly, the peak accounted footprint
+// must stay at or under the budget, and the budget must be under 25% of the
+// estimated full-resident footprint — proving the bound is doing real work.
+func runMemBench(out io.Writer, quick bool) error {
+	servers, recsPer, samples := 1000000, 8, 1500
+	budget := int64(64 << 20)
+	snapEvery := 1000000
+	if quick {
+		servers, recsPer, samples = 20000, 8, 300
+		budget = 2 << 20
+		snapEvery = 40000
+	}
+	report := memBenchReport{
+		Description: "Resident-state lifecycle under a node-wide memory budget: N servers stream through a budgeted PersistentStore (idle servers evicted to stubs, snapshots every snapshot_every records), then a random sample is assessed through the serving path so each call pays a fault-in (snapshot-section read, digest-verified reinstate). Differential check: every sampled verdict must equal a from-scratch assessment of the same records, in both serving modes.",
+		Command:     "go run ./cmd/reprobench -membench",
+		Environment: map[string]any{
+			"go":   runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+			"date": time.Now().UTC().Format("2006-01-02"),
+		},
+		Config: map[string]any{
+			"servers":            servers,
+			"records_per_server": recsPer,
+			"budget_bytes":       budget,
+			"snapshot_every":     snapEvery,
+			"shards":             64,
+			"threshold":          0.7,
+			"sampled_assess":     samples,
+			"trust":              "average",
+		},
+		Acceptance: "peak_accounted_bytes <= budget_bytes, budget_fraction_of_full < 0.25, verdicts_match true in both modes",
+	}
+	work, err := os.MkdirTemp("", "membench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	for _, incremental := range []bool{false, true} {
+		dir := fmt.Sprintf("%s/mode-incr%v", work, incremental)
+		mode, err := runMemMode(dir, servers, recsPer, samples, budget, snapEvery, incremental)
+		if err != nil {
+			return fmt.Errorf("incremental=%v: %w", incremental, err)
+		}
+		report.Modes = append(report.Modes, mode)
+		if !mode.VerdictsMatch {
+			return fmt.Errorf("incremental=%v: sampled verdicts diverge from reference", incremental)
+		}
+		if mode.PeakAccounted > budget {
+			return fmt.Errorf("incremental=%v: peak accounted %d bytes exceeds budget %d", incremental, mode.PeakAccounted, budget)
+		}
+		if mode.BudgetFraction >= 0.25 {
+			return fmt.Errorf("incremental=%v: budget is %.0f%% of full-resident (gate: <25%%) — population too small to prove the bound", incremental, 100*mode.BudgetFraction)
+		}
+		os.RemoveAll(dir)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -10,6 +10,7 @@
 //	trustctl assess-batch -threshold 0.9 < servers.txt   # IDs from stdin
 //	trustctl local-assess -file history.jsonl -scheme multi -trust average
 //	trustctl ledger-info -path /var/lib/trustd/ledger   # offline checksum audit
+//	trustctl mem-status -metrics http://127.0.0.1:7780  # memory lifecycle via /metricz
 //	trustctl -addr host1:7700,host2:7700,host3:7700 assess -server s1
 //	trustctl -addr host1:7700 cluster-status
 //
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -59,14 +61,18 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command: ping | submit | history | assess | assess-batch | cluster-status | local-assess | ledger-info")
+		return fmt.Errorf("missing command: ping | submit | history | assess | assess-batch | cluster-status | mem-status | local-assess | ledger-info")
 	}
-	// local-assess and ledger-info need no server connection.
+	// local-assess, ledger-info, and mem-status need no wire connection
+	// (mem-status talks to the metrics HTTP endpoint instead).
 	if rest[0] == "local-assess" {
 		return localAssess(rest[1:], out)
 	}
 	if rest[0] == "ledger-info" {
 		return ledgerInfo(rest[1:], out)
+	}
+	if rest[0] == "mem-status" {
+		return memStatus(rest[1:], out)
 	}
 
 	// The flag bounds the whole command through the context-taking client
@@ -248,6 +254,100 @@ func clusterStatus(ctx context.Context, client *repclient.Client, out io.Writer)
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(resp)
+}
+
+// memStatus fetches a trustd node's /metricz endpoint and prints the memory
+// lifecycle picture: resident/evicted counts against the budget, eviction
+// and rebuild activity, and the largest resident servers by accounted bytes.
+func memStatus(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mem-status", flag.ContinueOnError)
+	var (
+		metrics = fs.String("metrics", "http://127.0.0.1:7780", "trustd metrics endpoint base URL (-metrics-addr)")
+		timeout = fs.Duration("timeout", 5*time.Second, "HTTP timeout")
+		asJSON  = fs.Bool("json", false, "emit the lifecycle section as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url := strings.TrimSuffix(*metrics, "/") + "/metricz"
+	if !strings.Contains(*metrics, "://") {
+		url = "http://" + url
+	}
+	hc := &http.Client{Timeout: *timeout}
+	resp, err := hc.Get(url)
+	if err != nil {
+		return fmt.Errorf("fetch %s: %w", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetch %s: %s", url, resp.Status)
+	}
+	var body struct {
+		Lifecycle struct {
+			Enabled bool `json:"enabled"`
+			store.LifecycleStats
+			FaultIns    uint64 `json:"fault_ins"`
+			FaultWaits  uint64 `json:"fault_waits"`
+			FaultErrors uint64 `json:"fault_errors"`
+		} `json:"lifecycle"`
+		Ledger *struct {
+			SnapshotSeq   uint64 `json:"snapshot_seq"`
+			Rebuilds      uint64 `json:"rebuilds"`
+			RebuildErrors uint64 `json:"rebuild_errors"`
+		} `json:"ledger"`
+		TopResident []store.ResidentSize `json:"top_resident"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("decode %s: %w", url, err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(body)
+	}
+	if !body.Lifecycle.Enabled {
+		fmt.Fprintln(out, "memory lifecycle: disabled (start trustd with -mem-budget and -ledger)")
+		return nil
+	}
+	l := body.Lifecycle
+	fmt.Fprintf(out, "memory budget: %s\n", fmtBytes(l.BudgetBytes))
+	fmt.Fprintf(out, "  resident: %d servers, %s accounted (%.1f%% of budget)\n",
+		l.Resident, fmtBytes(l.ResidentBytes), 100*float64(l.ResidentBytes)/float64(max64(l.BudgetBytes, 1)))
+	fmt.Fprintf(out, "  evicted:  %d servers\n", l.Evicted)
+	fmt.Fprintf(out, "  evictions %d, reinstates %d\n", l.Evictions, l.Reinstates)
+	fmt.Fprintf(out, "  fault-ins %d (waited %d, errors %d)\n", l.FaultIns, l.FaultWaits, l.FaultErrors)
+	if body.Ledger != nil {
+		fmt.Fprintf(out, "  ledger: snapshot seq %d, rebuilds %d (errors %d)\n",
+			body.Ledger.SnapshotSeq, body.Ledger.Rebuilds, body.Ledger.RebuildErrors)
+	}
+	if len(body.TopResident) > 0 {
+		fmt.Fprintln(out, "top resident servers by accounted bytes:")
+		for _, r := range body.TopResident {
+			fmt.Fprintf(out, "  %-24s %10s  %d records\n", r.Server, fmtBytes(int64(r.Bytes)), r.Records)
+		}
+	}
+	return nil
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // localAssess runs the two-phase assessment offline over a JSON-lines

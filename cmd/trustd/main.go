@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -83,11 +84,20 @@ func run(ctx context.Context, args []string) error {
 		metricsAddr  = fs.String("metrics-addr", "", "HTTP listen address serving GET /metricz stats (empty disables)")
 		incremental  = fs.Bool("incremental", false, "serve assessments from per-server incremental accumulators (O(windows) per assess, bit-identical to a full recompute; replayed ledgers are folded in at startup)")
 		batchWorkers = fs.Int("batch-workers", 0, "worker pool size for assess.batch shard fan-out (0 = GOMAXPROCS)")
-		arenaCap     = fs.Int("arena-cap", 0, "per-server incremental PMF-arena cap in entries per generation (0 = default 32768, ~6 MiB worst case per server at window size 10)")
+		arenaCap     = fs.Int("arena-cap", 0, "per-server incremental PMF-arena cap in entries per generation (0 = default 32768; superseded by -mem-budget, which accounts arena memory globally)")
+		memBudget    = fs.String("mem-budget", "", "node-wide resident memory budget for server state, e.g. 512MiB or 1G (empty disables; requires -ledger): idle servers are evicted to stubs and rebuilt on demand")
 		wireV2       = fs.Bool("wire-v2", true, "accept the pipelined binary v2 framing alongside JSON on the same listener (false restores the JSON-only pre-v2 server)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	budgetBytes, err := parseSize(*memBudget)
+	if err != nil {
+		return fmt.Errorf("-mem-budget: %w", err)
+	}
+	if budgetBytes > 0 && *ledgerPath == "" {
+		return errors.New("-mem-budget requires -ledger (evicted state is rebuilt from snapshots)")
 	}
 
 	fn, err := trustFunc(*trustName, *lambda)
@@ -123,6 +133,7 @@ func run(ctx context.Context, args []string) error {
 			SegmentBytes:  *segmentBytes,
 			SnapshotEvery: *snapEvery,
 			Logf:          logger.Printf,
+			MemBudget:     budgetBytes,
 		}
 		if *incremental && assessor.SupportsIncrementalState() {
 			// Snapshots then carry serialized accumulator state, so a booting
@@ -165,6 +176,15 @@ func run(ctx context.Context, args []string) error {
 		st = ps.Store()
 		serverCfg.Store = st
 		serverCfg.Recorder = ps
+		if budgetBytes > 0 {
+			serverCfg.Rebuilder = ps
+			life := st.Lifecycle()
+			logger.Printf("memory budget %d bytes: %d servers resident (%d bytes), %d evicted",
+				budgetBytes, life.Resident, life.ResidentBytes, life.Evicted)
+			if *arenaCap != 0 {
+				logger.Printf("note: -arena-cap is folded into the -mem-budget accounting; the cap still bounds per-server arena growth, but -mem-budget is the memory control")
+			}
+		}
 		lst := ps.Stats()
 		logger.Printf("ledger %s: %d records in store (boot mode %s, %d segments)",
 			*ledgerPath, st.Len(), lst.BootMode, lst.Segments)
@@ -217,11 +237,15 @@ func run(ctx context.Context, args []string) error {
 			enc.SetIndent("", "  ")
 			body := struct {
 				repserver.Stats
-				Ledger *ledger.Stats `json:"ledger,omitempty"`
+				Ledger      *ledger.Stats        `json:"ledger,omitempty"`
+				TopResident []store.ResidentSize `json:"top_resident,omitempty"`
 			}{Stats: srv.Stats()}
 			if ps != nil {
 				lst := ps.Stats()
 				body.Ledger = &lst
+			}
+			if budgetBytes > 0 {
+				body.TopResident = st.TopResident(10)
 			}
 			if err := enc.Encode(body); err != nil {
 				logger.Printf("metricz encode: %v", err)
@@ -290,6 +314,40 @@ func run(ctx context.Context, args []string) error {
 		logger.Printf("final stats: %s", raw)
 	}
 	return err
+}
+
+// parseSize parses a byte size with an optional K/M/G (or KiB/MiB/GiB)
+// suffix, binary units. Empty and "0" mean disabled.
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"GIB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"MIB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"KIB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(upper, u.suffix) {
+			mult = u.mult
+			s = s[:len(s)-len(u.suffix)]
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative size")
+	}
+	return n * mult, nil
 }
 
 func trustFunc(name string, lambda float64) (trust.Func, error) {

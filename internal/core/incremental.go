@@ -66,6 +66,20 @@ func (sa *ServerAccumulator) Len() int {
 	return n
 }
 
+// SizeBytes returns the approximate resident heap footprint of the
+// accumulator's state: the wrapper plus its trust tracker and (when phase 1
+// is enabled) the behaviour accumulator, whose PMF arena dominates. The
+// memory-budget governor charges this against the node-wide budget as the
+// accumulator half of a server's resident size.
+func (sa *ServerAccumulator) SizeBytes() int {
+	const saStruct = 48 // ServerAccumulator struct: 3 pointers + string header
+	size := saStruct + sa.tr.SizeBytes()
+	if sa.beh != nil {
+		size += sa.beh.SizeBytes()
+	}
+	return size
+}
+
 // Append consumes the server's next feedback record in amortised O(1).
 // Records must arrive in history (time) order.
 func (sa *ServerAccumulator) Append(f feedback.Feedback) {

@@ -131,6 +131,21 @@ func (h *History) RemoveLast() error {
 	return nil
 }
 
+// SizeBytes returns the approximate resident heap footprint of this history:
+// the struct itself plus the capacity of its record and prefix-sum arrays.
+// Entity ID string bytes are not counted — client IDs are interned and shared
+// across records, so charging them per record would overcount — and shared
+// snapshot views alias the owner's arrays, so the store accounts each backing
+// array exactly once (at its owning working history). The memory-budget
+// governor uses this as the history half of a server's resident size.
+func (h *History) SizeBytes() int {
+	const (
+		histStruct = 72 // History struct: string header + 2 slice headers
+		recSize    = 64 // Feedback: Time (24) + 2 string headers + padded Rating
+	)
+	return histStruct + cap(h.recs)*recSize + cap(h.goodPrefix)*8
+}
+
 // GoodCount returns the number of good transactions in the whole history.
 func (h *History) GoodCount() int { return h.goodPrefix[len(h.recs)] }
 

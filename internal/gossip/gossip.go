@@ -424,9 +424,22 @@ func (n *Node) RoundOnceCtx(ctx context.Context) error {
 	if err := wire.DecodePayload(resp, &delta); err != nil {
 		return err
 	}
-	added, err := n.cfg.Store.AddAll(delta.Records)
-	if err != nil {
-		return fmt.Errorf("store delta from %s: %w", peer, err)
+	// Apply per record so one bad record doesn't discard the rest. Records
+	// for servers evicted under a memory budget are skipped, not fatal:
+	// they are already durable on the peer and will be pulled again once
+	// the server is resident here.
+	added := 0
+	for _, rec := range delta.Records {
+		ok, err := n.cfg.Store.Add(rec)
+		if err != nil {
+			if errors.Is(err, store.ErrEvicted) {
+				continue
+			}
+			return fmt.Errorf("store delta from %s: %w", peer, err)
+		}
+		if ok {
+			added++
+		}
 	}
 	n.received.Add(uint64(added))
 	n.rounds.Add(1)

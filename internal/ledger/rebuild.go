@@ -1,0 +1,361 @@
+package ledger
+
+// Rebuild-on-demand: reconstructing one evicted server's resident state
+// without replaying the whole ledger. The sources are (a) the newest
+// published snapshot, read by per-server byte range through the section
+// index kept since boot or the last snapshot write, and (b) the tail index —
+// an in-memory per-server map of every record appended since the segment the
+// snapshot covers. Records from both sources are deduplicated by content
+// hash (the snapshot scan and the tail overlap by design, exactly like boot)
+// and sorted into store order; store.ReinstateServer then verifies the
+// result against the evicted stub's count and XOR digest before swapping it
+// in, so a corrupt section read or a lost record can never silently resurface
+// as wrong state — it surfaces as a rebuild error.
+//
+// The tail index rotates with snapshots: sealForSnapshot moves it to the
+// pending generation (the records the in-flight snapshot will cover), a
+// successful publish drops pending, and a failed one leaves pending in place
+// to be merged into the next attempt. A rebuild always reads snapshot ∪
+// pending ∪ tail, so it is correct in every phase of that cycle.
+//
+// The pin guard closes the store-first/ledger-second write race: a server is
+// pinned from before its record enters the store until the record is both in
+// the ledger and in the tail index, and the store's eviction sweep skips
+// pinned servers — so a stub's records are always fully reconstructable.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/store"
+)
+
+// ErrNoRebuild reports a RebuildServer call on a deployment without the
+// lifecycle machinery (Options.MemBudget unset).
+var ErrNoRebuild = errors.New("ledger: rebuild-on-demand not enabled")
+
+// secRange is one server's byte range inside a snapshot file, starting at
+// its id-length uvarint and ending after its accumulator state.
+type secRange struct{ off, end int64 }
+
+// snapIndex locates every server section of the newest published snapshot.
+type snapIndex struct {
+	path     string
+	sections map[string]secRange
+}
+
+// pin marks a server's write as in flight: the eviction sweep must not evict
+// it until the record is durable and tail-indexed.
+func (ps *PersistentStore) pin(id feedback.EntityID) {
+	ps.pinMu.Lock()
+	if ps.pinned == nil {
+		ps.pinned = make(map[string]int)
+	}
+	ps.pinned[string(id)]++
+	ps.pinMu.Unlock()
+}
+
+func (ps *PersistentStore) unpin(id feedback.EntityID) {
+	ps.pinMu.Lock()
+	if n := ps.pinned[string(id)]; n <= 1 {
+		delete(ps.pinned, string(id))
+	} else {
+		ps.pinned[string(id)] = n - 1
+	}
+	ps.pinMu.Unlock()
+}
+
+// isPinned is the store.EvictGuard installed when the lifecycle is enabled.
+func (ps *PersistentStore) isPinned(id feedback.EntityID) bool {
+	ps.pinMu.Lock()
+	_, ok := ps.pinned[string(id)]
+	ps.pinMu.Unlock()
+	return ok
+}
+
+// tailAdd records a post-snapshot append in the tail index.
+func (ps *PersistentStore) tailAdd(f feedback.Feedback) {
+	ps.tailMu.Lock()
+	if ps.tailIdx == nil {
+		ps.tailIdx = make(map[string][]feedback.Feedback)
+	}
+	ps.tailIdx[string(f.Server)] = append(ps.tailIdx[string(f.Server)], f)
+	ps.tailMu.Unlock()
+}
+
+// rotateTail moves the tail index into the pending generation at snapshot
+// seal time. Pending survives a failed snapshot, so rotation merges rather
+// than replaces: pending records are older than tail records by
+// construction, and the rebuild sort does not depend on it anyway.
+func (ps *PersistentStore) rotateTail() {
+	ps.tailMu.Lock()
+	if ps.pendingTail == nil {
+		ps.pendingTail = ps.tailIdx
+	} else {
+		for id, recs := range ps.tailIdx {
+			ps.pendingTail[id] = append(ps.pendingTail[id], recs...)
+		}
+	}
+	ps.tailIdx = nil
+	ps.tailMu.Unlock()
+}
+
+// dropPendingTail discards the pending generation after its records are
+// covered by a published snapshot, and points the section index at it.
+func (ps *PersistentStore) dropPendingTail(seq uint64, sections map[string]secRange) {
+	ps.tailMu.Lock()
+	ps.pendingTail = nil
+	ps.snapIdx = &snapIndex{path: filepath.Join(ps.ledger.dir, snapshotName(seq)), sections: sections}
+	ps.tailMu.Unlock()
+}
+
+// sectionFiles caches open snapshot files across a bulk gather — the
+// snapshot writer reads one section per evicted server, and opening the
+// previous snapshot once instead of once per stub is the difference between
+// O(stubs) preads and O(stubs) opens. A nil *sectionFiles opens per read
+// (the single-server rebuild path).
+type sectionFiles struct{ files map[string]*os.File }
+
+func (c *sectionFiles) get(path string) (*os.File, error) {
+	if f, ok := c.files[path]; ok {
+		return f, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if c.files == nil {
+		c.files = make(map[string]*os.File)
+	}
+	c.files[path] = f
+	return f, nil
+}
+
+func (c *sectionFiles) close() {
+	for _, f := range c.files {
+		_ = f.Close()
+	}
+	c.files = nil
+}
+
+// gatherServer collects every known record of one server — newest snapshot
+// section plus both tail generations — deduplicated by content hash and
+// sorted into store order. includeTail is false for the snapshot writer,
+// whose sections must cover exactly the pre-seal state; cache, when non-nil,
+// reuses open snapshot files across calls.
+//
+// When the snapshot section's records survive as an untouched prefix of the
+// merged result (nothing deduplicated, no tail record sorted into the
+// prefix), the section's serialized accumulator state is returned alongside
+// the count of records it covers; restoring it and appending recs[accCount:]
+// then reproduces a never-evicted accumulator exactly. Otherwise accState is
+// nil and the caller re-derives by replay.
+func (ps *PersistentStore) gatherServer(id feedback.EntityID, includeTail bool, cache *sectionFiles) (recs []feedback.Feedback, accState []byte, accCount int, err error) {
+	ps.tailMu.Lock()
+	idx := ps.snapIdx
+	var raw []feedback.Feedback
+	raw = append(raw, ps.pendingTail[string(id)]...)
+	if includeTail {
+		raw = append(raw, ps.tailIdx[string(id)]...)
+	}
+	ps.tailMu.Unlock()
+
+	snapCount := 0
+	if idx != nil {
+		if r, ok := idx.sections[string(id)]; ok {
+			sec, err := readSnapshotSection(idx.path, r, id, cache)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			snapCount = len(sec.recs)
+			accState = sec.accState
+			raw = append(sec.recs, raw...)
+		}
+	}
+	if len(raw) == 0 {
+		return nil, nil, 0, nil
+	}
+	seen := make(map[store.Hash]struct{}, len(raw))
+	recs = raw[:0]
+	dropped := false
+	for i, f := range raw {
+		h := store.HashOf(f)
+		if _, dup := seen[h]; dup {
+			if i < snapCount {
+				return nil, nil, 0, fmt.Errorf("duplicate record inside snapshot section")
+			}
+			dropped = true
+			continue
+		}
+		seen[h] = struct{}{}
+		recs = append(recs, f)
+	}
+	sorted := sort.SliceIsSorted(recs, func(i, j int) bool { return lessFeedback(recs[i], recs[j]) })
+	if !sorted {
+		sort.Slice(recs, func(i, j int) bool { return lessFeedback(recs[i], recs[j]) })
+	}
+	if dropped || !sorted {
+		return recs, nil, 0, nil
+	}
+	return recs, accState, snapCount, nil
+}
+
+// lessFeedback is the store's record order: time, then content hash.
+func lessFeedback(a, b feedback.Feedback) bool {
+	if !a.Time.Equal(b.Time) {
+		return a.Time.Before(b.Time)
+	}
+	return store.HashOf(a) < store.HashOf(b)
+}
+
+// RebuildServer reconstructs one evicted server's history and accumulator
+// from the newest snapshot plus the tail index and reinstates it in the
+// store, bit-identical to a server that was never evicted. It is a no-op for
+// resident servers and an error for unknown ones. Safe for concurrent calls
+// on the same server (the reinstate is idempotent); the serving layer
+// single-flights per server to avoid duplicate work, not for correctness.
+func (ps *PersistentStore) RebuildServer(id feedback.EntityID) error {
+	if ps.opts.MemBudget <= 0 {
+		return ErrNoRebuild
+	}
+	if _, evicted := ps.store.StubOf(id); !evicted {
+		// Resident already (a concurrent rebuild won the race), or unknown —
+		// ReinstateServer would reject the latter, so check here for the
+		// cleaner error.
+		if _, v := ps.store.Snapshot(id); v == 0 {
+			return fmt.Errorf("ledger: rebuild: unknown server %q", id)
+		}
+		return nil
+	}
+	recs, accState, accCount, err := ps.gatherServer(id, true, nil)
+	if err != nil {
+		ps.rebuildErrors.Add(1)
+		return fmt.Errorf("ledger: rebuild %q: %w", id, err)
+	}
+	var acc store.Accumulator
+	if len(accState) > 0 && ps.opts.RestoreAccumulator != nil {
+		if a, n, err := ps.opts.RestoreAccumulator(id, accState); err == nil && n == accCount && n <= len(recs) {
+			// The serialized state covers the snapshot-section prefix
+			// (gatherServer guarantees it survived the merge untouched);
+			// feeding it the suffix yields exactly the accumulator a
+			// never-evicted server would hold.
+			for _, f := range recs[n:] {
+				a.Append(f)
+			}
+			acc = a
+		}
+	}
+	if err := ps.store.ReinstateServer(id, recs, acc); err != nil {
+		ps.rebuildErrors.Add(1)
+		return err
+	}
+	ps.rebuilds.Add(1)
+	return nil
+}
+
+// readSnapshotSection reads and decodes one server's section from a
+// snapshot file by byte range (via cache when non-nil). Integrity is
+// verified end-to-end by the store's reinstate digest check rather than
+// per-section checksums.
+func readSnapshotSection(path string, r secRange, id feedback.EntityID, cache *sectionFiles) (snapServer, error) {
+	var f *os.File
+	var err error
+	if cache != nil {
+		if f, err = cache.get(path); err != nil {
+			return snapServer{}, fmt.Errorf("ledger: open snapshot for rebuild: %w", err)
+		}
+	} else {
+		if f, err = os.Open(path); err != nil {
+			return snapServer{}, fmt.Errorf("ledger: open snapshot for rebuild: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+	}
+	if r.end <= r.off {
+		return snapServer{}, fmt.Errorf("ledger: bad section range for %q", id)
+	}
+	buf := make([]byte, r.end-r.off)
+	if _, err := f.ReadAt(buf, r.off); err != nil {
+		return snapServer{}, fmt.Errorf("ledger: read section of %q: %w", id, err)
+	}
+	sec, rest, err := decodeServerSection(buf, make(map[string]feedback.EntityID))
+	if err != nil {
+		return snapServer{}, fmt.Errorf("ledger: decode section of %q: %w", id, err)
+	}
+	if len(rest) != 0 {
+		return snapServer{}, fmt.Errorf("ledger: section of %q: %d trailing bytes", id, len(rest))
+	}
+	if string(sec.id) != string(id) {
+		return snapServer{}, fmt.Errorf("ledger: section range for %q holds %q", id, sec.id)
+	}
+	return sec, nil
+}
+
+// Stub sidecar: next to every snapshot, the evicted servers' compact stubs
+// are written to snapshot.<seq>.stubs so offline tooling (trustctl
+// ledger-info) can enumerate state that is durable but was not resident at
+// capture. The sidecar is informational — boot and rebuild never read it —
+// so a missing or corrupt sidecar costs visibility, not correctness.
+
+var stubMagic = [8]byte{0xB7, 'H', 'P', 'S', 'T', 'U', 'B', '1'}
+
+// stubsName formats the sidecar file name for snapshot sequence seq.
+func stubsName(seq uint64) string { return snapshotName(seq) + ".stubs" }
+
+// encodeStubs serializes the sidecar image: magic, uvarint count, the stubs
+// in store encoding, and a trailing CRC32-C over everything before it.
+func encodeStubs(stubs []store.Stub) []byte {
+	buf := append([]byte(nil), stubMagic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(stubs)))
+	for _, s := range stubs {
+		buf = store.AppendStub(buf, s)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// decodeStubs verifies and decodes a sidecar image.
+func decodeStubs(data []byte) ([]store.Stub, error) {
+	if len(data) < len(stubMagic)+4 {
+		return nil, errors.New("ledger: stub sidecar: short file")
+	}
+	if string(data[:len(stubMagic)]) != string(stubMagic[:]) {
+		return nil, errors.New("ledger: stub sidecar: bad magic")
+	}
+	body := data[:len(data)-4]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return nil, errors.New("ledger: stub sidecar: checksum mismatch")
+	}
+	rest := body[len(stubMagic):]
+	count, used := binary.Uvarint(rest)
+	if used <= 0 || count > uint64(len(rest)) {
+		return nil, errors.New("ledger: stub sidecar: bad count")
+	}
+	rest = rest[used:]
+	out := make([]store.Stub, 0, count)
+	for i := uint64(0); i < count; i++ {
+		s, n, err := store.DecodeStub(rest)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: stub sidecar: entry %d: %w", i, err)
+		}
+		rest = rest[n:]
+		out = append(out, s)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("ledger: stub sidecar: %d trailing bytes", len(rest))
+	}
+	return out, nil
+}
+
+// writeStubs writes the sidecar for snapshot seq. Best effort: failures are
+// logged by the caller, never failed through to the snapshot.
+func writeStubs(dir string, seq uint64, stubs []store.Stub) error {
+	if len(stubs) == 0 {
+		return nil
+	}
+	return os.WriteFile(filepath.Join(dir, stubsName(seq)), encodeStubs(stubs), 0o644)
+}

@@ -1,0 +1,246 @@
+package ledger
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"honestplayer/internal/core"
+	"honestplayer/internal/store"
+)
+
+// evictAll evicts every server in the store and returns how many went.
+func evictAll(t *testing.T, st *store.Store) int {
+	t.Helper()
+	n := 0
+	for _, srv := range st.Servers() {
+		if st.EvictServer(srv) {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("nothing evicted")
+	}
+	return n
+}
+
+// rebuildAll faults every evicted server back in.
+func rebuildAll(t *testing.T, ps *PersistentStore) {
+	t.Helper()
+	for _, stub := range ps.Store().Stubs() {
+		if err := ps.RebuildServer(stub.Server); err != nil {
+			t.Fatalf("rebuild %q: %v", stub.Server, err)
+		}
+	}
+}
+
+// TestRebuildBitIdentical: evicting a server and rebuilding it on demand
+// must restore exactly the state a never-evicted twin holds — records,
+// versions, checksums, and (in incremental mode) accumulator assessments.
+// Records deliberately span a snapshot and a post-snapshot tail so the
+// rebuild has to merge both sources.
+func TestRebuildBitIdentical(t *testing.T) {
+	for _, mode := range []string{"trustonly", "incremental"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "led")
+			var opts Options
+			var tpUsed *core.TwoPhase
+			if mode == "incremental" {
+				opts, tpUsed = incrementalOptions(t, 4, 1<<20, 0)
+			} else {
+				opts = Options{Shards: 4, SegmentBytes: 1 << 20}
+			}
+			opts.MemBudget = 1 << 40 // lifecycle on, budget never binds
+
+			ps, err := OpenStoreOptions(context.Background(), dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ps.Close()
+			workload(t, ps, 200, 0)
+			if _, err := ps.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+			workload(t, ps, 90, 200) // tail records past the snapshot
+			want := storeFingerprint(t, ps.Store(), tpUsed)
+
+			evictAll(t, ps.Store())
+			rebuildAll(t, ps)
+
+			got := storeFingerprint(t, ps.Store(), tpUsed)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatal("rebuilt state diverges from never-evicted state")
+			}
+			if ps.Stats().Rebuilds == 0 {
+				t.Fatal("rebuild counter did not move")
+			}
+		})
+	}
+}
+
+// TestRebuildAcrossRotation: records for one server scattered over several
+// snapshot generations plus a live tail must all come back. Each snapshot
+// covers all prior history (forgetting-safe), so the rebuild reads the
+// newest snapshot section and the in-memory tail only.
+func TestRebuildAcrossRotation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "led")
+	opts, tp := incrementalOptions(t, 2, 1<<20, 0)
+	opts.MemBudget = 1 << 40
+
+	ps, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	for round := 0; round < 3; round++ {
+		workload(t, ps, 70, round*70)
+		if _, err := ps.Snapshot(); err != nil {
+			t.Fatalf("snapshot round %d: %v", round, err)
+		}
+		// Evict between rounds too: later snapshots must rebuild stub
+		// sections from their predecessors rather than drop them.
+		evictAll(t, ps.Store())
+	}
+	workload(t, ps, 33, 210) // un-snapshotted tail
+	rebuildAll(t, ps)
+	want := storeFingerprint(t, ps.Store(), tp)
+
+	evictAll(t, ps.Store())
+	rebuildAll(t, ps)
+	if got := storeFingerprint(t, ps.Store(), tp); !reflect.DeepEqual(want, got) {
+		t.Fatal("rebuild across rotations diverges")
+	}
+
+	// A fresh boot from the stub-bearing snapshot chain must also converge.
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	boot, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer boot.Close()
+	if got := storeFingerprint(t, boot.Store(), tp); !reflect.DeepEqual(want, got) {
+		t.Fatal("boot after evictions diverges from live state")
+	}
+}
+
+// TestSnapshotWithEvictedServers: a snapshot taken while servers are evicted
+// must still carry their complete history (the forgetting-safe invariant):
+// delete every older snapshot and the ledger segments' replay must not be
+// needed — boot from the newest snapshot alone reproduces everything.
+func TestSnapshotWithEvictedServers(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "led")
+	opts, tp := incrementalOptions(t, 2, 1<<20, 0)
+	opts.MemBudget = 1 << 40
+
+	ps, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload(t, ps, 150, 0)
+	if _, err := ps.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	workload(t, ps, 60, 150)
+	evictAll(t, ps.Store())
+	seq, err := ps.Snapshot() // must fold evicted sections forward
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuildAll(t, ps)
+	want := storeFingerprint(t, ps.Store(), tp)
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stub sidecar of the new snapshot must enumerate what was evicted.
+	raw, err := os.ReadFile(filepath.Join(dir, stubsName(seq)))
+	if err != nil {
+		t.Fatalf("stub sidecar: %v", err)
+	}
+	stubs, err := decodeStubs(raw)
+	if err != nil {
+		t.Fatalf("decode sidecar: %v", err)
+	}
+	if len(stubs) == 0 {
+		t.Fatal("sidecar holds no stubs")
+	}
+	for _, s := range stubs {
+		if s.SnapSeq >= seq || s.Count == 0 {
+			t.Fatalf("implausible sidecar stub %+v for snapshot %d", s, seq)
+		}
+	}
+
+	// Remove everything but the newest snapshot; boot must not miss data.
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range seqs {
+		if old != seq {
+			if err := os.Remove(filepath.Join(dir, snapshotName(old))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	boot, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer boot.Close()
+	if boot.Stats().BootMode != "snapshot" {
+		t.Fatalf("boot mode = %q, want snapshot", boot.Stats().BootMode)
+	}
+	if got := storeFingerprint(t, boot.Store(), tp); !reflect.DeepEqual(want, got) {
+		t.Fatal("snapshot taken with evicted servers lost history")
+	}
+}
+
+// TestWritePathSelfHeals: a write addressed to an evicted server must fault
+// the server in transparently and land, not surface ErrEvicted.
+func TestWritePathSelfHeals(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "led")
+	opts := Options{Shards: 2, SegmentBytes: 1 << 20, MemBudget: 1 << 40}
+	ps, err := OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	workload(t, ps, 50, 0)
+	if _, err := ps.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	victim := ps.Store().Servers()[0]
+	if !ps.Store().EvictServer(victim) {
+		t.Fatal("evict failed")
+	}
+	f := rec("x", true, 9999)
+	f.Server = victim
+	f.Client = "healer"
+	if ok, err := ps.Add(f); err != nil || !ok {
+		t.Fatalf("write to evicted server = (%v, %v), want self-healed add", ok, err)
+	}
+	if _, ok := ps.Store().StubOf(victim); ok {
+		t.Fatal("server still evicted after self-healing write")
+	}
+	if n := ps.Store().ServerLen(victim); n == 0 {
+		t.Fatal("rebuilt server lost its records")
+	}
+}
+
+// TestRebuildUnknownServer: rebuilding a server the store has never seen
+// must fail loudly instead of inventing empty state.
+func TestRebuildUnknownServer(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "led")
+	ps, err := OpenStoreOptions(context.Background(), dir, Options{Shards: 2, MemBudget: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if err := ps.RebuildServer("ghost"); err == nil {
+		t.Fatal("rebuild of unknown server succeeded")
+	}
+}

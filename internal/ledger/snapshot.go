@@ -92,12 +92,14 @@ func listSnapshots(dir string) ([]uint64, error) {
 }
 
 // snapWriter streams a snapshot to its temp file, maintaining the running
-// checksum, and atomically publishes it on finish.
+// checksum and byte position (so the caller can index server sections by
+// byte range for rebuild-on-demand), and atomically publishes it on finish.
 type snapWriter struct {
 	dir     string
 	f       *os.File
 	w       *bufio.Writer
 	crc     uint32
+	pos     int64
 	scratch []byte
 }
 
@@ -121,12 +123,13 @@ func beginSnapshot(dir string, seq, covered, records uint64) (*snapWriter, error
 	return sw, nil
 }
 
-// write appends raw bytes, folding them into the checksum.
+// write appends raw bytes, folding them into the checksum and position.
 func (sw *snapWriter) write(b []byte) error {
 	if _, err := sw.w.Write(b); err != nil {
 		return fmt.Errorf("ledger: snapshot write: %w", err)
 	}
 	sw.crc = crc32.Update(sw.crc, castagnoli, b)
+	sw.pos += int64(len(b))
 	sw.scratch = b[:0]
 	return nil
 }
@@ -201,7 +204,8 @@ func (sw *snapWriter) abort() {
 	_ = os.Remove(filepath.Join(sw.dir, snapTmpName))
 }
 
-// pruneSnapshots removes all but the snapKeep newest snapshot files.
+// pruneSnapshots removes all but the snapKeep newest snapshot files, along
+// with the pruned snapshots' stub sidecars.
 func pruneSnapshots(dir string) {
 	seqs, err := listSnapshots(dir)
 	if err != nil || len(seqs) <= snapKeep {
@@ -209,6 +213,7 @@ func pruneSnapshots(dir string) {
 	}
 	for _, seq := range seqs[:len(seqs)-snapKeep] {
 		_ = os.Remove(filepath.Join(dir, snapshotName(seq)))
+		_ = os.Remove(filepath.Join(dir, stubsName(seq)))
 	}
 }
 
@@ -219,12 +224,14 @@ type snapServer struct {
 	accState []byte
 }
 
-// snapshotData is a fully decoded, checksum-verified snapshot.
+// snapshotData is a fully decoded, checksum-verified snapshot. sections
+// indexes each server's byte range within the file, for rebuild-on-demand.
 type snapshotData struct {
-	seq     uint64
-	covered uint64
-	records uint64
-	servers []snapServer
+	seq      uint64
+	covered  uint64
+	records  uint64
+	servers  []snapServer
+	sections map[string]secRange
 }
 
 // loadSnapshot reads and verifies the snapshot at path. Any structural or
@@ -274,84 +281,107 @@ func decodeSnapshot(data []byte) (*snapshotData, error) {
 		return nil, err
 	}
 	seen := make(map[string]struct{})
+	sd.sections = make(map[string]secRange)
 	// Client IDs repeat heavily across a server's records; interning them
 	// makes decode allocate each distinct ID once instead of per record.
 	clients := make(map[string]feedback.EntityID)
 	for {
-		var idLen uint64
-		if idLen, rest, err = snapUvarint(rest); err != nil {
-			return nil, err
+		peek, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad varint", ErrBadSnapshot)
 		}
-		if idLen == 0 {
+		if peek == 0 {
+			rest = rest[n:]
 			break
 		}
-		if idLen > maxRecordLen || uint64(len(rest)) < idLen {
-			return nil, fmt.Errorf("%w: server id overruns file", ErrBadSnapshot)
+		// Section offsets are relative to the file start; body starts at 0.
+		start := int64(len(body) - len(rest))
+		srv, remainder, err := decodeServerSection(rest, clients)
+		if err != nil {
+			return nil, err
 		}
-		srv := snapServer{id: feedback.EntityID(rest[:idLen])}
-		rest = rest[idLen:]
+		rest = remainder
 		if _, dup := seen[string(srv.id)]; dup {
 			return nil, fmt.Errorf("%w: duplicate server %q", ErrBadSnapshot, srv.id)
 		}
 		seen[string(srv.id)] = struct{}{}
-		var count uint64
-		if count, rest, err = snapUvarint(rest); err != nil {
-			return nil, err
-		}
-		// Each record costs at least 10 bytes; cap the preallocation by what
-		// the remaining bytes could actually hold.
-		if count > uint64(len(rest))/10+1 {
-			return nil, fmt.Errorf("%w: record count overruns file", ErrBadSnapshot)
-		}
-		srv.recs = make([]feedback.Feedback, 0, count)
-		for i := uint64(0); i < count; i++ {
-			if len(rest) < 9 {
-				return nil, fmt.Errorf("%w: truncated record", ErrBadSnapshot)
-			}
-			nano := int64(binary.BigEndian.Uint64(rest))
-			rating := feedback.Rating(rest[8])
-			rest = rest[9:]
-			var cLen uint64
-			if cLen, rest, err = snapUvarint(rest); err != nil {
-				return nil, err
-			}
-			if cLen > maxRecordLen || uint64(len(rest)) < cLen {
-				return nil, fmt.Errorf("%w: client id overruns file", ErrBadSnapshot)
-			}
-			client, ok := clients[string(rest[:cLen])]
-			if !ok {
-				client = feedback.EntityID(rest[:cLen])
-				clients[string(client)] = client
-			}
-			f := feedback.Feedback{
-				Server: srv.id,
-				Client: client,
-				Rating: rating,
-				Time:   time.Unix(0, nano).UTC(), // matches feedback.DecodeBinary
-			}
-			rest = rest[cLen:]
-			if err := f.Validate(); err != nil {
-				return nil, fmt.Errorf("%w: invalid record: %v", ErrBadSnapshot, err)
-			}
-			srv.recs = append(srv.recs, f)
-		}
-		var accLen uint64
-		if accLen, rest, err = snapUvarint(rest); err != nil {
-			return nil, err
-		}
-		if uint64(len(rest)) < accLen {
-			return nil, fmt.Errorf("%w: accumulator state overruns file", ErrBadSnapshot)
-		}
-		if accLen > 0 {
-			srv.accState = append([]byte(nil), rest[:accLen]...)
-			rest = rest[accLen:]
-		}
+		sd.sections[string(srv.id)] = secRange{off: start, end: int64(len(body) - len(rest))}
 		sd.servers = append(sd.servers, srv)
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(rest))
 	}
 	return sd, nil
+}
+
+// decodeServerSection decodes one server section — from its id-length
+// uvarint through its accumulator state — returning the remainder. It is
+// shared between whole-file decode (boot) and by-range section reads
+// (rebuild-on-demand).
+func decodeServerSection(rest []byte, clients map[string]feedback.EntityID) (snapServer, []byte, error) {
+	var srv snapServer
+	idLen, rest, err := snapUvarint(rest)
+	if err != nil {
+		return srv, rest, err
+	}
+	if idLen == 0 || idLen > maxRecordLen || uint64(len(rest)) < idLen {
+		return srv, rest, fmt.Errorf("%w: server id overruns file", ErrBadSnapshot)
+	}
+	srv.id = feedback.EntityID(rest[:idLen])
+	rest = rest[idLen:]
+	var count uint64
+	if count, rest, err = snapUvarint(rest); err != nil {
+		return srv, rest, err
+	}
+	// Each record costs at least 10 bytes; cap the preallocation by what
+	// the remaining bytes could actually hold.
+	if count > uint64(len(rest))/10+1 {
+		return srv, rest, fmt.Errorf("%w: record count overruns file", ErrBadSnapshot)
+	}
+	srv.recs = make([]feedback.Feedback, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(rest) < 9 {
+			return srv, rest, fmt.Errorf("%w: truncated record", ErrBadSnapshot)
+		}
+		nano := int64(binary.BigEndian.Uint64(rest))
+		rating := feedback.Rating(rest[8])
+		rest = rest[9:]
+		var cLen uint64
+		if cLen, rest, err = snapUvarint(rest); err != nil {
+			return srv, rest, err
+		}
+		if cLen > maxRecordLen || uint64(len(rest)) < cLen {
+			return srv, rest, fmt.Errorf("%w: client id overruns file", ErrBadSnapshot)
+		}
+		client, ok := clients[string(rest[:cLen])]
+		if !ok {
+			client = feedback.EntityID(rest[:cLen])
+			clients[string(client)] = client
+		}
+		f := feedback.Feedback{
+			Server: srv.id,
+			Client: client,
+			Rating: rating,
+			Time:   time.Unix(0, nano).UTC(), // matches feedback.DecodeBinary
+		}
+		rest = rest[cLen:]
+		if err := f.Validate(); err != nil {
+			return srv, rest, fmt.Errorf("%w: invalid record: %v", ErrBadSnapshot, err)
+		}
+		srv.recs = append(srv.recs, f)
+	}
+	var accLen uint64
+	if accLen, rest, err = snapUvarint(rest); err != nil {
+		return srv, rest, err
+	}
+	if uint64(len(rest)) < accLen {
+		return srv, rest, fmt.Errorf("%w: accumulator state overruns file", ErrBadSnapshot)
+	}
+	if accLen > 0 {
+		srv.accState = append([]byte(nil), rest[:accLen]...)
+		rest = rest[accLen:]
+	}
+	return srv, rest, nil
 }
 
 // snapUvarint decodes one uvarint, returning the remainder.

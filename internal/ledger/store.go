@@ -47,6 +47,14 @@ type Options struct {
 	// Logf, when set, receives boot and snapshot diagnostics (corrupt
 	// snapshots skipped, truncation repairs, background snapshot failures).
 	Logf func(format string, args ...any)
+	// MemBudget, when positive, enables the resident-state lifecycle: the
+	// store's accounted footprint (histories + accumulators, see
+	// store.SetBudget) is kept at or under this many bytes by evicting idle
+	// servers to stubs, and evicted servers are rebuilt on demand from the
+	// newest snapshot plus the in-memory tail index (RebuildServer). Boot
+	// seeds fully resident, snapshots once if it had to full-replay (so the
+	// tail index starts empty), then trims to the budget.
+	MemBudget int64
 }
 
 // PersistentStore is a feedback store backed by the ledger: every newly
@@ -65,6 +73,21 @@ type PersistentStore struct {
 	snapsFailed atomic.Uint64
 	sinceSnap   atomic.Uint64
 	wg          sync.WaitGroup
+
+	// Lifecycle machinery, active when opts.MemBudget > 0 (see rebuild.go):
+	// the tail index maps each server to its records appended since the
+	// newest snapshot's covered segment (pendingTail is the generation an
+	// in-flight snapshot is covering), snapIdx locates server sections in
+	// the newest published snapshot, and pinned guards servers whose newest
+	// write is not yet durable against eviction.
+	tailMu        sync.Mutex
+	tailIdx       map[string][]feedback.Feedback
+	pendingTail   map[string][]feedback.Feedback
+	snapIdx       *snapIndex
+	pinMu         sync.Mutex
+	pinned        map[string]int
+	rebuilds      atomic.Uint64
+	rebuildErrors atomic.Uint64
 
 	bootMode     string
 	bootSnapshot uint64
@@ -118,7 +141,8 @@ func OpenStoreOptions(ctx context.Context, path string, opts Options) (*Persiste
 	from := uint64(0)
 	for i := len(seqs) - 1; i >= 0 && st == nil; i-- {
 		seq := seqs[i]
-		sd, err := loadSnapshot(filepath.Join(l.dir, snapshotName(seq)))
+		path := filepath.Join(l.dir, snapshotName(seq))
+		sd, err := loadSnapshot(path)
 		if err != nil {
 			ps.logf("ledger: snapshot %d unusable, trying older: %v", seq, err)
 			continue
@@ -128,6 +152,9 @@ func OpenStoreOptions(ctx context.Context, path string, opts Options) (*Persiste
 			from = sd.covered
 			ps.bootMode = "snapshot"
 			ps.bootSnapshot = seq
+			if opts.MemBudget > 0 {
+				ps.snapIdx = &snapIndex{path: path, sections: sd.sections}
+			}
 		}
 	}
 	if st == nil {
@@ -138,10 +165,19 @@ func OpenStoreOptions(ctx context.Context, path string, opts Options) (*Persiste
 		ps.bootMode = "replay"
 	}
 
+	// With the lifecycle on, tail-replayed records double as the tail index
+	// (records past the snapshot horizon must be rebuildable from memory,
+	// since the snapshot file doesn't hold them). A store-level duplicate —
+	// the seal/scan overlap a snapshot boot replays through — is filtered by
+	// Add returning false, keeping the index duplicate-free.
 	if err := l.replayFrom(ctx, from, func(batch []feedback.Feedback) error {
 		for _, f := range batch {
-			if _, err := st.Add(f); err != nil {
+			added, err := st.Add(f)
+			if err != nil {
 				return fmt.Errorf("ledger: replay into store: %w", err)
+			}
+			if added && opts.MemBudget > 0 {
+				ps.tailAdd(f)
 			}
 		}
 		return nil
@@ -150,6 +186,20 @@ func OpenStoreOptions(ctx context.Context, path string, opts Options) (*Persiste
 		return nil, errors.Join(err, cerr)
 	}
 	ps.store = st
+	if opts.MemBudget > 0 {
+		st.SetEvictGuard(ps.isPinned)
+		st.SetSnapshotSeq(ps.lastSnapSeq.Load())
+		if ps.bootMode == "replay" && st.Len() > 0 {
+			// A full replay leaves the whole history in the tail index; one
+			// snapshot moves it into a section-indexed file so the budget
+			// can actually be honored.
+			if _, err := ps.Snapshot(); err != nil {
+				cerr := l.Close()
+				return nil, errors.Join(fmt.Errorf("ledger: boot snapshot for mem budget: %w", err), cerr)
+			}
+		}
+		st.SetBudget(opts.MemBudget)
+	}
 	return ps, nil
 }
 
@@ -200,13 +250,33 @@ func (ps *PersistentStore) Store() *store.Store { return ps.store }
 
 // Add stores the record and, when it is new, appends it to the ledger,
 // kicking off a background snapshot when the configured interval is due.
+// With the lifecycle enabled, the record's server is pinned against
+// eviction from before the store accepts the write until the record is both
+// in the ledger and in the tail index — evicting inside that window would
+// mint a stub whose records cannot all be rebuilt yet.
 func (ps *PersistentStore) Add(rec feedback.Feedback) (bool, error) {
+	lifecycle := ps.opts.MemBudget > 0
+	if lifecycle {
+		ps.pin(rec.Server)
+		defer ps.unpin(rec.Server)
+	}
 	stored, err := ps.store.Add(rec)
+	if lifecycle && errors.Is(err, store.ErrEvicted) {
+		// Write to an evicted server: fault it in and retry. The pin taken
+		// above keeps the rebuilt state resident until the retry lands.
+		if rerr := ps.RebuildServer(rec.Server); rerr != nil {
+			return false, fmt.Errorf("fault-in for write to %q: %w", rec.Server, rerr)
+		}
+		stored, err = ps.store.Add(rec)
+	}
 	if err != nil || !stored {
 		return stored, err
 	}
 	if err := ps.ledger.Append(rec); err != nil {
 		return true, fmt.Errorf("stored in memory but not persisted: %w", err)
+	}
+	if lifecycle {
+		ps.tailAdd(rec)
 	}
 	if every := ps.opts.SnapshotEvery; every > 0 && ps.sinceSnap.Add(1) >= every {
 		ps.snapshotAsync()
@@ -244,12 +314,23 @@ func (ps *PersistentStore) snapshotAsync() {
 // snapshot boot replays only post-snapshot segments instead of re-decoding
 // the covered segment's prefix. Accumulator state is serialized under the
 // shard read lock, so it matches the history captured alongside it exactly.
+// Evicted servers are forgetting-safe: the walk hands the writer a stub
+// instead of a history, and the writer materializes the stub's full section
+// from the previous snapshot plus the pending tail generation (rotated out
+// of the live tail index at seal time), verified against the stub's record
+// count. Every published snapshot therefore carries every server's complete
+// covered history, resident or not — the invariant rebuild-on-demand and
+// snapshot boot both lean on.
 func (ps *PersistentStore) Snapshot() (uint64, error) {
 	ps.snapMu.Lock()
 	defer ps.snapMu.Unlock()
 	covered, records, err := ps.ledger.sealForSnapshot()
 	if err != nil {
 		return 0, err
+	}
+	lifecycle := ps.opts.MemBudget > 0
+	if lifecycle {
+		ps.rotateTail()
 	}
 	ps.sinceSnap.Store(0)
 	seq := ps.lastSnapSeq.Load() + 1
@@ -258,30 +339,75 @@ func (ps *PersistentStore) Snapshot() (uint64, error) {
 		ps.snapsFailed.Add(1)
 		return 0, err
 	}
+	fail := func(err error) (uint64, error) {
+		sw.abort()
+		ps.snapsFailed.Add(1)
+		return 0, err
+	}
 	type section struct {
 		id       feedback.EntityID
 		snap     *feedback.History
 		accState []byte
+		stub     *store.Stub
 	}
+	var stubs []store.Stub
+	sections := make(map[string]secRange)
+	var secFiles sectionFiles
+	defer secFiles.close()
 	for idx := 0; idx < ps.store.NumShards(); idx++ {
 		var secs []section
-		ps.store.SnapshotShard(idx, func(srv feedback.EntityID, snap *feedback.History, acc store.Accumulator, version uint64) {
-			sec := section{id: srv, snap: snap}
-			if acc != nil && ps.opts.EncodeAccumulator != nil {
-				if b, ok := ps.opts.EncodeAccumulator(acc); ok {
+		ps.store.SnapshotShard(idx, func(ent store.ShardEntry) {
+			if ent.Snap == nil {
+				stub := store.Stub{Server: ent.Server, Count: ent.Count, XOR: ent.XOR, Version: ent.Version, SnapSeq: ent.SnapSeq}
+				stubs = append(stubs, stub)
+				secs = append(secs, section{id: ent.Server, stub: &stub})
+				return
+			}
+			sec := section{id: ent.Server, snap: ent.Snap}
+			if ent.Acc != nil && ps.opts.EncodeAccumulator != nil {
+				if b, ok := ps.opts.EncodeAccumulator(ent.Acc); ok {
 					sec.accState = b
 				}
 			}
 			secs = append(secs, sec)
 		})
 		// Stream record encoding outside the shard lock: the snapshot views
-		// are immutable, so writers aren't blocked on file IO.
+		// are immutable (and stub sections come from the previous snapshot
+		// file plus durable tail records), so writers aren't blocked on
+		// file IO.
 		for _, sec := range secs {
-			if err := sw.server(sec.id, sec.snap, sec.accState); err != nil {
-				sw.abort()
-				ps.snapsFailed.Add(1)
-				return 0, err
+			hist := sec.snap
+			if sec.stub != nil {
+				// The live tail is included: a server evicted after this
+				// snapshot sealed may count post-seal records in its stub,
+				// and those live only in the tail index. Extra records
+				// beyond the stub's count are harmless (boot dedups), but
+				// fewer means the section would forget history — abort.
+				recs, _, _, err := ps.gatherServer(sec.id, true, &secFiles)
+				if err != nil {
+					return fail(fmt.Errorf("ledger: snapshot: evicted section %q: %w", sec.id, err))
+				}
+				if len(recs) < sec.stub.Count {
+					return fail(fmt.Errorf("ledger: snapshot: evicted section %q: rebuilt %d of %d records", sec.id, len(recs), sec.stub.Count))
+				}
+				if len(recs) == sec.stub.Count {
+					var xor uint64
+					for _, f := range recs {
+						xor ^= uint64(store.HashOf(f))
+					}
+					if xor != sec.stub.XOR {
+						return fail(fmt.Errorf("ledger: snapshot: evicted section %q: digest mismatch (rebuilt %x, stub %x)", sec.id, xor, sec.stub.XOR))
+					}
+				}
+				if hist, err = feedback.NewHistoryFromRecords(sec.id, recs); err != nil {
+					return fail(fmt.Errorf("ledger: snapshot: evicted section %q: %w", sec.id, err))
+				}
 			}
+			start := sw.pos
+			if err := sw.server(sec.id, hist, sec.accState); err != nil {
+				return fail(err)
+			}
+			sections[string(sec.id)] = secRange{off: start, end: sw.pos}
 		}
 	}
 	if err := sw.finish(seq); err != nil {
@@ -290,6 +416,13 @@ func (ps *PersistentStore) Snapshot() (uint64, error) {
 	}
 	ps.lastSnapSeq.Store(seq)
 	ps.snapsTaken.Add(1)
+	if lifecycle {
+		ps.dropPendingTail(seq, sections)
+		ps.store.SetSnapshotSeq(seq)
+		if err := writeStubs(ps.ledger.dir, seq, stubs); err != nil {
+			ps.logf("ledger: stub sidecar for snapshot %d not written: %v", seq, err)
+		}
+	}
 	pruneSnapshots(ps.ledger.dir)
 	return seq, nil
 }
@@ -319,6 +452,8 @@ type Stats struct {
 	BootMode         string `json:"boot_mode"`
 	BootSnapshot     uint64 `json:"boot_snapshot,omitempty"`
 	RecordsSinceSnap uint64 `json:"records_since_snapshot"`
+	Rebuilds         uint64 `json:"rebuilds,omitempty"`
+	RebuildErrors    uint64 `json:"rebuild_errors,omitempty"`
 }
 
 // Stats returns a point-in-time snapshot of the persistence counters.
@@ -342,5 +477,7 @@ func (ps *PersistentStore) Stats() Stats {
 	s.BootMode = ps.bootMode
 	s.BootSnapshot = ps.bootSnapshot
 	s.RecordsSinceSnap = ps.sinceSnap.Load()
+	s.Rebuilds = ps.rebuilds.Load()
+	s.RebuildErrors = ps.rebuildErrors.Load()
 	return s
 }

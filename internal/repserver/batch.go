@@ -176,6 +176,18 @@ func (s *Server) assessGroup(ctx context.Context, threshold float64, g *shardGro
 			// point starting more recomputes for a response nobody will see.
 			return
 		}
+		if f.snap == nil && f.version > 0 {
+			// Evicted: fault the server in and serve the item through the
+			// single-assess path (same order — accumulator, cache,
+			// recompute — so the verdict matches a sequential assess).
+			resp, err := s.assess(ctx, wire.AssessRequest{Server: item.Server, Threshold: threshold})
+			if err != nil {
+				item.Error = errorResponseFrom(err)
+				continue
+			}
+			item.AssessResponse = resp
+			continue
+		}
 		if f.snap == nil || f.snap.Len() == 0 {
 			item.Error = &wire.ErrorResponse{
 				Code:    wire.CodeUnknownServer,

@@ -1,0 +1,113 @@
+package repserver
+
+// Fault-in: transparently rebuilding evicted server state on the read path.
+// Under a memory budget the store evicts idle servers to compact stubs; a
+// request touching one (nil snapshot, non-zero version) triggers a rebuild
+// through Config.Rebuilder and retries. Rebuilds are single-flighted per
+// server — one leader calls RebuildServer, concurrent requests for the same
+// server wait for it — so an eviction storm costs one snapshot-section read
+// per server, not one per request.
+
+import (
+	"context"
+	"errors"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/service"
+	"honestplayer/internal/wire"
+)
+
+// Rebuilder reconstructs one evicted server's resident state from durable
+// storage. ledger.PersistentStore implements it; deployments without a
+// memory budget leave Config.Rebuilder nil and never hit this path.
+type Rebuilder interface {
+	RebuildServer(feedback.EntityID) error
+}
+
+// maxFaultAttempts bounds the evict/rebuild retry loop of one request. A
+// server re-evicted this many times within a single request means the budget
+// is far too small for the working set (eviction thrash); failing the
+// request is more honest than spinning.
+const maxFaultAttempts = 4
+
+// faultIn makes one attempt to reinstate server, single-flighted: the first
+// caller becomes the leader and runs the rebuild, concurrent callers wait
+// for its completion (or their own context). A nil return means a rebuild
+// finished — the caller must re-check residency, since the leader may have
+// failed or the server may have been evicted again.
+func (s *Server) faultIn(ctx context.Context, server feedback.EntityID) error {
+	rb := s.cfg.Rebuilder
+	if rb == nil {
+		// Evicted state with no way to rebuild it: only possible when the
+		// store got a budget without the persistence layer attached — a
+		// wiring bug, reported as such rather than "unknown server".
+		return service.Errorf(wire.CodeUnavailable,
+			"server %q is evicted and no rebuilder is configured", server)
+	}
+	s.faultMu.Lock()
+	if ch, ok := s.faultWait[string(server)]; ok {
+		s.faultMu.Unlock()
+		s.nFaultWaits.Add(1)
+		select {
+		case <-ch:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	ch := make(chan struct{})
+	if s.faultWait == nil {
+		s.faultWait = make(map[string]chan struct{})
+	}
+	s.faultWait[string(server)] = ch
+	s.faultMu.Unlock()
+
+	err := rb.RebuildServer(server)
+
+	s.faultMu.Lock()
+	delete(s.faultWait, string(server))
+	s.faultMu.Unlock()
+	close(ch)
+	if err != nil {
+		s.nFaultErrors.Add(1)
+		return service.Errorf(wire.CodeUnavailable, "fault-in of %q: %v", server, err)
+	}
+	s.nFaultIns.Add(1)
+	return nil
+}
+
+// residentSnapshot is Store.Snapshot with fault-in: evicted servers are
+// rebuilt and the read retried, up to maxFaultAttempts. The returned history
+// is non-nil — empty (version 0) for unknown servers, resident otherwise.
+func (s *Server) residentSnapshot(ctx context.Context, server feedback.EntityID) (*feedback.History, uint64, error) {
+	for attempt := 0; ; attempt++ {
+		h, version := s.cfg.Store.Snapshot(server)
+		if h != nil {
+			return h, version, nil
+		}
+		if attempt == maxFaultAttempts {
+			return nil, 0, service.Errorf(wire.CodeUnavailable,
+				"server %q: evicted again after %d rebuilds (memory budget too small for working set)",
+				server, attempt)
+		}
+		if err := s.faultIn(ctx, server); err != nil {
+			return nil, 0, err
+		}
+	}
+}
+
+// errorResponseFrom converts a handler error into the per-item error form of
+// a batch response, mirroring ErrorEnvelopeCodec's code mapping.
+func errorResponseFrom(err error) *wire.ErrorResponse {
+	var proto *wire.ErrorResponse
+	switch {
+	case errors.As(err, &proto):
+		return proto
+	case errors.Is(err, context.DeadlineExceeded):
+		return &wire.ErrorResponse{Code: wire.CodeDeadlineExceeded, Message: err.Error()}
+	case errors.Is(err, context.Canceled):
+		return &wire.ErrorResponse{Code: wire.CodeCanceled, Message: err.Error()}
+	default:
+		return &wire.ErrorResponse{Code: wire.CodeInternal, Message: err.Error()}
+	}
+}

@@ -94,6 +94,11 @@ type Config struct {
 	// v2 hello as a malformed JSON frame (id-0 error, close). Used by the
 	// CI compat matrix to stand in for an old server.
 	DisableV2 bool
+	// Rebuilder reconstructs evicted server state on demand when the Store
+	// runs under a memory budget (see store.SetBudget); requests touching an
+	// evicted server fault it back in through this instead of failing. Nil
+	// disables fault-in — correct whenever no budget is set.
+	Rebuilder Rebuilder
 }
 
 // Stats exposes server counters.
@@ -122,6 +127,24 @@ type Stats struct {
 	// counts, per-peer RTTs); Enabled is false and the rest zero on a
 	// non-clustered node.
 	Cluster service.ClusterStats `json:"cluster"`
+	// Lifecycle carries the resident/evicted state lifecycle counters;
+	// Enabled is false and the rest zero without a memory budget.
+	Lifecycle LifecycleStats `json:"lifecycle"`
+}
+
+// LifecycleStats exposes the memory-budget lifecycle counters: the store's
+// resident/evicted accounting plus the serving layer's fault-in activity.
+type LifecycleStats struct {
+	// Enabled reports whether fault-in is wired (Config.Rebuilder set).
+	Enabled bool `json:"enabled"`
+	store.LifecycleStats
+	// FaultIns counts rebuilds this server led to completion.
+	FaultIns uint64 `json:"fault_ins"`
+	// FaultWaits counts requests that waited on another request's rebuild
+	// of the same server instead of running their own.
+	FaultWaits uint64 `json:"fault_waits"`
+	// FaultErrors counts rebuilds that failed.
+	FaultErrors uint64 `json:"fault_errors"`
 }
 
 // IncrementalStats exposes the incremental assessment engine's counters.
@@ -186,6 +209,12 @@ type Server struct {
 	// local path.
 	clusterRef atomic.Pointer[cluster.Cluster]
 
+	// Single-flight fault-in state (see faultin.go): at most one rebuild
+	// per server runs at a time, with concurrent requests waiting on its
+	// channel.
+	faultMu   sync.Mutex
+	faultWait map[string]chan struct{}
+
 	nConns       atomic.Uint64
 	nV2Conns     atomic.Uint64
 	nRequests    atomic.Uint64
@@ -193,6 +222,9 @@ type Server struct {
 	nIncremental atomic.Uint64
 	nFallback    atomic.Uint64
 	nBatchItems  atomic.Uint64
+	nFaultIns    atomic.Uint64
+	nFaultWaits  atomic.Uint64
+	nFaultErrors atomic.Uint64
 }
 
 // New creates a server listening on addr (e.g. "127.0.0.1:0").
@@ -266,6 +298,15 @@ func (s *Server) SetCluster(cl *cluster.Cluster) {
 			return cl.Owns(server)
 		})
 	}
+	// Under a memory budget, spend residency on the replica set: servers
+	// this node merely forwards for are evicted first.
+	if cl != nil {
+		s.cfg.Store.SetEvictPreference(func(server feedback.EntityID) bool {
+			return !cl.Owns(server)
+		})
+	} else {
+		s.cfg.Store.SetEvictPreference(nil)
+	}
 }
 
 // Cluster returns the attached cluster view, or nil on a single-node
@@ -336,6 +377,13 @@ func (s *Server) Stats() Stats {
 	}
 	if cl := s.clusterRef.Load(); cl != nil {
 		st.Cluster = cl.Stats()
+	}
+	st.Lifecycle = LifecycleStats{
+		Enabled:        s.cfg.Rebuilder != nil,
+		LifecycleStats: s.cfg.Store.Lifecycle(),
+		FaultIns:       s.nFaultIns.Load(),
+		FaultWaits:     s.nFaultWaits.Load(),
+		FaultErrors:    s.nFaultErrors.Load(),
 	}
 	return st
 }
@@ -724,7 +772,13 @@ func (s *Server) handleHistory(ctx context.Context, env wire.Envelope) (wire.Env
 	if err := ctx.Err(); err != nil {
 		return wire.Envelope{}, err
 	}
-	recs := s.cfg.Store.Records(req.Server)
+	// Read through the fault-in path: an evicted server is rebuilt rather
+	// than reported empty (Records alone cannot tell evicted from unknown).
+	h, _, err := s.residentSnapshot(ctx, req.Server)
+	if err != nil {
+		return wire.Envelope{}, err
+	}
+	recs := h.Records()
 	total := len(recs)
 	limit := req.Limit
 	if limit <= 0 || limit > s.cfg.MaxHistoryChunk {
@@ -813,7 +867,10 @@ func (s *Server) assess(ctx context.Context, req wire.AssessRequest) (wire.Asses
 			return resp, nil
 		}
 	}
-	h, version := s.cfg.Store.Snapshot(req.Server)
+	h, version, err := s.residentSnapshot(ctx, req.Server)
+	if err != nil {
+		return resp, err
+	}
 	if h.Len() == 0 {
 		return resp, service.Errorf(wire.CodeUnknownServer, "no records for %q", req.Server)
 	}

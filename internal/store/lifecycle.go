@@ -1,0 +1,444 @@
+package store
+
+// Resident ↔ evicted lifecycle: the memory-budget governor. Every entry
+// self-reports its resident footprint (history bytes + accumulator bytes,
+// see Accumulator.SizeBytes and feedback.History.SizeBytes); the store keeps
+// the node-wide sum and, when a budget is set, evicts idle servers down to a
+// compact stub — version counter, record count, dedup digest (XOR), and the
+// newest snapshot sequence — until the sum fits. Evicted state is NOT lost:
+// the persistence layer rebuilds a server from its snapshot + tail segments
+// on the next access (rebuild-on-demand), and ReinstateServer verifies the
+// rebuilt records against the stub's count and digest before swapping them
+// back in. Eviction without a persistence layer underneath loses records;
+// only enable a budget on stores whose writes are ledgered.
+//
+// Victim selection is a clock (second-chance) sweep: reads and writes set a
+// touched bit, and the sweep walks shards in rotation with three escalating
+// passes — preferred victims (e.g. servers a cluster node does not own) that
+// are idle, then any idle server, then anyone unpinned. An evict guard lets
+// the persistence layer pin servers whose newest write is still in flight to
+// the ledger, so a rebuild can never miss an accepted record.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"honestplayer/internal/feedback"
+)
+
+// ErrEvicted reports an operation against a server whose resident state was
+// evicted to a stub. The caller must fault the server back in (rebuild +
+// ReinstateServer) and retry; the serving layer does this transparently.
+var ErrEvicted = errors.New("store: server state evicted")
+
+// entryOverhead is the accounted fixed cost of one resident entry: the entry
+// struct, its map slot, and the dedup-index hashes of its records are all
+// charged per server via this constant plus the self-reported sizes.
+const entryOverhead = 128
+
+// EvictGuard reports whether a server is temporarily unevictable. The
+// persistence layer pins servers between accepting a write into the store
+// and making it durable in the ledger; evicting inside that window would
+// build a stub whose records cannot all be rebuilt yet.
+type EvictGuard func(server feedback.EntityID) bool
+
+// EvictPreference reports whether a server is a preferred eviction victim.
+// A cluster node prefers evicting servers outside its replica sets, so owned
+// servers stay resident as long as the budget allows.
+type EvictPreference func(server feedback.EntityID) bool
+
+// Stub is the exported form of an evicted server's compact state, enough to
+// verify a rebuild against: the record count and XOR digest pin the exact
+// record set, the version keeps assessment-cache keys comparable across the
+// eviction, and SnapSeq names the newest snapshot covering the server at
+// eviction time.
+type Stub struct {
+	Server  feedback.EntityID
+	Count   int
+	XOR     uint64
+	Version uint64
+	SnapSeq uint64
+}
+
+// AppendStub encodes s compactly into dst: uvarint-length-prefixed server ID
+// followed by uvarint count, XOR, version, and snapshot sequence. The
+// persistence layer writes these as a sidecar next to snapshots so offline
+// tools can enumerate evicted state.
+func AppendStub(dst []byte, s Stub) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s.Server)))
+	dst = append(dst, s.Server...)
+	dst = binary.AppendUvarint(dst, uint64(s.Count))
+	dst = binary.AppendUvarint(dst, s.XOR)
+	dst = binary.AppendUvarint(dst, s.Version)
+	dst = binary.AppendUvarint(dst, s.SnapSeq)
+	return dst
+}
+
+// DecodeStub decodes one stub from the front of buf, returning the stub and
+// the number of bytes consumed. It rejects truncated input, empty or
+// oversized server IDs, and counts that cannot fit in an int.
+func DecodeStub(buf []byte) (Stub, int, error) {
+	var s Stub
+	n, used := binary.Uvarint(buf)
+	if used <= 0 {
+		return s, 0, errors.New("store: stub: bad server length")
+	}
+	if n == 0 || n > uint64(len(buf)-used) || n > 1<<16 {
+		return s, 0, fmt.Errorf("store: stub: server length %d out of range", n)
+	}
+	off := used
+	s.Server = feedback.EntityID(buf[off : off+int(n)])
+	off += int(n)
+	count, used := binary.Uvarint(buf[off:])
+	if used <= 0 || count > 1<<48 {
+		return s, 0, errors.New("store: stub: bad count")
+	}
+	s.Count = int(count)
+	off += used
+	for _, field := range []*uint64{&s.XOR, &s.Version, &s.SnapSeq} {
+		v, used := binary.Uvarint(buf[off:])
+		if used <= 0 {
+			return s, 0, errors.New("store: stub: truncated")
+		}
+		*field = v
+		off += used
+	}
+	return s, off, nil
+}
+
+// LifecycleStats is the governor's view of the store for /metricz and
+// mem-status: how many servers are resident vs evicted, the accounted
+// resident bytes against the budget (0 = unlimited), and the cumulative
+// eviction/reinstate counters.
+type LifecycleStats struct {
+	Resident      int    `json:"resident"`
+	Evicted       int    `json:"evicted"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	BudgetBytes   int64  `json:"budget_bytes"`
+	Evictions     uint64 `json:"evictions"`
+	Reinstates    uint64 `json:"reinstates"`
+}
+
+// Lifecycle returns the current governor counters.
+func (s *Store) Lifecycle() LifecycleStats {
+	return LifecycleStats{
+		Resident:      int(s.residentCount.Load()),
+		Evicted:       int(s.evictedCount.Load()),
+		ResidentBytes: s.residentBytes.Load(),
+		BudgetBytes:   s.budget.Load(),
+		Evictions:     s.evictions.Load(),
+		Reinstates:    s.reinstates.Load(),
+	}
+}
+
+// ResidentBytes returns the accounted footprint of all resident server state.
+func (s *Store) ResidentBytes() int64 { return s.residentBytes.Load() }
+
+// SetBudget installs the node-wide resident-byte budget; 0 or negative means
+// unlimited. Once set, every write that pushes the accounted footprint over
+// the budget synchronously evicts idle servers back under it, so the peak
+// accounted footprint never exceeds the budget by more than the write that
+// triggered enforcement. Only set a budget when a persistence layer can
+// rebuild evicted servers.
+func (s *Store) SetBudget(bytes int64) {
+	s.budget.Store(bytes)
+	s.maybeEvict()
+}
+
+// SetEvictGuard installs the pin check consulted (under the shard lock)
+// before each eviction. A nil guard pins nothing.
+func (s *Store) SetEvictGuard(g EvictGuard) {
+	if g == nil {
+		s.evictGuard.Store(nil)
+		return
+	}
+	s.evictGuard.Store(&g)
+}
+
+// SetEvictPreference installs the preferred-victim check used by the sweep's
+// first pass. A nil preference makes the first pass a no-op.
+func (s *Store) SetEvictPreference(p EvictPreference) {
+	if p == nil {
+		s.evictPref.Store(nil)
+		return
+	}
+	s.evictPref.Store(&p)
+}
+
+// SetSnapshotSeq records the sequence number of the newest durable snapshot;
+// stubs minted from now on carry it. The persistence layer calls this after
+// every successful snapshot.
+func (s *Store) SetSnapshotSeq(seq uint64) { s.snapSeq.Store(seq) }
+
+// maybeEvict runs budget enforcement when the accounted footprint exceeds a
+// configured budget. Enforcement is serialised on evictMu, so concurrent
+// writers past the budget act as backpressure: they queue behind the sweep
+// instead of racing it.
+func (s *Store) maybeEvict() {
+	b := s.budget.Load()
+	if b <= 0 || s.residentBytes.Load() <= b {
+		return
+	}
+	s.EvictUntil(b)
+}
+
+// EvictUntil evicts idle servers until the accounted resident footprint is
+// at most budget, returning how many servers it evicted. Victims drop their
+// history, memoized snapshot, accumulator, and dedup-index hashes, keeping
+// only the compact stub. The sweep escalates through three passes — idle
+// preferred victims, any idle server, then any unpinned server — and walks
+// shards in rotation from where the previous sweep stopped, clearing touched
+// bits as it passes (clock / second chance).
+func (s *Store) EvictUntil(budget int64) int {
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	if s.residentBytes.Load() <= budget {
+		return 0
+	}
+	var guard EvictGuard
+	if g := s.evictGuard.Load(); g != nil {
+		guard = *g
+	}
+	var pref EvictPreference
+	if p := s.evictPref.Load(); p != nil {
+		pref = *p
+	}
+	evicted := 0
+	for pass := 0; pass < 3 && s.residentBytes.Load() > budget; pass++ {
+		if pass == 0 && pref == nil {
+			continue
+		}
+		for i := 0; i < len(s.shards) && s.residentBytes.Load() > budget; i++ {
+			idx := (s.clock + i) % len(s.shards)
+			sh := &s.shards[idx]
+			sh.mu.Lock()
+			for srv, e := range sh.byServ {
+				if s.residentBytes.Load() <= budget {
+					break
+				}
+				if e.hist == nil {
+					continue // already a stub
+				}
+				if guard != nil && guard(srv) {
+					continue // write in flight to the ledger
+				}
+				switch pass {
+				case 0:
+					if !pref(srv) || e.touched.Load() {
+						continue
+					}
+				case 1:
+					// Second chance: a server read or written since the last
+					// sweep survives this pass but loses its bit.
+					if e.touched.Swap(false) {
+						continue
+					}
+				}
+				s.evictLocked(sh, e)
+				evicted++
+			}
+			sh.mu.Unlock()
+		}
+	}
+	s.clock = (s.clock + 1) % len(s.shards)
+	return evicted
+}
+
+// evictLocked drops e to a stub. The caller holds sh's write lock and e must
+// be resident. The dedup-index hashes are removed (and restored on
+// reinstate) so the index's memory follows the history out; duplicate
+// suppression stays airtight because writes against a stub are refused with
+// ErrEvicted until the server is faulted back in.
+func (s *Store) evictLocked(sh *shard, e *entry) {
+	n := e.hist.Len()
+	for i := 0; i < n; i++ {
+		delete(sh.seen, HashOf(e.hist.At(i)))
+	}
+	e.count = n
+	e.stubSnapSeq = s.snapSeq.Load()
+	e.hist = nil
+	e.snap.Store(nil)
+	if e.acc != nil {
+		e.acc = nil
+		s.accTracked.Add(-1)
+	}
+	s.residentBytes.Add(-int64(e.sizeBytes))
+	e.sizeBytes = 0
+	s.residentCount.Add(-1)
+	s.evictedCount.Add(1)
+	s.evictions.Add(1)
+}
+
+// EvictServer evicts one server by ID regardless of budget and touch state
+// (the guard still applies). It returns false when the server is unknown,
+// already evicted, or pinned. Tests and the persistence layer's shutdown
+// path use it; budget enforcement goes through EvictUntil.
+func (s *Store) EvictServer(server feedback.EntityID) bool {
+	var guard EvictGuard
+	if g := s.evictGuard.Load(); g != nil {
+		guard = *g
+	}
+	sh := s.shardOf(server)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.byServ[server]
+	if e == nil || e.hist == nil || (guard != nil && guard(server)) {
+		return false
+	}
+	s.evictLocked(sh, e)
+	return true
+}
+
+// StubOf returns the compact stub of an evicted server; ok is false when the
+// server is unknown or resident.
+func (s *Store) StubOf(server feedback.EntityID) (Stub, bool) {
+	sh := s.shardOf(server)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e := sh.byServ[server]
+	if e == nil || e.hist != nil {
+		return Stub{}, false
+	}
+	return Stub{Server: server, Count: e.count, XOR: e.xor, Version: e.version, SnapSeq: e.stubSnapSeq}, true
+}
+
+// Stubs returns the stubs of all evicted servers, sorted by server ID — the
+// payload of the snapshot sidecar.
+func (s *Store) Stubs() []Stub {
+	var out []Stub
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for srv, e := range sh.byServ {
+			if e.hist == nil {
+				out = append(out, Stub{Server: srv, Count: e.count, XOR: e.xor, Version: e.version, SnapSeq: e.stubSnapSeq})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Server < out[j].Server })
+	return out
+}
+
+// ReinstateServer swaps a rebuilt history (and optionally its accumulator,
+// with state covering exactly recs) back into an evicted server's slot. The
+// rebuild is verified against the stub before anything is committed: the
+// record count and XOR digest must match what was evicted, making a
+// reinstated server bit-identical to one that never left. The preserved
+// version counter keeps assessment-cache entries valid across the
+// round-trip. Reinstating an already-resident server is a no-op (concurrent
+// fault-ins race benignly); reinstating an unknown server is an error.
+//
+// recs must be sorted by (time, hash) and duplicate-free, as Add would have
+// stored them; the store takes ownership of the slice.
+func (s *Store) ReinstateServer(server feedback.EntityID, recs []feedback.Feedback, acc Accumulator) error {
+	sh := s.shardOf(server)
+	sh.mu.Lock()
+	e := sh.byServ[server]
+	if e == nil {
+		sh.mu.Unlock()
+		return fmt.Errorf("store: reinstate of %q: unknown server", server)
+	}
+	if e.hist != nil {
+		sh.mu.Unlock()
+		return nil // already resident
+	}
+	if len(recs) != e.count {
+		sh.mu.Unlock()
+		return fmt.Errorf("store: reinstate of %q: rebuilt %d records, stub has %d", server, len(recs), e.count)
+	}
+	hist, err := feedback.NewHistoryFromRecords(server, recs)
+	if err != nil {
+		sh.mu.Unlock()
+		return fmt.Errorf("store: reinstate of %q: %w", server, err)
+	}
+	var xor uint64
+	hashes := make([]Hash, len(recs))
+	for i, f := range recs {
+		if i > 0 && !lessRecord(recs[i-1], f) {
+			sh.mu.Unlock()
+			return fmt.Errorf("store: reinstate of %q record %d: out of order", server, i)
+		}
+		hashes[i] = HashOf(f)
+		xor ^= uint64(hashes[i])
+	}
+	if xor != e.xor {
+		sh.mu.Unlock()
+		return fmt.Errorf("store: reinstate of %q: digest mismatch (rebuilt %x, stub %x)", server, xor, e.xor)
+	}
+	for _, h := range hashes {
+		sh.seen[h] = struct{}{}
+	}
+	e.hist = hist
+	e.count = 0
+	if acc != nil {
+		e.acc = acc
+		s.accTracked.Add(1)
+	} else if fp := s.accFactory.Load(); fp != nil {
+		if a := (*fp)(server); a != nil {
+			e.acc = a
+			s.accTracked.Add(1)
+			replayAccumulator(e.acc, e.hist)
+		}
+	}
+	e.touched.Store(true)
+	s.resizeLocked(e)
+	s.residentCount.Add(1)
+	s.evictedCount.Add(-1)
+	s.reinstates.Add(1)
+	sh.mu.Unlock()
+	s.maybeEvict()
+	return nil
+}
+
+// resizeLocked re-derives e's accounted size after a mutation and folds the
+// delta into the node-wide total. The caller holds the shard write lock and
+// e must be resident.
+func (s *Store) resizeLocked(e *entry) {
+	n := entryOverhead + e.hist.SizeBytes()
+	if e.acc != nil {
+		n += e.acc.SizeBytes()
+	}
+	s.residentBytes.Add(int64(n - e.sizeBytes))
+	e.sizeBytes = n
+}
+
+// ResidentSize names one resident server and its accounted footprint.
+type ResidentSize struct {
+	Server  feedback.EntityID `json:"server"`
+	Bytes   int               `json:"bytes"`
+	Records int               `json:"records"`
+}
+
+// TopResident returns the k largest resident servers by accounted bytes,
+// descending (ties by server ID). It walks every shard under its read lock;
+// it is an operator-tooling path (trustctl mem-status), not a serving path.
+func (s *Store) TopResident(k int) []ResidentSize {
+	if k <= 0 {
+		return nil
+	}
+	var all []ResidentSize
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for srv, e := range sh.byServ {
+			if e.hist == nil {
+				continue
+			}
+			all = append(all, ResidentSize{Server: srv, Bytes: e.sizeBytes, Records: e.hist.Len()})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Bytes != all[j].Bytes {
+			return all[i].Bytes > all[j].Bytes
+		}
+		return all[i].Server < all[j].Server
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

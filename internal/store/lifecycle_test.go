@@ -1,0 +1,285 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"honestplayer/internal/feedback"
+)
+
+// fillServer adds n records for server s and returns them in store order.
+func fillServer(t *testing.T, st *Store, s feedback.EntityID, n int) []feedback.Feedback {
+	t.Helper()
+	recs := make([]feedback.Feedback, n)
+	for i := 0; i < n; i++ {
+		recs[i] = rec(s, feedback.EntityID(fmt.Sprintf("c%d", i%5)), i%3 != 0, int64(i+1))
+		if ok, err := st.Add(recs[i]); err != nil || !ok {
+			t.Fatalf("add %s/%d: %v %v", s, i, ok, err)
+		}
+	}
+	return recs
+}
+
+func TestEvictReinstateRoundTrip(t *testing.T) {
+	st := New()
+	recs := fillServer(t, st, "srv", 7)
+	wantHist, wantVer := st.Snapshot("srv")
+	wantBytes := st.ResidentBytes()
+
+	if !st.EvictServer("srv") {
+		t.Fatal("EvictServer returned false for a resident server")
+	}
+	if st.EvictServer("srv") {
+		t.Fatal("second EvictServer must be a no-op")
+	}
+	stub, ok := st.StubOf("srv")
+	if !ok {
+		t.Fatal("StubOf after evict: not found")
+	}
+	if stub.Count != 7 || stub.Version != wantVer {
+		t.Fatalf("stub = %+v, want count 7 version %d", stub, wantVer)
+	}
+	if h, v := st.Snapshot("srv"); h != nil || v != wantVer {
+		t.Fatalf("Snapshot(evicted) = (%v, %d), want (nil, %d)", h, v, wantVer)
+	}
+	if _, err := st.History("srv"); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("History(evicted) err = %v, want ErrEvicted", err)
+	}
+	if _, err := st.Add(recs[0]); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("Add to evicted err = %v, want ErrEvicted", err)
+	}
+	if st.ResidentBytes() >= wantBytes {
+		t.Fatalf("resident bytes %d not reduced from %d by eviction", st.ResidentBytes(), wantBytes)
+	}
+	life := st.Lifecycle()
+	if life.Resident != 0 || life.Evicted != 1 || life.Evictions != 1 {
+		t.Fatalf("lifecycle after evict = %+v", life)
+	}
+
+	if err := st.ReinstateServer("srv", recs, nil); err != nil {
+		t.Fatalf("reinstate: %v", err)
+	}
+	gotHist, gotVer := st.Snapshot("srv")
+	if gotVer != wantVer {
+		t.Fatalf("version after reinstate = %d, want %d (cache keys must survive)", gotVer, wantVer)
+	}
+	if !reflect.DeepEqual(gotHist.Records(), wantHist.Records()) {
+		t.Fatal("reinstated history differs from pre-eviction history")
+	}
+	// Dedup index must be restored: re-adding an old record is a duplicate,
+	// a genuinely new one lands.
+	if ok, err := st.Add(recs[3]); err != nil || ok {
+		t.Fatalf("re-add of reinstated record = (%v, %v), want dup", ok, err)
+	}
+	if ok, err := st.Add(rec("srv", "c9", true, 99)); err != nil || !ok {
+		t.Fatalf("new add after reinstate = (%v, %v)", ok, err)
+	}
+	if life := st.Lifecycle(); life.Reinstates != 1 || life.Evicted != 0 {
+		t.Fatalf("lifecycle after reinstate = %+v", life)
+	}
+}
+
+func TestReinstateRejectsWrongRecords(t *testing.T) {
+	st := New()
+	recs := fillServer(t, st, "srv", 5)
+	st.EvictServer("srv")
+
+	if err := st.ReinstateServer("srv", recs[:4], nil); err == nil {
+		t.Fatal("reinstate with missing record must fail")
+	}
+	tampered := append([]feedback.Feedback(nil), recs...)
+	tampered[2].Rating = 1 - tampered[2].Rating
+	if err := st.ReinstateServer("srv", tampered, nil); err == nil {
+		t.Fatal("reinstate with tampered record must fail the XOR digest")
+	}
+	shuffled := append([]feedback.Feedback(nil), recs...)
+	shuffled[0], shuffled[1] = shuffled[1], shuffled[0]
+	if err := st.ReinstateServer("srv", shuffled, nil); err == nil {
+		t.Fatal("reinstate with out-of-order records must fail")
+	}
+	if err := st.ReinstateServer("nosuch", recs, nil); err == nil {
+		t.Fatal("reinstate of unknown server must fail")
+	}
+	// The failed attempts must not have mutated the stub.
+	if err := st.ReinstateServer("srv", recs, nil); err != nil {
+		t.Fatalf("correct reinstate after rejected attempts: %v", err)
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	st := NewSharded(4)
+	for i := 0; i < 64; i++ {
+		fillServer(t, st, feedback.EntityID(fmt.Sprintf("s%02d", i)), 6)
+	}
+	full := st.ResidentBytes()
+	budget := full / 4
+	st.SetBudget(budget)
+	if got := st.ResidentBytes(); got > budget {
+		t.Fatalf("SetBudget did not trim: resident %d > budget %d", got, budget)
+	}
+	life := st.Lifecycle()
+	if life.Evicted == 0 || life.Resident+life.Evicted != 64 {
+		t.Fatalf("lifecycle after trim = %+v", life)
+	}
+	// New writes to resident servers keep the store under budget via the
+	// synchronous sweep.
+	for i := 0; i < 64; i++ {
+		id := feedback.EntityID(fmt.Sprintf("s%02d", i))
+		if _, err := st.Add(rec(id, "cx", true, 1000+int64(i))); errors.Is(err, ErrEvicted) {
+			continue
+		} else if err != nil {
+			t.Fatalf("add under budget: %v", err)
+		}
+		if got := st.ResidentBytes(); got > budget {
+			t.Fatalf("write pushed store over budget: %d > %d", got, budget)
+		}
+	}
+	if len(st.Stubs()) != st.Lifecycle().Evicted {
+		t.Fatalf("Stubs() length %d != evicted count %d", len(st.Stubs()), st.Lifecycle().Evicted)
+	}
+}
+
+// clearTouched resets every clock bit, simulating entries the sweep has
+// already given their second chance.
+func clearTouched(st *Store) {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.byServ {
+			e.touched.Store(false)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func TestSecondChanceKeepsHotServers(t *testing.T) {
+	st := NewSharded(2)
+	for i := 0; i < 40; i++ {
+		fillServer(t, st, feedback.EntityID(fmt.Sprintf("s%02d", i)), 4)
+	}
+	// Writes set the clock bit on every server; age them all out, then
+	// re-touch the "hot" half via reads. The sweep's second-chance pass
+	// should prefer the cold half.
+	clearTouched(st)
+	for i := 0; i < 20; i++ {
+		st.Snapshot(feedback.EntityID(fmt.Sprintf("s%02d", i)))
+	}
+	// Evict roughly half the store.
+	st.EvictUntil(st.ResidentBytes() / 2)
+	hotEvicted, coldEvicted := 0, 0
+	for i := 0; i < 40; i++ {
+		if _, ok := st.StubOf(feedback.EntityID(fmt.Sprintf("s%02d", i))); ok {
+			if i < 20 {
+				hotEvicted++
+			} else {
+				coldEvicted++
+			}
+		}
+	}
+	if hotEvicted >= coldEvicted {
+		t.Fatalf("second chance failed: %d hot vs %d cold evicted", hotEvicted, coldEvicted)
+	}
+}
+
+func TestEvictGuardAndPreference(t *testing.T) {
+	st := NewSharded(2)
+	fillServer(t, st, "pinned", 4)
+	fillServer(t, st, "other", 4)
+	st.SetEvictGuard(func(s feedback.EntityID) bool { return s == "pinned" })
+	if st.EvictServer("pinned") {
+		t.Fatal("guard must block EvictServer")
+	}
+	st.EvictUntil(0)
+	if _, ok := st.StubOf("pinned"); ok {
+		t.Fatal("guard must block the sweep")
+	}
+	if _, ok := st.StubOf("other"); !ok {
+		t.Fatal("unguarded server must be evicted by EvictUntil(0)")
+	}
+
+	// Preference: with plenty of candidates, the preferred victims go first.
+	st2 := NewSharded(2)
+	for i := 0; i < 30; i++ {
+		fillServer(t, st2, feedback.EntityID(fmt.Sprintf("p%02d", i)), 4)
+	}
+	st2.SetEvictPreference(func(s feedback.EntityID) bool { return s >= "p15" })
+	clearTouched(st2) // preferred pass only takes untouched victims
+	st2.EvictUntil(st2.ResidentBytes() / 2)
+	owned, foreign := 0, 0
+	for i := 0; i < 30; i++ {
+		if _, ok := st2.StubOf(feedback.EntityID(fmt.Sprintf("p%02d", i))); ok {
+			if i >= 15 {
+				foreign++
+			} else {
+				owned++
+			}
+		}
+	}
+	if foreign <= owned {
+		t.Fatalf("preference ignored: %d preferred vs %d owned evicted", foreign, owned)
+	}
+}
+
+func TestStubEncodeDecodeRoundTrip(t *testing.T) {
+	stubs := []Stub{
+		{Server: "a", Count: 0, XOR: 0, Version: 0, SnapSeq: 0},
+		{Server: "srv-0001", Count: 12, XOR: 0xdeadbeefcafe, Version: 9, SnapSeq: 3},
+		{Server: feedback.EntityID(string(make([]byte, 300))), Count: 1 << 30, XOR: ^uint64(0), Version: 1 << 40, SnapSeq: 1 << 20},
+	}
+	var buf []byte
+	for _, s := range stubs {
+		buf = AppendStub(buf, s)
+	}
+	for i, want := range stubs {
+		got, n, err := DecodeStub(buf)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("decode %d = %+v, want %+v", i, got, want)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes after decoding all stubs", len(buf))
+	}
+}
+
+func TestDecodeStubRejectsCorrupt(t *testing.T) {
+	good := AppendStub(nil, Stub{Server: "srv", Count: 5, XOR: 7, Version: 2, SnapSeq: 1})
+	for cut := 0; cut < len(good); cut++ {
+		if _, _, err := DecodeStub(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, _, err := DecodeStub(AppendStub(nil, Stub{Server: ""})); err == nil {
+		t.Fatal("empty server ID accepted")
+	}
+}
+
+func FuzzStubDecode(f *testing.F) {
+	f.Add(AppendStub(nil, Stub{Server: "srv", Count: 5, XOR: 7, Version: 2, SnapSeq: 1}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, n, err := DecodeStub(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Whatever decodes must survive a re-encode/decode cycle unchanged
+		// (byte-identity is too strong: uvarints accept non-minimal forms).
+		enc := AppendStub(nil, s)
+		s2, n2, err := DecodeStub(enc)
+		if err != nil {
+			t.Fatalf("re-decode of %+v: %v", s, err)
+		}
+		if n2 != len(enc) || !reflect.DeepEqual(s2, s) {
+			t.Fatalf("round trip: %+v (%d bytes) vs %+v (%d of %d)", s, len(enc), s2, n2, len(enc))
+		}
+	})
+}

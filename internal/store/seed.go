@@ -85,7 +85,10 @@ func (s *Store) SeedServer(server feedback.EntityID, recs []feedback.Feedback, a
 			replayAccumulator(e.acc, e.hist)
 		}
 	}
+	e.touched.Store(true)
 	sh.byServ[server] = e
+	s.resizeLocked(e)
+	s.residentCount.Add(1)
 	s.total.Add(int64(len(recs)))
 	s.global.Add(uint64(len(recs)))
 	return nil
@@ -109,14 +112,33 @@ func (s *Store) ReserveFor(server feedback.EntityID, n int) {
 	sh.seen = grown
 }
 
+// ShardEntry is one server's state as seen by a SnapshotShard walk. Snap is
+// the memoized immutable history view — nil for an evicted stub, whose
+// records the walker must source from durable storage instead (Count, XOR,
+// and SnapSeq then describe the stub; see lifecycle.go). Acc is the
+// incremental accumulator (nil when none). Count and XOR are valid for
+// resident and evicted entries alike; SizeBytes is the accounted resident
+// footprint (0 for stubs); SnapSeq is non-zero only for stubs.
+type ShardEntry struct {
+	Server    feedback.EntityID
+	Snap      *feedback.History
+	Acc       Accumulator
+	Version   uint64
+	Count     int
+	XOR       uint64
+	SizeBytes int
+	SnapSeq   uint64
+}
+
 // SnapshotShard walks every server of shard idx under the shard's read lock,
-// in sorted server order, handing view the server's memoized history snapshot,
-// its accumulator (nil when none), and its version. The usual read contracts
-// apply: the snapshot is a shared immutable view, the accumulator must be
-// treated read-only, and view must not call back into the store. Writes to
-// this shard wait for the walk, so view should only capture (snapshot
-// pointers, serialized accumulator state) and defer heavy encoding work.
-func (s *Store) SnapshotShard(idx int, view func(server feedback.EntityID, snap *feedback.History, acc Accumulator, version uint64)) {
+// in sorted server order. The usual read contracts apply: the snapshot is a
+// shared immutable view, the accumulator must be treated read-only, and view
+// must not call back into the store. Writes to this shard wait for the walk,
+// so view should only capture (snapshot pointers, serialized accumulator
+// state) and defer heavy encoding work. The walk does not set touched bits:
+// a background snapshot must not make every server look recently used to
+// the eviction sweep.
+func (s *Store) SnapshotShard(idx int, view func(ShardEntry)) {
 	sh := &s.shards[idx]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -127,6 +149,19 @@ func (s *Store) SnapshotShard(idx int, view func(server feedback.EntityID, snap 
 	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
 	for _, srv := range servers {
 		e := sh.byServ[srv]
-		view(srv, e.snapshot(), e.acc, e.version)
+		ent := ShardEntry{
+			Server:    srv,
+			Acc:       e.acc,
+			Version:   e.version,
+			Count:     e.countLocked(),
+			XOR:       e.xor,
+			SizeBytes: e.sizeBytes,
+		}
+		if e.hist == nil {
+			ent.SnapSeq = e.stubSnapSeq
+		} else {
+			ent.Snap = e.snapshot()
+		}
+		view(ent)
 	}
 }

@@ -144,18 +144,21 @@ func TestSnapshotShard(t *testing.T) {
 	got := map[feedback.EntityID]int{}
 	for idx := 0; idx < s.NumShards(); idx++ {
 		var prev feedback.EntityID
-		s.SnapshotShard(idx, func(srv feedback.EntityID, snap *feedback.History, acc Accumulator, version uint64) {
-			if prev != "" && srv <= prev {
-				t.Fatalf("shard %d: unsorted walk: %q after %q", idx, srv, prev)
+		s.SnapshotShard(idx, func(ent ShardEntry) {
+			if prev != "" && ent.Server <= prev {
+				t.Fatalf("shard %d: unsorted walk: %q after %q", idx, ent.Server, prev)
 			}
-			prev = srv
-			if s.ShardIndex(srv) != idx {
-				t.Fatalf("server %q visited on wrong shard", srv)
+			prev = ent.Server
+			if s.ShardIndex(ent.Server) != idx {
+				t.Fatalf("server %q visited on wrong shard", ent.Server)
 			}
-			if snap.Len() != 4 || version != 4 {
-				t.Fatalf("server %q: len %d version %d", srv, snap.Len(), version)
+			if ent.Snap.Len() != 4 || ent.Version != 4 || ent.Count != 4 {
+				t.Fatalf("server %q: len %d version %d count %d", ent.Server, ent.Snap.Len(), ent.Version, ent.Count)
 			}
-			got[srv] = snap.Len()
+			if ent.SizeBytes <= 0 {
+				t.Fatalf("server %q: accounted size %d", ent.Server, ent.SizeBytes)
+			}
+			got[ent.Server] = ent.Snap.Len()
 		})
 	}
 	if len(got) != len(servers) {
@@ -167,3 +170,5 @@ func TestSnapshotShard(t *testing.T) {
 type accFn func(feedback.Feedback)
 
 func (a accFn) Append(f feedback.Feedback) { a(f) }
+
+func (a accFn) SizeBytes() int { return 0 }

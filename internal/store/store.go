@@ -51,8 +51,15 @@ func HashOf(f feedback.Feedback) Hash {
 // internal synchronisation against writers; read access goes through
 // ViewAccumulator, which holds the shard read lock. The incremental
 // assessment engine (core.ServerAccumulator) is the intended implementation.
+//
+// SizeBytes self-reports the accumulator's approximate resident heap
+// footprint; the memory-budget governor charges it against the node-wide
+// budget alongside the server's history bytes. It is called under the shard
+// lock after each accepted write, so it must be cheap — O(window size), not
+// O(history length).
 type Accumulator interface {
 	Append(feedback.Feedback)
+	SizeBytes() int
 }
 
 // AccumulatorFactory mints the per-server accumulator the store maintains
@@ -61,12 +68,13 @@ type AccumulatorFactory func(server feedback.EntityID) Accumulator
 
 // entry is one server's state within a shard: the working history, a
 // memoized read snapshot, the version, a running content checksum, and the
-// optional incremental accumulator.
+// optional incremental accumulator. An entry is either resident (hist set)
+// or an evicted stub (hist nil, count/stubSnapSeq valid) — see lifecycle.go.
 type entry struct {
 	// hist is the store-owned working history, mutated only under the
 	// shard's write lock: appended in place on the fast path, rebuilt on
 	// the rare out-of-order insert (never shifted in place, so handed-out
-	// snapshots stay intact).
+	// snapshots stay intact). nil marks an evicted stub.
 	hist *feedback.History
 	// snap memoizes the immutable view handed to readers; writes clear it,
 	// the next read rebuilds it in O(1) via SnapshotView. Atomic because
@@ -82,6 +90,19 @@ type entry struct {
 	// installed. Mutated only under the shard write lock; rebuilt from the
 	// history on the rare out-of-order insert.
 	acc Accumulator
+	// sizeBytes is the accounted resident footprint (entryOverhead + history
+	// + accumulator), maintained by resizeLocked; 0 for stubs.
+	sizeBytes int
+	// count is the record count frozen at eviction time; meaningful only
+	// while hist is nil (resident entries read hist.Len()).
+	count int
+	// stubSnapSeq is the newest durable snapshot sequence at eviction time;
+	// meaningful only while hist is nil.
+	stubSnapSeq uint64
+	// touched is the clock (second-chance) bit: reads and writes set it, the
+	// eviction sweep clears it and only evicts entries found clear. Atomic
+	// because read paths hold only the shard read lock.
+	touched atomic.Bool
 }
 
 // snapshot returns the entry's memoized immutable view, building it if a
@@ -121,6 +142,21 @@ type Store struct {
 	accFactory atomic.Pointer[AccumulatorFactory]
 	// accTracked counts servers currently carrying a live accumulator.
 	accTracked atomic.Int64
+
+	// Lifecycle governor state (see lifecycle.go): the accounted resident
+	// footprint and its budget, resident/evicted populations, cumulative
+	// counters, the pin/preference hooks, and the sweep's clock hand.
+	residentBytes atomic.Int64
+	budget        atomic.Int64
+	residentCount atomic.Int64
+	evictedCount  atomic.Int64
+	evictions     atomic.Uint64
+	reinstates    atomic.Uint64
+	snapSeq       atomic.Uint64
+	evictGuard    atomic.Pointer[EvictGuard]
+	evictPref     atomic.Pointer[EvictPreference]
+	evictMu       sync.Mutex
+	clock         int // next shard the sweep starts from; under evictMu
 }
 
 // New returns an empty store with DefaultShards shards.
@@ -158,8 +194,17 @@ func (s *Store) ShardIndex(server feedback.EntityID) int {
 
 // Add inserts a feedback record. It returns false when an identical record
 // (same content hash) was already present, and an error when the record is
-// invalid.
+// invalid or the server's state is evicted (ErrEvicted — fault the server
+// back in via the persistence layer and retry).
 func (s *Store) Add(f feedback.Feedback) (bool, error) {
+	ok, err := s.add(f)
+	if ok {
+		s.maybeEvict()
+	}
+	return ok, err
+}
+
+func (s *Store) add(f feedback.Feedback) (bool, error) {
 	if err := f.Validate(); err != nil {
 		return false, err
 	}
@@ -174,6 +219,12 @@ func (s *Store) Add(f feedback.Feedback) (bool, error) {
 	if e == nil {
 		e = &entry{hist: feedback.NewHistory(f.Server)}
 		sh.byServ[f.Server] = e
+		s.residentCount.Add(1)
+	} else if e.hist == nil {
+		// A stub cannot accept writes: its dedup hashes are gone and its
+		// accumulator would silently miss the record. The serving layer
+		// rebuilds the server and retries.
+		return false, fmt.Errorf("%w: %q", ErrEvicted, f.Server)
 	}
 	n := e.hist.Len()
 	inOrder := n == 0 || lessRecord(e.hist.At(n-1), f)
@@ -225,6 +276,8 @@ func (s *Store) Add(f feedback.Feedback) (bool, error) {
 	sh.seen[h] = struct{}{}
 	e.version++
 	e.xor ^= uint64(h)
+	e.touched.Store(true)
+	s.resizeLocked(e)
 	s.total.Add(1)
 	s.global.Add(1)
 	return true, nil
@@ -274,20 +327,26 @@ func (s *Store) AddAll(recs []feedback.Feedback) (int, error) {
 }
 
 // History returns the server's transaction history in time order. It is
-// empty (not nil) for unknown servers.
+// empty (not nil) for unknown servers and ErrEvicted for servers whose
+// state was evicted (fault in via the persistence layer and retry).
 //
 // The returned History is a shared immutable snapshot: it costs O(1), is
 // never modified by later writes, and MUST be treated read-only by the
 // caller (clone before mutating).
 func (s *Store) History(server feedback.EntityID) (*feedback.History, error) {
-	h, _ := s.Snapshot(server)
+	h, v := s.Snapshot(server)
+	if h == nil {
+		return nil, fmt.Errorf("%w: %q (version %d)", ErrEvicted, server, v)
+	}
 	return h, nil
 }
 
 // Snapshot returns the server's history snapshot together with its version,
 // read atomically. The version is 0 for unknown servers and increases by
 // one with every accepted write, so equal versions imply identical
-// histories. The same read-only contract as History applies.
+// histories. A nil history with a non-zero version marks an evicted server:
+// the records exist durably but are not resident. The same read-only
+// contract as History applies.
 func (s *Store) Snapshot(server feedback.EntityID) (*feedback.History, uint64) {
 	sh := s.shardOf(server)
 	sh.mu.RLock()
@@ -296,6 +355,10 @@ func (s *Store) Snapshot(server feedback.EntityID) (*feedback.History, uint64) {
 	if e == nil {
 		return feedback.NewHistory(server), 0
 	}
+	if e.hist == nil {
+		return nil, e.version
+	}
+	e.touched.Store(true)
 	return e.snapshot(), e.version
 }
 
@@ -315,6 +378,7 @@ func (s *Store) SetAccumulatorFactory(f AccumulatorFactory) {
 				if e.acc != nil {
 					e.acc = nil
 					s.accTracked.Add(-1)
+					s.resizeLocked(e)
 				}
 			}
 			sh.mu.Unlock()
@@ -326,11 +390,12 @@ func (s *Store) SetAccumulatorFactory(f AccumulatorFactory) {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for srv, e := range sh.byServ {
-			if e.acc == nil {
+			if e.acc == nil && e.hist != nil {
 				if acc := f(srv); acc != nil {
 					e.acc = acc
 					s.accTracked.Add(1)
 					replayAccumulator(e.acc, e.hist)
+					s.resizeLocked(e)
 				}
 			}
 		}
@@ -352,6 +417,7 @@ func (s *Store) RetainAccumulators(keep func(feedback.EntityID) bool) {
 			if e.acc != nil && !keep(srv) {
 				e.acc = nil
 				s.accTracked.Add(-1)
+				s.resizeLocked(e)
 			}
 		}
 		sh.mu.Unlock()
@@ -379,6 +445,7 @@ func (s *Store) ViewAccumulator(server feedback.EntityID, view func(acc Accumula
 	if e == nil || e.acc == nil {
 		return false
 	}
+	e.touched.Store(true)
 	view(e.acc, e.version)
 	return true
 }
@@ -387,7 +454,8 @@ func (s *Store) ViewAccumulator(server feedback.EntityID, view func(acc Accumula
 // single read-lock acquisition: view is invoked once per server, in order,
 // with the position i into servers, the server's accumulator (nil when none
 // is installed), its memoized history snapshot, and its version. Unknown
-// servers get (nil, nil, 0). It panics if any server maps to a different
+// servers get (nil, nil, 0); evicted servers get (nil, nil, version) with a
+// non-zero version. It panics if any server maps to a different
 // shard — silent misrouting would report known servers as unknown.
 //
 // The same contracts as ViewAccumulator and Snapshot apply: accumulators
@@ -410,6 +478,13 @@ func (s *Store) ViewShard(idx int, servers []feedback.EntityID, view func(i int,
 			view(i, nil, nil, 0)
 			continue
 		}
+		if e.hist == nil {
+			// Evicted stub: a nil snapshot with a non-zero version tells the
+			// batch path to fault the server in rather than report unknown.
+			view(i, nil, nil, e.version)
+			continue
+		}
+		e.touched.Store(true)
 		view(i, e.acc, e.snapshot(), e.version)
 	}
 }
@@ -430,9 +505,13 @@ func (s *Store) Version(server feedback.EntityID) uint64 {
 // when nothing changed.
 func (s *Store) GlobalVersion() uint64 { return s.global.Load() }
 
-// Records returns a copy of the server's records in time order.
+// Records returns a copy of the server's records in time order; nil when
+// the server's state is evicted.
 func (s *Store) Records(server feedback.EntityID) []feedback.Feedback {
 	h, _ := s.Snapshot(server)
+	if h == nil {
+		return nil
+	}
 	return h.Records()
 }
 
@@ -454,10 +533,10 @@ func (s *Store) Servers() []feedback.EntityID {
 // Len returns the total number of stored records.
 func (s *Store) Len() int { return int(s.total.Load()) }
 
-// ServerLen returns the number of records for one server.
+// ServerLen returns the number of records for one server, resident or not
+// (a stub remembers its count).
 func (s *Store) ServerLen(server feedback.EntityID) int {
-	h, _ := s.Snapshot(server)
-	return h.Len()
+	return s.ServerChecksum(server).Count
 }
 
 // Hashes returns the content hashes of all stored records, sorted. It is
@@ -493,11 +572,20 @@ func (s *Store) Checksums() map[feedback.EntityID]Checksum {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		for srv, e := range sh.byServ {
-			out[srv] = Checksum{Count: e.hist.Len(), XOR: e.xor}
+			out[srv] = Checksum{Count: e.countLocked(), XOR: e.xor}
 		}
 		sh.mu.RUnlock()
 	}
 	return out
+}
+
+// countLocked returns the entry's record count, resident or stub. Callers
+// hold the shard lock (read suffices).
+func (e *entry) countLocked() int {
+	if e.hist == nil {
+		return e.count
+	}
+	return e.hist.Len()
 }
 
 // ServerChecksum returns one server's checksum in O(1): the record count
@@ -513,12 +601,17 @@ func (s *Store) ServerChecksum(server feedback.EntityID) Checksum {
 	if e == nil {
 		return Checksum{}
 	}
-	return Checksum{Count: e.hist.Len(), XOR: e.xor}
+	return Checksum{Count: e.countLocked(), XOR: e.xor}
 }
 
-// ServerHashes returns the content hashes of one server's records, sorted.
+// ServerHashes returns the content hashes of one server's records, sorted;
+// nil when the server's state is evicted (the per-record hashes follow the
+// history out of memory).
 func (s *Store) ServerHashes(server feedback.EntityID) []Hash {
 	h, _ := s.Snapshot(server)
+	if h == nil {
+		return nil
+	}
 	out := make([]Hash, 0, h.Len())
 	for i := 0; i < h.Len(); i++ {
 		out = append(out, HashOf(h.At(i)))
@@ -535,6 +628,9 @@ func (s *Store) ServerMissingFrom(server feedback.EntityID, digest []Hash) []fee
 		have[h] = struct{}{}
 	}
 	hist, _ := s.Snapshot(server)
+	if hist == nil {
+		return nil
+	}
 	var out []feedback.Feedback
 	for i := 0; i < hist.Len(); i++ {
 		if f := hist.At(i); !inDigest(have, f) {
@@ -557,6 +653,9 @@ func (s *Store) MissingFrom(digest []Hash) []feedback.Feedback {
 		sh.mu.RLock()
 		for _, e := range sh.byServ {
 			hist := e.hist
+			if hist == nil {
+				continue // evicted: records are durable, not servable from RAM
+			}
 			for j := 0; j < hist.Len(); j++ {
 				if f := hist.At(j); !inDigest(have, f) {
 					out = append(out, f)

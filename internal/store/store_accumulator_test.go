@@ -22,6 +22,8 @@ type recordingAcc struct {
 
 func (r *recordingAcc) Append(f feedback.Feedback) { r.recs = append(r.recs, f) }
 
+func (r *recordingAcc) SizeBytes() int { return 64 + len(r.recs)*64 }
+
 func accFeedback(server, client feedback.EntityID, i int, good bool) feedback.Feedback {
 	rating := feedback.Negative
 	if good {

@@ -48,6 +48,16 @@ func (a *Accumulator) Value() (float64, error) {
 // the inputs of the Wilson score interval around the trust value.
 func (a *Accumulator) Counts() (n, good int) { return a.n, a.good }
 
+// SizeBytes returns the approximate resident heap footprint of the
+// accumulator. Trust trackers are small fixed-size counters (running sums,
+// weighted averages, beta parameters), so a flat estimate covers the wrapper
+// struct plus the tracker allocation; the behaviour-side accumulator is where
+// per-server memory actually varies.
+func (a *Accumulator) SizeBytes() int {
+	const accSize = 64 // wrapper struct + interface boxes + counter tracker
+	return accSize
+}
+
 // Reset returns the accumulator to its initial state.
 func (a *Accumulator) Reset() {
 	a.n, a.good = 0, 0
