@@ -11,6 +11,7 @@
 //	reprobench -clusterbench       # forwarded+merged vs local assess (JSON)
 //	reprobench -bootbench          # snapshot+tail boot vs full JSON replay (JSON)
 //	reprobench -membench           # bounded-memory lifecycle + fault-in (JSON)
+//	reprobench -submitbench        # group-commit write path vs single submits (JSON)
 package main
 
 import (
@@ -51,6 +52,8 @@ func run(args []string, out *os.File) error {
 		bootb  = fs.Bool("bootbench", false, "benchmark a snapshot+tail-replay boot against a full JSON replay of the same history and emit a JSON report; diverging store state always fails")
 		bootSp = fs.Float64("boot-min-speedup", 0, "with -bootbench: fail unless every size boots from a real snapshot at this speedup or better (0 disables the gate)")
 		memb   = fs.Bool("membench", false, "benchmark the resident-state lifecycle: load servers through a memory-budgeted store, fault evicted ones back in through the serving path, and emit a JSON report; exceeding the budget or a diverging verdict always fails")
+		subb   = fs.Bool("submitbench", false, "benchmark 8 concurrent submit.batch clients against sequential single-record submits on a ledger-backed server and emit a JSON report; diverging store state or an idle group-commit path always fails")
+		subSp  = fs.Float64("submit-min-speedup", 0, "with -submitbench: fail unless both engines reach this throughput speedup (0 disables the gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +76,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *memb {
 		return runMemBench(out, *quick)
+	}
+	if *subb {
+		return runSubmitBench(out, *quick, *subSp)
 	}
 
 	ids, err := selectFigures(*fig)

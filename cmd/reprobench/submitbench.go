@@ -1,0 +1,355 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"honestplayer/internal/feedback"
+	"honestplayer/internal/ledger"
+	"honestplayer/internal/repclient"
+	"honestplayer/internal/repserver"
+	"honestplayer/internal/wire"
+)
+
+// The submit benchmark compares the two ways clients can feed feedback into a
+// ledger-backed node:
+//
+//   - single: one client, one connection, one submit round-trip per record —
+//     every record pays a full round-trip, an envelope, and its own ledger
+//     append with its own Flush.
+//   - batch: eight concurrent clients, each shipping its stripe of the same
+//     workload as submit.batch frames of 256 records. The server applies each
+//     frame shard-grouped under one lock acquisition per shard, and the
+//     ledger's group commit coalesces concurrent frames into single
+//     encode+write+flush cycles.
+//
+// Both strategies run against their own fresh server on a temp-dir ledger
+// (the same PersistentStore wiring trustd -ledger uses), so the comparison
+// exercises the full wire → server → store → ledger write path. The
+// differential check reloads nothing and trusts no counter: after each pass
+// the batch server's resulting store state (every server's record history)
+// must reflect.DeepEqual the sequential server's. Run in both engines —
+// trust-only (no accumulators) and incremental (per-server accumulators fed
+// record-by-record) — because the incremental path is where out-of-order or
+// double-applied records would surface as diverging state. The coalesced
+// flush counter of the batch server must be non-zero, proving the group
+// commit path (not N degenerate single-record groups) carried the load.
+
+// submitEngineResult is the outcome for one engine configuration. The ns
+// figures are per record; throughput is records per second, and speedup is
+// the throughput ratio batch/single.
+type submitEngineResult struct {
+	Engine            string  `json:"engine"`
+	Records           int     `json:"records"`
+	Servers           int     `json:"servers"`
+	Clients           int     `json:"clients"`
+	BatchSize         int     `json:"batch_size"`
+	SingleNsPerRecord float64 `json:"single_ns_per_record"`
+	BatchNsPerRecord  float64 `json:"batch_ns_per_record"`
+	SingleRecsPerSec  float64 `json:"single_recs_per_sec"`
+	BatchRecsPerSec   float64 `json:"batch_recs_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	StateMatch        bool    `json:"state_match"`
+	GroupFlushes      uint64  `json:"group_flushes"`
+	CoalescedFlushes  uint64  `json:"coalesced_flushes"`
+	GroupSizeP50      uint64  `json:"group_size_p50"`
+	GroupSizeP99      uint64  `json:"group_size_p99"`
+}
+
+// submitBenchReport is the JSON document the -submitbench mode emits.
+type submitBenchReport struct {
+	Description string               `json:"description"`
+	Command     string               `json:"command"`
+	Environment map[string]any       `json:"environment"`
+	Config      map[string]any       `json:"config"`
+	Engines     []submitEngineResult `json:"engines"`
+	Acceptance  string               `json:"acceptance"`
+}
+
+// submitRecord is record i of a pass: strictly increasing timestamps keep
+// every record content-unique, servers are assigned round-robin, and the
+// rating pattern mixes positives and negatives so incremental accumulators
+// carry non-trivial state.
+func submitRecord(i, servers int, base int64) feedback.Feedback {
+	r := feedback.Positive
+	if i%5 == 4 {
+		r = feedback.Negative
+	}
+	return feedback.Feedback{
+		Time:   time.Unix(base+int64(i), 0).UTC(),
+		Server: feedback.EntityID(fmt.Sprintf("s%04d", i%servers)),
+		Client: feedback.EntityID(fmt.Sprintf("c%02d", i%23)),
+		Rating: r,
+	}
+}
+
+// submitNode is one server under test: a repserver on a fresh temp-dir
+// ledger-backed store.
+type submitNode struct {
+	dir string
+	ps  *ledger.PersistentStore
+	srv *repserver.Server
+}
+
+func startSubmitNode(incremental bool) (*submitNode, error) {
+	dir, err := os.MkdirTemp("", "submitbench-*")
+	if err != nil {
+		return nil, err
+	}
+	opts, tp, err := memOptions(0, 64, incremental)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	ps, err := ledger.OpenStoreOptions(context.Background(), dir, opts)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	srv, err := repserver.New("127.0.0.1:0", repserver.Config{
+		Assessor: tp, Store: ps.Store(), Recorder: ps, Incremental: incremental,
+	})
+	if err != nil {
+		ps.Close()
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	srv.Start()
+	return &submitNode{dir: dir, ps: ps, srv: srv}, nil
+}
+
+func (n *submitNode) close() {
+	n.srv.Close()
+	n.ps.Close()
+	os.RemoveAll(n.dir)
+}
+
+// storeFingerprint captures the full per-server record state of a store:
+// every known server mapped to its complete (time-ordered) history.
+func storeFingerprint(n *submitNode) map[feedback.EntityID][]feedback.Feedback {
+	st := n.ps.Store()
+	fp := make(map[feedback.EntityID][]feedback.Feedback)
+	for _, sv := range st.Servers() {
+		fp[sv] = st.Records(sv)
+	}
+	return fp
+}
+
+// submitSequential submits every record one round-trip at a time over a
+// single connection and returns the elapsed wall time.
+func submitSequential(n *submitNode, recs []feedback.Feedback) (time.Duration, error) {
+	client, err := repclient.Dial(n.srv.Addr(), repclient.WithTimeout(30*time.Second))
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = client.Close() }()
+	start := time.Now()
+	for i := range recs {
+		stored, err := client.Submit(recs[i])
+		if err != nil {
+			return 0, fmt.Errorf("record %d: %w", i, err)
+		}
+		if !stored {
+			return 0, fmt.Errorf("record %d: unexpected duplicate", i)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// submitStripes partitions the workload by server ownership: stripe c holds,
+// in time order, every record whose server hashes to client c. Each client is
+// the sole writer for its servers — the natural shape of per-source ingesters
+// — so per-server arrival order stays time-ordered in both strategies and the
+// comparison measures the write path, not out-of-order insertion penalties.
+func submitStripes(recs []feedback.Feedback, servers, clients int) [][]feedback.Feedback {
+	stripes := make([][]feedback.Feedback, clients)
+	for i := range recs {
+		c := (i % servers) % clients
+		stripes[c] = append(stripes[c], recs[i])
+	}
+	return stripes
+}
+
+// submitConcurrentBatches submits the per-client stripes concurrently, each
+// client shipping submit.batch frames of batchSize records over its own
+// connection. Returns elapsed wall time.
+func submitConcurrentBatches(n *submitNode, stripes [][]feedback.Feedback, batchSize int) (time.Duration, error) {
+	conns := make([]*repclient.Client, len(stripes))
+	for i := range conns {
+		c, err := repclient.Dial(n.srv.Addr(), repclient.WithTimeout(30*time.Second))
+		if err != nil {
+			return 0, err
+		}
+		conns[i] = c
+		defer func() { _ = c.Close() }()
+	}
+	errs := make([]error, len(stripes))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, stripe := range stripes {
+		if len(stripe) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, stripe []feedback.Feedback) {
+			defer wg.Done()
+			for off := 0; off < len(stripe); off += batchSize {
+				chunk := stripe[off:min(off+batchSize, len(stripe))]
+				resp, err := conns[i].SubmitBatchReport(chunk)
+				if err != nil {
+					errs[i] = fmt.Errorf("client %d: %w", i, err)
+					return
+				}
+				if resp.Stored != len(chunk) {
+					errs[i] = fmt.Errorf("client %d: stored %d of %d (duplicates=%d rejected=%d)",
+						i, resp.Stored, len(chunk), resp.Duplicates, len(resp.Rejected))
+					return
+				}
+			}
+		}(i, stripe)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return elapsed, nil
+}
+
+// submitMeasure runs both strategies for one engine over fresh servers per
+// pass and returns the median-pass timings plus the differential check and
+// the batch server's group-commit counters from the final pass.
+func submitMeasure(engine string, incremental bool, records, servers, clients, batchSize, passes int) (submitEngineResult, error) {
+	res := submitEngineResult{
+		Engine: engine, Records: records, Servers: servers,
+		Clients: clients, BatchSize: batchSize, StateMatch: true,
+	}
+	singleNs := make([]float64, 0, passes)
+	batchNs := make([]float64, 0, passes)
+	for p := 0; p < passes; p++ {
+		// Fresh servers and a disjoint record range per pass: submits are
+		// writes, so a repeat over the same state would dedup to nothing.
+		recs := make([]feedback.Feedback, records)
+		base := int64(1<<32) + int64(p)*int64(records)
+		for i := range recs {
+			recs[i] = submitRecord(i, servers, base)
+		}
+		seqNode, err := startSubmitNode(incremental)
+		if err != nil {
+			return res, err
+		}
+		batchNode, err := startSubmitNode(incremental)
+		if err != nil {
+			seqNode.close()
+			return res, err
+		}
+		sElapsed, err := submitSequential(seqNode, recs)
+		if err == nil {
+			var bElapsed time.Duration
+			bElapsed, err = submitConcurrentBatches(batchNode, submitStripes(recs, servers, clients), batchSize)
+			if err == nil {
+				singleNs = append(singleNs, float64(sElapsed.Nanoseconds())/float64(records))
+				batchNs = append(batchNs, float64(bElapsed.Nanoseconds())/float64(records))
+				if !reflect.DeepEqual(storeFingerprint(seqNode), storeFingerprint(batchNode)) {
+					res.StateMatch = false
+				}
+				gc := batchNode.ps.Stats().GroupCommit
+				res.GroupFlushes = gc.Flushes
+				res.CoalescedFlushes = gc.Coalesced
+				res.GroupSizeP50 = gc.SizeP50
+				res.GroupSizeP99 = gc.SizeP99
+			}
+		}
+		seqNode.close()
+		batchNode.close()
+		if err != nil {
+			return res, fmt.Errorf("pass %d: %w", p, err)
+		}
+	}
+	sort.Float64s(singleNs)
+	sort.Float64s(batchNs)
+	res.SingleNsPerRecord = singleNs[len(singleNs)/2]
+	res.BatchNsPerRecord = batchNs[len(batchNs)/2]
+	res.SingleRecsPerSec = trunc2(1e9 / res.SingleNsPerRecord)
+	res.BatchRecsPerSec = trunc2(1e9 / res.BatchNsPerRecord)
+	res.Speedup = trunc2(res.SingleNsPerRecord / res.BatchNsPerRecord)
+	return res, nil
+}
+
+func trunc2(v float64) float64 { return float64(int(v*100)) / 100 }
+
+// runSubmitBench executes the group-commit write-path comparison in both
+// engines and writes the JSON report. A diverging store state or a zero
+// coalesced-flush counter always fails; with minSpeedup > 0 every engine must
+// additionally reach that throughput speedup — the CI smoke gate.
+func runSubmitBench(out io.Writer, quick bool, minSpeedup float64) error {
+	const (
+		clients   = 8
+		batchSize = wire.MaxSubmitBatch
+		servers   = 64
+	)
+	records, passes := 8192, 3
+	if quick {
+		records, passes = 2048, 1
+	}
+	report := submitBenchReport{
+		Description: "Sustained submit throughput of the group-commit write path: 8 concurrent clients — each the sole writer for a disjoint slice of the server population, submission per server time-ordered in both strategies — shipping submit.batch frames of 256 records vs one client submitting the same workload one record per round-trip, both against a fresh ledger-backed server (temp-dir segmented log, the trustd -ledger wiring). The batched path amortises round-trips, applies each frame shard-grouped under one lock acquisition per shard, and coalesces concurrent frames in the ledger's group commit — one encode+write+flush per group instead of one per record. After every pass the batch server's full per-server record state must deep-equal the sequential server's (both engines), and the batch server's coalesced-flush counter must be non-zero; the median of the timed passes is reported per strategy.",
+		Command:     "go run ./cmd/reprobench -submitbench",
+		Environment: map[string]any{
+			"go":         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"date":       time.Now().UTC().Format("2006-01-02"),
+		},
+		Config: map[string]any{
+			"records":             records,
+			"servers":             servers,
+			"clients":             clients,
+			"batch_size":          batchSize,
+			"ledger":              "segmented, temp dir, snapshots off",
+			"trust":               "average",
+			"tester":              "none (trust-only two-phase)",
+			"passes_per_strategy": passes,
+		},
+		Acceptance: "speedup must be >= 3 in both engines with state_match true and coalesced_flushes > 0",
+	}
+	for _, eng := range []struct {
+		name        string
+		incremental bool
+	}{
+		{"trust-only", false},
+		{"incremental", true},
+	} {
+		res, err := submitMeasure(eng.name, eng.incremental, records, servers, clients, batchSize, passes)
+		if err != nil {
+			return fmt.Errorf("%s: %w", eng.name, err)
+		}
+		report.Engines = append(report.Engines, res)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	for _, res := range report.Engines {
+		if !res.StateMatch {
+			return fmt.Errorf("%s: batched store state diverges from sequential", res.Engine)
+		}
+		if res.CoalescedFlushes == 0 {
+			return fmt.Errorf("%s: no coalesced flushes — group commit path not exercised", res.Engine)
+		}
+		if minSpeedup > 0 && res.Speedup < minSpeedup {
+			return fmt.Errorf("%s: speedup %.2f below required %.2f", res.Engine, res.Speedup, minSpeedup)
+		}
+	}
+	return nil
+}

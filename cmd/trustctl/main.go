@@ -8,6 +8,8 @@
 //	trustctl -addr 127.0.0.1:7700 assess -server s1 -threshold 0.9
 //	trustctl -addr 127.0.0.1:7700 assess-batch -threshold 0.9 s1 s2 s3
 //	trustctl assess-batch -threshold 0.9 < servers.txt   # IDs from stdin
+//	trustctl submit-batch '{"time":"...","server":"s1","client":"c1","rating":1}'
+//	trustctl submit-batch < records.jsonl                # records from stdin
 //	trustctl local-assess -file history.jsonl -scheme multi -trust average
 //	trustctl ledger-info -path /var/lib/trustd/ledger   # offline checksum audit
 //	trustctl mem-status -metrics http://127.0.0.1:7780  # memory lifecycle via /metricz
@@ -61,7 +63,7 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command: ping | submit | history | assess | assess-batch | cluster-status | mem-status | local-assess | ledger-info")
+		return fmt.Errorf("missing command: ping | submit | submit-batch | history | assess | assess-batch | cluster-status | mem-status | local-assess | ledger-info")
 	}
 	// local-assess, ledger-info, and mem-status need no wire connection
 	// (mem-status talks to the metrics HTTP endpoint instead).
@@ -95,6 +97,8 @@ func run(args []string, out io.Writer) error {
 		return nil
 	case "submit":
 		return submit(ctx, client, rest[1:], out)
+	case "submit-batch":
+		return submitBatch(ctx, client, rest[1:], out)
 	case "history":
 		return history(ctx, client, rest[1:], out)
 	case "assess":
@@ -240,6 +244,45 @@ func assessBatch(ctx context.Context, client *repclient.Client, args []string, o
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(items)
+}
+
+// submitBatch submits many records in one request (the client chunks
+// transparently past the wire's max batch size). Records come from the
+// positional arguments — one JSON object each, in the ledger / JSON-lines
+// record shape — or, when none are given, as JSON lines from stdin. The
+// output is the server's per-record report; rejected records appear in
+// their item's "error" field without failing the command.
+func submitBatch(ctx context.Context, client *repclient.Client, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("submit-batch", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var recs []feedback.Feedback
+	if rest := fs.Args(); len(rest) > 0 {
+		for i, a := range rest {
+			var f feedback.Feedback
+			if err := json.Unmarshal([]byte(a), &f); err != nil {
+				return fmt.Errorf("record %d: %w", i, err)
+			}
+			recs = append(recs, f)
+		}
+	} else {
+		var err error
+		recs, err = feedback.ReadJSONLines(stdin)
+		if err != nil {
+			return fmt.Errorf("read records from stdin: %w", err)
+		}
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("submit-batch: no records (pass JSON objects as arguments or JSON lines on stdin)")
+	}
+	resp, err := client.SubmitBatchReportCtx(ctx, recs)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resp)
 }
 
 // clusterStatus prints the contacted node's view of its cluster: membership

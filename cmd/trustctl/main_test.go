@@ -224,6 +224,77 @@ func TestAssessBatch(t *testing.T) {
 	}
 }
 
+func TestSubmitBatchCommand(t *testing.T) {
+	addr := startTestServer(t)
+
+	// Records as positional JSON arguments, one a duplicate of the other.
+	var out strings.Builder
+	recJSON := `{"time":"2026-01-01T00:00:01Z","server":"sb1","client":"alice","rating":2}`
+	err := run([]string{"-addr", addr, "submit-batch", recJSON,
+		`{"time":"2026-01-01T00:00:02Z","server":"sb1","client":"bob","rating":1}`,
+		recJSON}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, `"stored": 2`) || !strings.Contains(got, `"duplicates": 1`) {
+		t.Fatalf("submit-batch output:\n%s", got)
+	}
+	if strings.Count(got, `"stored": true`) != 2 {
+		t.Fatalf("per-item slots missing:\n%s", got)
+	}
+
+	// An invalid record mid-batch (rating 0 passes json.Unmarshal, fails
+	// server-side): the rest of the batch is stored and the rejection
+	// carries its request index.
+	out.Reset()
+	err = run([]string{"-addr", addr, "submit-batch",
+		`{"time":"2026-01-01T00:00:03Z","server":"sb1","client":"carol","rating":2}`,
+		`{"time":"2026-01-01T00:00:04Z","server":"sb1","client":"dave","rating":0}`,
+		`{"time":"2026-01-01T00:00:05Z","server":"sb1","client":"erin","rating":2}`}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = out.String()
+	if !strings.Contains(got, `"stored": 2`) || !strings.Contains(got, `"index": 1`) ||
+		!strings.Contains(got, `"invalid_feedback"`) {
+		t.Fatalf("invalid-record submit-batch output:\n%s", got)
+	}
+
+	// Records as JSON lines on stdin (validated client-side before the
+	// round trip).
+	oldStdin := stdin
+	stdin = strings.NewReader(
+		`{"time":"2026-01-01T00:00:06Z","server":"sb1","client":"frank","rating":2}` + "\n" +
+			`{"time":"2026-01-01T00:00:07Z","server":"sb1","client":"grace","rating":1}` + "\n")
+	t.Cleanup(func() { stdin = oldStdin })
+	out.Reset()
+	if err := run([]string{"-addr", addr, "submit-batch"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"stored": 2`) {
+		t.Fatalf("stdin submit-batch output:\n%s", out.String())
+	}
+
+	// The stored records really landed.
+	out.Reset()
+	if err := run([]string{"-addr", addr, "history", "-server", "sb1", "-limit", "10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(of 6 total)") {
+		t.Fatalf("history after submit-batch:\n%s", out.String())
+	}
+
+	// Empty stdin and no arguments must fail; so must malformed JSON.
+	stdin = strings.NewReader("")
+	if err := run([]string{"-addr", addr, "submit-batch"}, &strings.Builder{}); err == nil {
+		t.Error("submit-batch with no records must fail")
+	}
+	if err := run([]string{"-addr", addr, "submit-batch", "{not json"}, &strings.Builder{}); err == nil {
+		t.Error("submit-batch with malformed JSON must fail")
+	}
+}
+
 func TestLedgerInfo(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "led")
 	ps, err := ledger.OpenStoreOptions(context.Background(), dir, ledger.Options{Shards: 2})

@@ -6,7 +6,9 @@
 // SIGINT/SIGTERM is graceful, draining in-flight requests for up to
 // -drain-timeout before force-closing. With -metrics-addr an HTTP endpoint
 // serves GET /metricz: per-type request counts, error counts, and latency
-// quantiles as JSON.
+// quantiles as JSON, plus the write-path counters — submit.batch requests,
+// items, and rejects, and (with -ledger) the group-commit flush counters
+// with their group-size p50/p99.
 //
 // With -node-id the node joins a static cluster: -peers is then the full
 // membership as id=addr[~gossipaddr] pairs, server ownership is partitioned

@@ -64,8 +64,44 @@ type Ledger struct {
 	truncatedSegments int
 	truncatedBytes    int64
 
+	// Group commit: concurrent appenders enqueue their records under qmu;
+	// the first appender to find no leader active becomes the leader, drains
+	// the whole queue, and commits it as one group under l.mu — one encode
+	// pass, one Write, one Flush — while the followers wait on their done
+	// channels. qmu is never held across I/O and never taken with l.mu held.
+	qmu        sync.Mutex
+	queue      []*commitWaiter
+	committing bool
+
+	// poisoned is the sticky first write/flush failure (guarded by l.mu).
+	// After a failed Write or Flush the bufio writer may have pushed an
+	// unknown prefix of the group to disk while the in-memory chain no longer
+	// matches the durable bytes, so every later append must fail fast rather
+	// than chain off an unwritten checksum. Reopening the ledger re-scans the
+	// segment and truncates whatever partial group landed.
+	poisoned error
+
+	// Group-commit counters (guarded by l.mu).
+	groupFlushes     uint64               // leader flushes (each = one Write+Flush)
+	coalescedFlushes uint64               // flushes that carried > 1 record
+	groupRecords     uint64               // records carried by all flushes
+	groupSizes       [groupBuckets]uint64 // power-of-two size histogram
+
 	closed bool
 	buf    []byte // append scratch
+}
+
+// groupBuckets is the size of the group-commit histogram: bucket i counts
+// flushes whose group size was in (2^(i-1), 2^i], so bucket 0 is exactly 1
+// record, bucket 1 is 2, bucket 2 is 3–4, … with the last bucket absorbing
+// everything larger.
+const groupBuckets = 11
+
+// commitWaiter is one appender's stake in a group commit: its records and
+// the channel the leader delivers the group's shared result on.
+type commitWaiter struct {
+	recs []feedback.Feedback
+	done chan error
 }
 
 // Open opens (creating or migrating if needed) the ledger at path, replays
@@ -264,41 +300,185 @@ func (l *Ledger) openActive(idx uint64) error {
 }
 
 // Append durably appends one record, rolling the active segment over when it
-// exceeds the configured threshold.
+// exceeds the configured threshold. Concurrent appenders group-commit: their
+// records are coalesced into one encode + one Write + one Flush issued by a
+// single leader, so N concurrent appends cost one flush syscall instead of N.
 func (l *Ledger) Append(rec feedback.Feedback) error {
 	if err := rec.Validate(); err != nil {
 		return err
 	}
+	return l.commit([]feedback.Feedback{rec})
+}
+
+// AppendBatch durably appends all records as one group (plus whatever
+// concurrent appenders joined the same commit). All-or-nothing: every record
+// is validated before anything is queued, and the group's single Write+Flush
+// either persists the whole batch or fails it whole.
+func (l *Ledger) AppendBatch(recs []feedback.Feedback) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	for i := range recs {
+		if err := recs[i].Validate(); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	return l.commit(recs)
+}
+
+// commit enqueues recs for the group committer and waits for the result.
+// The first appender to arrive while no leader is active becomes the leader:
+// it repeatedly drains the whole queue and commits it as one group, handing
+// each waiter the group's shared error, until the queue is empty. Everyone
+// else just waits — their records ride the leader's flush.
+func (l *Ledger) commit(recs []feedback.Feedback) error {
+	w := &commitWaiter{recs: recs, done: make(chan error, 1)}
+	l.qmu.Lock()
+	l.queue = append(l.queue, w)
+	if l.committing {
+		l.qmu.Unlock()
+		return <-w.done
+	}
+	l.committing = true
+	for len(l.queue) > 0 {
+		group := l.queue
+		l.queue = nil
+		l.qmu.Unlock()
+		err := l.commitGroup(group)
+		for _, cw := range group {
+			cw.done <- err
+		}
+		l.qmu.Lock()
+	}
+	l.committing = false
+	l.qmu.Unlock()
+	return <-w.done
+}
+
+// commitGroup encodes every queued record into one buffer — one chain pass,
+// computed locally so a failed write never advances the in-memory chain —
+// and issues a single Write+Flush for the whole group. A Write or Flush
+// failure poisons the ledger (see the poisoned field). Encode failures
+// cannot poison: nothing has been written yet, so the group just fails.
+func (l *Ledger) commitGroup(group []*commitWaiter) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-	var err error
-	l.buf = l.buf[:0]
-	if l.segKind == segJSON {
-		l.buf, err = appendJSONLine(l.buf, rec)
-	} else {
-		l.buf, l.chain, err = appendRecord(l.buf, rec, l.chain)
+	if l.poisoned != nil {
+		return l.poisoned
 	}
-	if err != nil {
-		return fmt.Errorf("ledger: encode: %w", err)
+	var (
+		n     uint64
+		chain = l.chain
+		err   error
+	)
+	l.buf = l.buf[:0]
+	for _, w := range group {
+		for _, rec := range w.recs {
+			if l.segKind == segJSON {
+				l.buf, err = appendJSONLine(l.buf, rec)
+			} else {
+				l.buf, chain, err = appendRecord(l.buf, rec, chain)
+			}
+			if err != nil {
+				return fmt.Errorf("ledger: encode: %w", err)
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
 	}
 	if _, err := l.w.Write(l.buf); err != nil {
+		l.poisoned = fmt.Errorf("ledger: poisoned by append error: %w", err)
 		return fmt.Errorf("ledger: append: %w", err)
 	}
 	if err := l.w.Flush(); err != nil {
+		l.poisoned = fmt.Errorf("ledger: poisoned by flush error: %w", err)
 		return fmt.Errorf("ledger: flush: %w", err)
 	}
+	l.chain = chain
 	l.segSize += int64(len(l.buf))
-	l.segRecs++
-	l.records++
+	l.segRecs += n
+	l.records += n
+	l.groupFlushes++
+	if n > 1 {
+		l.coalescedFlushes++
+	}
+	l.groupRecords += n
+	l.groupSizes[groupBucket(n)]++
 	if l.segSize >= l.segBytes {
 		if err := l.rollOverLocked(); err != nil {
+			// The group's records flushed, but the seal is in an unknown
+			// state; treat it like any other failed write.
+			l.poisoned = fmt.Errorf("ledger: poisoned by roll-over error: %w", err)
 			return err
 		}
 	}
 	return nil
+}
+
+// groupBucket maps a group size to its histogram bucket: ceil(log2(n)),
+// capped at the last bucket.
+func groupBucket(n uint64) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b >= groupBuckets {
+		b = groupBuckets - 1
+	}
+	return b
+}
+
+// GroupCommitStats is a point-in-time view of the group-commit counters.
+// The quantiles are bucketed approximations: each group size is attributed
+// to its power-of-two bucket and the quantile reports the bucket's upper
+// bound, so P50 = 4 means half of all flushes carried at most 4 records.
+type GroupCommitStats struct {
+	// Flushes is the number of leader flushes (one Write+Flush each).
+	Flushes uint64 `json:"flushes"`
+	// Coalesced is the number of flushes that carried more than one record
+	// — the count of flush syscalls saved by grouping is Records - Flushes.
+	Coalesced uint64 `json:"coalesced"`
+	// Records is the total records carried by all flushes.
+	Records uint64 `json:"records"`
+	// SizeP50 and SizeP99 are bucketed group-size quantiles.
+	SizeP50 uint64 `json:"size_p50"`
+	SizeP99 uint64 `json:"size_p99"`
+}
+
+// GroupCommit reports the group-commit counters.
+func (l *Ledger) GroupCommit() GroupCommitStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := GroupCommitStats{
+		Flushes:   l.groupFlushes,
+		Coalesced: l.coalescedFlushes,
+		Records:   l.groupRecords,
+	}
+	s.SizeP50 = groupQuantile(&l.groupSizes, l.groupFlushes, 50)
+	s.SizeP99 = groupQuantile(&l.groupSizes, l.groupFlushes, 99)
+	return s
+}
+
+// groupQuantile returns the upper bound (2^bucket) of the first histogram
+// bucket at which the cumulative flush count reaches pct percent of total.
+func groupQuantile(buckets *[groupBuckets]uint64, total uint64, pct uint64) uint64 {
+	if total == 0 {
+		return 0
+	}
+	need := (total*pct + 99) / 100
+	var cum uint64
+	for i, c := range buckets {
+		cum += c
+		if cum >= need {
+			return 1 << i
+		}
+	}
+	return 1 << (groupBuckets - 1)
 }
 
 // rollOverLocked seals the active segment — footer, fsync, close — and
@@ -350,7 +530,11 @@ func (l *Ledger) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.poisoned != nil {
+		return l.poisoned
+	}
 	if err := l.w.Flush(); err != nil {
+		l.poisoned = fmt.Errorf("ledger: poisoned by flush error: %w", err)
 		return fmt.Errorf("ledger: flush: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
@@ -387,7 +571,11 @@ func (l *Ledger) sealForSnapshot() (segIndex uint64, records uint64, err error) 
 	if l.closed {
 		return 0, 0, ErrClosed
 	}
+	if l.poisoned != nil {
+		return 0, 0, l.poisoned
+	}
 	if err := l.w.Flush(); err != nil {
+		l.poisoned = fmt.Errorf("ledger: poisoned by flush error: %w", err)
 		return 0, 0, fmt.Errorf("ledger: flush: %w", err)
 	}
 	if l.segRecs > 0 {

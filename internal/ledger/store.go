@@ -284,6 +284,90 @@ func (ps *PersistentStore) Add(rec feedback.Feedback) (bool, error) {
 	return true, nil
 }
 
+// AddBatch is the batch form of Add: records are inserted into the store
+// shard-grouped (one shard-lock acquisition per shard, fanned over at most
+// workers goroutines), and everything newly stored is appended to the
+// ledger as one group commit — one encode pass, one Write+Flush — instead
+// of one flush per record. Results[i] reports recs[i]'s outcome with Add's
+// exact semantics, including the "stored in memory but not persisted" error
+// shape when the ledger append fails after the store accepted the records.
+// With the lifecycle enabled, every distinct server in the batch is pinned
+// for the duration, and a write that hits an evicted server triggers one
+// fault-in per server for the whole batch before its records are retried.
+func (ps *PersistentStore) AddBatch(recs []feedback.Feedback, workers int) []store.AddResult {
+	if len(recs) == 0 {
+		return nil
+	}
+	lifecycle := ps.opts.MemBudget > 0
+	if lifecycle {
+		pinned := make(map[feedback.EntityID]struct{}, len(recs))
+		for _, rec := range recs {
+			if _, ok := pinned[rec.Server]; !ok {
+				pinned[rec.Server] = struct{}{}
+				ps.pin(rec.Server)
+			}
+		}
+		defer func() {
+			for srv := range pinned {
+				ps.unpin(srv)
+			}
+		}()
+	}
+	results := ps.store.AddBatch(recs, workers)
+	if lifecycle {
+		// Writes that hit evicted servers: fault each distinct server in
+		// once (RebuildServer is idempotent), then retry its records. The
+		// pins taken above keep the rebuilt state resident for the retry.
+		rebuilt := make(map[feedback.EntityID]error)
+		var retry []int
+		for i, r := range results {
+			if !errors.Is(r.Err, store.ErrEvicted) {
+				continue
+			}
+			srv := recs[i].Server
+			if _, done := rebuilt[srv]; !done {
+				rebuilt[srv] = ps.RebuildServer(srv)
+			}
+			if rerr := rebuilt[srv]; rerr != nil {
+				results[i] = store.AddResult{Err: fmt.Errorf("fault-in for write to %q: %w", srv, rerr)}
+			} else {
+				retry = append(retry, i)
+			}
+		}
+		for _, i := range retry {
+			results[i].Stored, results[i].Err = ps.store.Add(recs[i])
+		}
+	}
+	var (
+		newRecs []feedback.Feedback
+		newIdx  []int
+	)
+	for i, r := range results {
+		if r.Stored && r.Err == nil {
+			newRecs = append(newRecs, recs[i])
+			newIdx = append(newIdx, i)
+		}
+	}
+	if len(newRecs) == 0 {
+		return results
+	}
+	if err := ps.ledger.AppendBatch(newRecs); err != nil {
+		for _, i := range newIdx {
+			results[i].Err = fmt.Errorf("stored in memory but not persisted: %w", err)
+		}
+		return results
+	}
+	if lifecycle {
+		for _, rec := range newRecs {
+			ps.tailAdd(rec)
+		}
+	}
+	if every := ps.opts.SnapshotEvery; every > 0 && ps.sinceSnap.Add(uint64(len(newRecs))) >= every {
+		ps.snapshotAsync()
+	}
+	return results
+}
+
 // snapshotAsync starts at most one background snapshot at a time.
 func (ps *PersistentStore) snapshotAsync() {
 	if !ps.snapping.CompareAndSwap(false, true) {
@@ -454,6 +538,8 @@ type Stats struct {
 	RecordsSinceSnap uint64 `json:"records_since_snapshot"`
 	Rebuilds         uint64 `json:"rebuilds,omitempty"`
 	RebuildErrors    uint64 `json:"rebuild_errors,omitempty"`
+	// Group-commit write-path counters (see Ledger.GroupCommit).
+	GroupCommit GroupCommitStats `json:"group_commit"`
 }
 
 // Stats returns a point-in-time snapshot of the persistence counters.
@@ -469,6 +555,13 @@ func (ps *PersistentStore) Stats() Stats {
 		RollOvers:      l.rolls,
 		Truncations:    l.truncatedSegments,
 		TruncatedBytes: l.truncatedBytes,
+		GroupCommit: GroupCommitStats{
+			Flushes:   l.groupFlushes,
+			Coalesced: l.coalescedFlushes,
+			Records:   l.groupRecords,
+			SizeP50:   groupQuantile(&l.groupSizes, l.groupFlushes, 50),
+			SizeP99:   groupQuantile(&l.groupSizes, l.groupFlushes, 99),
+		},
 	}
 	l.mu.Unlock()
 	s.SnapshotSeq = ps.lastSnapSeq.Load()

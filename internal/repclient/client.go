@@ -349,19 +349,45 @@ func (c *Client) SubmitCtx(ctx context.Context, f feedback.Feedback) (bool, erro
 	return resp.Stored, nil
 }
 
-// SubmitBatchReport stores many records in one round trip and returns the
-// server's per-record report. Invalid records do not abort the batch: every
-// valid record is stored and each rejected one is listed with its request
-// index and reason.
+// SubmitBatchReport stores many records in one round trip (or several:
+// batches above wire.MaxSubmitBatch are chunked transparently and the chunk
+// responses merged) and returns the server's per-record report. Items[i]
+// answers recs[i] and invalid records do not abort the batch: every valid
+// record is stored and each rejected one is listed with its request index
+// and reason. Only transport and request-level failures return an error;
+// records of chunks submitted before such a failure stay stored.
 func (c *Client) SubmitBatchReport(recs []feedback.Feedback) (wire.BatchResponse, error) {
 	return c.SubmitBatchReportCtx(context.Background(), recs)
 }
 
-// SubmitBatchReportCtx is SubmitBatchReport bounded by ctx.
+// SubmitBatchReportCtx is SubmitBatchReport bounded by ctx. The deadline
+// covers the whole call: every chunk's round trip runs under the same ctx.
 func (c *Client) SubmitBatchReportCtx(ctx context.Context, recs []feedback.Feedback) (wire.BatchResponse, error) {
-	var resp wire.BatchResponse
-	err := roundTrip(c, ctx, wire.TypeBatch, wire.TypeBatchR, wire.BatchRequest{Records: recs}, &resp)
-	return resp, err
+	if len(recs) == 0 {
+		return wire.BatchResponse{}, nil
+	}
+	out := wire.BatchResponse{Items: make([]wire.SubmitBatchItem, 0, len(recs))}
+	for start := 0; start < len(recs); start += wire.MaxSubmitBatch {
+		chunk := recs[start:min(start+wire.MaxSubmitBatch, len(recs))]
+		var resp wire.BatchResponse
+		if err := roundTrip(c, ctx, wire.TypeSubmitB, wire.TypeSubmitBR, wire.BatchRequest{Records: chunk}, &resp); err != nil {
+			return wire.BatchResponse{}, err
+		}
+		if len(resp.Items) != len(chunk) {
+			// The protocol guarantees one item per submitted record; a
+			// mismatch means the report cannot be aligned with the request.
+			return wire.BatchResponse{}, fmt.Errorf("repclient: submit batch returned %d items for %d records",
+				len(resp.Items), len(chunk))
+		}
+		out.Stored += resp.Stored
+		out.Duplicates += resp.Duplicates
+		for _, rej := range resp.Rejected {
+			rej.Index += start
+			out.Rejected = append(out.Rejected, rej)
+		}
+		out.Items = append(out.Items, resp.Items...)
+	}
+	return out, nil
 }
 
 // SubmitBatch stores many records in one round trip, reporting how many

@@ -161,7 +161,7 @@ func (s *Server) clusterBatch(ctx context.Context, cl *cluster.Cluster, req wire
 		results = append(results, <-resCh)
 	}
 
-	var out wire.BatchResponse
+	out := wire.BatchResponse{Items: make([]wire.SubmitBatchItem, len(req.Records))}
 	for _, r := range results {
 		if r.err != nil {
 			// The whole group failed to reach its owner: report every record
@@ -173,6 +173,7 @@ func (s *Server) clusterBatch(ctx context.Context, cl *cluster.Cluster, req wire
 			}
 			for _, pos := range r.g.idx {
 				out.Rejected = append(out.Rejected, wire.BatchReject{Index: pos, Reason: reason})
+				out.Items[pos].Error = &wire.ErrorResponse{Code: wire.CodeUnavailable, Message: reason}
 			}
 			continue
 		}
@@ -180,6 +181,27 @@ func (s *Server) clusterBatch(ctx context.Context, cl *cluster.Cluster, req wire
 		out.Duplicates += r.resp.Duplicates
 		for _, rej := range r.resp.Rejected {
 			out.Rejected = append(out.Rejected, wire.BatchReject{Index: r.g.idx[rej.Index], Reason: rej.Reason})
+		}
+		if len(r.resp.Items) == len(r.g.recs) {
+			for i, item := range r.resp.Items {
+				out.Items[r.g.idx[i]] = item
+			}
+			continue
+		}
+		// A peer that answered without a per-item report (it should not —
+		// every node of a cluster runs the same build): synthesize the items
+		// from the aggregate counters. Rejected slots are exact; the rest can
+		// only be told apart when the group had no duplicates at all.
+		rejected := make(map[int]string, len(r.resp.Rejected))
+		for _, rej := range r.resp.Rejected {
+			rejected[rej.Index] = rej.Reason
+		}
+		for i, pos := range r.g.idx {
+			if reason, bad := rejected[i]; bad {
+				out.Items[pos].Error = &wire.ErrorResponse{Code: wire.CodeInvalidFeedback, Message: reason}
+				continue
+			}
+			out.Items[pos].Stored = r.resp.Duplicates == 0
 		}
 	}
 	sortRejected(out.Rejected)

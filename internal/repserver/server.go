@@ -49,6 +49,18 @@ type Recorder interface {
 	Add(feedback.Feedback) (bool, error)
 }
 
+// BatchRecorder is the optional batch write path: recorders implementing it
+// get submit.batch requests as one call — shard-grouped store insertion and
+// one ledger group commit instead of a per-record store+append+flush cycle.
+// Both *store.Store and *ledger.PersistentStore implement it; recorders that
+// don't are served record by record through Add with identical results.
+type BatchRecorder interface {
+	// AddBatch stores records with at most workers concurrent shard groups
+	// (workers <= 0 means GOMAXPROCS); result i reports record i's outcome
+	// with Add's exact semantics.
+	AddBatch(recs []feedback.Feedback, workers int) []store.AddResult
+}
+
 // Config parameterises a Server.
 type Config struct {
 	// Assessor runs two-phase assessment for TypeAssess requests.
@@ -120,6 +132,14 @@ type Stats struct {
 	// accumulator or the cache also count towards the Incremental / Cache
 	// stats, same as single assess requests.
 	BatchItems uint64 `json:"batch_items"`
+	// SubmitBatches counts submit.batch requests served locally,
+	// SubmitBatchItems the records they carried, and SubmitBatchRejects the
+	// items that failed their slot (invalid records above all). The ledger's
+	// group-commit counters (coalesced flushes, group-size quantiles) live
+	// in the persistence stats, not here.
+	SubmitBatches      uint64 `json:"submit_batches"`
+	SubmitBatchItems   uint64 `json:"submit_batch_items"`
+	SubmitBatchRejects uint64 `json:"submit_batch_rejects"`
 	// V2Connections counts connections that negotiated binary protocol v2
 	// (Connections counts every accepted connection, either framing).
 	V2Connections uint64 `json:"v2_connections"`
@@ -222,6 +242,9 @@ type Server struct {
 	nIncremental atomic.Uint64
 	nFallback    atomic.Uint64
 	nBatchItems  atomic.Uint64
+	nSubBatches  atomic.Uint64
+	nSubItems    atomic.Uint64
+	nSubRejects  atomic.Uint64
 	nFaultIns    atomic.Uint64
 	nFaultWaits  atomic.Uint64
 	nFaultErrors atomic.Uint64
@@ -325,7 +348,7 @@ func (s *Server) buildPipeline() service.Handler {
 	reg := service.NewRegistry()
 	reg.Register(wire.TypePing, s.handlePing)
 	reg.Register(wire.TypeSubmit, s.handleSubmit)
-	reg.Register(wire.TypeBatch, s.handleBatch)
+	reg.Register(wire.TypeSubmitB, s.handleBatch)
 	reg.Register(wire.TypeHistory, s.handleHistory)
 	reg.Register(wire.TypeAssess, s.handleAssess)
 	reg.Register(wire.TypeAssessB, s.handleAssessBatch)
@@ -365,6 +388,10 @@ func (s *Server) Stats() Stats {
 		PerType:       s.metrics.Snapshot(),
 		BatchItems:    s.nBatchItems.Load(),
 		V2Connections: s.nV2Conns.Load(),
+
+		SubmitBatches:      s.nSubBatches.Load(),
+		SubmitBatchItems:   s.nSubItems.Load(),
+		SubmitBatchRejects: s.nSubRejects.Load(),
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()
@@ -721,43 +748,90 @@ func (s *Server) handleBatch(ctx context.Context, env wire.Envelope) (wire.Envel
 	if err := wire.DecodePayload(env, &req); err != nil {
 		return wire.Envelope{}, service.Errorf(wire.CodeBadRequest, "%v", err)
 	}
+	if len(req.Records) > wire.MaxSubmitBatch {
+		return wire.Envelope{}, service.Errorf(wire.CodeBadRequest,
+			"batch of %d records exceeds max %d", len(req.Records), wire.MaxSubmitBatch)
+	}
 	if cl := s.clusterRef.Load(); cl != nil && cl.Size() > 1 {
 		resp, err := s.clusterBatch(ctx, cl, req)
 		if err != nil {
 			return wire.Envelope{}, err
 		}
-		return service.CodecFrom(ctx).Encode(wire.TypeBatchR, env.ID, resp)
+		return service.CodecFrom(ctx).Encode(wire.TypeSubmitBR, env.ID, resp)
 	}
 	resp, err := s.applyBatch(ctx, req.Records)
 	if err != nil {
 		return wire.Envelope{}, err
 	}
-	return service.CodecFrom(ctx).Encode(wire.TypeBatchR, env.ID, resp)
+	return service.CodecFrom(ctx).Encode(wire.TypeSubmitBR, env.ID, resp)
 }
 
 // applyBatch stores records locally with the per-record report semantics of
-// a batch submit: bad records are reported, not fatal.
+// a batch submit: bad records fail their own item slot, never the batch.
+// Recorders implementing BatchRecorder get the whole batch as one call —
+// shard-grouped insertion over the bounded worker pool plus one ledger group
+// commit; anything else is served record by record with identical results.
+// Items[i] always answers Records[i]; len(Items) == len(Records).
 func (s *Server) applyBatch(ctx context.Context, recs []feedback.Feedback) (wire.BatchResponse, error) {
-	var resp wire.BatchResponse
-	for i, rec := range recs {
-		// A cancelled request must stop writing, but records already stored
-		// stay stored — the client learns how far it got from the error.
-		if err := ctx.Err(); err != nil {
-			return resp, err
+	resp := wire.BatchResponse{Items: make([]wire.SubmitBatchItem, len(recs))}
+	if err := ctx.Err(); err != nil {
+		return wire.BatchResponse{}, err
+	}
+	var results []store.AddResult
+	if br, ok := s.cfg.Recorder.(BatchRecorder); ok {
+		results = br.AddBatch(recs, s.cfg.BatchWorkers)
+	} else {
+		results = make([]store.AddResult, len(recs))
+		for i, rec := range recs {
+			// A cancelled request must stop writing, but records already
+			// stored stay stored — the client learns how far it got from
+			// the error.
+			if err := ctx.Err(); err != nil {
+				return wire.BatchResponse{}, err
+			}
+			results[i].Stored, results[i].Err = s.cfg.Recorder.Add(rec)
 		}
-		stored, err := s.cfg.Recorder.Add(rec)
-		if err != nil {
-			// A bad record must not abort the batch: earlier records are
-			// already stored, so report it per record and keep going.
-			resp.Rejected = append(resp.Rejected, wire.BatchReject{Index: i, Reason: err.Error()})
+	}
+
+	// Items that hit evicted state: fault each distinct server in once —
+	// single-flighted server-wide via faultIn, so concurrent batches (and
+	// reads) share one rebuild — then retry those records. Recorders with
+	// their own fault-in (ledger.PersistentStore) never surface ErrEvicted
+	// here; this covers a store-only recorder running under a budget.
+	for i := range results {
+		if !errors.Is(results[i].Err, store.ErrEvicted) {
 			continue
 		}
-		if stored {
+		if err := s.faultIn(ctx, recs[i].Server); err != nil {
+			results[i] = store.AddResult{Err: err}
+			continue
+		}
+		results[i].Stored, results[i].Err = s.cfg.Recorder.Add(recs[i])
+	}
+
+	for i, r := range results {
+		if r.Err != nil {
+			// Typed errors (fault-in failures above all) keep their code;
+			// plain validation errors report as invalid_feedback, matching
+			// the single-submit path.
+			er := errorResponseFrom(r.Err)
+			if er.Code == wire.CodeInternal {
+				er = &wire.ErrorResponse{Code: wire.CodeInvalidFeedback, Message: r.Err.Error()}
+			}
+			resp.Items[i].Error = er
+			resp.Rejected = append(resp.Rejected, wire.BatchReject{Index: i, Reason: r.Err.Error()})
+			continue
+		}
+		resp.Items[i].Stored = r.Stored
+		if r.Stored {
 			resp.Stored++
 		} else {
 			resp.Duplicates++
 		}
 	}
+	s.nSubBatches.Add(1)
+	s.nSubItems.Add(uint64(len(recs)))
+	s.nSubRejects.Add(uint64(len(resp.Rejected)))
 	return resp, nil
 }
 

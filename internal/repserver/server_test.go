@@ -584,6 +584,102 @@ func TestSubmitBatch(t *testing.T) {
 	}
 }
 
+// TestSubmitBatchItemsCapAndChunking pins the per-item contract of the
+// group-commit write path: Items[i] answers Records[i] exactly, an over-cap
+// frame is rejected whole, and the client splits any larger submission into
+// max-sized frames transparently.
+func TestSubmitBatchItemsCapAndChunking(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv)
+
+	resp, err := c.SubmitBatchReport([]feedback.Feedback{
+		rec("items", "a", true, 1),
+		rec("items", "a", true, 1), // duplicate of the first
+		{},                         // invalid
+		rec("items", "b", false, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 4 {
+		t.Fatalf("items = %d, want one per record", len(resp.Items))
+	}
+	if !resp.Items[0].Stored || resp.Items[0].Error != nil {
+		t.Fatalf("item 0 = %+v, want stored", resp.Items[0])
+	}
+	if resp.Items[1].Stored || resp.Items[1].Error != nil {
+		t.Fatalf("item 1 = %+v, want duplicate (not stored, no error)", resp.Items[1])
+	}
+	if resp.Items[2].Error == nil || resp.Items[2].Error.Code != wire.CodeInvalidFeedback {
+		t.Fatalf("item 2 = %+v, want invalid_feedback error", resp.Items[2])
+	}
+	if !resp.Items[3].Stored {
+		t.Fatalf("item 3 = %+v, want stored", resp.Items[3])
+	}
+
+	// A frame above the cap is rejected whole, before any record is applied.
+	over := make([]feedback.Feedback, wire.MaxSubmitBatch+1)
+	for i := range over {
+		over[i] = rec("over", "c", true, int64(100+i))
+	}
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	env, err := wire.Encode(wire.TypeSubmitB, 1, wire.BatchRequest{Records: over})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Write(conn, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.Read(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != wire.TypeError {
+		t.Fatalf("over-cap frame got %s, want error", got.Type)
+	}
+	var werr wire.ErrorResponse
+	if err := wire.DecodePayload(got, &werr); err != nil {
+		t.Fatal(err)
+	}
+	if werr.Code != wire.CodeBadRequest {
+		t.Fatalf("over-cap code = %s, want bad_request", werr.Code)
+	}
+	if srv.Store().ServerLen("over") != 0 {
+		t.Fatal("over-cap frame partially applied")
+	}
+
+	// The client chunks a larger workload into cap-sized frames; indexes in
+	// the merged report stay request-relative across chunk boundaries.
+	many := make([]feedback.Feedback, 400)
+	for i := range many {
+		many[i] = rec("many", "c", true, int64(1000+i))
+	}
+	many[300] = feedback.Feedback{} // poison one record in the second chunk
+	report, err := c.SubmitBatchReport(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Items) != len(many) {
+		t.Fatalf("chunked items = %d, want %d", len(report.Items), len(many))
+	}
+	if report.Stored != len(many)-1 {
+		t.Fatalf("chunked stored = %d, want %d", report.Stored, len(many)-1)
+	}
+	if len(report.Rejected) != 1 || report.Rejected[0].Index != 300 {
+		t.Fatalf("chunked rejected = %+v, want index 300", report.Rejected)
+	}
+	if report.Items[300].Error == nil {
+		t.Fatal("item 300 lost its error across the chunk boundary")
+	}
+	if srv.Store().ServerLen("many") != len(many)-1 {
+		t.Fatalf("store has %d, want %d", srv.Store().ServerLen("many"), len(many)-1)
+	}
+}
+
 // TestAssessCacheEndToEnd drives the caching hot path over the wire: a
 // repeated assessment is served from the cache, and a write to the assessed
 // server invalidates it (a stale entry must not survive a write).

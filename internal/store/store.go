@@ -14,6 +14,7 @@ package store
 import (
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -212,6 +213,12 @@ func (s *Store) add(f feedback.Feedback) (bool, error) {
 	sh := s.shardOf(f.Server)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return s.addLocked(sh, f, h)
+}
+
+// addLocked is the insert body shared by add and AddBatch. The caller holds
+// sh's write lock and has already validated f and computed its hash.
+func (s *Store) addLocked(sh *shard, f feedback.Feedback, h Hash) (bool, error) {
 	if _, dup := sh.seen[h]; dup {
 		return false, nil
 	}
@@ -324,6 +331,100 @@ func (s *Store) AddAll(recs []feedback.Feedback) (int, error) {
 		}
 	}
 	return added, nil
+}
+
+// AddResult is one record's outcome within an AddBatch: exactly the (bool,
+// error) an equivalent Add call would have returned.
+type AddResult struct {
+	// Stored is true for a newly inserted record, false for a duplicate.
+	Stored bool
+	// Err is the record's failure (validation error, or ErrEvicted for a
+	// write to an evicted server). A failed record never affects its batch
+	// siblings.
+	Err error
+}
+
+// addGroup is the unit of batch-insert fan-out: the batch positions of all
+// records living on one shard, in batch order. Grouping is what lets the
+// batch feed a whole shard's records — dedup, history, accumulator, version
+// — under a single write-lock acquisition.
+type addGroup struct {
+	sh     *shard
+	pos    []int
+	hashes []Hash
+}
+
+// AddBatch inserts records grouped by shard: records of the same shard are
+// applied in batch order under one shard-lock acquisition, and the shard
+// groups are fanned out across at most workers goroutines (workers <= 0
+// means GOMAXPROCS). Results[i] always reports Records[i]'s outcome, with
+// the same semantics as len(recs) sequential Add calls: the insert order
+// within a shard is the batch order, so dedup and accumulator state end up
+// identical. Eviction pressure is resolved once at the end, like Add does
+// after its insert.
+func (s *Store) AddBatch(recs []feedback.Feedback, workers int) []AddResult {
+	results := make([]AddResult, len(recs))
+	byShard := make(map[*shard]*addGroup)
+	groups := make([]*addGroup, 0, len(s.shards))
+	for i, f := range recs {
+		if err := f.Validate(); err != nil {
+			results[i].Err = err
+			continue
+		}
+		sh := s.shardOf(f.Server)
+		g := byShard[sh]
+		if g == nil {
+			g = &addGroup{sh: sh}
+			byShard[sh] = g
+			groups = append(groups, g)
+		}
+		g.pos = append(g.pos, i)
+		g.hashes = append(g.hashes, HashOf(f))
+	}
+
+	apply := func(g *addGroup) {
+		g.sh.mu.Lock()
+		defer g.sh.mu.Unlock()
+		for j, i := range g.pos {
+			results[i].Stored, results[i].Err = s.addLocked(g.sh, recs[i], g.hashes[j])
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		for _, g := range groups {
+			apply(g)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(groups) {
+						return
+					}
+					apply(groups[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for i := range results {
+		if results[i].Stored {
+			s.maybeEvict()
+			break
+		}
+	}
+	return results
 }
 
 // History returns the server's transaction history in time order. It is

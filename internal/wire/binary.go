@@ -191,6 +191,14 @@ func appendRecords(buf []byte, recs []feedback.Feedback) ([]byte, error) {
 	return buf, nil
 }
 
+// Submit-batch item kind bytes: a stored record and a duplicate need no
+// body at all, so the common all-stored response encodes one byte per item.
+const (
+	submitItemStored    byte = 0
+	submitItemDuplicate byte = 1
+	submitItemError     byte = 2
+)
+
 func appendBatchResponse(buf []byte, p BatchResponse) []byte {
 	buf = binary.AppendUvarint(buf, uint64(p.Stored))
 	buf = binary.AppendUvarint(buf, uint64(p.Duplicates))
@@ -198,6 +206,18 @@ func appendBatchResponse(buf []byte, p BatchResponse) []byte {
 	for _, rej := range p.Rejected {
 		buf = binary.AppendUvarint(buf, uint64(rej.Index))
 		buf = appendString(buf, rej.Reason)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Items)))
+	for _, item := range p.Items {
+		switch {
+		case item.Error != nil:
+			buf = append(buf, submitItemError)
+			buf = appendErrorResponse(buf, *item.Error)
+		case item.Stored:
+			buf = append(buf, submitItemStored)
+		default:
+			buf = append(buf, submitItemDuplicate)
+		}
 	}
 	return buf
 }
@@ -502,6 +522,32 @@ func (r *breader) batchResponse(o *BatchResponse) error {
 			return err
 		}
 		o.Rejected = append(o.Rejected, rej)
+	}
+	ni, err := r.count()
+	if err != nil {
+		return err
+	}
+	if ni == 0 {
+		return nil
+	}
+	o.Items = make([]SubmitBatchItem, ni)
+	for i := range o.Items {
+		kind, err := r.byte()
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case submitItemStored:
+			o.Items[i].Stored = true
+		case submitItemDuplicate:
+		case submitItemError:
+			o.Items[i].Error = new(ErrorResponse)
+			if err := r.errorResponse(o.Items[i].Error); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("item %d: kind byte %d", i, kind)
+		}
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"reflect"
 	"testing"
 
 	"honestplayer/internal/feedback"
@@ -38,9 +39,9 @@ func fuzzPayloadDest(t MsgType) any {
 		return new(SubmitRequest)
 	case TypeSubmitR:
 		return new(SubmitResponse)
-	case TypeBatch:
+	case TypeSubmitB:
 		return new(BatchRequest)
-	case TypeBatchR:
+	case TypeSubmitBR:
 		return new(BatchResponse)
 	case TypeHistory:
 		return new(HistoryRequest)
@@ -78,7 +79,7 @@ func FuzzReadV2(f *testing.F) {
 	addFrame(TypePing, 1, nil)
 	addFrame(TypeAssess, 7, AssessRequest{Server: "srv-a", Threshold: 0.9})
 	addFrame(TypeAssessR, 7, AssessResponse{Assessment: testAssessment(), Accept: true})
-	addFrame(TypeBatch, 3, BatchRequest{Records: []feedback.Feedback{testRecord(1), testRecord(2)}})
+	addFrame(TypeSubmitB, 3, BatchRequest{Records: []feedback.Feedback{testRecord(1), testRecord(2)}})
 	addFrame(TypeError, 0, ErrorResponse{Code: CodeBadRequest, Message: "bad"})
 	f.Add([]byte{0, 0, 0, 10, 1, 0, 0, 0, 0, 0, 0, 0, 0, 1})
 	f.Add([]byte("\xff\xff\xff\xff"))
@@ -112,6 +113,65 @@ func FuzzReadV2(f *testing.F) {
 			if err := DecodePayload(reenc, dest2); err != nil {
 				t.Fatalf("re-decode of %s payload failed: %v", env.Type, err)
 			}
+		}
+	})
+}
+
+// FuzzSubmitBatch drives the submit.batch payload codecs — BatchRequest on
+// the way in, BatchResponse (aggregates, rejects, and the per-item slots)
+// on the way out — over arbitrary payload bytes. Invariants: no panic, no
+// out-of-bounds allocation from hostile counts (the codec carries any count;
+// MaxSubmitBatch is the server's concern), and whatever decodes must survive
+// a lossless re-encode/decode round trip.
+func FuzzSubmitBatch(f *testing.F) {
+	addPayload := func(typ MsgType, payload any) {
+		env, err := V2Codec.Encode(typ, 1, payload)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if !env.Binary {
+			f.Fatalf("%s payload has no binary codec", typ)
+		}
+		f.Add(typ == TypeSubmitBR, []byte(env.Payload))
+	}
+	addPayload(TypeSubmitB, BatchRequest{})
+	addPayload(TypeSubmitB, BatchRequest{Records: []feedback.Feedback{testRecord(1)}})
+	addPayload(TypeSubmitB, BatchRequest{Records: []feedback.Feedback{
+		testRecord(1), testRecord(2), testRecord(3),
+	}})
+	addPayload(TypeSubmitBR, BatchResponse{Stored: 3})
+	addPayload(TypeSubmitBR, BatchResponse{
+		Stored: 1, Duplicates: 1,
+		Rejected: []BatchReject{{Index: 2, Reason: "zero time"}},
+		Items: []SubmitBatchItem{
+			{Stored: true},
+			{Stored: false},
+			{Error: &ErrorResponse{Code: CodeInvalidFeedback, Message: "zero time"}},
+		},
+	})
+	f.Add(false, []byte{0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(true, []byte{0x03, 0x00, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, isResp bool, data []byte) {
+		typ := TypeSubmitB
+		var dest any = new(BatchRequest)
+		if isResp {
+			typ = TypeSubmitBR
+			dest = new(BatchResponse)
+		}
+		env := Envelope{V: VersionV2, Type: typ, ID: 1, Payload: data, Binary: true}
+		if err := DecodePayload(env, dest); err != nil {
+			return
+		}
+		reenc, err := V2Codec.Encode(typ, 1, dest)
+		if err != nil {
+			t.Fatalf("re-encode of decoded %s payload failed: %v", typ, err)
+		}
+		dest2 := fuzzPayloadDest(typ)
+		if err := DecodePayload(reenc, dest2); err != nil {
+			t.Fatalf("re-decode of %s payload failed: %v", typ, err)
+		}
+		if !reflect.DeepEqual(dest, dest2) {
+			t.Fatalf("%s payload not lossless:\n first: %+v\nsecond: %+v", typ, dest, dest2)
 		}
 	})
 }

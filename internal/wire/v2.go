@@ -72,8 +72,8 @@ var v2Codes = map[MsgType]byte{
 	TypePong:     2,
 	TypeSubmit:   3,
 	TypeSubmitR:  4,
-	TypeBatch:    5,
-	TypeBatchR:   6,
+	TypeSubmitB:  5,
+	TypeSubmitBR: 6,
 	TypeHistory:  7,
 	TypeHistoryR: 8,
 	TypeAssess:   9,

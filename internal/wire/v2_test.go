@@ -52,9 +52,14 @@ func v2Payloads() map[MsgType]any {
 	return map[MsgType]any{
 		TypeSubmit:  SubmitRequest{Feedback: testRecord(1)},
 		TypeSubmitR: SubmitResponse{Stored: true},
-		TypeBatch:   BatchRequest{Records: []feedback.Feedback{testRecord(1), testRecord(2), testRecord(3)}},
-		TypeBatchR: BatchResponse{Stored: 2, Duplicates: 1, Rejected: []BatchReject{
+		TypeSubmitB: BatchRequest{Records: []feedback.Feedback{testRecord(1), testRecord(2), testRecord(3)}},
+		TypeSubmitBR: BatchResponse{Stored: 2, Duplicates: 1, Rejected: []BatchReject{
 			{Index: 3, Reason: "zero time"}, {Index: 5, Reason: "missing server"},
+		}, Items: []SubmitBatchItem{
+			{Stored: true},
+			{Stored: false}, // duplicate: not stored, no error
+			{Error: &ErrorResponse{Code: CodeInvalidFeedback, Message: "zero time"}},
+			{Stored: true},
 		}},
 		TypeHistory:  HistoryRequest{Server: "srv-a", Limit: 25},
 		TypeHistoryR: HistoryResponse{Records: []feedback.Feedback{testRecord(4), testRecord(5)}, Total: 99},
@@ -294,7 +299,7 @@ func TestBinaryDecodeStrictness(t *testing.T) {
 	// hold must be rejected without allocating for it.
 	huge := []byte{0xff, 0xff, 0xff, 0xff, 0x0f} // uvarint ~4e9
 	var batch BatchRequest
-	if err := decodeBinaryPayload(TypeBatch, huge, &batch); err == nil {
+	if err := decodeBinaryPayload(TypeSubmitB, huge, &batch); err == nil {
 		t.Fatal("oversized count accepted")
 	}
 }

@@ -36,6 +36,13 @@ const MaxFrame = 4 << 20
 // one request can pin on the batch worker pool.
 const MaxAssessBatch = 256
 
+// MaxSubmitBatch caps the records in one submit.batch request. The server
+// rejects larger requests with bad_request; clients chunk transparently
+// (repclient.SubmitBatch splits and reassembles in order). The cap bounds
+// the request frame and the work one batch can pin on the worker pool and
+// the ledger's group-commit queue.
+const MaxSubmitBatch = 256
+
 // MsgType discriminates envelope payloads.
 type MsgType string
 
@@ -45,8 +52,8 @@ const (
 	TypePong     MsgType = "pong"
 	TypeSubmit   MsgType = "submit"
 	TypeSubmitR  MsgType = "submit.resp"
-	TypeBatch    MsgType = "submit.batch"
-	TypeBatchR   MsgType = "submit.batch.resp"
+	TypeSubmitB  MsgType = "submit.batch"
+	TypeSubmitBR MsgType = "submit.batch.resp"
 	TypeHistory  MsgType = "history"
 	TypeHistoryR MsgType = "history.resp"
 	TypeAssess   MsgType = "assess"
@@ -197,9 +204,10 @@ type SubmitResponse struct {
 	Stored bool `json:"stored"`
 }
 
-// BatchRequest submits many feedback records in one frame. Records are
-// processed in order; invalid records are skipped and reported per record
-// in the response, while every valid record is stored.
+// BatchRequest submits many feedback records in one frame — at most
+// MaxSubmitBatch per request. Records are processed in order; invalid
+// records fail their own item slot and are reported per record in the
+// response, while every valid record is stored.
 type BatchRequest struct {
 	Records []feedback.Feedback `json:"records"`
 }
@@ -212,15 +220,30 @@ type BatchReject struct {
 	Reason string `json:"reason"`
 }
 
-// BatchResponse acknowledges a batch submission with a per-record report:
+// SubmitBatchItem is one record's outcome within a batch response. On
+// success Error is nil and Stored reports whether the record was new
+// (false with a nil Error means it was a duplicate, exactly as a single
+// submit response would report); on failure Error holds the per-item error
+// — an invalid record fails its own slot, never the batch.
+type SubmitBatchItem struct {
+	Stored bool           `json:"stored"`
+	Error  *ErrorResponse `json:"error,omitempty"`
+}
+
+// BatchResponse acknowledges a batch submission with a per-record report.
+// Items align with the request: Items[i] is the outcome for Records[i],
+// always with len(Items) == len(Records). The aggregate counters are
+// derived from the items and kept for at-a-glance callers:
 // Stored + Duplicates + len(Rejected) always equals the request size.
 type BatchResponse struct {
 	// Stored is the number of new records.
 	Stored int `json:"stored"`
 	// Duplicates is the number of records already present.
 	Duplicates int `json:"duplicates"`
-	// Rejected lists the records that failed validation, in request order.
+	// Rejected lists the records that failed, in request order.
 	Rejected []BatchReject `json:"rejected,omitempty"`
+	// Items is the per-record report, aligned with the request records.
+	Items []SubmitBatchItem `json:"items,omitempty"`
 }
 
 // HistoryRequest fetches a server's records.
